@@ -1,0 +1,47 @@
+// Ablation: ASCII vs binary memcached protocol on the same socket
+// transport (SDP, Cluster B). The byte-stream/memory-object semantic
+// mismatch the paper blames (§I) has two parts: copies (inherent to
+// sockets) and parsing (protocol-specific). The binary protocol removes
+// most of the parsing but none of the copies — so it narrows, but nowhere
+// near closes, the gap to UCR.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/workload.hpp"
+
+using namespace rmc;
+
+namespace {
+
+double latency(core::TransportKind transport, bool binary, std::uint32_t size) {
+  core::TestBedConfig config;
+  config.cluster = core::ClusterKind::cluster_b;
+  config.transport = transport;
+  config.client.binary_protocol = binary;
+  core::TestBed bed(config);
+  core::WorkloadConfig workload;
+  workload.pattern = core::OpPattern::pure_get;
+  workload.value_size = size;
+  workload.ops_per_client = 300;
+  return core::run_workload(bed, workload).mean_latency_us();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: ASCII vs binary protocol over SDP (Cluster B, Get) ===\n\n");
+  Table t("Get latency (us)", {"size", "SDP ascii", "SDP binary", "UCR-IB"});
+  for (std::uint32_t size : {4u, 256u, 4096u}) {
+    t.add_row({format_size_label(size),
+               Table::num(latency(core::TransportKind::sdp, false, size)),
+               Table::num(latency(core::TransportKind::sdp, true, size)),
+               Table::num(latency(core::TransportKind::ucr_verbs, false, size))});
+  }
+  t.print();
+  std::printf("\nreading: binary framing shaves the parse cost off the socket path,\n"
+              "but the copies, syscalls and wake-ups remain — the core of the gap\n"
+              "to UCR is the transport semantics, not the text format. This\n"
+              "supports the paper's argument that re-designing the transport (not\n"
+              "the protocol encoding) is what unlocks RDMA-class latency.\n");
+  return 0;
+}

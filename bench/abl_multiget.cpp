@@ -1,0 +1,95 @@
+// The "multiget hole" (the paper's reference [2], Facebook): fetching N
+// keys spread over S servers costs one round trip per server, so adding
+// servers stops helping a multiget-heavy workload — each request still
+// touches almost every server. This bench fetches 64 keys through one
+// client as the pool grows, over UCR (pipelined AMs) and over SDP sockets
+// (one pipelined text mget per server).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "memcached/client.hpp"
+#include "memcached/server.hpp"
+#include "simnet/netparams.hpp"
+
+using namespace rmc;
+using namespace rmc::literals;
+
+namespace {
+
+std::span<const std::byte> val(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+double mget_latency_us(int servers, bool use_ucr) {
+  sim::Scheduler sched;
+  sim::Fabric fabric{sched, sim::ib_qdr_link()};
+  sim::Host client_host{sched, 100, "web", 8};
+  verbs::Hca client_hca{sched, fabric, client_host};
+  ucr::Runtime client_ucr{client_hca};
+  sock::NetStack client_sock{sched, fabric, client_host, sock::sdp_ib()};
+  mc::Client client{sched, client_host};
+
+  std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<std::unique_ptr<verbs::Hca>> hcas;
+  std::vector<std::unique_ptr<ucr::Runtime>> runtimes;
+  std::vector<std::unique_ptr<sock::NetStack>> stacks;
+  std::vector<std::unique_ptr<mc::Server>> srv;
+  for (int i = 0; i < servers; ++i) {
+    hosts.push_back(std::make_unique<sim::Host>(sched, i, "mc", 8));
+    srv.push_back(std::make_unique<mc::Server>(sched, *hosts.back(), mc::ServerConfig{}));
+    if (use_ucr) {
+      hcas.push_back(std::make_unique<verbs::Hca>(sched, fabric, *hosts.back()));
+      runtimes.push_back(std::make_unique<ucr::Runtime>(*hcas.back()));
+      srv.back()->attach_ucr_frontend(*runtimes.back());
+      client.add_server_ucr(client_ucr, runtimes.back()->addr(), 11211);
+    } else {
+      stacks.push_back(
+          std::make_unique<sock::NetStack>(sched, fabric, *hosts.back(), sock::sdp_ib()));
+      srv.back()->attach_socket_frontend(*stacks.back());
+      client.add_server_socket(client_sock, stacks.back()->addr(), 11211);
+    }
+  }
+
+  constexpr int kKeys = 64;
+  constexpr int kRounds = 100;
+  sim::Time total = 0;
+  sched.spawn([](sim::Scheduler& sched, mc::Client& client, sim::Time& total) -> sim::Task<> {
+    (void)co_await client.connect_all();
+    std::vector<std::string> keys;
+    for (int k = 0; k < kKeys; ++k) {
+      keys.push_back("page:object:" + std::to_string(k));
+      (void)co_await client.set(keys.back(), val("fragment"));
+    }
+    const sim::Time start = sched.now();
+    for (int r = 0; r < kRounds; ++r) {
+      auto result = co_await client.mget(keys);
+      (void)result;
+    }
+    total = sched.now() - start;
+  }(sched, client, total));
+  sched.run();
+  return to_us(total) / kRounds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Multiget across a growing pool (64 keys per request) ===\n\n");
+  Table t("mget latency (us) vs pool size", {"servers", "UCR-IB", "SDP"});
+  for (int servers : {1, 2, 4, 8, 16}) {
+    t.add_row({std::to_string(servers), Table::num(mget_latency_us(servers, true)),
+               Table::num(mget_latency_us(servers, false))});
+  }
+  t.print();
+  std::printf("\nreading: spreading 64 keys over a few servers helps (smaller\n"
+              "per-server batches, fetched in parallel), but past that every\n"
+              "request touches nearly every server and the per-server fixed cost\n"
+              "takes over — the curve flattens and turns upward. More machines no\n"
+              "longer buy capacity for multiget-heavy traffic: Facebook's\n"
+              "'multiget hole' [2]. UCR's cheap per-server round trip pushes the\n"
+              "turn much further out than the sockets stack.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Future-work preview (§VII): the paper announces iWARP and RoCE ports of
+// UCR — "We may expect to see good gains in performance with the
+// iWARP/RoCE implementations of [UCR] that will run over a 10 GigE
+// network" (§VI-A note). This bench runs UCR unchanged over RoCE and
+// iWARP 10 GigE fabrics on Cluster A and compares them against native IB
+// verbs and the TOE socket path on the very same wires.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/workload.hpp"
+
+using namespace rmc;
+
+namespace {
+
+double latency(core::TransportKind transport, std::uint32_t size) {
+  core::TestBedConfig config;
+  config.cluster = core::ClusterKind::cluster_a;
+  config.transport = transport;
+  core::TestBed bed(config);
+  core::WorkloadConfig workload;
+  workload.pattern = core::OpPattern::pure_get;
+  workload.value_size = size;
+  workload.ops_per_client = 300;
+  return core::run_workload(bed, workload).mean_latency_us();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Future work preview: UCR over RoCE and iWARP (Cluster A, 100%% Get) ===\n\n");
+  Table t("Get latency (us)",
+          {"size", "UCR-IB(DDR)", "UCR-RoCE", "UCR-iWARP", "10GigE-TOE"});
+  for (std::uint32_t size : {4u, 256u, 4096u, 65536u}) {
+    t.add_row({format_size_label(size),
+               Table::num(latency(core::TransportKind::ucr_verbs, size)),
+               Table::num(latency(core::TransportKind::ucr_roce, size)),
+               Table::num(latency(core::TransportKind::ucr_iwarp, size)),
+               Table::num(latency(core::TransportKind::toe_10ge, size))});
+  }
+  t.print();
+  std::printf("\nreading: the verbs programming model carries its OS-bypass benefit\n"
+              "onto converged Ethernet — RoCE lands near native IB, iWARP pays its\n"
+              "RNIC TCP termination, and both sit far below the TOE socket path on\n"
+              "the same 10 GigE wire, as §VI-A anticipates.\n");
+  return 0;
+}

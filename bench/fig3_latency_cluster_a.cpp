@@ -1,0 +1,43 @@
+// Figure 3 reproduction: latency of Set and Get operations on Cluster A
+// (ConnectX DDR InfiniBand + Chelsio 10GigE TOE), single client, 100% Set
+// or 100% Get instruction mix, small (1B-4KB) and large (8KB-512KB)
+// message panels.
+//
+// Paper shapes to check (§VI-B):
+//  - UCR beats 10GigE-TOE by >= 4x at all sizes.
+//  - UCR beats IPoIB and SDP by ~8x+ (small/medium) and ~5x (large).
+//  - 4 KB Get over UCR on DDR is ~20 us.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+using namespace rmc;
+using namespace rmc::bench;
+
+int main(int argc, char** argv) {
+  const bool csv = csv_mode(argc, argv);
+  const std::vector<core::TransportKind> transports{
+      core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib,
+      core::TransportKind::toe_10ge};
+
+  std::printf("=== Figure 3: Latency of Set and Get Operations on Cluster A (us) ===\n\n");
+  latency_table("Fig 3(a) Set - Small Message", core::ClusterKind::cluster_a,
+                core::OpPattern::pure_set, transports, small_sizes(), csv);
+  latency_table("Fig 3(b) Set - Large Message", core::ClusterKind::cluster_a,
+                core::OpPattern::pure_set, transports, large_sizes(), csv);
+  latency_table("Fig 3(c) Get - Small Message", core::ClusterKind::cluster_a,
+                core::OpPattern::pure_get, transports, small_sizes(), csv);
+  latency_table("Fig 3(d) Get - Large Message", core::ClusterKind::cluster_a,
+                core::OpPattern::pure_get, transports, large_sizes(), csv);
+
+  // Headline check (paper: ~20 us for 4 KB Get on DDR; >= 4x vs TOE).
+  const double ucr4k = latency_cell(core::ClusterKind::cluster_a,
+                                    core::TransportKind::ucr_verbs,
+                                    core::OpPattern::pure_get, 4096);
+  const double toe4k = latency_cell(core::ClusterKind::cluster_a,
+                                    core::TransportKind::toe_10ge,
+                                    core::OpPattern::pure_get, 4096);
+  std::printf("headline: 4KB Get UCR(DDR)=%.1f us (paper ~20), TOE/UCR=%.1fx (paper >=4x)\n",
+              ucr4k, toe4k / ucr4k);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 5 reproduction: latency of small messages under mixed instruction
+// streams — non-interleaved (10 Sets then 90 Gets per 100 ops) and
+// interleaved (alternating Set/Get) — on both clusters. Cluster A includes
+// the 1 GigE baseline the paper adds in this figure.
+//
+// Paper shape (§VI-C): the mixed workloads follow the same ordering and
+// factors as the pure Set/Get experiments.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+using namespace rmc;
+using namespace rmc::bench;
+
+int main(int argc, char** argv) {
+  const bool csv = csv_mode(argc, argv);
+  const std::vector<core::TransportKind> cluster_a_transports{
+      core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib,
+      core::TransportKind::toe_10ge, core::TransportKind::tcp_1ge};
+  const std::vector<core::TransportKind> cluster_b_transports{
+      core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib};
+
+  std::printf("=== Figure 5: Latency of Small Messages, Mixed Set/Get (us) ===\n\n");
+  latency_table("Fig 5(a) Non-Interleaved (Set 10%/Get 90%) - Cluster A",
+                core::ClusterKind::cluster_a, core::OpPattern::non_interleaved,
+                cluster_a_transports, small_sizes(), csv);
+  latency_table("Fig 5(b) Non-Interleaved (Set 10%/Get 90%) - Cluster B",
+                core::ClusterKind::cluster_b, core::OpPattern::non_interleaved,
+                cluster_b_transports, small_sizes(), csv);
+  latency_table("Fig 5(c) Interleaved (Set 50%/Get 50%) - Cluster A",
+                core::ClusterKind::cluster_a, core::OpPattern::interleaved,
+                cluster_a_transports, small_sizes(), csv);
+  latency_table("Fig 5(d) Interleaved (Set 50%/Get 50%) - Cluster B",
+                core::ClusterKind::cluster_b, core::OpPattern::interleaved,
+                cluster_b_transports, small_sizes(), csv);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared helpers for the figure benchmarks: the message-size sweeps of
+// Figures 3-5 and the table layout that mirrors the paper's plots (one row
+// per x-axis point, one column per transport).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/workload.hpp"
+
+namespace rmc::bench {
+
+/// Small-message panel sizes (Figs. 3/4 left half; Fig. 5).
+inline std::vector<std::uint32_t> small_sizes() {
+  return {1, 4, 16, 64, 256, 1024, 2048, 4096};
+}
+
+/// Large-message panel sizes (Figs. 3/4 right half).
+inline std::vector<std::uint32_t> large_sizes() {
+  return {8192, 16384, 32768, 65536, 131072, 262144, 524288};
+}
+
+/// Run one (cluster, transport, pattern, size) cell and return the mean
+/// latency in microseconds.
+inline double latency_cell(core::ClusterKind cluster, core::TransportKind transport,
+                           core::OpPattern pattern, std::uint32_t value_size,
+                           std::uint64_t ops = 300) {
+  core::TestBedConfig config;
+  config.cluster = cluster;
+  config.transport = transport;
+  core::TestBed bed(config);
+  core::WorkloadConfig workload;
+  workload.pattern = pattern;
+  workload.value_size = value_size;
+  workload.ops_per_client = ops;
+  const auto result = core::run_workload(bed, workload);
+  return result.mean_latency_us();
+}
+
+/// Print one paper-style latency table: rows = sizes, columns = transports.
+/// With csv=true, emits machine-readable blocks for tools/plot_figures.py.
+inline void latency_table(const std::string& title, core::ClusterKind cluster,
+                          core::OpPattern pattern,
+                          const std::vector<core::TransportKind>& transports,
+                          const std::vector<std::uint32_t>& sizes, bool csv = false) {
+  if (csv) {
+    std::printf("# %s\nsize", title.c_str());
+    for (auto t : transports) std::printf(",%s", std::string(core::transport_name(t)).c_str());
+    std::printf("\n");
+    for (std::uint32_t size : sizes) {
+      std::printf("%u", size);
+      for (auto t : transports) {
+        std::printf(",%.3f", latency_cell(cluster, t, pattern, size));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+    return;
+  }
+  std::vector<std::string> columns{"size"};
+  for (auto t : transports) columns.emplace_back(core::transport_name(t));
+  Table table(title, columns);
+  for (std::uint32_t size : sizes) {
+    std::vector<std::string> row{format_size_label(size)};
+    for (auto t : transports) {
+      row.push_back(Table::num(latency_cell(cluster, t, pattern, size)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n");
+}
+
+/// --csv anywhere on the command line switches a figure binary to CSV mode.
+inline bool csv_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv") return true;
+  }
+  return false;
+}
+
+}  // namespace rmc::bench

@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks of the simulation substrate itself:
+// scheduler event throughput, coroutine task switching, channel hand-off,
+// and end-to-end simulated-seconds-per-wall-second for a memcached
+// workload — the number that bounds how big an experiment the simulator
+// can run.
+#include <benchmark/benchmark.h>
+
+#include "core/workload.hpp"
+#include "simnet/channel.hpp"
+#include "simnet/event.hpp"
+#include "simnet/scheduler.hpp"
+
+namespace rmc::sim {
+namespace {
+
+void BM_SchedulerEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scheduler sched;
+    constexpr int kEvents = 10000;
+    int sink = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      sched.call_at(static_cast<Time>(i), [&sink] { ++sink; });
+    }
+    state.ResumeTiming();
+    sched.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerEventDispatch);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    Channel<int> a(sched), b(sched);
+    constexpr int kRounds = 5000;
+    sched.spawn([](Channel<int>& a, Channel<int>& b) -> Task<> {
+      for (int i = 0; i < kRounds; ++i) {
+        a.send(i);
+        (void)co_await b.recv();
+      }
+    }(a, b));
+    sched.spawn([](Channel<int>& a, Channel<int>& b) -> Task<> {
+      for (int i = 0; i < kRounds; ++i) {
+        (void)co_await a.recv();
+        b.send(i);
+      }
+    }(a, b));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_CounterWaitWake(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    Counter counter(sched);
+    constexpr int kRounds = 5000;
+    sched.spawn([](Counter& c) -> Task<> {
+      for (int i = 1; i <= kRounds; ++i) {
+        (void)co_await c.wait_geq(static_cast<std::uint64_t>(i));
+      }
+    }(counter));
+    for (int i = 0; i < kRounds; ++i) {
+      sched.call_at(static_cast<Time>(i), [&counter] { counter.add(); });
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_CounterWaitWake);
+
+/// How much simulated memcached traffic we chew through per wall second:
+/// a full Cluster B UCR testbed doing 4-byte Gets.
+void BM_EndToEndSimulatedOps(benchmark::State& state) {
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    core::TestBedConfig config;
+    config.cluster = core::ClusterKind::cluster_b;
+    config.transport = core::TransportKind::ucr_verbs;
+    core::TestBed bed(config);
+    core::WorkloadConfig workload;
+    workload.pattern = core::OpPattern::pure_get;
+    workload.value_size = 4;
+    workload.ops_per_client = 2000;
+    const auto result = core::run_workload(bed, workload);
+    ops += result.total_ops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel("simulated memcached ops per wall second");
+}
+BENCHMARK(BM_EndToEndSimulatedOps);
+
+}  // namespace
+}  // namespace rmc::sim
+
+BENCHMARK_MAIN();

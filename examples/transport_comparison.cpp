@@ -1,0 +1,38 @@
+// A miniature of the paper's evaluation: the same memcached workload over
+// every transport of Cluster A, printed side by side. Run the full bench
+// binaries (bench/fig*) for the complete figures.
+//
+//   $ ./examples/transport_comparison
+#include <cstdio>
+
+#include "core/workload.hpp"
+
+using namespace rmc;
+
+int main() {
+  core::WorkloadConfig workload;
+  workload.pattern = core::OpPattern::pure_get;
+  workload.value_size = 4096;  // the paper's headline point: 4 KB Get
+  workload.ops_per_client = 500;
+
+  std::printf("memcached 4 KB Get latency, Cluster A (single client)\n");
+  std::printf("%-12s %12s %10s\n", "transport", "latency(us)", "vs UCR");
+  double ucr_latency = 0;
+  for (auto transport :
+       {core::TransportKind::ucr_verbs, core::TransportKind::toe_10ge,
+        core::TransportKind::sdp, core::TransportKind::ipoib, core::TransportKind::tcp_1ge}) {
+    core::TestBedConfig config;
+    config.cluster = core::ClusterKind::cluster_a;
+    config.transport = transport;
+    core::TestBed bed(config);
+    const auto result = core::run_workload(bed, workload);
+    const double latency = result.mean_latency_us();
+    if (transport == core::TransportKind::ucr_verbs) ucr_latency = latency;
+    std::printf("%-12s %12.1f %9.1fx\n",
+                std::string(core::transport_name(transport)).c_str(), latency,
+                latency / ucr_latency);
+  }
+  std::printf("\n(the paper reports ~20 us for UCR on DDR and >= 4x for every\n"
+              " sockets transport; see bench/ and EXPERIMENTS.md for the full set)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Error codes and a minimal Result<T> used by the transport stacks.
+//
+// The project targets C++20, which has no std::expected; this is the small
+// subset we need: an error enum shared by verbs/sockets/ucr/memcached and a
+// value-or-error wrapper with the usual observers. APIs that can only fail
+// in ways the caller must handle return Result<T>; programming errors
+// (misuse of an API) assert.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace rmc {
+
+/// Error conditions surfaced by the communication stacks and memcached.
+enum class Errc {
+  ok = 0,
+  timed_out,        ///< a wait exceeded its caller-supplied timeout
+  disconnected,     ///< peer endpoint / socket has gone away
+  refused,          ///< no listener at the destination
+  no_resources,     ///< out of credits, buffers, or queue depth
+  invalid_argument, ///< malformed request (bad key, bad lkey/rkey, ...)
+  not_found,        ///< memcached: key miss
+  exists,           ///< memcached: add on existing key / CAS conflict
+  not_stored,       ///< memcached: replace/append precondition failed
+  too_large,        ///< memcached: value exceeds the item size limit
+  protocol_error,   ///< byte-stream parse failure
+};
+
+/// Human-readable name for an error code (stable, for logs and tests).
+constexpr std::string_view to_string(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::timed_out: return "timed_out";
+    case Errc::disconnected: return "disconnected";
+    case Errc::refused: return "refused";
+    case Errc::no_resources: return "no_resources";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::not_stored: return "not_stored";
+    case Errc::too_large: return "too_large";
+    case Errc::protocol_error: return "protocol_error";
+  }
+  return "unknown";
+}
+
+/// Value-or-error. A Result holds either a T (and Errc::ok) or an Errc.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)), err_(Errc::ok) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc err) : err_(err) { assert(err != Errc::ok); }      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return err_ == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return err_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Errc err_;
+};
+
+/// Result<void> analogue: just an error code with the same observers.
+class [[nodiscard]] Status {
+ public:
+  Status() : err_(Errc::ok) {}
+  Status(Errc err) : err_(err) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return err_ == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return err_; }
+
+ private:
+  Errc err_;
+};
+
+}  // namespace rmc

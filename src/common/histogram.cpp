@@ -1,0 +1,83 @@
+#include "common/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace rmc {
+
+namespace {
+// 64 sub-buckets per power of two => worst-case relative error 1/64.
+constexpr std::size_t kSubBucketBits = 6;
+constexpr std::size_t kSubBuckets = 1u << kSubBucketBits;
+// Values 0..127 get exact buckets; above that, log bucketing up to 2^63.
+constexpr std::size_t kExactLimit = kSubBuckets * 2;
+constexpr std::size_t kMaxBuckets = kExactLimit + (64 - kSubBucketBits - 1) * kSubBuckets;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kMaxBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kExactLimit) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - static_cast<int>(kSubBucketBits);
+  const std::size_t sub = static_cast<std::size_t>(value >> shift) - kSubBuckets;
+  const std::size_t tier = static_cast<std::size_t>(msb) - kSubBucketBits;
+  std::size_t idx = kExactLimit + (tier - 1) * kSubBuckets + sub;
+  return idx < kMaxBuckets ? idx : kMaxBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t index) {
+  if (index < kExactLimit) return index;
+  const std::size_t tier = (index - kExactLimit) / kSubBuckets + 1;
+  const std::size_t sub = (index - kExactLimit) % kSubBuckets;
+  const int shift = static_cast<int>(tier);
+  return ((kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)]++;
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+double LatencyHistogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      const std::uint64_t ub = bucket_upper_bound(i);
+      return ub > max_ ? max_ : ub;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::reset() {
+  buckets_.assign(buckets_.size(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+}  // namespace rmc

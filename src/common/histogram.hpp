@@ -1,0 +1,46 @@
+// Latency statistics: a log-bucketed histogram with percentile queries plus
+// exact running mean/min/max. Used by every benchmark harness to report the
+// per-operation latencies the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rmc {
+
+/// HDR-style histogram: values are bucketed with ~1.6% relative precision
+/// (64 sub-buckets per power of two). record() is O(1); percentiles are
+/// computed by scanning buckets.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Record one sample (nanoseconds, but any non-negative value works).
+  void record(std::uint64_t value);
+
+  /// Merge another histogram into this one (for multi-client aggregation).
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Value at quantile q in [0,1]; q=0.5 is the median. Returns an upper
+  /// bound of the bucket containing the quantile. 0 when empty.
+  std::uint64_t percentile(double q) const;
+
+  void reset();
+
+ private:
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_upper_bound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rmc

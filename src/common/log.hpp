@@ -1,0 +1,35 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so this is deliberately simple: a
+// global level, printf-style formatting, stderr output. Benchmarks leave it
+// at `warn` so tables stay clean; tests can raise it to `debug` to trace
+// message flows.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace rmc {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Process-wide log threshold (default: warn).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Core sink; prefer the RMC_LOG_* macros, which skip argument evaluation
+/// when the level is disabled.
+void log_write(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace rmc
+
+#define RMC_LOG_AT(lvl, ...)                                     \
+  do {                                                           \
+    if (static_cast<int>(lvl) >= static_cast<int>(::rmc::log_level())) \
+      ::rmc::log_write(lvl, __VA_ARGS__);                        \
+  } while (0)
+
+#define RMC_LOG_DEBUG(...) RMC_LOG_AT(::rmc::LogLevel::debug, __VA_ARGS__)
+#define RMC_LOG_INFO(...) RMC_LOG_AT(::rmc::LogLevel::info, __VA_ARGS__)
+#define RMC_LOG_WARN(...) RMC_LOG_AT(::rmc::LogLevel::warn, __VA_ARGS__)
+#define RMC_LOG_ERROR(...) RMC_LOG_AT(::rmc::LogLevel::error, __VA_ARGS__)

@@ -1,0 +1,28 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// Two consumers: (1) the paper notes memcached keys "are typically MD5 sums
+// or hashes of the objects being stored", so workload generators can derive
+// realistic keys; (2) ketama consistent hashing in the client library hashes
+// "<host>:<port>-<replica>" with MD5 to place points on the continuum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rmc {
+
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// Lowercase hex rendering, e.g. "d41d8cd98f00b204e9800998ecf8427e".
+  std::string hex() const;
+
+  bool operator==(const Md5Digest&) const = default;
+};
+
+/// Compute the MD5 digest of `data` in one shot.
+Md5Digest md5(std::string_view data);
+
+}  // namespace rmc

@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace rmc {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  out << "## " << title_ << "\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? "  " : "");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_size_label(std::uint64_t bytes) {
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+    return std::to_string(bytes / (1024 * 1024)) + "M";
+  if (bytes >= 1024 && bytes % 1024 == 0) return std::to_string(bytes / 1024) + "K";
+  return std::to_string(bytes);
+}
+
+}  // namespace rmc

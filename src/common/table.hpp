@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printer used by the figure benchmarks to emit
+// paper-style result tables (message size / client count on rows, one
+// transport per column).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmc {
+
+class Table {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Append a row; cells beyond `columns` are dropped, missing cells blank.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  /// Render to stdout.
+  void print() const;
+
+  /// Render to a string (tests).
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rmc

@@ -1,0 +1,41 @@
+// Time and size unit helpers shared across the simulator and benchmarks.
+//
+// All simulated time in this project is an integer count of nanoseconds
+// (`rmc::sim::Time` is defined in simnet/time.hpp as an alias of
+// std::uint64_t). These helpers keep unit conversions readable at call
+// sites: `5_us`, `kib(64)`, `to_us(t)`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rmc {
+
+/// Nanoseconds-per-unit constants.
+inline constexpr std::uint64_t kNsPerUs = 1000;
+inline constexpr std::uint64_t kNsPerMs = 1000 * 1000;
+inline constexpr std::uint64_t kNsPerSec = 1000ull * 1000 * 1000;
+
+namespace literals {
+
+constexpr std::uint64_t operator""_ns(unsigned long long v) { return v; }
+constexpr std::uint64_t operator""_us(unsigned long long v) { return v * kNsPerUs; }
+constexpr std::uint64_t operator""_ms(unsigned long long v) { return v * kNsPerMs; }
+constexpr std::uint64_t operator""_s(unsigned long long v) { return v * kNsPerSec; }
+
+constexpr std::uint64_t operator""_B(unsigned long long v) { return v; }
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024 * 1024; }
+
+}  // namespace literals
+
+/// Convert nanoseconds to (double) microseconds, the unit the paper reports.
+constexpr double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+/// Convert nanoseconds to (double) seconds.
+constexpr double to_sec(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+/// Format a byte count the way the paper labels its x axes: "4", "1K", "512K".
+std::string format_size_label(std::uint64_t bytes);
+
+}  // namespace rmc

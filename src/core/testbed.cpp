@@ -1,0 +1,188 @@
+#include "core/testbed.hpp"
+
+#include <cassert>
+
+namespace rmc::core {
+
+std::string_view transport_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::ucr_verbs: return "UCR-IB";
+    case TransportKind::sdp: return "SDP";
+    case TransportKind::ipoib: return "IPoIB";
+    case TransportKind::toe_10ge: return "10GigE-TOE";
+    case TransportKind::tcp_1ge: return "1GigE";
+    case TransportKind::ucr_roce: return "UCR-RoCE";
+    case TransportKind::ucr_iwarp: return "UCR-iWARP";
+  }
+  return "?";
+}
+
+std::string_view cluster_name(ClusterKind kind) {
+  return kind == ClusterKind::cluster_a ? "Cluster A (DDR)" : "Cluster B (QDR)";
+}
+
+bool transport_available(ClusterKind cluster, TransportKind transport) {
+  // Cluster B had no 10 GigE cards (§VI-B); 1 GigE appears on Cluster A
+  // only (Figure 5 baselines).
+  if (cluster == ClusterKind::cluster_b) {
+    return transport == TransportKind::ucr_verbs || transport == TransportKind::sdp ||
+           transport == TransportKind::ipoib;
+  }
+  return true;  // Cluster A has both fabrics, so RoCE (future work) runs there
+}
+
+namespace {
+
+sim::LinkParams ib_link(ClusterKind cluster) {
+  return cluster == ClusterKind::cluster_a ? sim::ib_ddr_link() : sim::ib_qdr_link();
+}
+
+unsigned host_cores(ClusterKind) {
+  return 8;  // both testbeds: dual quad-core Xeons
+}
+
+/// Adapter-generation cost model: the DDR ConnectX on Cluster A sits on a
+/// PCIe 1.1 bus and processes messages more slowly than the QDR/PCIe-Gen2
+/// part on Cluster B.
+verbs::VerbsCosts verbs_costs(ClusterKind cluster, TransportKind transport) {
+  verbs::VerbsCosts costs;
+  if (transport == TransportKind::ucr_roce) {
+    costs.post_wr_ns = 350;
+    costs.hca_process_ns = 550;  // first-generation RoCE engines
+    return costs;
+  }
+  if (transport == TransportKind::ucr_iwarp) {
+    costs.post_wr_ns = 400;
+    costs.hca_process_ns = 900;  // TCP termination inside the RNIC
+    return costs;
+  }
+  if (cluster == ClusterKind::cluster_a) {
+    costs.post_wr_ns = 350;
+    costs.hca_process_ns = 350;
+  } else {
+    costs.post_wr_ns = 250;
+    costs.hca_process_ns = 250;
+  }
+  return costs;
+}
+
+/// §VI-B: the SDP implementation shipped with OFED at the time misbehaved
+/// on QDR adapters — noisy, and slower than IPoIB in both the latency and
+/// throughput experiments. Model that artifact for Cluster B.
+sock::StackCosts degrade_sdp_on_qdr(sock::StackCosts costs) {
+  costs.wakeup_ns = costs.wakeup_ns * 3 / 2;
+  costs.copy_ns_per_byte *= 1.3;
+  costs.jitter_ns = 20000;  // up to 20 us of receive-path noise per segment
+  return costs;
+}
+
+}  // namespace
+
+TestBed::TestBed(TestBedConfig config) : config_(config) {
+  assert(transport_available(config.cluster, config.transport) &&
+         "this transport did not exist on this cluster in the paper");
+  sched_ = std::make_unique<sim::Scheduler>();
+
+  // Pick the fabric the transport runs on.
+  sim::LinkParams link{};
+  sock::StackCosts stack_costs{};
+  bool use_ucr = false;
+  switch (config.transport) {
+    case TransportKind::ucr_verbs:
+      link = ib_link(config.cluster);
+      use_ucr = true;
+      break;
+    case TransportKind::sdp:
+      link = ib_link(config.cluster);
+      stack_costs = sock::sdp_ib();
+      if (config.cluster == ClusterKind::cluster_b) {
+        stack_costs = degrade_sdp_on_qdr(stack_costs);
+      }
+      break;
+    case TransportKind::ipoib:
+      link = ib_link(config.cluster);
+      stack_costs = sock::kernel_tcp_ipoib();
+      break;
+    case TransportKind::toe_10ge:
+      link = sim::ten_gige_link();
+      stack_costs = sock::toe_10ge();
+      break;
+    case TransportKind::tcp_1ge:
+      link = sim::one_gige_link();
+      stack_costs = sock::kernel_tcp_1ge();
+      break;
+    case TransportKind::ucr_roce:
+      // The convergence §II-B describes: the verbs stack unchanged, the
+      // fabric an Ethernet one. Early RoCE parts processed messages a bit
+      // slower than native IB silicon, and the Ethernet encapsulation adds
+      // per-message pipeline latency on top of the 10 GigE wire.
+      link = sim::ten_gige_link();
+      link.wire_latency = 5200;  // vs 4500 for the DDR HCA's PCIe pipeline
+      use_ucr = true;
+      break;
+    case TransportKind::ucr_iwarp:
+      // iWARP: the verbs programming model over TCP (§II-B, "very similar
+      // to the verbs layer... with the exception of requiring a connection
+      // manager"). The adapter terminates a full TCP stack, so per-message
+      // engine time and pipeline latency sit above RoCE's.
+      link = sim::ten_gige_link();
+      link.wire_latency = 6500;
+      use_ucr = true;
+      break;
+  }
+  fabric_ = std::make_unique<sim::Fabric>(*sched_, link);
+
+  const unsigned cores = host_cores(config.cluster);
+  server_host_ = std::make_unique<sim::Host>(*sched_, 0, "server", cores);
+  for (unsigned i = 0; i < config.num_clients; ++i) {
+    client_hosts_.push_back(
+        std::make_unique<sim::Host>(*sched_, i + 1, "client" + std::to_string(i), cores));
+  }
+
+  server_ = std::make_unique<mc::Server>(*sched_, *server_host_, config.server);
+
+  if (use_ucr) {
+    const verbs::VerbsCosts hca_costs = verbs_costs(config.cluster, config.transport);
+    server_hca_ =
+        std::make_unique<verbs::Hca>(*sched_, *fabric_, *server_host_, hca_costs);
+    server_ucr_ = std::make_unique<ucr::Runtime>(*server_hca_, config.ucr);
+    server_->attach_ucr_frontend(*server_ucr_);
+    for (unsigned i = 0; i < config.num_clients; ++i) {
+      client_hcas_.push_back(
+          std::make_unique<verbs::Hca>(*sched_, *fabric_, *client_hosts_[i], hca_costs));
+      client_ucrs_.push_back(std::make_unique<ucr::Runtime>(*client_hcas_[i], config.ucr));
+      auto client = std::make_unique<mc::Client>(*sched_, *client_hosts_[i], config.client);
+      client->add_server_ucr(*client_ucrs_[i], server_ucr_->addr(),
+                             config.server.port);
+      clients_.push_back(std::move(client));
+    }
+  } else {
+    server_stack_ =
+        std::make_unique<sock::NetStack>(*sched_, *fabric_, *server_host_, stack_costs);
+    server_->attach_socket_frontend(*server_stack_);
+    for (unsigned i = 0; i < config.num_clients; ++i) {
+      client_stacks_.push_back(
+          std::make_unique<sock::NetStack>(*sched_, *fabric_, *client_hosts_[i], stack_costs));
+      auto client = std::make_unique<mc::Client>(*sched_, *client_hosts_[i], config.client);
+      client->add_server_socket(*client_stacks_[i], server_stack_->addr(),
+                                config.server.port);
+      clients_.push_back(std::move(client));
+    }
+  }
+}
+
+TestBed::~TestBed() = default;
+
+void TestBed::register_client_memory(std::size_t i, std::span<std::byte> memory) {
+  if (i < client_ucrs_.size()) client_ucrs_[i]->register_region(memory);
+}
+
+sim::Task<Status> TestBed::connect_all() {
+  for (auto& client : clients_) {
+    auto st = co_await client->connect_all();
+    if (!st.ok()) co_return st;
+  }
+  co_return Status{};
+}
+
+}  // namespace rmc::core

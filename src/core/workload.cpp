@@ -1,0 +1,152 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace rmc::core {
+
+std::string_view pattern_name(OpPattern pattern) {
+  switch (pattern) {
+    case OpPattern::pure_set: return "100% Set";
+    case OpPattern::pure_get: return "100% Get";
+    case OpPattern::non_interleaved: return "Set 10% / Get 90% (non-interleaved)";
+    case OpPattern::interleaved: return "Set 50% / Get 50% (interleaved)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Is operation #i of the stream a Set?
+bool is_set_op(OpPattern pattern, std::uint64_t i) {
+  switch (pattern) {
+    case OpPattern::pure_set: return true;
+    case OpPattern::pure_get: return false;
+    case OpPattern::non_interleaved: return i % 100 < 10;  // 10 Sets then 90 Gets
+    case OpPattern::interleaved: return i % 2 == 0;        // 1 Set, 1 Get
+  }
+  return false;
+}
+
+struct ClientState {
+  LatencyHistogram set_latency;
+  LatencyHistogram get_latency;
+  LatencyHistogram all_latency;
+  sim::Time finished_at = 0;
+  std::uint64_t ops = 0;
+  bool ok = false;
+};
+
+sim::Task<> client_task(TestBed& bed, const WorkloadConfig& config, std::size_t index,
+                        std::span<std::byte> value, sim::Event& connected,
+                        sim::Counter& ready, sim::Event& start, ClientState& state) {
+  mc::Client& client = bed.client(index);
+  sim::Scheduler& sched = bed.scheduler();
+  co_await connected.wait();
+
+  // Populate this client's key set (untimed warm-up; also the warm path
+  // for connection buffers and the server's slab classes).
+  std::vector<std::string> keys;
+  keys.reserve(config.keys_per_client);
+  for (std::uint32_t k = 0; k < config.keys_per_client; ++k) {
+    keys.push_back("c" + std::to_string(index) + ":k" + std::to_string(k));
+  }
+  for (const auto& key : keys) {
+    auto st = co_await client.set(key, value);
+    if (!st.ok()) {
+      RMC_LOG_ERROR("workload: populate failed on %s: %s", key.c_str(),
+                    std::string(to_string(st.error())).c_str());
+      ready.add();
+      co_return;
+    }
+  }
+
+  // Synchronized start: all clients fire together (Fig. 6 semantics).
+  ready.add();
+  co_await start.wait();
+
+  Rng rng(config.seed * 1000003 + index);
+  for (std::uint64_t i = 0; i < config.ops_per_client; ++i) {
+    const std::string& key = keys[rng.below(keys.size())];
+    const sim::Time begin = sched.now();
+    if (is_set_op(config.pattern, i)) {
+      auto st = co_await client.set(key, value);
+      if (!st.ok()) co_return;
+      const sim::Time lat = sched.now() - begin;
+      state.set_latency.record(lat);
+      state.all_latency.record(lat);
+    } else {
+      auto got = co_await client.get(key);
+      if (!got.ok()) co_return;
+      const sim::Time lat = sched.now() - begin;
+      state.get_latency.record(lat);
+      state.all_latency.record(lat);
+    }
+    ++state.ops;
+  }
+  state.finished_at = sched.now();
+  state.ok = true;
+}
+
+}  // namespace
+
+WorkloadResult run_workload(TestBed& bed, const WorkloadConfig& config) {
+  sim::Scheduler& sched = bed.scheduler();
+  const std::size_t n = bed.client_count();
+
+  // One value buffer per client, registered for zero-copy rendezvous.
+  std::vector<std::vector<std::byte>> values(n);
+  Rng rng(config.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i].resize(std::max<std::uint32_t>(1, config.value_size));
+    for (auto& b : values[i]) b = static_cast<std::byte>(rng() & 0xff);
+    bed.register_client_memory(i, values[i]);
+  }
+
+  std::vector<ClientState> states(n);
+  sim::Event connected(sched);
+  sim::Counter ready(sched);
+  sim::Event start(sched);
+  sim::Time start_time = 0;
+
+  sched.spawn([](TestBed& bed, sim::Event& connected, sim::Counter& ready, sim::Event& start,
+                 std::size_t n, sim::Time& start_time) -> sim::Task<> {
+    auto st = co_await bed.connect_all();
+    if (!st.ok()) {
+      RMC_LOG_ERROR("workload: connect failed: %s",
+                    std::string(to_string(st.error())).c_str());
+      co_return;
+    }
+    connected.set();
+    co_await ready.wait_geq(n);
+    start_time = bed.scheduler().now();
+    start.set();
+  }(bed, connected, ready, start, n, start_time));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sched.spawn(client_task(bed, config, i, values[i], connected, ready, start, states[i]));
+  }
+  sched.run();
+
+  WorkloadResult result;
+  sim::Time last_finish = start_time;
+  for (auto& state : states) {
+    if (!state.ok) {
+      RMC_LOG_WARN("workload: a client did not finish cleanly");
+      continue;
+    }
+    result.set_latency.merge(state.set_latency);
+    result.get_latency.merge(state.get_latency);
+    result.all_latency.merge(state.all_latency);
+    result.total_ops += state.ops;
+    last_finish = std::max(last_finish, state.finished_at);
+  }
+  result.elapsed = last_finish - start_time;
+  return result;
+}
+
+}  // namespace rmc::core

@@ -1,0 +1,51 @@
+// The benchmark workload runner — our equivalent of the paper's
+// memslap-inspired suite (§VI): it drives the standard client API (not raw
+// packets), measures per-operation latency in virtual time, and reports
+// aggregate transactions per second for multi-client runs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "core/testbed.hpp"
+
+namespace rmc::core {
+
+/// Instruction mixes of §VI-B/C.
+enum class OpPattern : std::uint8_t {
+  pure_set,         ///< 100% Set
+  pure_get,         ///< 100% Get
+  non_interleaved,  ///< 10 Sets followed by 90 Gets per 100 ops
+  interleaved,      ///< alternating Set / Get (50%/50%)
+};
+
+std::string_view pattern_name(OpPattern pattern);
+
+struct WorkloadConfig {
+  OpPattern pattern = OpPattern::pure_get;
+  std::uint32_t value_size = 4096;  ///< item size (the x-axis of Figs. 3-5)
+  std::uint64_t ops_per_client = 1000;
+  std::uint32_t keys_per_client = 8;
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadResult {
+  LatencyHistogram set_latency;
+  LatencyHistogram get_latency;
+  LatencyHistogram all_latency;
+  std::uint64_t total_ops = 0;
+  sim::Time elapsed = 0;  ///< virtual time from synchronized start to last finish
+
+  /// Aggregate transactions per second across all clients (Fig. 6 metric).
+  double tps() const {
+    return elapsed ? static_cast<double>(total_ops) / to_sec(elapsed) : 0.0;
+  }
+  /// Mean operation latency in microseconds (Figs. 3-5 metric).
+  double mean_latency_us() const { return all_latency.mean() / 1e3; }
+};
+
+/// Populate, synchronize all clients, run the measured loop, aggregate.
+/// Drives the testbed's scheduler to completion.
+WorkloadResult run_workload(TestBed& bed, const WorkloadConfig& config);
+
+}  // namespace rmc::core

@@ -1,0 +1,219 @@
+#include "memcached/binary.hpp"
+
+#include <cstring>
+
+namespace rmc::mc::bproto {
+
+namespace {
+
+// Big-endian (network order) scalar packing.
+void put_u16(std::byte* out, std::uint16_t v) {
+  out[0] = static_cast<std::byte>(v >> 8);
+  out[1] = static_cast<std::byte>(v);
+}
+void put_u32(std::byte* out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out + 2, static_cast<std::uint16_t>(v));
+}
+void put_u64(std::byte* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out + 4, static_cast<std::uint32_t>(v));
+}
+std::uint16_t get_u16(const std::byte* in) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(in[0]) << 8 |
+                                    static_cast<std::uint16_t>(in[1]));
+}
+std::uint32_t get_u32(const std::byte* in) {
+  return static_cast<std::uint32_t>(get_u16(in)) << 16 | get_u16(in + 2);
+}
+std::uint64_t get_u64(const std::byte* in) {
+  return static_cast<std::uint64_t>(get_u32(in)) << 32 | get_u32(in + 4);
+}
+
+struct Header {
+  std::uint8_t magic;
+  Opcode opcode;
+  std::uint16_t key_len;
+  std::uint8_t extras_len;
+  std::uint16_t status_or_vbucket;
+  std::uint32_t body_len;
+  std::uint32_t opaque;
+  std::uint64_t cas;
+};
+
+void encode_header(std::byte* out, const Header& h) {
+  std::memset(out, 0, kHeaderSize);
+  out[0] = static_cast<std::byte>(h.magic);
+  out[1] = static_cast<std::byte>(h.opcode);
+  put_u16(out + 2, h.key_len);
+  out[4] = static_cast<std::byte>(h.extras_len);
+  out[5] = std::byte{0};  // data type: raw
+  put_u16(out + 6, h.status_or_vbucket);
+  put_u32(out + 8, h.body_len);
+  put_u32(out + 12, h.opaque);
+  put_u64(out + 16, h.cas);
+}
+
+Header decode_header(const std::byte* in) {
+  Header h;
+  h.magic = static_cast<std::uint8_t>(in[0]);
+  h.opcode = static_cast<Opcode>(in[1]);
+  h.key_len = get_u16(in + 2);
+  h.extras_len = static_cast<std::uint8_t>(in[4]);
+  h.status_or_vbucket = get_u16(in + 6);
+  h.body_len = get_u32(in + 8);
+  h.opaque = get_u32(in + 12);
+  h.cas = get_u64(in + 16);
+  return h;
+}
+
+bool storage_op(Opcode op) {
+  return op == Opcode::set || op == Opcode::add || op == Opcode::replace;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_request(const Request& request) {
+  std::uint8_t extras_len = 0;
+  if (storage_op(request.opcode)) {
+    extras_len = 8;  // flags + exptime
+  } else if (request.opcode == Opcode::increment || request.opcode == Opcode::decrement) {
+    extras_len = 20;  // delta + initial + exptime
+  } else if (request.opcode == Opcode::flush || request.opcode == Opcode::touch) {
+    extras_len = 4;  // exptime
+  }
+
+  const std::size_t body =
+      extras_len + request.key.size() + request.value.size();
+  std::vector<std::byte> out(kHeaderSize + body);
+  encode_header(out.data(), {kMagicRequest, request.opcode,
+                             static_cast<std::uint16_t>(request.key.size()), extras_len, 0,
+                             static_cast<std::uint32_t>(body), request.opaque, request.cas});
+  std::byte* cursor = out.data() + kHeaderSize;
+  if (storage_op(request.opcode)) {
+    put_u32(cursor, request.flags);
+    put_u32(cursor + 4, request.exptime);
+  } else if (request.opcode == Opcode::increment || request.opcode == Opcode::decrement) {
+    put_u64(cursor, request.delta);
+    put_u64(cursor + 8, request.initial);
+    put_u32(cursor + 16, request.arith_exptime);
+  } else if (extras_len == 4) {
+    put_u32(cursor, request.exptime);
+  }
+  cursor += extras_len;
+  std::memcpy(cursor, request.key.data(), request.key.size());
+  cursor += request.key.size();
+  if (!request.value.empty()) {
+    std::memcpy(cursor, request.value.data(), request.value.size());
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_response(const Response& response) {
+  std::uint8_t extras_len = 0;
+  std::vector<std::byte> body_value = response.value;
+  if ((response.opcode == Opcode::get || response.opcode == Opcode::getq ||
+       response.opcode == Opcode::getk || response.opcode == Opcode::getkq) &&
+      response.status == BStatus::ok) {
+    extras_len = 4;  // flags
+  }
+  if ((response.opcode == Opcode::increment || response.opcode == Opcode::decrement) &&
+      response.status == BStatus::ok) {
+    body_value.resize(8);
+    put_u64(body_value.data(), response.number);
+  }
+
+  const std::size_t body = extras_len + response.key.size() + body_value.size();
+  std::vector<std::byte> out(kHeaderSize + body);
+  encode_header(out.data(),
+                {kMagicResponse, response.opcode,
+                 static_cast<std::uint16_t>(response.key.size()), extras_len,
+                 static_cast<std::uint16_t>(response.status),
+                 static_cast<std::uint32_t>(body), response.opaque, response.cas});
+  std::byte* cursor = out.data() + kHeaderSize;
+  if (extras_len == 4) {
+    put_u32(cursor, response.flags);
+    cursor += 4;
+  }
+  std::memcpy(cursor, response.key.data(), response.key.size());
+  cursor += response.key.size();
+  if (!body_value.empty()) std::memcpy(cursor, body_value.data(), body_value.size());
+  return out;
+}
+
+Result<std::optional<Request>> RequestParser::next() {
+  if (buffer_.size() < kHeaderSize) return std::optional<Request>{};
+  const Header h = decode_header(buffer_.data());
+  if (h.magic != kMagicRequest) return Errc::protocol_error;
+  if (h.key_len + h.extras_len > h.body_len) return Errc::protocol_error;
+  if (h.body_len > 8 * 1024 * 1024) return Errc::protocol_error;
+  if (buffer_.size() < kHeaderSize + h.body_len) return std::optional<Request>{};
+
+  Request req;
+  req.opcode = h.opcode;
+  req.cas = h.cas;
+  req.opaque = h.opaque;
+  req.wire_bytes = kHeaderSize + h.body_len;
+
+  const std::byte* extras = buffer_.data() + kHeaderSize;
+  if (storage_op(h.opcode)) {
+    if (h.extras_len != 8) return Errc::protocol_error;
+    req.flags = get_u32(extras);
+    req.exptime = get_u32(extras + 4);
+  } else if (h.opcode == Opcode::increment || h.opcode == Opcode::decrement) {
+    if (h.extras_len != 20) return Errc::protocol_error;
+    req.delta = get_u64(extras);
+    req.initial = get_u64(extras + 8);
+    req.arith_exptime = get_u32(extras + 16);
+  } else if (h.opcode == Opcode::flush || h.opcode == Opcode::touch) {
+    if (h.extras_len == 4) {
+      req.exptime = get_u32(extras);
+    } else if (h.extras_len != 0) {
+      return Errc::protocol_error;
+    }
+  } else if (h.extras_len != 0) {
+    return Errc::protocol_error;
+  }
+
+  const std::byte* key = extras + h.extras_len;
+  req.key.assign(reinterpret_cast<const char*>(key), h.key_len);
+  const std::byte* value = key + h.key_len;
+  const std::size_t value_len = h.body_len - h.extras_len - h.key_len;
+  req.value.assign(value, value + value_len);
+
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + h.body_len));
+  return std::optional<Request>(std::move(req));
+}
+
+Result<std::optional<Response>> ResponseParser::next() {
+  if (buffer_.size() < kHeaderSize) return std::optional<Response>{};
+  const Header h = decode_header(buffer_.data());
+  if (h.magic != kMagicResponse) return Errc::protocol_error;
+  if (h.key_len + h.extras_len > h.body_len) return Errc::protocol_error;
+  if (buffer_.size() < kHeaderSize + h.body_len) return std::optional<Response>{};
+
+  Response resp;
+  resp.opcode = h.opcode;
+  resp.status = static_cast<BStatus>(h.status_or_vbucket);
+  resp.cas = h.cas;
+  resp.opaque = h.opaque;
+
+  const std::byte* extras = buffer_.data() + kHeaderSize;
+  if (h.extras_len == 4) resp.flags = get_u32(extras);
+  const std::byte* key = extras + h.extras_len;
+  resp.key.assign(reinterpret_cast<const char*>(key), h.key_len);
+  const std::byte* value = key + h.key_len;
+  const std::size_t value_len = h.body_len - h.extras_len - h.key_len;
+  resp.value.assign(value, value + value_len);
+  if ((h.opcode == Opcode::increment || h.opcode == Opcode::decrement) &&
+      resp.status == BStatus::ok && value_len == 8) {
+    resp.number = get_u64(value);
+  }
+
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + h.body_len));
+  return std::optional<Response>(std::move(resp));
+}
+
+}  // namespace rmc::mc::bproto

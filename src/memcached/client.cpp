@@ -1,0 +1,859 @@
+#include "memcached/client.hpp"
+
+#include "memcached/binary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace rmc::mc {
+
+namespace {
+
+proto::Command storage_command(SetMode mode) {
+  switch (mode) {
+    case SetMode::set: return proto::Command::set;
+    case SetMode::add: return proto::Command::add;
+    case SetMode::replace: return proto::Command::replace;
+    case SetMode::append: return proto::Command::append;
+    case SetMode::prepend: return proto::Command::prepend;
+    case SetMode::cas: return proto::Command::cas;
+  }
+  return proto::Command::set;
+}
+
+ucrp::Op storage_op(SetMode mode) {
+  switch (mode) {
+    case SetMode::set: return ucrp::Op::set;
+    case SetMode::add: return ucrp::Op::add;
+    case SetMode::replace: return ucrp::Op::replace;
+    case SetMode::append: return ucrp::Op::append;
+    case SetMode::prepend: return ucrp::Op::prepend;
+    case SetMode::cas: return ucrp::Op::cas;
+  }
+  return ucrp::Op::set;
+}
+
+Status status_from(proto::Response::Type type) {
+  using Type = proto::Response::Type;
+  switch (type) {
+    case Type::stored:
+    case Type::deleted:
+    case Type::touched:
+    case Type::ok:
+      return {};
+    case Type::not_stored: return Errc::not_stored;
+    case Type::exists: return Errc::exists;
+    case Type::not_found: return Errc::not_found;
+    case Type::client_error: return Errc::invalid_argument;
+    default: return Errc::protocol_error;
+  }
+}
+
+Status status_from(ucrp::RStatus status) {
+  switch (status) {
+    case ucrp::RStatus::ok:
+    case ucrp::RStatus::stored:
+    case ucrp::RStatus::deleted:
+    case ucrp::RStatus::touched:
+    case ucrp::RStatus::value:
+    case ucrp::RStatus::number:
+      return {};
+    case ucrp::RStatus::not_stored: return Errc::not_stored;
+    case ucrp::RStatus::exists: return Errc::exists;
+    case ucrp::RStatus::not_found: return Errc::not_found;
+    case ucrp::RStatus::client_error: return Errc::invalid_argument;
+    case ucrp::RStatus::server_error: return Errc::no_resources;
+  }
+  return Errc::protocol_error;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- text --
+
+class TextConn final : public ServerConn {
+ public:
+  TextConn(sim::Scheduler& sched, sim::Host& host, const ClientBehavior& behavior,
+           sock::NetStack& stack, sim::NicAddr addr, std::uint16_t port)
+      : sched_(&sched), host_(&host), behavior_(behavior), stack_(&stack), addr_(addr),
+        port_(port) {}
+
+  sim::Task<Status> connect() override {
+    auto r = co_await stack_->connect(addr_, port_);
+    if (!r.ok()) co_return r.error();
+    socket_ = *r;
+    co_return Status{};
+  }
+
+  bool alive() const override {
+    return socket_ && socket_->state() == sock::SockState::established;
+  }
+
+  sim::Task<Result<proto::Value>> get(std::string_view key, bool with_cas) override {
+    std::vector<std::string> keys{std::string(key)};
+    auto r = co_await mget(keys, with_cas);
+    if (!r.ok()) co_return r.error();
+    if (!(*r)[0].has_value()) co_return Errc::not_found;
+    co_return std::move(*(*r)[0]);
+  }
+
+  sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
+      std::span<const std::string> keys, bool with_cas) override {
+    if (!alive()) co_return Errc::disconnected;
+    proto::Request req;
+    req.command = with_cas ? proto::Command::gets : proto::Command::get;
+    req.keys.assign(keys.begin(), keys.end());
+    auto resp = co_await round_trip(req, proto::ResponseParser::Expect::values);
+    if (!resp.ok()) co_return resp.error();
+
+    std::vector<std::optional<proto::Value>> out(keys.size());
+    std::size_t copied_bytes = 0;
+    for (auto& value : resp->values) {
+      copied_bytes += value.data.size();
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == value.key && !out[i]) {
+          out[i] = std::move(value);
+          break;
+        }
+      }
+    }
+    co_await host_->cpu().consume(static_cast<sim::Time>(
+        static_cast<double>(copied_bytes) * behavior_.result_copy_ns_per_byte));
+    co_return out;
+  }
+
+  sim::Task<Status> store(SetMode mode, std::string_view key,
+                          std::span<const std::byte> value, std::uint32_t flags,
+                          std::uint32_t exptime, std::uint64_t cas) override {
+    if (!alive()) co_return Errc::disconnected;
+    proto::Request req;
+    req.command = storage_command(mode);
+    req.key = std::string(key);
+    req.flags = flags;
+    req.exptime = exptime;
+    req.cas_unique = cas;
+    req.data.assign(value.begin(), value.end());
+    auto resp = co_await round_trip(req, proto::ResponseParser::Expect::simple);
+    if (!resp.ok()) co_return resp.error();
+    co_return status_from(resp->type);
+  }
+
+  sim::Task<Status> del(std::string_view key) override {
+    if (!alive()) co_return Errc::disconnected;
+    proto::Request req;
+    req.command = proto::Command::del;
+    req.key = std::string(key);
+    auto resp = co_await round_trip(req, proto::ResponseParser::Expect::simple);
+    if (!resp.ok()) co_return resp.error();
+    co_return status_from(resp->type);
+  }
+
+  sim::Task<Result<std::uint64_t>> arith(std::string_view key, std::uint64_t delta,
+                                         bool decrement) override {
+    if (!alive()) co_return Errc::disconnected;
+    proto::Request req;
+    req.command = decrement ? proto::Command::decr : proto::Command::incr;
+    req.key = std::string(key);
+    req.delta = delta;
+    auto resp = co_await round_trip(req, proto::ResponseParser::Expect::number);
+    if (!resp.ok()) co_return resp.error();
+    if (resp->type == proto::Response::Type::number) co_return resp->number;
+    const Status st = status_from(resp->type);
+    co_return st.ok() ? Errc::protocol_error : st.error();
+  }
+
+  sim::Task<Status> touch(std::string_view key, std::uint32_t exptime) override {
+    if (!alive()) co_return Errc::disconnected;
+    proto::Request req;
+    req.command = proto::Command::touch;
+    req.key = std::string(key);
+    req.exptime = exptime;
+    auto resp = co_await round_trip(req, proto::ResponseParser::Expect::simple);
+    if (!resp.ok()) co_return resp.error();
+    co_return status_from(resp->type);
+  }
+
+  sim::Task<Status> flush_all() override {
+    if (!alive()) co_return Errc::disconnected;
+    proto::Request req;
+    req.command = proto::Command::flush_all;
+    auto resp = co_await round_trip(req, proto::ResponseParser::Expect::simple);
+    if (!resp.ok()) co_return resp.error();
+    co_return status_from(resp->type);
+  }
+
+ private:
+  sim::Task<Result<proto::Response>> round_trip(const proto::Request& request,
+                                                proto::ResponseParser::Expect expect) {
+    co_await host_->cpu().consume(behavior_.format_ns);
+    const auto bytes = proto::encode_request(request);
+    auto sent = co_await socket_->send(bytes);
+    if (!sent.ok()) co_return sent.error();
+
+    std::vector<std::byte> chunk(16 * 1024);
+    while (true) {
+      auto parsed = parser_.next(expect);
+      if (!parsed.ok()) co_return parsed.error();
+      if (parsed->has_value()) co_return std::move(**parsed);
+      auto n = co_await socket_->recv(chunk);
+      if (!n.ok()) co_return n.error();
+      if (*n == 0) co_return Errc::disconnected;
+      parser_.feed(std::span<const std::byte>(chunk.data(), *n));
+    }
+  }
+
+  sim::Scheduler* sched_;
+  sim::Host* host_;
+  ClientBehavior behavior_;
+  sock::NetStack* stack_;
+  sim::NicAddr addr_;
+  std::uint16_t port_;
+  sock::Socket* socket_ = nullptr;
+  proto::ResponseParser parser_;
+};
+
+// -------------------------------------------------------------- binary --
+
+/// ServerConn speaking the memcached binary protocol over a byte stream
+/// (ClientBehavior::binary_protocol). Multi-get uses the pipelined
+/// getkq...noop pattern real binary clients use.
+class BinaryConn final : public ServerConn {
+ public:
+  BinaryConn(sim::Scheduler& sched, sim::Host& host, const ClientBehavior& behavior,
+             sock::NetStack& stack, sim::NicAddr addr, std::uint16_t port)
+      : sched_(&sched), host_(&host), behavior_(behavior), stack_(&stack), addr_(addr),
+        port_(port) {}
+
+  sim::Task<Status> connect() override {
+    auto r = co_await stack_->connect(addr_, port_);
+    if (!r.ok()) co_return r.error();
+    socket_ = *r;
+    co_return Status{};
+  }
+
+  bool alive() const override {
+    return socket_ && socket_->state() == sock::SockState::established;
+  }
+
+  sim::Task<Result<proto::Value>> get(std::string_view key, bool /*with_cas*/) override {
+    if (!alive()) co_return Errc::disconnected;
+    bproto::Request req;
+    req.opcode = bproto::Opcode::get;
+    req.key = std::string(key);
+    auto resp = co_await round_trip(req);
+    if (!resp.ok()) co_return resp.error();
+    if (resp->status != bproto::BStatus::ok) co_return status_of(resp->status).error();
+    proto::Value value;
+    value.key = std::string(key);
+    value.flags = resp->flags;
+    value.cas = resp->cas;
+    value.data = std::move(resp->value);
+    co_await host_->cpu().consume(static_cast<sim::Time>(
+        static_cast<double>(value.data.size()) * behavior_.result_copy_ns_per_byte));
+    co_return value;
+  }
+
+  sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
+      std::span<const std::string> keys, bool /*with_cas*/) override {
+    if (!alive()) co_return Errc::disconnected;
+    co_await host_->cpu().consume(behavior_.format_ns);
+    // Pipeline: one quiet getkq per key, then a noop fence. Misses stay
+    // silent; hits come back tagged with opaque and key.
+    std::vector<std::byte> wire;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      bproto::Request req;
+      req.opcode = bproto::Opcode::getkq;
+      req.key = keys[i];
+      req.opaque = static_cast<std::uint32_t>(i);
+      const auto bytes = bproto::encode_request(req);
+      wire.insert(wire.end(), bytes.begin(), bytes.end());
+    }
+    bproto::Request fence;
+    fence.opcode = bproto::Opcode::noop;
+    fence.opaque = 0xffffffff;
+    const auto fence_bytes = bproto::encode_request(fence);
+    wire.insert(wire.end(), fence_bytes.begin(), fence_bytes.end());
+    auto sent = co_await socket_->send(wire);
+    if (!sent.ok()) co_return sent.error();
+
+    std::vector<std::optional<proto::Value>> out(keys.size());
+    std::vector<std::byte> chunk(16 * 1024);
+    while (true) {
+      auto parsed = parser_.next();
+      if (!parsed.ok()) co_return parsed.error();
+      if (parsed->has_value()) {
+        bproto::Response& resp = **parsed;
+        if (resp.opcode == bproto::Opcode::noop) co_return out;
+        if (resp.opcode == bproto::Opcode::getkq && resp.opaque < out.size()) {
+          proto::Value value;
+          value.key = resp.key;
+          value.flags = resp.flags;
+          value.cas = resp.cas;
+          value.data = std::move(resp.value);
+          out[resp.opaque] = std::move(value);
+        }
+        continue;
+      }
+      auto n = co_await socket_->recv(chunk);
+      if (!n.ok()) co_return n.error();
+      if (*n == 0) co_return Errc::disconnected;
+      parser_.feed(std::span<const std::byte>(chunk.data(), *n));
+    }
+  }
+
+  sim::Task<Status> store(SetMode mode, std::string_view key,
+                          std::span<const std::byte> value, std::uint32_t flags,
+                          std::uint32_t exptime, std::uint64_t cas) override {
+    if (!alive()) co_return Errc::disconnected;
+    bproto::Request req;
+    switch (mode) {
+      case SetMode::set: req.opcode = bproto::Opcode::set; break;
+      case SetMode::add: req.opcode = bproto::Opcode::add; break;
+      case SetMode::replace: req.opcode = bproto::Opcode::replace; break;
+      case SetMode::append: req.opcode = bproto::Opcode::append; break;
+      case SetMode::prepend: req.opcode = bproto::Opcode::prepend; break;
+      case SetMode::cas:
+        req.opcode = bproto::Opcode::set;  // binary CAS = set with cas field
+        req.cas = cas;
+        break;
+    }
+    req.key = std::string(key);
+    req.flags = flags;
+    req.exptime = exptime;
+    req.value.assign(value.begin(), value.end());
+    auto resp = co_await round_trip(req);
+    if (!resp.ok()) co_return resp.error();
+    if (resp->status == bproto::BStatus::ok) co_return Status{};
+    // Map the binary statuses back onto the text-protocol error space so
+    // both transports look identical to callers.
+    if (mode == SetMode::add && resp->status == bproto::BStatus::key_exists) {
+      co_return Errc::not_stored;
+    }
+    if (mode == SetMode::replace && resp->status == bproto::BStatus::key_not_found) {
+      co_return Errc::not_stored;
+    }
+    co_return status_of(resp->status);
+  }
+
+  sim::Task<Status> del(std::string_view key) override {
+    bproto::Request req;
+    req.opcode = bproto::Opcode::del;
+    req.key = std::string(key);
+    co_return co_await simple(req);
+  }
+
+  sim::Task<Result<std::uint64_t>> arith(std::string_view key, std::uint64_t delta,
+                                         bool decrement) override {
+    if (!alive()) co_return Errc::disconnected;
+    bproto::Request req;
+    req.opcode = decrement ? bproto::Opcode::decrement : bproto::Opcode::increment;
+    req.key = std::string(key);
+    req.delta = delta;
+    req.arith_exptime = 0xffffffffu;  // fail on miss, like the text protocol
+    auto resp = co_await round_trip(req);
+    if (!resp.ok()) co_return resp.error();
+    if (resp->status == bproto::BStatus::ok) co_return resp->number;
+    if (resp->status == bproto::BStatus::delta_badval) co_return Errc::invalid_argument;
+    co_return status_of(resp->status).error();
+  }
+
+  sim::Task<Status> touch(std::string_view key, std::uint32_t exptime) override {
+    bproto::Request req;
+    req.opcode = bproto::Opcode::touch;
+    req.key = std::string(key);
+    req.exptime = exptime;
+    co_return co_await simple(req);
+  }
+
+  sim::Task<Status> flush_all() override {
+    bproto::Request req;
+    req.opcode = bproto::Opcode::flush;
+    co_return co_await simple(req);
+  }
+
+ private:
+  static Status status_of(bproto::BStatus status) {
+    switch (status) {
+      case bproto::BStatus::ok: return {};
+      case bproto::BStatus::key_not_found: return Errc::not_found;
+      case bproto::BStatus::key_exists: return Errc::exists;
+      case bproto::BStatus::value_too_large: return Errc::too_large;
+      case bproto::BStatus::not_stored: return Errc::not_stored;
+      case bproto::BStatus::delta_badval: return Errc::invalid_argument;
+      case bproto::BStatus::invalid_arguments: return Errc::invalid_argument;
+      case bproto::BStatus::out_of_memory: return Errc::no_resources;
+      case bproto::BStatus::unknown_command: return Errc::protocol_error;
+    }
+    return Errc::protocol_error;
+  }
+
+  sim::Task<Status> simple(bproto::Request& req) {
+    if (!alive()) co_return Errc::disconnected;
+    auto resp = co_await round_trip(req);
+    if (!resp.ok()) co_return resp.error();
+    co_return status_of(resp->status);
+  }
+
+  sim::Task<Result<bproto::Response>> round_trip(const bproto::Request& request) {
+    co_await host_->cpu().consume(behavior_.format_ns);
+    const auto bytes = bproto::encode_request(request);
+    auto sent = co_await socket_->send(bytes);
+    if (!sent.ok()) co_return sent.error();
+    std::vector<std::byte> chunk(16 * 1024);
+    while (true) {
+      auto parsed = parser_.next();
+      if (!parsed.ok()) co_return parsed.error();
+      if (parsed->has_value()) co_return std::move(**parsed);
+      auto n = co_await socket_->recv(chunk);
+      if (!n.ok()) co_return n.error();
+      if (*n == 0) co_return Errc::disconnected;
+      parser_.feed(std::span<const std::byte>(chunk.data(), *n));
+    }
+  }
+
+  sim::Scheduler* sched_;
+  sim::Host* host_;
+  ClientBehavior behavior_;
+  sock::NetStack* stack_;
+  sim::NicAddr addr_;
+  std::uint16_t port_;
+  sock::Socket* socket_ = nullptr;
+  bproto::ResponseParser parser_;
+};
+
+// ----------------------------------------------------------------- ucr --
+
+class UcrConn final : public ServerConn {
+ public:
+  UcrConn(sim::Scheduler& sched, sim::Host& host, const ClientBehavior& behavior,
+          ucr::Runtime& runtime, sim::NicAddr addr, std::uint16_t port)
+      : sched_(&sched), host_(&host), behavior_(behavior), runtime_(&runtime), addr_(addr),
+        port_(port) {
+    ensure_handler(runtime);
+    arena_.resize(kArenaSize);
+  }
+
+  sim::Task<Status> connect() override {
+    const auto type =
+        behavior_.unreliable_ucr ? ucr::EpType::unreliable : ucr::EpType::reliable;
+    auto r = co_await runtime_->connect(addr_, port_, type, behavior_.op_timeout);
+    if (!r.ok()) co_return r.error();
+    ep_ = *r;
+    ep_->set_user_data(this);
+    runtime_->register_region(arena_);
+    co_return Status{};
+  }
+
+  bool alive() const override { return ep_ && ep_->state() == ucr::EpState::ready; }
+
+  sim::Task<Result<proto::Value>> get(std::string_view key, bool with_cas) override {
+    if (!alive()) co_return Errc::disconnected;
+    co_await host_->cpu().consume(behavior_.format_ns);
+    auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {});
+    if (!issued.ok()) co_return issued.error();
+    co_return co_await finish_get(*issued, std::string(key));
+  }
+
+  sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
+      std::span<const std::string> keys, bool with_cas) override {
+    if (!alive()) co_return Errc::disconnected;
+    co_await host_->cpu().consume(behavior_.format_ns);
+    // Pipeline: fire all requests, then collect in order (§V: mget built
+    // from the same principles as get).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(keys.size());
+    for (const auto& key : keys) {
+      auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {});
+      if (!issued.ok()) co_return issued.error();
+      ids.push_back(*issued);
+    }
+    std::vector<std::optional<proto::Value>> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto value = co_await finish_get(ids[i], keys[i]);
+      if (value.ok()) {
+        out[i] = std::move(*value);
+      } else if (value.error() != Errc::not_found) {
+        co_return value.error();
+      }
+    }
+    co_return out;
+  }
+
+  sim::Task<Status> store(SetMode mode, std::string_view key,
+                          std::span<const std::byte> value, std::uint32_t flags,
+                          std::uint32_t exptime, std::uint64_t cas) override {
+    if (!alive()) co_return Errc::disconnected;
+    co_await host_->cpu().consume(behavior_.format_ns);
+    ucrp::RequestHeader extra;
+    extra.flags = flags;
+    extra.exptime = exptime;
+    extra.cas = cas;
+    auto issued = issue(storage_op(mode), key, value, extra);
+    if (!issued.ok()) co_return issued.error();
+    auto resp = co_await finish(*issued);
+    if (!resp.ok()) co_return resp.error();
+    co_return status_from(resp->status);
+  }
+
+  sim::Task<Status> del(std::string_view key) override {
+    co_return co_await simple_op(ucrp::Op::del, key, {});
+  }
+
+  sim::Task<Result<std::uint64_t>> arith(std::string_view key, std::uint64_t delta,
+                                         bool decrement) override {
+    if (!alive()) co_return Errc::disconnected;
+    co_await host_->cpu().consume(behavior_.format_ns);
+    ucrp::RequestHeader extra;
+    extra.delta = delta;
+    auto issued = issue(decrement ? ucrp::Op::decr : ucrp::Op::incr, key, {}, extra);
+    if (!issued.ok()) co_return issued.error();
+    auto resp = co_await finish(*issued);
+    if (!resp.ok()) co_return resp.error();
+    if (resp->status == ucrp::RStatus::number) co_return resp->number;
+    const Status st = status_from(resp->status);
+    co_return st.ok() ? Errc::protocol_error : st.error();
+  }
+
+  sim::Task<Status> touch(std::string_view key, std::uint32_t exptime) override {
+    ucrp::RequestHeader extra;
+    extra.exptime = exptime;
+    co_return co_await simple_op(ucrp::Op::touch, key, extra);
+  }
+
+  sim::Task<Status> flush_all() override {
+    co_return co_await simple_op(ucrp::Op::flush_all, "-", {});
+  }
+
+ private:
+  static constexpr std::size_t kArenaSize = 8 * 1024 * 1024;
+
+  struct Pending {
+    ucrp::ResponseHeader response{};
+    std::span<std::byte> dest{};
+    std::uint32_t value_len = 0;
+    bool done = false;
+    sim::Counter* counter = nullptr;
+    std::uint64_t wait_target = 0;
+    std::size_t counter_slot = 0;
+  };
+
+  /// One response handler per runtime, shared by all UcrConns on it; it
+  /// dispatches through the endpoint's user_data.
+  static void ensure_handler(ucr::Runtime& runtime);
+
+  Result<std::uint64_t> issue(ucrp::Op op, std::string_view key,
+                              std::span<const std::byte> value,
+                              const ucrp::RequestHeader& extra) {
+    const std::uint64_t req_id = next_req_id_++;
+    auto [counter, ref, slot] = acquire_counter();
+
+    Pending pending;
+    pending.counter = counter;
+    pending.wait_target = counter->value() + 1;
+    pending.counter_slot = slot;
+    pending_.emplace(req_id, pending);
+
+    ucrp::RequestHeader header = extra;
+    header.op = op;
+    header.key_len = static_cast<std::uint16_t>(key.size());
+    header.req_id = req_id;
+    header.reply_counter = ref.id;
+
+    std::vector<std::byte> packed(ucrp::RequestHeader::kSize + key.size());
+    header.encode(packed.data());
+    std::memcpy(packed.data() + ucrp::RequestHeader::kSize, key.data(), key.size());
+
+    const Status sent =
+        runtime_->send_message(*ep_, ucrp::kMsgRequest, packed, value, nullptr, {}, nullptr);
+    if (!sent.ok()) {
+      release_counter(slot);
+      pending_.erase(req_id);
+      return sent.error();
+    }
+    return req_id;
+  }
+
+  sim::Task<Result<ucrp::ResponseHeader>> finish(std::uint64_t req_id) {
+    auto it = pending_.find(req_id);
+    assert(it != pending_.end());
+    sim::Counter* counter = it->second.counter;
+    const std::uint64_t target = it->second.wait_target;
+    const bool ok = co_await counter->wait_geq(target, behavior_.op_timeout);
+    it = pending_.find(req_id);  // may have rehashed while suspended
+    if (it == pending_.end()) co_return Errc::protocol_error;
+    const Pending pending = it->second;
+    pending_.erase(it);
+    release_counter(pending.counter_slot);
+    if (!ok) co_return Errc::timed_out;
+    maybe_reset_arena();
+    co_return pending.response;
+  }
+
+  sim::Task<Result<proto::Value>> finish_get(std::uint64_t req_id, std::string key) {
+    auto it = pending_.find(req_id);
+    assert(it != pending_.end());
+    sim::Counter* counter = it->second.counter;
+    const std::uint64_t target = it->second.wait_target;
+    const bool ok = co_await counter->wait_geq(target, behavior_.op_timeout);
+    it = pending_.find(req_id);
+    if (it == pending_.end()) co_return Errc::protocol_error;
+    const Pending pending = it->second;
+    pending_.erase(it);
+    release_counter(pending.counter_slot);
+    if (!ok) co_return Errc::timed_out;
+
+    if (pending.response.status != ucrp::RStatus::value) {
+      maybe_reset_arena();
+      const Status st = status_from(pending.response.status);
+      co_return st.ok() ? Errc::not_found : st.error();
+    }
+    proto::Value value;
+    value.key = std::move(key);
+    value.flags = pending.response.flags;
+    value.cas = pending.response.cas;
+    value.data.assign(pending.dest.begin(), pending.dest.begin() + pending.value_len);
+    co_await host_->cpu().consume(static_cast<sim::Time>(
+        static_cast<double>(pending.value_len) * behavior_.result_copy_ns_per_byte));
+    maybe_reset_arena();
+    co_return value;
+  }
+
+  sim::Task<Status> simple_op(ucrp::Op op, std::string_view key,
+                              const ucrp::RequestHeader& extra) {
+    if (!alive()) co_return Errc::disconnected;
+    co_await host_->cpu().consume(behavior_.format_ns);
+    auto issued = issue(op, key, {}, extra);
+    if (!issued.ok()) co_return issued.error();
+    auto resp = co_await finish(*issued);
+    if (!resp.ok()) co_return resp.error();
+    co_return status_from(resp->status);
+  }
+
+  // ---- response arrival (called from the shared runtime handler) ----
+  std::span<std::byte> on_response_header(std::span<const std::byte> header,
+                                          std::uint32_t data_len) {
+    const auto resp = ucrp::ResponseHeader::decode(header.data());
+    auto it = pending_.find(resp.req_id);
+    if (it == pending_.end()) return {};
+    // The item length is known only now (§V-C): allocate from the pool.
+    it->second.dest = arena_alloc(data_len);
+    it->second.value_len = data_len;
+    return it->second.dest;
+  }
+
+  void on_response_complete(std::span<const std::byte> header) {
+    const auto resp = ucrp::ResponseHeader::decode(header.data());
+    auto it = pending_.find(resp.req_id);
+    if (it == pending_.end()) return;
+    it->second.response = resp;
+    it->second.done = true;
+    // The UCR target counter (counter C) fires right after this handler.
+  }
+
+  // ---- local buffer pool (bump arena, reset when quiescent) ----
+  std::span<std::byte> arena_alloc(std::size_t len) {
+    if (arena_offset_ + len > arena_.size()) {
+      // Overflow: fall back to a side buffer (registered on demand).
+      overflow_.push_back(std::vector<std::byte>(len));
+      return overflow_.back();
+    }
+    auto out = std::span<std::byte>(arena_.data() + arena_offset_, len);
+    arena_offset_ += len;
+    return out;
+  }
+
+  void maybe_reset_arena() {
+    if (pending_.empty()) {
+      arena_offset_ = 0;
+      overflow_.clear();
+    }
+  }
+
+  // ---- reusable reply counters (monotonic, so reuse is safe) ----
+  std::tuple<sim::Counter*, ucr::CounterRef, std::size_t> acquire_counter() {
+    if (free_counters_.empty()) {
+      counters_.push_back(runtime_->make_counter());
+      counter_refs_.push_back(runtime_->export_counter(*counters_.back()));
+      free_counters_.push_back(counters_.size() - 1);
+    }
+    const std::size_t slot = free_counters_.back();
+    free_counters_.pop_back();
+    return {counters_[slot].get(), counter_refs_[slot], slot};
+  }
+  void release_counter(std::size_t slot) { free_counters_.push_back(slot); }
+
+  sim::Scheduler* sched_;
+  sim::Host* host_;
+  ClientBehavior behavior_;
+  ucr::Runtime* runtime_;
+  sim::NicAddr addr_;
+  std::uint16_t port_;
+  ucr::Endpoint* ep_ = nullptr;
+
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_req_id_ = 1;
+
+  std::vector<std::byte> arena_;
+  std::size_t arena_offset_ = 0;
+  std::vector<std::vector<std::byte>> overflow_;
+
+  std::vector<std::unique_ptr<sim::Counter>> counters_;
+  std::vector<ucr::CounterRef> counter_refs_;
+  std::vector<std::size_t> free_counters_;
+};
+
+void UcrConn::ensure_handler(ucr::Runtime& runtime) {
+  // Registering is idempotent per runtime (same handler object semantics).
+  runtime.register_handler(
+      ucrp::kMsgResponse,
+      {.on_header =
+           [](ucr::Endpoint& ep, std::span<const std::byte> header, std::uint32_t data_len) {
+             auto* conn = static_cast<UcrConn*>(ep.user_data());
+             if (!conn) return std::span<std::byte>{};
+             return conn->on_response_header(header, data_len);
+           },
+       .on_complete =
+           [](ucr::Endpoint& ep, std::span<const std::byte> header, std::span<std::byte>) {
+             auto* conn = static_cast<UcrConn*>(ep.user_data());
+             if (conn) conn->on_response_complete(header);
+           }});
+}
+
+// -------------------------------------------------------------- Client --
+
+Client::Client(sim::Scheduler& sched, sim::Host& host, ClientBehavior behavior)
+    : sched_(&sched), host_(&host), behavior_(behavior) {}
+
+Client::~Client() = default;
+
+void Client::register_server(std::string name) {
+  server_names_.push_back(std::move(name));
+  if (behavior_.distribution == Distribution::ketama) continuum_.rebuild(server_names_);
+}
+
+void Client::add_server_socket(sock::NetStack& stack, sim::NicAddr addr, std::uint16_t port) {
+  if (behavior_.binary_protocol) {
+    conns_.push_back(
+        std::make_unique<BinaryConn>(*sched_, *host_, behavior_, stack, addr, port));
+  } else {
+    conns_.push_back(
+        std::make_unique<TextConn>(*sched_, *host_, behavior_, stack, addr, port));
+  }
+  register_server("host" + std::to_string(addr) + ":" + std::to_string(port));
+}
+
+void Client::add_server_ucr(ucr::Runtime& runtime, sim::NicAddr addr, std::uint16_t port) {
+  conns_.push_back(std::make_unique<UcrConn>(*sched_, *host_, behavior_, runtime, addr, port));
+  register_server("host" + std::to_string(addr) + ":" + std::to_string(port));
+}
+
+sim::Task<Status> Client::connect_all() {
+  for (auto& conn : conns_) {
+    auto st = co_await conn->connect();
+    if (!st.ok()) co_return st;
+  }
+  co_return Status{};
+}
+
+std::size_t Client::server_index(std::string_view key) const {
+  assert(!conns_.empty());
+  if (behavior_.distribution == Distribution::ketama) return continuum_.lookup(key);
+  return hash_key(behavior_.key_hash, key) % conns_.size();
+}
+
+sim::Task<Status> Client::set(std::string_view key, std::span<const std::byte> value,
+                              std::uint32_t flags, std::uint32_t exptime) {
+  co_return co_await conn_for(key).store(SetMode::set, key, value, flags, exptime, 0);
+}
+sim::Task<Status> Client::add(std::string_view key, std::span<const std::byte> value,
+                              std::uint32_t flags, std::uint32_t exptime) {
+  co_return co_await conn_for(key).store(SetMode::add, key, value, flags, exptime, 0);
+}
+sim::Task<Status> Client::replace(std::string_view key, std::span<const std::byte> value,
+                                  std::uint32_t flags, std::uint32_t exptime) {
+  co_return co_await conn_for(key).store(SetMode::replace, key, value, flags, exptime, 0);
+}
+sim::Task<Status> Client::append(std::string_view key, std::span<const std::byte> value) {
+  co_return co_await conn_for(key).store(SetMode::append, key, value, 0, 0, 0);
+}
+sim::Task<Status> Client::prepend(std::string_view key, std::span<const std::byte> value) {
+  co_return co_await conn_for(key).store(SetMode::prepend, key, value, 0, 0, 0);
+}
+sim::Task<Status> Client::cas(std::string_view key, std::span<const std::byte> value,
+                              std::uint64_t cas_unique, std::uint32_t flags,
+                              std::uint32_t exptime) {
+  co_return co_await conn_for(key).store(SetMode::cas, key, value, flags, exptime, cas_unique);
+}
+
+sim::Task<Result<proto::Value>> Client::get(std::string_view key) {
+  co_return co_await conn_for(key).get(key, false);
+}
+sim::Task<Result<proto::Value>> Client::gets(std::string_view key) {
+  co_return co_await conn_for(key).get(key, true);
+}
+
+sim::Task<Result<std::vector<std::optional<proto::Value>>>> Client::mget(
+    std::span<const std::string> keys) {
+  // Group keys per server and issue all per-server mgets concurrently
+  // (libmemcached pipelines across the pool), then reassemble
+  // positionally.
+  std::vector<std::vector<std::string>> grouped(conns_.size());
+  std::vector<std::vector<std::size_t>> positions(conns_.size());
+  std::size_t groups = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t server = server_index(keys[i]);
+    if (grouped[server].empty()) ++groups;
+    grouped[server].push_back(keys[i]);
+    positions[server].push_back(i);
+  }
+
+  std::vector<std::optional<proto::Value>> out(keys.size());
+  Errc first_error = Errc::ok;
+  sim::Counter finished(*sched_);
+  for (std::size_t server = 0; server < conns_.size(); ++server) {
+    if (grouped[server].empty()) continue;
+    // The spawned tasks only reference this frame's locals, and this
+    // coroutine stays suspended on `finished` until all of them are done.
+    sched_->spawn([](ServerConn& conn, const std::vector<std::string>& group,
+                     const std::vector<std::size_t>& pos,
+                     std::vector<std::optional<proto::Value>>& out, Errc& first_error,
+                     sim::Counter& finished) -> sim::Task<> {
+      auto r = co_await conn.mget(group, false);
+      if (r.ok()) {
+        for (std::size_t j = 0; j < pos.size(); ++j) out[pos[j]] = std::move((*r)[j]);
+      } else if (first_error == Errc::ok) {
+        first_error = r.error();
+      }
+      finished.add();
+    }(*conns_[server], grouped[server], positions[server], out, first_error, finished));
+  }
+  co_await finished.wait_geq(groups);
+  if (first_error != Errc::ok) co_return first_error;
+  co_return out;
+}
+
+sim::Task<Status> Client::del(std::string_view key) {
+  co_return co_await conn_for(key).del(key);
+}
+sim::Task<Result<std::uint64_t>> Client::incr(std::string_view key, std::uint64_t delta) {
+  co_return co_await conn_for(key).arith(key, delta, false);
+}
+sim::Task<Result<std::uint64_t>> Client::decr(std::string_view key, std::uint64_t delta) {
+  co_return co_await conn_for(key).arith(key, delta, true);
+}
+sim::Task<Status> Client::touch(std::string_view key, std::uint32_t exptime) {
+  co_return co_await conn_for(key).touch(key, exptime);
+}
+
+sim::Task<Status> Client::flush_all() {
+  for (auto& conn : conns_) {
+    auto st = co_await conn->flush_all();
+    if (!st.ok()) co_return st;
+  }
+  co_return Status{};
+}
+
+}  // namespace rmc::mc

@@ -1,0 +1,132 @@
+// The memcached client library (libmemcached 0.45 equivalent).
+//
+// A Client owns a pool of server connections; each key is routed by a hash
+// of the key modulo the pool size (the client-side server selection of
+// §II-C — no central directory). Two connection types implement the same
+// interface:
+//
+//  * TextConn — the classic sockets path: memcached ASCII protocol over a
+//    byte stream (works over 1GigE TCP, IPoIB, SDP, TOE — whatever
+//    NetStack it is given), TCP_NODELAY semantics.
+//  * UcrConn — §V: operations as active messages; the reply names the
+//    client's counter C as target counter; GET allocates the destination
+//    buffer only once the response header reveals the item length.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "memcached/ketama.hpp"
+#include "memcached/protocol.hpp"
+#include "memcached/store.hpp"
+#include "memcached/ucr_proto.hpp"
+#include "sockets/stack.hpp"
+#include "ucr/runtime.hpp"
+
+namespace rmc::mc {
+
+/// Key->server mapping strategy (libmemcached distributions).
+enum class Distribution : std::uint8_t {
+  modulo,  ///< hash(key) % server_count — the classic default
+  ketama,  ///< MD5 continuum; minimal remapping when the pool changes
+};
+
+struct ClientBehavior {
+  HashKind key_hash = HashKind::default_jenkins;
+  Distribution distribution = Distribution::modulo;
+  sim::Time op_timeout = 1 * kNsPerSec;  ///< UCR wait-with-timeout (§IV-A)
+  sim::Time format_ns = 600;             ///< client-side request marshalling
+  double result_copy_ns_per_byte = 0.08; ///< copying values into results
+  /// Use unreliable (UD) endpoints for UCR servers: §VII future work —
+  /// no per-client server state, but small values only and operations
+  /// may time out under packet loss (the Facebook-UDP operating mode).
+  bool unreliable_ucr = false;
+  /// Speak the memcached binary protocol on socket servers (auto-detected
+  /// server side, like memcached 1.4).
+  bool binary_protocol = false;
+};
+
+/// One server connection (transport-specific).
+class ServerConn {
+ public:
+  virtual ~ServerConn() = default;
+  virtual sim::Task<Status> connect() = 0;
+  virtual sim::Task<Result<proto::Value>> get(std::string_view key, bool with_cas) = 0;
+  virtual sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
+      std::span<const std::string> keys, bool with_cas) = 0;
+  virtual sim::Task<Status> store(SetMode mode, std::string_view key,
+                                  std::span<const std::byte> value, std::uint32_t flags,
+                                  std::uint32_t exptime, std::uint64_t cas) = 0;
+  virtual sim::Task<Status> del(std::string_view key) = 0;
+  virtual sim::Task<Result<std::uint64_t>> arith(std::string_view key, std::uint64_t delta,
+                                                 bool decrement) = 0;
+  virtual sim::Task<Status> touch(std::string_view key, std::uint32_t exptime) = 0;
+  virtual sim::Task<Status> flush_all() = 0;
+  virtual bool alive() const = 0;
+};
+
+class Client {
+ public:
+  Client(sim::Scheduler& sched, sim::Host& host, ClientBehavior behavior = {});
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// memcached_server_add: register a server reachable over a byte-stream
+  /// stack (the Sockets transports of the evaluation).
+  void add_server_socket(sock::NetStack& stack, sim::NicAddr addr, std::uint16_t port);
+
+  /// Register a server reachable over UCR (the paper's design).
+  void add_server_ucr(ucr::Runtime& runtime, sim::NicAddr addr, std::uint16_t port);
+
+  /// Establish every registered connection.
+  sim::Task<Status> connect_all();
+
+  std::size_t server_count() const { return conns_.size(); }
+  /// Which server a key routes to (exposed for tests).
+  std::size_t server_index(std::string_view key) const;
+
+  // ------------------------------------------------------- operations
+  sim::Task<Status> set(std::string_view key, std::span<const std::byte> value,
+                        std::uint32_t flags = 0, std::uint32_t exptime = 0);
+  sim::Task<Status> add(std::string_view key, std::span<const std::byte> value,
+                        std::uint32_t flags = 0, std::uint32_t exptime = 0);
+  sim::Task<Status> replace(std::string_view key, std::span<const std::byte> value,
+                            std::uint32_t flags = 0, std::uint32_t exptime = 0);
+  sim::Task<Status> append(std::string_view key, std::span<const std::byte> value);
+  sim::Task<Status> prepend(std::string_view key, std::span<const std::byte> value);
+  sim::Task<Status> cas(std::string_view key, std::span<const std::byte> value,
+                        std::uint64_t cas_unique, std::uint32_t flags = 0,
+                        std::uint32_t exptime = 0);
+  sim::Task<Result<proto::Value>> get(std::string_view key);
+  /// Like memcached_gets: the returned Value carries the CAS id.
+  sim::Task<Result<proto::Value>> gets(std::string_view key);
+  /// Multi-get: results positionally match `keys`; miss = nullopt.
+  sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
+      std::span<const std::string> keys);
+  sim::Task<Status> del(std::string_view key);
+  sim::Task<Result<std::uint64_t>> incr(std::string_view key, std::uint64_t delta);
+  sim::Task<Result<std::uint64_t>> decr(std::string_view key, std::uint64_t delta);
+  sim::Task<Status> touch(std::string_view key, std::uint32_t exptime);
+  /// flush_all fan-out to every server.
+  sim::Task<Status> flush_all();
+
+ private:
+  ServerConn& conn_for(std::string_view key) { return *conns_[server_index(key)]; }
+  void register_server(std::string name);
+
+  sim::Scheduler* sched_;
+  sim::Host* host_;
+  ClientBehavior behavior_;
+  std::vector<std::unique_ptr<ServerConn>> conns_;
+  std::vector<std::string> server_names_;
+  KetamaContinuum continuum_;
+};
+
+}  // namespace rmc::mc

@@ -1,0 +1,111 @@
+// Intrusive chained hash table with incremental expansion, after
+// memcached's assoc.c: buckets double when the item count exceeds 1.5x the
+// bucket count, and migration proceeds a few buckets per operation so no
+// single request ever pays the full rehash.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "memcached/item.hpp"
+
+namespace rmc::mc {
+
+class HashTable {
+ public:
+  explicit HashTable(std::size_t initial_power = 16)
+      : buckets_(std::size_t{1} << initial_power, nullptr) {}
+
+  std::size_t size() const { return count_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  bool expanding() const { return expanding_; }
+
+  ItemHeader* find(std::string_view key, std::uint32_t hash) {
+    step_migration();
+    ItemHeader* it = *bucket_for(hash);
+    while (it) {
+      if (it->key() == key) return it;
+      it = it->hash_next;
+    }
+    return nullptr;
+  }
+
+  /// Insert an item whose key is not present (caller ensures uniqueness).
+  void insert(ItemHeader* item, std::uint32_t hash) {
+    step_migration();
+    ItemHeader** head = bucket_for(hash);
+    item->hash_next = *head;
+    *head = item;
+    item->linked = true;
+    ++count_;
+    maybe_start_expansion();
+  }
+
+  /// Unlink `item` (found under `hash`); returns false if absent.
+  bool remove(const ItemHeader* item, std::uint32_t hash) {
+    step_migration();
+    ItemHeader** cursor = bucket_for(hash);
+    while (*cursor) {
+      if (*cursor == item) {
+        *cursor = item->hash_next;
+        --count_;
+        return true;
+      }
+      cursor = &(*cursor)->hash_next;
+    }
+    return false;
+  }
+
+ private:
+  ItemHeader** bucket_for(std::uint32_t hash) {
+    if (expanding_) {
+      const std::size_t old_index = hash & (old_buckets_.size() - 1);
+      if (old_index >= migrated_) {
+        return &old_buckets_[old_index];
+      }
+    }
+    return &buckets_[hash & (buckets_.size() - 1)];
+  }
+
+  void maybe_start_expansion() {
+    if (expanding_ || count_ < buckets_.size() * 3 / 2) return;
+    expanding_ = true;
+    migrated_ = 0;
+    old_buckets_ = std::move(buckets_);
+    buckets_.assign(old_buckets_.size() * 2, nullptr);
+  }
+
+  void step_migration() {
+    if (!expanding_) return;
+    // Move two buckets per operation; bounded latency per request.
+    for (int step = 0; step < 2 && migrated_ < old_buckets_.size(); ++step) {
+      ItemHeader* it = old_buckets_[migrated_];
+      while (it) {
+        ItemHeader* next = it->hash_next;
+        const std::uint32_t hash = rehash(it->key());
+        ItemHeader** head = &buckets_[hash & (buckets_.size() - 1)];
+        it->hash_next = *head;
+        *head = it;
+        it = next;
+      }
+      old_buckets_[migrated_] = nullptr;
+      ++migrated_;
+    }
+    if (migrated_ == old_buckets_.size()) {
+      expanding_ = false;
+      old_buckets_.clear();
+    }
+  }
+
+  static std::uint32_t rehash(std::string_view key) { return hash_one_at_a_time(key); }
+
+  std::vector<ItemHeader*> buckets_;
+  std::vector<ItemHeader*> old_buckets_;
+  std::size_t migrated_ = 0;
+  std::size_t count_ = 0;
+  bool expanding_ = false;
+};
+
+}  // namespace rmc::mc

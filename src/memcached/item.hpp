@@ -1,0 +1,52 @@
+// Item layout, memcached-style.
+//
+// An item lives entirely inside a slab chunk: a fixed header followed by
+// the key bytes and the value bytes. Keeping the value inside the slab
+// arena is what lets the UCR server RDMA-read incoming SET payloads
+// directly into their final location and serve GET responses zero-copy
+// out of the cache (§V-B/C) — the arenas are registered with the HCA once
+// at startup.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace rmc::mc {
+
+struct ItemHeader {
+  ItemHeader* hash_next = nullptr;  ///< hash-bucket chain
+  ItemHeader* lru_prev = nullptr;   ///< per-class LRU list
+  ItemHeader* lru_next = nullptr;
+  std::uint64_t cas = 0;
+  std::uint64_t stored_seq = 0;  ///< store-order sequence (flush_all cutoff)
+  std::uint32_t exptime = 0;     ///< absolute expiry in cache seconds; 0 = never
+  std::uint32_t last_access = 0; ///< cache seconds, for LRU bookkeeping
+  std::uint32_t value_len = 0;
+  std::uint32_t flags = 0;       ///< opaque client flags
+  std::uint16_t key_len = 0;
+  std::uint8_t slab_class = 0;
+  std::uint8_t refcount = 0;     ///< pins item memory during in-flight RDMA
+  bool linked = false;           ///< currently in the hash table
+
+  std::byte* key_data() { return reinterpret_cast<std::byte*>(this + 1); }
+  const std::byte* key_data() const { return reinterpret_cast<const std::byte*>(this + 1); }
+  std::byte* value_data() { return key_data() + key_len; }
+  const std::byte* value_data() const { return key_data() + key_len; }
+
+  std::string_view key() const {
+    return {reinterpret_cast<const char*>(key_data()), key_len};
+  }
+  std::span<const std::byte> value() const { return {value_data(), value_len}; }
+  std::span<std::byte> value_mut() { return {value_data(), value_len}; }
+
+  /// Total bytes an item with this key/value needs inside a chunk.
+  static std::size_t wire_size(std::size_t key_len, std::size_t value_len) {
+    return sizeof(ItemHeader) + key_len + value_len;
+  }
+};
+
+static_assert(alignof(ItemHeader) <= 16, "items must fit slab alignment");
+
+}  // namespace rmc::mc

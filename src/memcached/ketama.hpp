@@ -1,0 +1,72 @@
+// Ketama consistent hashing, after libmemcached's
+// MEMCACHED_DISTRIBUTION_CONSISTENT_KETAMA.
+//
+// Each server contributes 40 MD5-derived anchors x 4 points per digest to
+// a continuum of 160 points; a key hashes to the first point clockwise.
+// Compared to modulo distribution, adding or removing one server remaps
+// only ~1/n of the keyspace — the property that matters when a pool member
+// dies (the fault model of §IV-A).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/md5.hpp"
+
+namespace rmc::mc {
+
+class KetamaContinuum {
+ public:
+  /// Rebuild the continuum for `servers` (order defines the index space).
+  /// Hosts are named like libmemcached: "<name>-<replica>".
+  void rebuild(const std::vector<std::string>& servers) {
+    points_.clear();
+    points_.reserve(servers.size() * kPointsPerServer);
+    for (std::size_t index = 0; index < servers.size(); ++index) {
+      for (unsigned replica = 0; replica < kPointsPerServer / 4; ++replica) {
+        const std::string anchor = servers[index] + "-" + std::to_string(replica);
+        const Md5Digest digest = md5(anchor);
+        for (unsigned chunk = 0; chunk < 4; ++chunk) {
+          std::uint32_t value = 0;
+          for (unsigned b = 0; b < 4; ++b) {
+            value |= static_cast<std::uint32_t>(digest.bytes[chunk * 4 + b]) << (8 * b);
+          }
+          points_.push_back({value, index});
+        }
+      }
+    }
+    std::sort(points_.begin(), points_.end());
+  }
+
+  bool empty() const { return points_.empty(); }
+  std::size_t point_count() const { return points_.size(); }
+
+  /// Server index for `key` (continuum must be non-empty).
+  std::size_t lookup(std::string_view key) const {
+    const Md5Digest digest = md5(key);
+    std::uint32_t value = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      value |= static_cast<std::uint32_t>(digest.bytes[b]) << (8 * b);
+    }
+    auto it = std::lower_bound(points_.begin(), points_.end(), Point{value, 0});
+    if (it == points_.end()) it = points_.begin();  // wrap around the ring
+    return it->server;
+  }
+
+ private:
+  static constexpr unsigned kPointsPerServer = 160;
+
+  struct Point {
+    std::uint32_t hash;
+    std::size_t server;
+    bool operator<(const Point& o) const {
+      return hash != o.hash ? hash < o.hash : server < o.server;
+    }
+  };
+
+  std::vector<Point> points_;
+};
+
+}  // namespace rmc::mc

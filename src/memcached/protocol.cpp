@@ -1,0 +1,373 @@
+#include "memcached/protocol.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+namespace rmc::mc::proto {
+
+namespace {
+
+std::string_view view_of(const std::vector<std::byte>& buf, std::size_t from, std::size_t len) {
+  return {reinterpret_cast<const char*>(buf.data()) + from, len};
+}
+
+/// Split a protocol line into whitespace-separated tokens.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+void append_str(std::vector<std::byte>& out, std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+void append_crlf(std::vector<std::byte>& out) { append_str(out, "\r\n"); }
+
+bool storage_command(Command c) {
+  switch (c) {
+    case Command::set:
+    case Command::add:
+    case Command::replace:
+    case Command::append:
+    case Command::prepend:
+    case Command::cas:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* command_name(Command c) {
+  switch (c) {
+    case Command::get: return "get";
+    case Command::gets: return "gets";
+    case Command::set: return "set";
+    case Command::add: return "add";
+    case Command::replace: return "replace";
+    case Command::append: return "append";
+    case Command::prepend: return "prepend";
+    case Command::cas: return "cas";
+    case Command::del: return "delete";
+    case Command::incr: return "incr";
+    case Command::decr: return "decr";
+    case Command::touch: return "touch";
+    case Command::flush_all: return "flush_all";
+    case Command::stats: return "stats";
+    case Command::version: return "version";
+    case Command::quit: return "quit";
+  }
+  return "?";
+}
+
+std::optional<Command> command_from(std::string_view name) {
+  static constexpr std::pair<std::string_view, Command> kTable[] = {
+      {"get", Command::get},       {"gets", Command::gets},
+      {"set", Command::set},       {"add", Command::add},
+      {"replace", Command::replace}, {"append", Command::append},
+      {"prepend", Command::prepend}, {"cas", Command::cas},
+      {"delete", Command::del},    {"incr", Command::incr},
+      {"decr", Command::decr},     {"touch", Command::touch},
+      {"flush_all", Command::flush_all}, {"stats", Command::stats},
+      {"version", Command::version}, {"quit", Command::quit},
+  };
+  for (const auto& [n, c] : kTable) {
+    if (n == name) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- RequestParser
+
+std::optional<std::size_t> RequestParser::find_crlf(std::size_t from) const {
+  if (buffer_.size() < 2) return std::nullopt;
+  for (std::size_t i = from; i + 1 < buffer_.size(); ++i) {
+    if (buffer_[i] == std::byte{'\r'} && buffer_[i + 1] == std::byte{'\n'}) return i;
+  }
+  return std::nullopt;
+}
+
+Result<std::optional<Request>> RequestParser::next() {
+  const auto line_end = find_crlf(0);
+  if (!line_end) {
+    if (buffer_.size() > 8192) return Errc::protocol_error;  // unbounded line
+    return std::optional<Request>{};
+  }
+
+  const std::string_view line = view_of(buffer_, 0, *line_end);
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return Errc::protocol_error;
+  const auto command = command_from(tokens[0]);
+  if (!command) return Errc::protocol_error;
+
+  Request req;
+  req.command = *command;
+  std::size_t consumed = *line_end + 2;
+
+  if (storage_command(req.command)) {
+    // <cmd> <key> <flags> <exptime> <bytes> [cas] [noreply]\r\n<data>\r\n
+    const bool is_cas = req.command == Command::cas;
+    const std::size_t expected = is_cas ? 6 : 5;
+    if (tokens.size() < expected) return Errc::protocol_error;
+    req.key = std::string(tokens[1]);
+    std::uint32_t bytes = 0;
+    if (!parse_number(tokens[2], req.flags) || !parse_number(tokens[3], req.exptime) ||
+        !parse_number(tokens[4], bytes)) {
+      return Errc::protocol_error;
+    }
+    std::size_t next_token = 5;
+    if (is_cas) {
+      if (!parse_number(tokens[5], req.cas_unique)) return Errc::protocol_error;
+      next_token = 6;
+    }
+    if (tokens.size() > next_token && tokens[next_token] == "noreply") req.noreply = true;
+
+    // The data block plus trailing CRLF must be fully buffered.
+    if (buffer_.size() < consumed + bytes + 2) return std::optional<Request>{};
+    if (buffer_[consumed + bytes] != std::byte{'\r'} ||
+        buffer_[consumed + bytes + 1] != std::byte{'\n'}) {
+      return Errc::protocol_error;  // bad data chunk
+    }
+    req.data.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(consumed + bytes));
+    consumed += bytes + 2;
+  } else {
+    switch (req.command) {
+      case Command::get:
+      case Command::gets:
+        if (tokens.size() < 2) return Errc::protocol_error;
+        for (std::size_t i = 1; i < tokens.size(); ++i) req.keys.emplace_back(tokens[i]);
+        break;
+      case Command::del:
+        if (tokens.size() < 2) return Errc::protocol_error;
+        req.key = std::string(tokens[1]);
+        if (tokens.size() > 2 && tokens.back() == "noreply") req.noreply = true;
+        break;
+      case Command::incr:
+      case Command::decr:
+        if (tokens.size() < 3 || !parse_number(tokens[2], req.delta)) {
+          return Errc::protocol_error;
+        }
+        req.key = std::string(tokens[1]);
+        if (tokens.size() > 3 && tokens.back() == "noreply") req.noreply = true;
+        break;
+      case Command::touch:
+        if (tokens.size() < 3 || !parse_number(tokens[2], req.exptime)) {
+          return Errc::protocol_error;
+        }
+        req.key = std::string(tokens[1]);
+        if (tokens.size() > 3 && tokens.back() == "noreply") req.noreply = true;
+        break;
+      case Command::flush_all:
+        if (tokens.size() > 1) {
+          if (!parse_number(tokens[1], req.exptime)) {
+            if (tokens[1] == "noreply") {
+              req.noreply = true;
+            } else {
+              return Errc::protocol_error;
+            }
+          }
+        }
+        if (tokens.size() > 2 && tokens.back() == "noreply") req.noreply = true;
+        break;
+      case Command::stats:
+      case Command::version:
+      case Command::quit:
+        break;
+      default:
+        return Errc::protocol_error;
+    }
+  }
+
+  req.wire_bytes = consumed;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  return std::optional<Request>(std::move(req));
+}
+
+// ------------------------------------------------------------ encoding
+
+std::vector<std::byte> encode_request(const Request& request) {
+  std::vector<std::byte> out;
+  out.reserve(64 + request.data.size());
+  append_str(out, command_name(request.command));
+
+  if (storage_command(request.command)) {
+    append_str(out, " " + request.key + " " + std::to_string(request.flags) + " " +
+                        std::to_string(request.exptime) + " " +
+                        std::to_string(request.data.size()));
+    if (request.command == Command::cas) {
+      append_str(out, " " + std::to_string(request.cas_unique));
+    }
+    if (request.noreply) append_str(out, " noreply");
+    append_crlf(out);
+    out.insert(out.end(), request.data.begin(), request.data.end());
+    append_crlf(out);
+    return out;
+  }
+
+  switch (request.command) {
+    case Command::get:
+    case Command::gets:
+      for (const auto& key : request.keys) append_str(out, " " + key);
+      break;
+    case Command::del:
+      append_str(out, " " + request.key);
+      break;
+    case Command::incr:
+    case Command::decr:
+      append_str(out, " " + request.key + " " + std::to_string(request.delta));
+      break;
+    case Command::touch:
+      append_str(out, " " + request.key + " " + std::to_string(request.exptime));
+      break;
+    case Command::flush_all:
+      if (request.exptime) append_str(out, " " + std::to_string(request.exptime));
+      break;
+    default:
+      break;
+  }
+  if (request.noreply) append_str(out, " noreply");
+  append_crlf(out);
+  return out;
+}
+
+std::vector<std::byte> encode_response(const Response& response, bool with_cas) {
+  std::vector<std::byte> out;
+  using Type = Response::Type;
+  switch (response.type) {
+    case Type::stored: append_str(out, "STORED"); break;
+    case Type::not_stored: append_str(out, "NOT_STORED"); break;
+    case Type::exists: append_str(out, "EXISTS"); break;
+    case Type::not_found: append_str(out, "NOT_FOUND"); break;
+    case Type::deleted: append_str(out, "DELETED"); break;
+    case Type::touched: append_str(out, "TOUCHED"); break;
+    case Type::ok: append_str(out, "OK"); break;
+    case Type::number: append_str(out, std::to_string(response.number)); break;
+    case Type::error: append_str(out, "ERROR"); break;
+    case Type::client_error: append_str(out, "CLIENT_ERROR " + response.message); break;
+    case Type::server_error: append_str(out, "SERVER_ERROR " + response.message); break;
+    case Type::version: append_str(out, "VERSION " + response.message); break;
+    case Type::stats:
+      append_str(out, response.message);  // pre-rendered STAT lines
+      append_str(out, "END");
+      break;
+    case Type::values:
+      for (const auto& v : response.values) {
+        append_str(out, "VALUE " + v.key + " " + std::to_string(v.flags) + " " +
+                            std::to_string(v.data.size()));
+        if (with_cas) append_str(out, " " + std::to_string(v.cas));
+        append_crlf(out);
+        out.insert(out.end(), v.data.begin(), v.data.end());
+        append_crlf(out);
+      }
+      append_str(out, "END");
+      break;
+  }
+  append_crlf(out);
+  return out;
+}
+
+// ------------------------------------------------------ ResponseParser
+
+std::optional<std::size_t> ResponseParser::find_crlf(std::size_t from) const {
+  for (std::size_t i = from; i + 1 < buffer_.size(); ++i) {
+    if (buffer_[i] == std::byte{'\r'} && buffer_[i + 1] == std::byte{'\n'}) return i;
+  }
+  return std::nullopt;
+}
+
+Result<std::optional<Response>> ResponseParser::next(Expect expect) {
+  Response resp;
+
+  if (expect == Expect::values) {
+    // Parse VALUE blocks until END, all of which must be buffered.
+    std::size_t cursor = 0;
+    std::vector<Value> values;
+    while (true) {
+      const auto line_end = find_crlf(cursor);
+      if (!line_end) return std::optional<Response>{};
+      const std::string_view line = view_of(buffer_, cursor, *line_end - cursor);
+      if (line == "END") {
+        resp.type = Response::Type::values;
+        resp.values = std::move(values);
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(*line_end + 2));
+        return std::optional<Response>(std::move(resp));
+      }
+      const auto tokens = tokenize(line);
+      if (tokens.size() < 4 || tokens[0] != "VALUE") return Errc::protocol_error;
+      Value v;
+      v.key = std::string(tokens[1]);
+      std::uint32_t bytes = 0;
+      if (!parse_number(tokens[2], v.flags) || !parse_number(tokens[3], bytes)) {
+        return Errc::protocol_error;
+      }
+      if (tokens.size() > 4 && !parse_number(tokens[4], v.cas)) return Errc::protocol_error;
+      const std::size_t data_start = *line_end + 2;
+      if (buffer_.size() < data_start + bytes + 2) return std::optional<Response>{};
+      v.data.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(data_start),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(data_start + bytes));
+      values.push_back(std::move(v));
+      cursor = data_start + bytes + 2;
+    }
+  }
+
+  const auto line_end = find_crlf(0);
+  if (!line_end) return std::optional<Response>{};
+  const std::string_view line = view_of(buffer_, 0, *line_end);
+
+  using Type = Response::Type;
+  if (line == "STORED") {
+    resp.type = Type::stored;
+  } else if (line == "NOT_STORED") {
+    resp.type = Type::not_stored;
+  } else if (line == "EXISTS") {
+    resp.type = Type::exists;
+  } else if (line == "NOT_FOUND") {
+    resp.type = Type::not_found;
+  } else if (line == "DELETED") {
+    resp.type = Type::deleted;
+  } else if (line == "TOUCHED") {
+    resp.type = Type::touched;
+  } else if (line == "OK") {
+    resp.type = Type::ok;
+  } else if (line == "ERROR") {
+    resp.type = Type::error;
+  } else if (line.starts_with("CLIENT_ERROR ")) {
+    resp.type = Type::client_error;
+    resp.message = std::string(line.substr(13));
+  } else if (line.starts_with("SERVER_ERROR ")) {
+    resp.type = Type::server_error;
+    resp.message = std::string(line.substr(13));
+  } else if (line.starts_with("VERSION ")) {
+    resp.type = Type::version;
+    resp.message = std::string(line.substr(8));
+  } else if (expect == Expect::number) {
+    resp.type = Type::number;
+    if (!parse_number(line, resp.number)) return Errc::protocol_error;
+  } else {
+    return Errc::protocol_error;
+  }
+
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(*line_end + 2));
+  return std::optional<Response>(std::move(resp));
+}
+
+}  // namespace rmc::mc::proto

@@ -1,0 +1,138 @@
+// The memcached ASCII protocol (the wire format memcached 1.4.x and
+// libmemcached 0.45 speak over sockets).
+//
+// This is the byte-stream side of the paper's comparison: requests and
+// responses must be framed, scanned for "\r\n", and parsed token by token
+// — the semantic conversion overhead §I attributes to Sockets transports.
+// The parser is incremental: feed() arbitrary stream chunks, pop complete
+// requests with next().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rmc::mc::proto {
+
+enum class Command : std::uint8_t {
+  get,
+  gets,  ///< get returning CAS ids
+  set,
+  add,
+  replace,
+  append,
+  prepend,
+  cas,
+  del,
+  incr,
+  decr,
+  touch,
+  flush_all,
+  stats,
+  version,
+  quit,
+};
+
+struct Request {
+  Command command = Command::get;
+  std::vector<std::string> keys;  ///< get/gets: one or more keys
+  std::string key;                ///< storage / single-key commands
+  std::uint32_t flags = 0;
+  std::uint32_t exptime = 0;
+  std::uint64_t cas_unique = 0;
+  std::uint64_t delta = 0;  ///< incr/decr
+  bool noreply = false;
+  std::vector<std::byte> data;  ///< storage payload
+
+  /// Bytes this request occupied on the wire (for cost accounting).
+  std::size_t wire_bytes = 0;
+};
+
+/// Incremental request parser (server side).
+class RequestParser {
+ public:
+  void feed(std::span<const std::byte> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Pop the next complete request. Empty optional: need more bytes.
+  /// protocol_error: stream is garbage (connection should be dropped).
+  Result<std::optional<Request>> next();
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::optional<std::size_t> find_crlf(std::size_t from) const;
+
+  std::vector<std::byte> buffer_;
+  std::size_t scan_from_ = 0;
+};
+
+// --------------------------------------------------------- encoding ----
+
+/// Client side: render a request into stream bytes.
+std::vector<std::byte> encode_request(const Request& request);
+
+/// One value in a retrieval response.
+struct Value {
+  std::string key;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+  std::vector<std::byte> data;
+};
+
+/// Server reply, decoded (client side) or pre-encoding (server side).
+struct Response {
+  enum class Type : std::uint8_t {
+    stored,
+    not_stored,
+    exists,
+    not_found,
+    deleted,
+    touched,
+    ok,
+    values,  ///< VALUE...END block (possibly zero values = all misses)
+    number,  ///< incr/decr result
+    error,
+    client_error,
+    server_error,
+    version,
+    stats,
+  };
+  Type type = Type::ok;
+  std::vector<Value> values;
+  std::uint64_t number = 0;
+  std::string message;  ///< error text / version / stats blob
+};
+
+/// Server side: render a response into stream bytes. `with_cas` emits the
+/// CAS id on VALUE lines (gets).
+std::vector<std::byte> encode_response(const Response& response, bool with_cas);
+
+/// Incremental response parser (client side). The caller says what kind of
+/// reply it expects next (the text protocol is not self-describing enough
+/// to parse without that context — libmemcached does the same).
+class ResponseParser {
+ public:
+  enum class Expect : std::uint8_t { simple, values, number };
+
+  void feed(std::span<const std::byte> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Pop the next complete response of the expected shape.
+  Result<std::optional<Response>> next(Expect expect);
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::optional<std::size_t> find_crlf(std::size_t from) const;
+  std::vector<std::byte> buffer_;
+};
+
+}  // namespace rmc::mc::proto

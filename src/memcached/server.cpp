@@ -1,0 +1,679 @@
+#include "memcached/server.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace rmc::mc {
+
+/// Per-UCR-connection state hung off the endpoint's user_data: items
+/// allocated by SET header handlers, waiting for their value to arrive.
+struct Server::UcrConnState {
+  std::unordered_map<std::uint64_t, ItemHeader*> pending_sets;  // req_id -> item
+  std::size_t worker = 0;  ///< round-robin worker owning this connection
+};
+
+Server::Server(sim::Scheduler& sched, sim::Host& host, ServerConfig config)
+    : sched_(&sched), host_(&host), config_(config), store_(config.store) {
+  config_.workers = std::max(1u, config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    worker_queues_.push_back(std::make_unique<sim::Channel<Work>>(sched));
+    sched.spawn(worker_loop(i));
+  }
+}
+
+Server::~Server() = default;
+
+void Server::advance_clock() {
+  store_.set_clock(static_cast<std::uint32_t>(1 + sched_->now() / kNsPerSec));
+}
+
+// ------------------------------------------------------ socket frontend
+
+void Server::attach_socket_frontend(sock::NetStack& stack) {
+  sock::Listener& listener = stack.listen(config_.port);
+  sched_->spawn(accept_loop(stack, listener));
+}
+
+sim::Task<> Server::accept_loop(sock::NetStack& stack, sock::Listener& listener) {
+  (void)stack;
+  while (true) {
+    sock::Socket* socket = co_await listener.accept();
+    if (!socket) co_return;
+    // Round-robin: all requests of this connection go to one worker, as
+    // §V-A describes for the thread assignment.
+    const std::size_t worker = next_worker_++ % worker_queues_.size();
+    sched_->spawn(connection_loop(*socket, worker));
+  }
+}
+
+sim::Task<> Server::connection_loop(sock::Socket& socket, std::size_t worker) {
+  // Protocol auto-detection, as memcached 1.4 does on a shared port: a
+  // first byte of 0x80 means the binary protocol.
+  std::vector<std::byte> first(16 * 1024);
+  auto n = co_await socket.recv(first);
+  if (!n.ok() || *n == 0) {
+    socket.close();
+    co_return;
+  }
+  const std::span<const std::byte> initial(first.data(), *n);
+  if (first[0] == std::byte{bproto::kMagicRequest}) {
+    co_await binary_loop(socket, worker, initial);
+  } else {
+    co_await text_loop(socket, worker, initial);
+  }
+}
+
+sim::Task<> Server::text_loop(sock::Socket& socket, std::size_t worker,
+                              std::span<const std::byte> initial) {
+  proto::RequestParser parser;
+  parser.feed(initial);
+  bool first_pass = true;
+  std::vector<std::byte> chunk(16 * 1024);
+  while (true) {
+    if (!first_pass) {
+      auto n = co_await socket.recv(chunk);
+      if (!n.ok() || *n == 0) {
+        socket.close();
+        co_return;
+      }
+      parser.feed(std::span<const std::byte>(chunk.data(), *n));
+    }
+    first_pass = false;
+    // libevent fired for this connection: dispatch cost.
+    co_await host_->cpu().consume(config_.costs.event_dispatch_ns);
+    while (true) {
+      auto parsed = parser.next();
+      if (!parsed.ok()) {
+        // Garbage on the stream: memcached answers ERROR and closes.
+        proto::Response error_resp;
+        error_resp.type = proto::Response::Type::error;
+        const auto bytes = proto::encode_response(error_resp, false);
+        (void)co_await socket.send(bytes);
+        socket.close();
+        co_return;
+      }
+      if (!parsed->has_value()) break;
+      proto::Request& request = **parsed;
+      co_await host_->cpu().consume(
+          config_.costs.parse_base_ns +
+          static_cast<sim::Time>(static_cast<double>(request.wire_bytes - request.data.size()) *
+                                 config_.costs.parse_ns_per_byte));
+      const bool quit = request.command == proto::Command::quit;
+      Work work;
+      work.request = std::move(request);
+      work.socket = &socket;
+      worker_queues_[worker]->send(std::move(work));
+      if (quit) co_return;  // stop reading; worker closes after draining
+    }
+  }
+}
+
+sim::Task<> Server::binary_loop(sock::Socket& socket, std::size_t worker,
+                                std::span<const std::byte> initial) {
+  bproto::RequestParser parser;
+  parser.feed(initial);
+  bool first_pass = true;
+  std::vector<std::byte> chunk(16 * 1024);
+  while (true) {
+    if (!first_pass) {
+      auto n = co_await socket.recv(chunk);
+      if (!n.ok() || *n == 0) {
+        socket.close();
+        co_return;
+      }
+      parser.feed(std::span<const std::byte>(chunk.data(), *n));
+    }
+    first_pass = false;
+    co_await host_->cpu().consume(config_.costs.event_dispatch_ns);
+    while (true) {
+      auto parsed = parser.next();
+      if (!parsed.ok()) {
+        socket.close();  // framing is broken; nothing sane to answer
+        co_return;
+      }
+      if (!parsed->has_value()) break;
+      // Binary framing needs no line scanning: flat parse cost.
+      co_await host_->cpu().consume(config_.costs.parse_base_ns / 2);
+      const bool quit = (*parsed)->opcode == bproto::Opcode::quit;
+      Work work;
+      work.is_binary = true;
+      work.bin_request = std::move(**parsed);
+      work.socket = &socket;
+      worker_queues_[worker]->send(std::move(work));
+      if (quit) co_return;
+    }
+  }
+}
+
+sim::Task<> Server::worker_loop(std::size_t index) {
+  sim::Channel<Work>& queue = *worker_queues_[index];
+  while (true) {
+    auto work = co_await queue.recv();
+    if (!work) co_return;
+    ++requests_served_;
+    if (work->is_ucr) {
+      co_await process_ucr(*work);
+    } else if (work->is_binary) {
+      co_await process_binary(*work);
+    } else {
+      co_await process_socket(*work);
+    }
+  }
+}
+
+proto::Response Server::execute(const proto::Request& request) {
+  advance_clock();
+  using Type = proto::Response::Type;
+  proto::Response resp;
+
+  switch (request.command) {
+    case proto::Command::get:
+    case proto::Command::gets: {
+      resp.type = Type::values;
+      for (const auto& key : request.keys) {
+        ItemHeader* item = store_.get(key);
+        if (!item) continue;
+        proto::Value v;
+        v.key = key;
+        v.flags = item->flags;
+        v.cas = item->cas;
+        v.data.assign(item->value().begin(), item->value().end());
+        resp.values.push_back(std::move(v));
+      }
+      return resp;
+    }
+    case proto::Command::set:
+    case proto::Command::add:
+    case proto::Command::replace:
+    case proto::Command::append:
+    case proto::Command::prepend:
+    case proto::Command::cas: {
+      SetMode mode = SetMode::set;
+      switch (request.command) {
+        case proto::Command::add: mode = SetMode::add; break;
+        case proto::Command::replace: mode = SetMode::replace; break;
+        case proto::Command::append: mode = SetMode::append; break;
+        case proto::Command::prepend: mode = SetMode::prepend; break;
+        case proto::Command::cas: mode = SetMode::cas; break;
+        default: break;
+      }
+      auto stored = store_.store(mode, request.key, request.data, request.flags,
+                                 request.exptime, request.cas_unique);
+      if (stored.ok()) {
+        resp.type = Type::stored;
+      } else {
+        switch (stored.error()) {
+          case Errc::not_stored: resp.type = Type::not_stored; break;
+          case Errc::exists: resp.type = Type::exists; break;
+          case Errc::not_found: resp.type = Type::not_found; break;
+          case Errc::too_large:
+            resp.type = Type::server_error;
+            resp.message = "object too large for cache";
+            break;
+          case Errc::invalid_argument:
+            resp.type = Type::client_error;
+            resp.message = "bad command line format";
+            break;
+          default:
+            resp.type = Type::server_error;
+            resp.message = "out of memory storing object";
+            break;
+        }
+      }
+      return resp;
+    }
+    case proto::Command::del:
+      resp.type = store_.del(request.key) ? Type::deleted : Type::not_found;
+      return resp;
+    case proto::Command::incr:
+    case proto::Command::decr: {
+      auto result =
+          store_.arith(request.key, request.delta, request.command == proto::Command::decr);
+      if (result.ok()) {
+        resp.type = Type::number;
+        resp.number = *result;
+      } else if (result.error() == Errc::not_found) {
+        resp.type = Type::not_found;
+      } else {
+        resp.type = Type::client_error;
+        resp.message = "cannot increment or decrement non-numeric value";
+      }
+      return resp;
+    }
+    case proto::Command::touch:
+      resp.type = store_.touch(request.key, request.exptime) ? Type::touched : Type::not_found;
+      return resp;
+    case proto::Command::flush_all:
+      if (request.exptime == 0) {
+        store_.flush_all();
+      } else {
+        sched_->call_in(static_cast<sim::Time>(request.exptime) * kNsPerSec,
+                        [this] { store_.flush_all(); });
+      }
+      resp.type = Type::ok;
+      return resp;
+    case proto::Command::stats:
+      resp.type = Type::stats;
+      resp.message = render_stats();
+      return resp;
+    case proto::Command::version:
+      resp.type = Type::version;
+      resp.message = "1.4.5-rmc";
+      return resp;
+    case proto::Command::quit:
+      resp.type = Type::ok;
+      return resp;
+  }
+  resp.type = Type::error;
+  return resp;
+}
+
+sim::Task<> Server::process_socket(Work& work) {
+  const proto::Request& request = work.request;
+  co_await host_->cpu().consume(
+      config_.costs.op_base_ns +
+      static_cast<sim::Time>(static_cast<double>(request.data.size()) *
+                             config_.costs.value_copy_ns_per_byte));
+  proto::Response resp = execute(request);
+
+  if (request.command == proto::Command::quit) {
+    work.socket->close();
+    co_return;
+  }
+  if (request.noreply) co_return;
+
+  std::size_t value_bytes = 0;
+  for (const auto& v : resp.values) value_bytes += v.data.size();
+  co_await host_->cpu().consume(
+      config_.costs.format_base_ns +
+      static_cast<sim::Time>(static_cast<double>(value_bytes) *
+                             config_.costs.value_copy_ns_per_byte));
+
+  const bool with_cas = request.command == proto::Command::gets;
+  const auto bytes = proto::encode_response(resp, with_cas);
+  (void)co_await work.socket->send(bytes);
+}
+
+
+sim::Task<> Server::process_binary(Work& work) {
+  using bproto::BStatus;
+  using bproto::Opcode;
+  const bproto::Request& req = work.bin_request;
+  co_await host_->cpu().consume(
+      config_.costs.op_base_ns +
+      static_cast<sim::Time>(static_cast<double>(req.value.size()) *
+                             config_.costs.value_copy_ns_per_byte));
+  advance_clock();
+
+  bproto::Response resp;
+  resp.opcode = req.opcode;
+  resp.opaque = req.opaque;
+  bool reply = true;
+
+  switch (req.opcode) {
+    case Opcode::get:
+    case Opcode::getq:
+    case Opcode::getk:
+    case Opcode::getkq: {
+      ItemHeader* item = store_.get(req.key);
+      if (!item) {
+        if (bproto::is_quiet(req.opcode)) {
+          reply = false;  // quiet miss: say nothing (pipelined multiget)
+        } else {
+          resp.status = BStatus::key_not_found;
+        }
+        break;
+      }
+      resp.status = BStatus::ok;
+      resp.flags = item->flags;
+      resp.cas = item->cas;
+      resp.value.assign(item->value().begin(), item->value().end());
+      if (req.opcode == Opcode::getk || req.opcode == Opcode::getkq) resp.key = req.key;
+      break;
+    }
+    case Opcode::set:
+    case Opcode::add:
+    case Opcode::replace: {
+      SetMode mode = SetMode::set;
+      if (req.opcode == Opcode::add) mode = SetMode::add;
+      if (req.opcode == Opcode::replace) mode = SetMode::replace;
+      // A non-zero CAS on a binary set means compare-and-swap.
+      if (req.cas != 0) mode = SetMode::cas;
+      auto stored = store_.store(mode, req.key, req.value, req.flags, req.exptime, req.cas);
+      if (stored.ok()) {
+        resp.status = BStatus::ok;
+        resp.cas = (*stored)->cas;
+      } else {
+        switch (stored.error()) {
+          case Errc::not_stored:
+            // Binary protocol distinguishes add-exists from replace-miss.
+            resp.status = req.opcode == Opcode::add ? BStatus::key_exists
+                                                    : BStatus::key_not_found;
+            break;
+          case Errc::exists: resp.status = BStatus::key_exists; break;
+          case Errc::not_found: resp.status = BStatus::key_not_found; break;
+          case Errc::too_large: resp.status = BStatus::value_too_large; break;
+          case Errc::invalid_argument: resp.status = BStatus::invalid_arguments; break;
+          default: resp.status = BStatus::out_of_memory; break;
+        }
+      }
+      break;
+    }
+    case Opcode::append:
+    case Opcode::prepend: {
+      const SetMode mode = req.opcode == Opcode::append ? SetMode::append : SetMode::prepend;
+      auto stored = store_.store(mode, req.key, req.value, 0, 0);
+      if (stored.ok()) {
+        resp.status = BStatus::ok;
+        resp.cas = (*stored)->cas;
+      } else {
+        resp.status = BStatus::not_stored;
+      }
+      break;
+    }
+    case Opcode::del:
+      resp.status = store_.del(req.key) ? BStatus::ok : BStatus::key_not_found;
+      break;
+    case Opcode::increment:
+    case Opcode::decrement: {
+      auto result = store_.arith(req.key, req.delta, req.opcode == Opcode::decrement);
+      if (result.ok()) {
+        resp.status = BStatus::ok;
+        resp.number = *result;
+      } else if (result.error() == Errc::not_found) {
+        if (req.arith_exptime != 0xffffffffu) {
+          // Binary-only semantics: seed the counter with `initial`.
+          const std::string text = std::to_string(req.initial);
+          (void)store_.store(SetMode::set, req.key,
+                             {reinterpret_cast<const std::byte*>(text.data()), text.size()},
+                             0, req.arith_exptime);
+          resp.status = BStatus::ok;
+          resp.number = req.initial;
+        } else {
+          resp.status = BStatus::key_not_found;
+        }
+      } else {
+        resp.status = BStatus::delta_badval;
+      }
+      break;
+    }
+    case Opcode::touch:
+      resp.status =
+          store_.touch(req.key, req.exptime) ? BStatus::ok : BStatus::key_not_found;
+      break;
+    case Opcode::flush:
+      if (req.exptime == 0) {
+        store_.flush_all();
+      } else {
+        sched_->call_in(static_cast<sim::Time>(req.exptime) * kNsPerSec,
+                        [this] { store_.flush_all(); });
+      }
+      resp.status = BStatus::ok;
+      break;
+    case Opcode::noop:
+      resp.status = BStatus::ok;
+      break;
+    case Opcode::version: {
+      static constexpr char kVersion[] = "1.4.5-rmc";
+      resp.status = BStatus::ok;
+      resp.value.assign(reinterpret_cast<const std::byte*>(kVersion),
+                        reinterpret_cast<const std::byte*>(kVersion) + sizeof(kVersion) - 1);
+      break;
+    }
+    case Opcode::stat:
+      // Minimal stat support: the empty-key terminator packet.
+      resp.status = BStatus::ok;
+      break;
+    case Opcode::quit:
+      work.socket->close();
+      co_return;
+    default:
+      resp.status = BStatus::unknown_command;
+      break;
+  }
+
+  if (!reply) co_return;
+  co_await host_->cpu().consume(config_.costs.format_base_ns / 2);
+  const auto bytes = bproto::encode_response(resp);
+  (void)co_await work.socket->send(bytes);
+}
+
+// --------------------------------------------------------- UCR frontend
+
+void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
+  ucr_runtime_ = &runtime;
+  register_new_slab_pages();
+
+  runtime.register_handler(
+      ucrp::kMsgRequest,
+      {.on_header =
+           [this](ucr::Endpoint& ep, std::span<const std::byte> header,
+                  std::uint32_t data_len) -> std::span<std::byte> {
+             // SET-family values get their destination named here: the
+             // final slab location of the item (§V-B).
+             const auto req = ucrp::RequestHeader::decode(header.data());
+             if (!ucrp::is_storage(req.op) || data_len == 0) return {};
+             advance_clock();
+             const std::string_view key{
+                 reinterpret_cast<const char*>(header.data() + ucrp::RequestHeader::kSize),
+                 req.key_len};
+             auto* state = static_cast<UcrConnState*>(ep.user_data());
+             auto item = store_.allocate_item(key, data_len, req.flags, req.exptime);
+             if (!item.ok()) {
+               // Remember the failure so the completion path can answer
+               // with an error instead of the client timing out.
+               state->pending_sets[req.req_id] = nullptr;
+               return {};
+             }
+             register_new_slab_pages();
+             state->pending_sets[req.req_id] = *item;
+             return (*item)->value_mut();
+           },
+       .on_complete =
+           [this](ucr::Endpoint& ep, std::span<const std::byte> header,
+                  std::span<std::byte> /*data*/) {
+             const auto req = ucrp::RequestHeader::decode(header.data());
+             Work work;
+             work.is_ucr = true;
+             work.ep = &ep;
+             work.ucr_header = req;
+             work.key.assign(
+                 reinterpret_cast<const char*>(header.data() + ucrp::RequestHeader::kSize),
+                 req.key_len);
+             auto* state = static_cast<UcrConnState*>(ep.user_data());
+             auto it = state->pending_sets.find(req.req_id);
+             if (it != state->pending_sets.end()) {
+               work.prepared_item = it->second;
+               work.alloc_failed = it->second == nullptr;
+               state->pending_sets.erase(it);
+             }
+             // Same worker for all requests of this endpoint (§V-A).
+             worker_queues_[state->worker]->send(std::move(work));
+           }});
+
+  runtime.listen(config_.port, [this](ucr::Endpoint& ep) {
+    auto state = std::make_unique<UcrConnState>();
+    state->worker = next_worker_++ % worker_queues_.size();
+    ep.set_user_data(state.get());
+    ucr_conns_.push_back(std::move(state));
+  });
+}
+
+void Server::register_new_slab_pages() {
+  if (!ucr_runtime_) return;
+  for (auto [base, len] : store_.slabs().take_new_pages()) {
+    ucr_runtime_->register_region({base, len});
+  }
+}
+
+void Server::ucr_reply(ucr::Endpoint& ep, const ucrp::ResponseHeader& header,
+                       ItemHeader* pinned_item, std::uint64_t reply_counter) {
+  std::byte hdr[ucrp::ResponseHeader::kSize];
+  header.encode(hdr);
+  std::span<const std::byte> data{};
+  if (pinned_item) data = pinned_item->value();
+
+  // The origin counter tells us when the value memory may be unpinned —
+  // immediately for eager responses, after the client's RDMA read for
+  // rendezvous ones.
+  if (pinned_item) {
+    auto counter = std::make_unique<sim::Counter>(*sched_);
+    const Status sent =
+        ucr_runtime_->send_message(ep, ucrp::kMsgResponse, hdr, data, counter.get(),
+                                   ucr::CounterRef{reply_counter}, nullptr);
+    if (!sent.ok()) {
+      // Unreliable (UD) endpoint and a value too large for a datagram:
+      // answer with an error header instead of leaving the client to time
+      // out (§VII UD mode serves small items only).
+      store_.release(pinned_item);
+      ucrp::ResponseHeader err = header;
+      err.status = ucrp::RStatus::server_error;
+      std::byte err_hdr[ucrp::ResponseHeader::kSize];
+      err.encode(err_hdr);
+      (void)ucr_runtime_->send_message(ep, ucrp::kMsgResponse, err_hdr, {}, nullptr,
+                                       ucr::CounterRef{reply_counter}, nullptr);
+      return;
+    }
+    sched_->spawn([](ItemStore& store, ItemHeader* item,
+                     std::unique_ptr<sim::Counter> counter) -> sim::Task<> {
+      co_await counter->wait_geq(1);
+      store.release(item);
+    }(store_, pinned_item, std::move(counter)));
+  } else {
+    (void)ucr_runtime_->send_message(ep, ucrp::kMsgResponse, hdr, data, nullptr,
+                                     ucr::CounterRef{reply_counter}, nullptr);
+  }
+}
+
+sim::Task<> Server::process_ucr(Work& work) {
+  co_await host_->cpu().consume(config_.costs.ucr_request_ns + config_.costs.op_base_ns);
+  advance_clock();
+
+  const ucrp::RequestHeader& req = work.ucr_header;
+  ucrp::ResponseHeader resp;
+  resp.req_id = req.req_id;
+  ItemHeader* pinned = nullptr;
+
+  switch (req.op) {
+    case ucrp::Op::get:
+    case ucrp::Op::gets: {
+      pinned = store_.get_pinned(work.key);
+      if (pinned) {
+        resp.status = ucrp::RStatus::value;
+        resp.flags = pinned->flags;
+        resp.cas = pinned->cas;
+      } else {
+        resp.status = ucrp::RStatus::not_found;
+      }
+      break;
+    }
+    case ucrp::Op::set:
+    case ucrp::Op::add:
+    case ucrp::Op::replace:
+    case ucrp::Op::append:
+    case ucrp::Op::prepend:
+    case ucrp::Op::cas: {
+      if (work.alloc_failed) {
+        // The value never had a home (too large / out of memory).
+        resp.status = ucrp::RStatus::server_error;
+        break;
+      }
+      if (work.prepared_item && req.op == ucrp::Op::set) {
+        // Fast path: the value already sits in its slab chunk; link it.
+        store_.commit_item(work.prepared_item);
+        resp.status = ucrp::RStatus::stored;
+        break;
+      }
+      SetMode mode = SetMode::set;
+      switch (req.op) {
+        case ucrp::Op::add: mode = SetMode::add; break;
+        case ucrp::Op::replace: mode = SetMode::replace; break;
+        case ucrp::Op::append: mode = SetMode::append; break;
+        case ucrp::Op::prepend: mode = SetMode::prepend; break;
+        case ucrp::Op::cas: mode = SetMode::cas; break;
+        default: break;
+      }
+      std::span<const std::byte> value{};
+      if (work.prepared_item) value = work.prepared_item->value();
+      auto stored = store_.store(mode, work.key, value, req.flags, req.exptime, req.cas);
+      if (work.prepared_item) store_.abandon_item(work.prepared_item);
+      if (stored.ok()) {
+        resp.status = ucrp::RStatus::stored;
+      } else {
+        switch (stored.error()) {
+          case Errc::not_stored: resp.status = ucrp::RStatus::not_stored; break;
+          case Errc::exists: resp.status = ucrp::RStatus::exists; break;
+          case Errc::not_found: resp.status = ucrp::RStatus::not_found; break;
+          default: resp.status = ucrp::RStatus::server_error; break;
+        }
+      }
+      break;
+    }
+    case ucrp::Op::del:
+      resp.status = store_.del(work.key) ? ucrp::RStatus::deleted : ucrp::RStatus::not_found;
+      break;
+    case ucrp::Op::incr:
+    case ucrp::Op::decr: {
+      auto result = store_.arith(work.key, req.delta, req.op == ucrp::Op::decr);
+      if (result.ok()) {
+        resp.status = ucrp::RStatus::number;
+        resp.number = *result;
+      } else if (result.error() == Errc::not_found) {
+        resp.status = ucrp::RStatus::not_found;
+      } else {
+        resp.status = ucrp::RStatus::client_error;
+      }
+      break;
+    }
+    case ucrp::Op::touch:
+      resp.status =
+          store_.touch(work.key, req.exptime) ? ucrp::RStatus::touched : ucrp::RStatus::not_found;
+      break;
+    case ucrp::Op::flush_all:
+      if (req.delta == 0) {
+        store_.flush_all();
+      } else {
+        sched_->call_in(static_cast<sim::Time>(req.delta) * kNsPerSec,
+                        [this] { store_.flush_all(); });
+      }
+      resp.status = ucrp::RStatus::ok;
+      break;
+    case ucrp::Op::version:
+      resp.status = ucrp::RStatus::ok;
+      break;
+  }
+
+  ucr_reply(*work.ep, resp, pinned, req.reply_counter);
+  co_return;
+}
+
+std::string Server::render_stats() const {
+  const StoreStats& s = store_.stats();
+  std::ostringstream out;
+  auto stat = [&](const char* name, std::uint64_t value) {
+    out << "STAT " << name << " " << value << "\r\n";
+  };
+  stat("cmd_get", s.cmd_get);
+  stat("cmd_set", s.cmd_set);
+  stat("get_hits", s.get_hits);
+  stat("get_misses", s.get_misses);
+  stat("delete_hits", s.delete_hits);
+  stat("delete_misses", s.delete_misses);
+  stat("incr_hits", s.incr_hits);
+  stat("incr_misses", s.incr_misses);
+  stat("cas_hits", s.cas_hits);
+  stat("cas_misses", s.cas_misses);
+  stat("cas_badval", s.cas_badval);
+  stat("evictions", s.evictions);
+  stat("expired_unfetched", s.expired_unfetched);
+  stat("total_items", s.total_items);
+  stat("curr_items", s.curr_items);
+  stat("bytes", s.bytes);
+  stat("limit_maxbytes", config_.store.slabs.memory_limit);
+  stat("threads", config_.workers);
+  return out.str();
+}
+
+}  // namespace rmc::mc

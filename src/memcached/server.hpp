@@ -1,0 +1,128 @@
+// The memcached server.
+//
+// One ItemStore behind two interchangeable frontends, exactly as §V-A
+// describes ("maintain compatibility of the existing Memcached server to
+// work with both Sockets based clients and UCR based clients"):
+//
+//  * Socket frontend — classic memcached: libevent-style accept loop,
+//    per-connection text-protocol parsing, worker threads assigned
+//    round-robin per connection.
+//  * UCR frontend — §V-B/C: requests arrive as active messages; SET values
+//    are RDMA-read straight into their slab location; GET responses are
+//    served zero-copy out of the slab with the client's counter C as the
+//    target counter.
+//
+// Worker threads are simulated as coroutines feeding from per-worker
+// queues; their count is the runtime parameter the paper mentions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memcached/binary.hpp"
+#include "memcached/protocol.hpp"
+#include "memcached/store.hpp"
+#include "memcached/ucr_proto.hpp"
+#include "simnet/channel.hpp"
+#include "sockets/stack.hpp"
+#include "ucr/runtime.hpp"
+
+namespace rmc::mc {
+
+/// Host-side CPU costs of the memcached request path itself (transport
+/// costs live in the sockets/verbs layers).
+struct McCosts {
+  sim::Time event_dispatch_ns = 1500;     ///< libevent callback + conn state machine
+  sim::Time parse_base_ns = 700;          ///< command-line tokenize
+  double parse_ns_per_byte = 0.40;        ///< request line scanning
+  sim::Time op_base_ns = 900;             ///< hash lookup + slab bookkeeping
+  double value_copy_ns_per_byte = 0.08;   ///< item<->message copies (socket path)
+  sim::Time ucr_request_ns = 800;         ///< decode AM header + worker handoff
+  sim::Time format_base_ns = 600;         ///< response rendering
+};
+
+struct ServerConfig {
+  std::uint16_t port = 11211;
+  unsigned workers = 4;  ///< memcached -t (the paper's runtime parameter)
+  StoreConfig store{};
+  McCosts costs{};
+};
+
+class Server {
+ public:
+  Server(sim::Scheduler& sched, sim::Host& host, ServerConfig config = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// Serve the memcached text protocol on `stack` (config.port).
+  void attach_socket_frontend(sock::NetStack& stack);
+
+  /// Serve UCR active-message clients on `runtime` (config.port). Slab
+  /// pages are registered with the runtime for zero-copy RDMA.
+  void attach_ucr_frontend(ucr::Runtime& runtime);
+
+  ItemStore& store() { return store_; }
+  const ServerConfig& config() const { return config_; }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  /// Render "stats" output (STAT lines).
+  std::string render_stats() const;
+
+ private:
+  struct UcrConnState;
+
+  /// A unit of work bound for a worker thread.
+  struct Work {
+    // Socket path (text protocol).
+    proto::Request request;
+    sock::Socket* socket = nullptr;
+    // Socket path (binary protocol, auto-detected per connection).
+    bproto::Request bin_request;
+    bool is_binary = false;
+    // UCR path.
+    ucr::Endpoint* ep = nullptr;
+    ucrp::RequestHeader ucr_header{};
+    std::string key;
+    ItemHeader* prepared_item = nullptr;  ///< SET: already filled by RDMA/eager
+    bool alloc_failed = false;            ///< SET: header handler could not allocate
+    bool is_ucr = false;
+  };
+
+  sim::Task<> accept_loop(sock::NetStack& stack, sock::Listener& listener);
+  sim::Task<> connection_loop(sock::Socket& socket, std::size_t worker);
+  sim::Task<> text_loop(sock::Socket& socket, std::size_t worker,
+                        std::span<const std::byte> initial);
+  sim::Task<> binary_loop(sock::Socket& socket, std::size_t worker,
+                          std::span<const std::byte> initial);
+  sim::Task<> worker_loop(std::size_t index);
+
+  sim::Task<> process_socket(Work& work);
+  sim::Task<> process_binary(Work& work);
+  sim::Task<> process_ucr(Work& work);
+  proto::Response execute(const proto::Request& request);
+  void advance_clock();
+  void register_new_slab_pages();
+
+  /// Send a UCR response; pins `item` (may be null) until the value has
+  /// left the building.
+  void ucr_reply(ucr::Endpoint& ep, const ucrp::ResponseHeader& header,
+                 ItemHeader* pinned_item, std::uint64_t reply_counter);
+
+  sim::Scheduler* sched_;
+  sim::Host* host_;
+  ServerConfig config_;
+  ItemStore store_;
+
+  std::vector<std::unique_ptr<sim::Channel<Work>>> worker_queues_;
+  std::size_t next_worker_ = 0;  ///< round-robin connection assignment
+
+  ucr::Runtime* ucr_runtime_ = nullptr;
+  std::vector<std::unique_ptr<UcrConnState>> ucr_conns_;
+
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace rmc::mc

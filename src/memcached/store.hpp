@@ -1,0 +1,139 @@
+// The storage engine: slab allocator + hash table + per-class LRU +
+// expiration + CAS, the server side of memcached 1.4.x semantics.
+//
+// Besides the classic one-shot store(), the engine exposes a two-phase
+// allocate/commit pair for the UCR SET path (§V-B): the header handler
+// allocates the item (reserving its final slab location), UCR RDMA-reads
+// the value straight into it, and commit links it into the hash table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "memcached/hashtable.hpp"
+#include "memcached/item.hpp"
+#include "memcached/slab.hpp"
+
+namespace rmc::mc {
+
+struct StoreConfig {
+  SlabConfig slabs{};
+  std::size_t hash_power = 16;
+  bool evict_to_free = true;  ///< memcached -M disables eviction
+  std::size_t max_key_len = 250;
+};
+
+struct StoreStats {
+  std::uint64_t cmd_get = 0;
+  std::uint64_t cmd_set = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t delete_hits = 0;
+  std::uint64_t delete_misses = 0;
+  std::uint64_t incr_hits = 0;
+  std::uint64_t incr_misses = 0;
+  std::uint64_t cas_hits = 0;
+  std::uint64_t cas_misses = 0;
+  std::uint64_t cas_badval = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expired_unfetched = 0;
+  std::uint64_t total_items = 0;
+  std::uint64_t curr_items = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Storage verbs of the text protocol.
+enum class SetMode : std::uint8_t { set, add, replace, append, prepend, cas };
+
+class ItemStore {
+ public:
+  explicit ItemStore(StoreConfig config = {});
+  ItemStore(const ItemStore&) = delete;
+  ItemStore& operator=(const ItemStore&) = delete;
+
+  // ------------------------------------------------------------- clock
+  /// The cache clock in seconds; the server advances it from sim time.
+  void set_clock(std::uint32_t seconds) { now_ = seconds; }
+  std::uint32_t now() const { return now_; }
+
+  // ---------------------------------------------------------- full ops
+  /// Execute a storage command; returns the stored item, or the protocol
+  /// error (not_stored / exists / not_found / too_large / no_resources).
+  Result<ItemHeader*> store(SetMode mode, std::string_view key,
+                            std::span<const std::byte> value, std::uint32_t flags,
+                            std::uint32_t exptime, std::uint64_t cas_unique = 0);
+
+  /// Lookup; bumps LRU and handles lazy expiry. Returned pointer is valid
+  /// until the next store/evict — pin it (get_pinned) across suspension.
+  ItemHeader* get(std::string_view key);
+
+  /// Lookup and pin: refcount keeps the chunk alive while a response is in
+  /// flight (e.g. a client RDMA-reading the value). Must be release()d.
+  ItemHeader* get_pinned(std::string_view key);
+  void release(ItemHeader* item);
+
+  bool del(std::string_view key);
+
+  /// incr/decr (ASCII decimal values). decrement clamps at zero.
+  Result<std::uint64_t> arith(std::string_view key, std::uint64_t delta, bool decrement);
+
+  bool touch(std::string_view key, std::uint32_t exptime);
+
+  /// Invalidate everything stored so far (the protocol's optional delay is
+  /// implemented by the server scheduling this call).
+  void flush_all();
+
+  // ------------------------------------- two-phase path (UCR SET, §V-B)
+  /// Allocate an unlinked, pinned item whose value region is uninitialized
+  /// (the RDMA destination). flags/exptime recorded now, linked on commit.
+  Result<ItemHeader*> allocate_item(std::string_view key, std::uint32_t value_len,
+                                    std::uint32_t flags, std::uint32_t exptime);
+  /// Link a previously allocated item, replacing any existing entry, and
+  /// drop the allocation pin.
+  void commit_item(ItemHeader* item);
+  /// Free an allocated item that will not be committed.
+  void abandon_item(ItemHeader* item);
+
+  // -------------------------------------------------------------- misc
+  const StoreStats& stats() const { return stats_; }
+  const SlabAllocator& slabs() const { return slabs_; }
+  SlabAllocator& slabs() { return slabs_; }
+  std::size_t item_count() const { return table_.size(); }
+
+  /// Normalize a protocol exptime: memcached treats values greater than 30
+  /// days as absolute epoch seconds, everything else as relative.
+  std::uint32_t absolute_exptime(std::uint32_t exptime) const;
+
+ private:
+  struct LruList {
+    ItemHeader* head = nullptr;
+    ItemHeader* tail = nullptr;
+  };
+
+  static std::uint32_t hash_of(std::string_view key) { return hash_one_at_a_time(key); }
+
+  bool is_expired(const ItemHeader* item) const;
+  Result<ItemHeader*> allocate_raw(std::string_view key, std::uint32_t value_len);
+  void unlink(ItemHeader* item);
+  void free_item(ItemHeader* item);
+  void lru_insert(ItemHeader* item);
+  void lru_remove(ItemHeader* item);
+  void lru_bump(ItemHeader* item);
+  bool evict_one(std::uint8_t cls);
+  /// Lookup without stats or LRU side effects (internal).
+  ItemHeader* peek(std::string_view key);
+
+  StoreConfig config_;
+  SlabAllocator slabs_;
+  HashTable table_;
+  std::vector<LruList> lru_;
+  StoreStats stats_;
+  std::uint32_t now_ = 1;         ///< cache clock, seconds (starts at 1)
+  std::uint64_t flush_seq_ = 0;   ///< items with stored_seq < this are dead
+  std::uint64_t next_seq_ = 1;    ///< store-order sequence source
+  std::uint64_t next_cas_ = 1;
+};
+
+}  // namespace rmc::mc

@@ -1,0 +1,150 @@
+// Memcached-over-UCR message formats (§V), shared by server and client.
+//
+// One AM id for requests, one for responses. Request values (SET family)
+// travel as AM data: eager for small items, RDMA-read by the server for
+// large ones — directly into the item's final slab location. Response
+// values (GET) travel as AM data the other way: the client's header
+// handler learns the length (unknown beforehand, §V-C), names a buffer
+// from its local pool, and UCR places the value into it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rmc::mc::ucrp {
+
+inline constexpr std::uint16_t kMsgRequest = 0x6d01;
+inline constexpr std::uint16_t kMsgResponse = 0x6d02;
+
+enum class Op : std::uint8_t {
+  get,
+  gets,
+  set,
+  add,
+  replace,
+  append,
+  prepend,
+  cas,
+  del,
+  incr,
+  decr,
+  touch,
+  flush_all,
+  version,
+};
+
+inline bool is_storage(Op op) {
+  switch (op) {
+    case Op::set:
+    case Op::add:
+    case Op::replace:
+    case Op::append:
+    case Op::prepend:
+    case Op::cas:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Fixed part of a request AM header; the key follows immediately.
+struct RequestHeader {
+  Op op = Op::get;
+  std::uint16_t key_len = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t exptime = 0;
+  std::uint64_t cas = 0;
+  std::uint64_t delta = 0;         ///< incr/decr amount; flush_all delay
+  std::uint64_t req_id = 0;        ///< client-side correlation
+  std::uint64_t reply_counter = 0; ///< CounterRef at the client (counter C, §V)
+
+  static constexpr std::size_t kSize = 1 + 2 + 4 + 4 + 8 + 8 + 8 + 8;
+
+  void encode(std::byte* out) const {
+    std::size_t o = 0;
+    auto put = [&](const auto& v) {
+      std::memcpy(out + o, &v, sizeof(v));
+      o += sizeof(v);
+    };
+    put(op);
+    put(key_len);
+    put(flags);
+    put(exptime);
+    put(cas);
+    put(delta);
+    put(req_id);
+    put(reply_counter);
+  }
+  static RequestHeader decode(const std::byte* in) {
+    RequestHeader h;
+    std::size_t o = 0;
+    auto get = [&](auto& v) {
+      std::memcpy(&v, in + o, sizeof(v));
+      o += sizeof(v);
+    };
+    get(h.op);
+    get(h.key_len);
+    get(h.flags);
+    get(h.exptime);
+    get(h.cas);
+    get(h.delta);
+    get(h.req_id);
+    get(h.reply_counter);
+    return h;
+  }
+};
+
+/// Response status (a compact mirror of the text protocol's reply lines).
+enum class RStatus : std::uint8_t {
+  ok,          ///< generic success (flush_all, version)
+  stored,
+  not_stored,
+  exists,
+  not_found,
+  deleted,
+  touched,
+  number,      ///< incr/decr result in `number`
+  value,       ///< GET hit: flags/cas set, value in AM data
+  client_error,
+  server_error,
+};
+
+struct ResponseHeader {
+  RStatus status = RStatus::ok;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+  std::uint64_t number = 0;
+  std::uint64_t req_id = 0;
+
+  static constexpr std::size_t kSize = 1 + 4 + 8 + 8 + 8;
+
+  void encode(std::byte* out) const {
+    std::size_t o = 0;
+    auto put = [&](const auto& v) {
+      std::memcpy(out + o, &v, sizeof(v));
+      o += sizeof(v);
+    };
+    put(status);
+    put(flags);
+    put(cas);
+    put(number);
+    put(req_id);
+  }
+  static ResponseHeader decode(const std::byte* in) {
+    ResponseHeader h;
+    std::size_t o = 0;
+    auto get = [&](auto& v) {
+      std::memcpy(&v, in + o, sizeof(v));
+      o += sizeof(v);
+    };
+    get(h.status);
+    get(h.flags);
+    get(h.cas);
+    get(h.number);
+    get(h.req_id);
+    return h;
+  }
+};
+
+}  // namespace rmc::mc::ucrp

@@ -1,0 +1,99 @@
+// Channel<T>: an unbounded FIFO queue with awaitable receive, used as the
+// inbox of every NIC, socket, and memcached worker in the simulation.
+//
+// send() never blocks (flow control is modeled at the protocol layers, not
+// here). recv() suspends until a value arrives or the channel is closed;
+// it resolves to std::optional<T> — nullopt means closed-and-drained.
+// Multiple concurrent receivers are allowed; values are handed off to
+// waiters in FIFO order.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "simnet/scheduler.hpp"
+
+namespace rmc::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched) : sched_(&sched) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue a value; wakes one waiting receiver if any.
+  void send(T value) {
+    assert(!closed_ && "send on closed channel");
+    if (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot.emplace(std::move(value));
+      sched_->resume_at(sched_->now(), w->handle);
+      return;
+    }
+    queue_.push_back(std::move(value));
+  }
+
+  /// Close the channel: pending values can still be received; waiters and
+  /// subsequent recv() calls (once drained) get nullopt.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    while (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      sched_->resume_at(sched_->now(), w->handle);  // slot stays empty
+    }
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(queue_.front()));
+    queue_.pop_front();
+    return v;
+  }
+
+  /// Awaitable receive; see class comment.
+  auto recv() {
+    struct Awaiter : Waiter {
+      Channel& ch;
+      explicit Awaiter(Channel& c) : ch(c) {}
+      bool await_ready() {
+        if (!ch.queue_.empty()) {
+          this->slot.emplace(std::move(ch.queue_.front()));
+          ch.queue_.pop_front();
+          return true;
+        }
+        return ch.closed_;  // closed and drained -> resolve to nullopt
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        this->handle = h;
+        ch.waiters_.push_back(this);
+      }
+      std::optional<T> await_resume() { return std::move(this->slot); }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> slot;
+  };
+
+  Scheduler* sched_;
+  std::deque<T> queue_;
+  std::deque<Waiter*> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace rmc::sim

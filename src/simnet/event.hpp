@@ -1,0 +1,135 @@
+// Synchronization primitives for simulated tasks.
+//
+// Event    — one-shot broadcast flag (awaitable).
+// Counter  — monotonically increasing 64-bit value with awaitable
+//            "wait until value >= threshold, or time out". This is the
+//            exact semantic UCR's active-message counters need (§IV-C of
+//            the paper): origin/target/completion counters are Counters.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simnet/scheduler.hpp"
+#include "simnet/time.hpp"
+
+namespace rmc::sim {
+
+/// One-shot broadcast event. Once set, all current and future waiters
+/// proceed immediately.
+class Event {
+ public:
+  explicit Event(Scheduler& sched) : sched_(&sched) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sched_->resume_at(sched_->now(), h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Scheduler* sched_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Monotonic counter with threshold waits and timeouts.
+///
+/// wait_geq() resolves to true when the counter reaches the threshold and
+/// to false if the timeout elapses first. With kNoTimeout it never times
+/// out. Multiple waiters with different thresholds are supported.
+class Counter {
+ public:
+  explicit Counter(Scheduler& sched) : sched_(&sched) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  std::uint64_t value() const { return value_; }
+
+  void add(std::uint64_t n = 1) {
+    value_ += n;
+    fire_ready();
+  }
+
+  /// Awaitable threshold wait; see class comment.
+  auto wait_geq(std::uint64_t threshold, Time timeout = kNoTimeout) {
+    struct Awaiter {
+      Counter& counter;
+      std::uint64_t threshold;
+      Time timeout;
+      std::shared_ptr<WaitState> state;
+
+      bool await_ready() const noexcept { return counter.value_ >= threshold; }
+      void await_suspend(std::coroutine_handle<> h) {
+        state = std::make_shared<WaitState>();
+        state->handle = h;
+        counter.waiters_.push_back({threshold, state});
+        if (timeout != kNoTimeout) {
+          auto s = state;
+          auto* sched = counter.sched_;
+          sched->call_in(timeout, [s, sched] {
+            if (s->done) return;
+            s->done = true;
+            s->success = false;
+            sched->resume_at(sched->now(), s->handle);
+          });
+        }
+      }
+      bool await_resume() const noexcept {
+        return state == nullptr ? true : state->success;
+      }
+    };
+    return Awaiter{*this, threshold, timeout, nullptr};
+  }
+
+ private:
+  struct WaitState {
+    bool done = false;
+    bool success = false;
+    std::coroutine_handle<> handle;
+  };
+
+  struct Waiter {
+    std::uint64_t threshold;
+    std::shared_ptr<WaitState> state;
+  };
+
+  void fire_ready() {
+    // Wake every waiter whose threshold is now met; compact the list.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      auto& w = waiters_[i];
+      if (w.state->done) continue;  // timed out already; drop
+      if (value_ >= w.threshold) {
+        w.state->done = true;
+        w.state->success = true;
+        sched_->resume_at(sched_->now(), w.state->handle);
+        continue;
+      }
+      if (keep != i) waiters_[keep] = std::move(w);
+      ++keep;
+    }
+    waiters_.resize(keep);
+  }
+
+  Scheduler* sched_;
+  std::uint64_t value_ = 0;
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace rmc::sim

@@ -1,0 +1,47 @@
+#include "simnet/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmc::sim {
+
+void Fabric::transmit(PacketPtr packet) {
+  assert(packet);
+  Nic& src = nic(packet->src);
+  Nic& dst = nic(packet->dst);
+
+  src.tx_messages_++;
+  src.tx_bytes_ += packet->wire_bytes;
+
+  if (params_.drop_per_million != 0 &&
+      drop_rng_.below(1000000) < params_.drop_per_million) {
+    dst.dropped_messages_++;
+    return;  // lost in the fabric; no one is notified
+  }
+
+  const Time now = sched_->now();
+  if (packet->src == packet->dst) {
+    // Loopback: memory-to-memory through the adapter, no wire.
+    const Time delivery = now + serialization_time(packet->wire_bytes) / 2 + 100;
+    dst.rx_messages_++;
+    sched_->call_at(delivery, [&dst, p = std::move(packet)]() mutable {
+      dst.inbox.send(std::move(p));
+    });
+    return;
+  }
+
+  const Time tx_time = serialization_time(packet->wire_bytes);
+  const Time tx_start = std::max(now, src.tx_free_);
+  src.tx_free_ = tx_start + tx_time;
+
+  const Time arrival = tx_start + tx_time + params_.wire_latency;
+  const Time delivery = std::max(arrival, dst.rx_free_ + tx_time);
+  dst.rx_free_ = delivery;
+  dst.rx_messages_++;
+
+  sched_->call_at(delivery, [&dst, p = std::move(packet)]() mutable {
+    dst.inbox.send(std::move(p));
+  });
+}
+
+}  // namespace rmc::sim

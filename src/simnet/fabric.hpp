@@ -1,0 +1,153 @@
+// Hosts, NICs and the switched fabric connecting them.
+//
+// This is the *only* synthetic piece of the reproduction (see DESIGN.md §2):
+// it replaces the physical wire/switch/PCIe path of the paper's testbed with
+// an analytic timing model. Everything above it — verbs semantics, socket
+// semantics, UCR, memcached — is real code.
+//
+// Timing model per message of `wire_bytes` from NIC s to NIC d:
+//   tx_start  = max(now, s.tx_free)                  (sender serialization)
+//   tx_time   = wire_bytes / bandwidth
+//   arrival   = tx_start + tx_time + wire_latency    (cut-through fabric)
+//   delivery  = max(arrival, d.rx_free + tx_time)    (receiver link busy)
+//   d.rx_free = delivery
+// The receiver-side constraint is what congests a single memcached server's
+// HCA when 8–16 clients blast it in the Figure 6 experiment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simnet/channel.hpp"
+#include "simnet/cpu.hpp"
+#include "simnet/scheduler.hpp"
+#include "simnet/time.hpp"
+
+namespace rmc::sim {
+
+/// A compute node. Owns its CPU resource; NICs are attached by fabrics.
+class Host {
+ public:
+  Host(Scheduler& sched, std::uint32_t id, std::string name, unsigned cores)
+      : id_(id), name_(std::move(name)), cpu_(sched, cores) {}
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  CpuResource& cpu() { return cpu_; }
+
+ private:
+  std::uint32_t id_;
+  std::string name_;
+  CpuResource cpu_;
+};
+
+/// Address of a NIC within its fabric.
+using NicAddr = std::uint32_t;
+
+/// Base class for anything that crosses the wire. Concrete packet types are
+/// defined by the verbs and sockets layers; the fabric only needs size and
+/// addressing.
+struct Packet {
+  NicAddr src = 0;
+  NicAddr dst = 0;
+  std::uint64_t wire_bytes = 0;
+
+  Packet() = default;
+  Packet(NicAddr s, NicAddr d, std::uint64_t bytes) : src(s), dst(d), wire_bytes(bytes) {}
+  virtual ~Packet() = default;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Physical-layer parameters of one fabric.
+struct LinkParams {
+  /// Effective per-link bandwidth in bytes per nanosecond (== GB/s). This
+  /// is the *achievable* data rate (PCIe- and encoding-limited), not the
+  /// signalling rate on the marketing sheet.
+  double bandwidth_Bpns = 1.0;
+  /// One-way propagation + switch port-to-port latency.
+  Time wire_latency = 500;
+  /// Fixed per-message wire/DMA overhead (headers, doorbell DMA, CRC).
+  std::uint32_t per_message_overhead_bytes = 64;
+  /// Probability (per million) of silently losing a packet in the fabric.
+  /// 0 for the lossless IB/Ethernet switches of the testbed; tests raise
+  /// it to exercise the unreliable-datagram paths.
+  std::uint32_t drop_per_million = 0;
+};
+
+class Fabric;
+
+/// One port on the fabric. The owning protocol layer drains `inbox`.
+class Nic {
+ public:
+  Nic(Scheduler& sched, Fabric& fabric, NicAddr addr, Host& host)
+      : inbox(sched), fabric_(&fabric), addr_(addr), host_(&host) {}
+
+  Channel<PacketPtr> inbox;
+
+  NicAddr addr() const { return addr_; }
+  Host& host() { return *host_; }
+  Fabric& fabric() { return *fabric_; }
+
+  std::uint64_t tx_messages() const { return tx_messages_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t rx_messages() const { return rx_messages_; }
+  std::uint64_t dropped_messages() const { return dropped_messages_; }
+
+ private:
+  friend class Fabric;
+  Fabric* fabric_;
+  NicAddr addr_;
+  Host* host_;
+  Time tx_free_ = 0;
+  Time rx_free_ = 0;
+  std::uint64_t tx_messages_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_messages_ = 0;
+  std::uint64_t dropped_messages_ = 0;
+};
+
+/// A switched network: a set of NICs plus the timing model above. One
+/// Fabric instance per physical network in the testbed (the IB fabric and
+/// the 10 GigE fabric of Cluster A are distinct Fabrics).
+class Fabric {
+ public:
+  Fabric(Scheduler& sched, LinkParams params) : sched_(&sched), params_(params) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const LinkParams& params() const { return params_; }
+  Scheduler& scheduler() { return *sched_; }
+
+  /// Attach a new NIC to `host`; its address is its index in this fabric.
+  Nic& add_nic(Host& host) {
+    auto addr = static_cast<NicAddr>(nics_.size());
+    nics_.push_back(std::make_unique<Nic>(*sched_, *this, addr, host));
+    return *nics_.back();
+  }
+
+  Nic& nic(NicAddr addr) { return *nics_.at(addr); }
+  std::size_t nic_count() const { return nics_.size(); }
+
+  /// Transmit `packet` from the NIC at packet->src to packet->dst; the
+  /// packet appears in the destination inbox at the modeled delivery time.
+  /// Loopback (src == dst) bypasses the wire with a small constant cost.
+  void transmit(PacketPtr packet);
+
+  /// Time a payload of `bytes` occupies the wire (without queueing).
+  Time serialization_time(std::uint64_t bytes) const {
+    const double b = static_cast<double>(bytes + params_.per_message_overhead_bytes);
+    return static_cast<Time>(b / params_.bandwidth_Bpns);
+  }
+
+ private:
+  Scheduler* sched_;
+  LinkParams params_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  Rng drop_rng_{0xd20bb};
+};
+
+}  // namespace rmc::sim

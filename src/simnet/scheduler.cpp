@@ -1,0 +1,45 @@
+#include "simnet/scheduler.hpp"
+
+#include <cassert>
+
+namespace rmc::sim {
+
+Scheduler::~Scheduler() {
+  // Destroy roots that never finished (blocked servers, dispatch loops).
+  // The queue may still reference frames being destroyed here; it is
+  // dropped without resuming anything, so no stale handle is ever resumed.
+  for (auto& root : roots_) {
+    if (root->alive && root->handle) root->handle.destroy();
+  }
+}
+
+void Scheduler::call_at(Time t, UniqueFunction fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Entry{t, seq_++, std::move(fn)});
+}
+
+void Scheduler::spawn(Task<> task) {
+  auto handle = task.detach();
+  auto record = std::make_unique<RootRecord>();
+  record->handle = handle;
+  handle.promise().on_detached_done = &RootRecordAccess::mark_dead;
+  handle.promise().on_detached_done_arg = record.get();
+  roots_.push_back(std::move(record));
+  resume_at(now_, handle);
+}
+
+Time Scheduler::run() { return run_until(kNoTimeout); }
+
+Time Scheduler::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    // Move the entry out before popping: the callback may push new events.
+    auto entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.t;
+    ++events_processed_;
+    entry.fn();
+  }
+  return now_;
+}
+
+}  // namespace rmc::sim

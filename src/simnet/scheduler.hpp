@@ -1,0 +1,108 @@
+// The discrete-event scheduler: a virtual clock plus a min-heap of pending
+// wake-ups. Everything in the simulation — NIC packet arrivals, CPU
+// occupancy, timeouts, coroutine resumptions — is an entry in this queue.
+//
+// Determinism: entries are ordered by (time, insertion sequence), so two
+// events at the same instant fire in the order they were scheduled. No
+// wall-clock time, no OS threads.
+//
+// Lifetime: root tasks handed to spawn() are owned by the scheduler. A root
+// that finishes frees its own frame (and unregisters); roots still blocked
+// when the Scheduler is destroyed are destroyed then. Never resume a
+// scheduler's handles after it is destroyed.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "simnet/task.hpp"
+#include "simnet/time.hpp"
+#include "simnet/unique_function.hpp"
+
+namespace rmc::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  Time now() const { return now_; }
+
+  /// Enqueue a callback at absolute time `t` (must be >= now()).
+  void call_at(Time t, UniqueFunction fn);
+
+  /// Enqueue a callback `dt` nanoseconds from now.
+  void call_in(Time dt, UniqueFunction fn) { call_at(now_ + dt, std::move(fn)); }
+
+  /// Resume a coroutine at absolute time `t`.
+  void resume_at(Time t, std::coroutine_handle<> h) {
+    call_at(t, [h] { h.resume(); });
+  }
+
+  /// Start a detached root task at the current time.
+  void spawn(Task<> task);
+
+  /// Awaitable: suspend the current coroutine for `dt` nanoseconds.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Scheduler& sched;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sched.resume_at(sched.now_ + dt, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Awaitable: reschedule at the current instant, behind already-queued
+  /// same-time events (a cooperative yield).
+  auto yield() { return delay(0); }
+
+  /// Run until the event queue is empty. Returns the final virtual time.
+  Time run();
+
+  /// Run until the queue is empty or virtual time would exceed `deadline`;
+  /// events after the deadline stay queued. Returns the current time.
+  Time run_until(Time deadline);
+
+  /// Number of events processed so far (for micro-benchmarks and tests).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend struct RootRecordAccess;
+
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    UniqueFunction fn;
+    bool operator>(const Entry& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  struct RootRecord {
+    std::coroutine_handle<> handle;
+    bool alive = true;
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<RootRecord>> roots_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+/// Hook used by Task promises to unregister a finished root. Kept out of
+/// Task<> so the coroutine types stay scheduler-agnostic.
+struct RootRecordAccess {
+  static void mark_dead(void* record) {
+    static_cast<Scheduler::RootRecord*>(record)->alive = false;
+  }
+};
+
+}  // namespace rmc::sim

@@ -1,0 +1,193 @@
+// Task<T>: the coroutine type every simulated activity is written in.
+//
+// A Task is lazy: creating one does not run any code. It starts when either
+// (a) a parent coroutine `co_await`s it — the parent suspends and control
+// transfers to the child symmetrically, or (b) it is handed to
+// Scheduler::spawn(), which detaches it as a root "process" (a memcached
+// server loop, a client, a NIC dispatcher).
+//
+// Exceptions propagate across co_await like ordinary calls. A detached task
+// that exits with an exception terminates the program — in a deterministic
+// simulation that is a bug, not a runtime condition.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace rmc::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  bool detached = false;
+  // Set by Scheduler::spawn so a finished root can unregister itself
+  // before freeing its frame (kept as raw callbacks so Task<> does not
+  // depend on the Scheduler type).
+  void (*on_detached_done)(void*) = nullptr;
+  void* on_detached_done_arg = nullptr;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.detached) {
+        if (p.on_detached_done) p.on_detached_done(p.on_detached_done_arg);
+        h.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() {
+      if (this->detached) std::terminate();
+      exception = std::current_exception();
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  /// Awaiting a task starts it and resumes the awaiter when it finishes.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        return std::move(*p.value);
+      }
+    };
+    assert(handle_ && "co_await on empty Task");
+    return Awaiter{handle_};
+  }
+
+  /// Used by Scheduler::spawn — marks the frame self-owning and releases it.
+  std::coroutine_handle<promise_type> detach() {
+    assert(handle_);
+    handle_.promise().detached = true;
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+    void unhandled_exception() {
+      if (this->detached) std::terminate();
+      exception = std::current_exception();
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      void await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+      }
+    };
+    assert(handle_ && "co_await on empty Task");
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> detach() {
+    assert(handle_);
+    handle_.promise().detached = true;
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace rmc::sim

@@ -1,0 +1,19 @@
+// Simulated time.
+//
+// The simulator runs in virtual time: a 64-bit count of nanoseconds since
+// the start of the run. Nothing in the repository reads wall-clock time;
+// identical seeds give identical runs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace rmc::sim {
+
+using Time = std::uint64_t;
+
+/// Sentinel meaning "wait forever" in timeout parameters.
+inline constexpr Time kNoTimeout = ~Time{0};
+
+}  // namespace rmc::sim

@@ -1,0 +1,101 @@
+// UniqueFunction: a move-only std::function<void()> replacement.
+//
+// The scheduler's event queue stores closures that own simulation objects
+// (packets, buffers) via unique_ptr; std::function requires copyable
+// targets, so we type-erase by hand. Small closures (<= 48 bytes) are
+// stored inline to keep event dispatch allocation-free on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rmc::sim {
+
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && std::is_nothrow_move_constructible_v<Fn>) {
+      new (storage_) Fn(std::forward<F>(f));
+      vtable_ = &inline_vtable<Fn>;
+    } else {
+      new (storage_) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &heap_vtable<Fn>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+ private:
+  static constexpr std::size_t kInlineSize = 48;
+
+  struct VTable {
+    void (*invoke)(void*);
+    void (*move)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        new (dst) Fn*(*static_cast<Fn**>(src));
+        *static_cast<Fn**>(src) = nullptr;
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  void move_from(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_) {
+      vtable_->move(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (vtable_) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace rmc::sim

@@ -1,0 +1,100 @@
+// Cost models of the four byte-stream stacks in the paper's evaluation.
+//
+// The same Socket/NetStack code runs over all of them; what differs is
+// where the cycles go. The parameters encode the per-stack behaviours of
+// §II: kernel TCP pays syscalls, user<->kernel copies, per-segment
+// processing and interrupt wake-ups; a TOE offloads segmentation to the
+// adapter; SDP bypasses the kernel TCP machinery but (in the buffered-copy
+// mode the paper runs, zero-copy off per §VI-A) still copies through
+// private buffers on both sides.
+//
+// The numbers are calibrated so memcached-level results match the paper's
+// shapes (see EXPERIMENTS.md); they are in the range of 2010-era
+// measurements for these stacks.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/time.hpp"
+
+namespace rmc::sock {
+
+struct StackCosts {
+  /// Per send()/recv() call: trap + socket layer entry.
+  sim::Time syscall_ns = 1500;
+  /// User<->kernel (or user<->private-buffer) copy, charged on each side.
+  double copy_ns_per_byte = 0.30;
+  /// Kernel CPU per outgoing segment (0 when segmentation is offloaded).
+  sim::Time per_segment_tx_ns = 2000;
+  /// Kernel/driver CPU per incoming segment (softirq half).
+  sim::Time per_segment_rx_ns = 2500;
+  /// Adapter engine time per segment when segmentation is offloaded.
+  sim::Time offload_tx_engine_ns = 0;
+  /// Waking a blocked reader: interrupt + scheduler + context switch.
+  sim::Time wakeup_ns = 6000;
+  /// Maximum bytes per wire segment.
+  std::uint32_t mss = 1448;
+  /// True for TOE: tx segmentation runs on the NIC, not the host CPU.
+  bool offload_segmentation = false;
+  /// Uniform extra receive-path delay in [0, jitter_ns], drawn per segment
+  /// from a deterministic per-stack RNG. Models implementation noise (the
+  /// paper observed heavy jitter for SDP on QDR adapters, §VI-B).
+  sim::Time jitter_ns = 0;
+};
+
+/// Plain kernel TCP on 1 Gigabit Ethernet.
+inline StackCosts kernel_tcp_1ge() {
+  return StackCosts{.syscall_ns = 2200,
+                    .copy_ns_per_byte = 0.40,
+                    .per_segment_tx_ns = 2800,
+                    .per_segment_rx_ns = 3600,
+                    .offload_tx_engine_ns = 0,
+                    .wakeup_ns = 12000,
+                    .mss = 1448,
+                    .offload_segmentation = false};
+}
+
+/// Kernel TCP over IPoIB connected mode (§II-A2): same kernel path as
+/// Ethernet TCP, bigger MTU (IPoIB-CM allows 65520), but heavier per-byte
+/// cost — the IPoIB driver adds another copy/translation layer.
+inline StackCosts kernel_tcp_ipoib() {
+  return StackCosts{.syscall_ns = 2400,
+                    .copy_ns_per_byte = 1.05,
+                    .per_segment_tx_ns = 7000,
+                    .per_segment_rx_ns = 8000,
+                    .offload_tx_engine_ns = 0,
+                    .wakeup_ns = 17000,
+                    .mss = 16384,
+                    .offload_segmentation = false};
+}
+
+/// Sockets Direct Protocol in buffered-copy mode (§II-A3, zero-copy off
+/// per §VI-A): OS-bypass for the transport, but data still staged through
+/// 8 KB private buffers with a copy on each side, and completions are
+/// event-driven.
+inline StackCosts sdp_ib() {
+  return StackCosts{.syscall_ns = 2000,
+                    .copy_ns_per_byte = 0.90,
+                    .per_segment_tx_ns = 4000,
+                    .per_segment_rx_ns = 4500,
+                    .offload_tx_engine_ns = 0,
+                    .wakeup_ns = 20000,
+                    .mss = 8192,
+                    .offload_segmentation = false};
+}
+
+/// Chelsio T320 TCP Offload Engine on 10 GigE (§II-B): full socket
+/// semantics, segmentation and TCP processing in hardware; the host still
+/// pays syscalls, one copy each way, and interrupt wake-ups.
+inline StackCosts toe_10ge() {
+  return StackCosts{.syscall_ns = 2200,
+                    .copy_ns_per_byte = 1.00,
+                    .per_segment_tx_ns = 0,
+                    .per_segment_rx_ns = 5200,
+                    .offload_tx_engine_ns = 600,
+                    .wakeup_ns = 19500,
+                    .mss = 1448,
+                    .offload_segmentation = true};
+}
+
+}  // namespace rmc::sock

@@ -1,0 +1,33 @@
+// Wire format of the byte-stream stacks (internal).
+//
+// One Segment == one wire packet on the Ethernet or IB fabric. Connection
+// demultiplexing uses per-stack socket ids exchanged during the handshake
+// (a simplified port/sequence machinery — reliability and ordering come
+// from the fabric model, which preserves per-path FIFO like a single
+// switched L2 does).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+
+namespace rmc::sock::wire {
+
+enum class Kind : std::uint8_t {
+  syn,      ///< connect request: carries listen port + client socket id
+  syn_ack,  ///< accept: carries server socket id
+  rst,      ///< connection refused
+  data,     ///< payload segment
+  fin,      ///< orderly shutdown
+};
+
+struct Segment final : sim::Packet {
+  Kind kind = Kind::data;
+  std::uint16_t port = 0;        ///< syn: destination listen port
+  std::uint32_t src_sock = 0;    ///< sender's socket id
+  std::uint32_t dst_sock = 0;    ///< receiver's socket id (0 during syn)
+  std::vector<std::byte> payload;
+};
+
+}  // namespace rmc::sock::wire

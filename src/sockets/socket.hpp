@@ -1,0 +1,76 @@
+// Byte-stream socket over the simulated fabric.
+//
+// The semantics the paper contrasts with RDMA (§I): data is a stream, so
+// the memcached protocol layer must frame and parse it; every send/recv is
+// a syscall with a user<->kernel copy; the receive path wakes through an
+// interrupt. Blocking semantics with TCP_NODELAY behaviour (segments go
+// out immediately; we do not model Nagle because the paper's client sets
+// MEMCACHED_BEHAVIOR_TCP_NODELAY).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simnet/event.hpp"
+#include "simnet/task.hpp"
+#include "sockets/costs.hpp"
+
+namespace rmc::sock {
+
+class NetStack;
+
+enum class SockState : std::uint8_t { connecting, established, closed };
+
+class Socket {
+ public:
+  Socket(NetStack& stack, std::uint32_t id);
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  std::uint32_t id() const { return id_; }
+  SockState state() const { return state_; }
+  bool peer_closed() const { return peer_closed_; }
+  /// Bytes buffered and not yet read.
+  std::size_t rx_available() const { return rx_bytes_; }
+
+  /// Send the whole buffer (blocking semantics). Resolves to the byte
+  /// count once the data is handed to the stack, or disconnected.
+  sim::Task<Result<std::size_t>> send(std::span<const std::byte> data);
+
+  /// Receive up to data.size() bytes; resolves with at least 1 byte, or 0
+  /// on orderly peer shutdown (EOF), or disconnected after close().
+  sim::Task<Result<std::size_t>> recv(std::span<std::byte> data);
+
+  /// Receive exactly data.size() bytes (loops recv); EOF mid-way is a
+  /// protocol_error, immediate EOF is disconnected.
+  sim::Task<Status> recv_exact(std::span<std::byte> data);
+
+  /// Orderly shutdown: flushes a FIN; further sends fail.
+  void close();
+
+ private:
+  friend class NetStack;
+
+  /// Stack side: buffered payload arrival.
+  void deliver(std::vector<std::byte> chunk);
+  /// Stack side: peer sent FIN.
+  void deliver_eof();
+
+  NetStack* stack_;
+  std::uint32_t id_;
+  std::uint32_t peer_nic_ = 0;
+  std::uint32_t peer_sock_ = 0;
+  SockState state_ = SockState::connecting;
+  bool peer_closed_ = false;
+
+  std::deque<std::vector<std::byte>> rx_chunks_;
+  std::size_t rx_head_offset_ = 0;  ///< consumed bytes of rx_chunks_.front()
+  std::size_t rx_bytes_ = 0;
+  sim::Counter rx_signal_;  ///< bumped on every delivery and on EOF
+  sim::Time jitter_release_ = 0;  ///< per-socket jittered-delivery clock
+};
+
+}  // namespace rmc::sock

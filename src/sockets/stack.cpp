@@ -1,0 +1,286 @@
+#include "sockets/stack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace rmc::sock {
+
+// ---------------------------------------------------------------- Socket
+
+Socket::Socket(NetStack& stack, std::uint32_t id)
+    : stack_(&stack), id_(id), rx_signal_(stack.scheduler()) {}
+
+sim::Task<Result<std::size_t>> Socket::send(std::span<const std::byte> data) {
+  if (state_ != SockState::established) co_return Errc::disconnected;
+  const StackCosts& costs = stack_->costs();
+  // Syscall entry plus the user->kernel (or user->private buffer) copy.
+  const auto copy_cost =
+      static_cast<sim::Time>(static_cast<double>(data.size()) * costs.copy_ns_per_byte);
+  co_await stack_->host().cpu().consume(costs.syscall_ns + copy_cost);
+  if (state_ != SockState::established) co_return Errc::disconnected;
+  stack_->transmit_stream(*this, data);
+  co_return data.size();
+}
+
+sim::Task<Result<std::size_t>> Socket::recv(std::span<std::byte> data) {
+  if (data.empty()) co_return std::size_t{0};
+  const StackCosts& costs = stack_->costs();
+  bool waited = false;
+  while (rx_bytes_ == 0) {
+    if (state_ == SockState::closed) co_return Errc::disconnected;
+    if (peer_closed_) co_return std::size_t{0};  // EOF
+    const std::uint64_t target = rx_signal_.value() + 1;
+    co_await rx_signal_.wait_geq(target);
+    waited = true;
+  }
+  if (waited) {
+    // The reader was blocked: pay the interrupt + context-switch wake-up.
+    co_await stack_->host().cpu().consume(costs.wakeup_ns);
+  }
+
+  const std::size_t n = std::min(data.size(), rx_bytes_);
+  const auto copy_cost =
+      static_cast<sim::Time>(static_cast<double>(n) * costs.copy_ns_per_byte);
+  co_await stack_->host().cpu().consume(costs.syscall_ns + copy_cost);
+
+  std::size_t copied = 0;
+  while (copied < n) {
+    auto& chunk = rx_chunks_.front();
+    const std::size_t avail = chunk.size() - rx_head_offset_;
+    const std::size_t take = std::min(avail, n - copied);
+    std::memcpy(data.data() + copied, chunk.data() + rx_head_offset_, take);
+    copied += take;
+    rx_head_offset_ += take;
+    if (rx_head_offset_ == chunk.size()) {
+      rx_chunks_.pop_front();
+      rx_head_offset_ = 0;
+    }
+  }
+  rx_bytes_ -= n;
+  co_return n;
+}
+
+sim::Task<Status> Socket::recv_exact(std::span<std::byte> data) {
+  std::size_t got = 0;
+  while (got < data.size()) {
+    auto r = co_await recv(data.subspan(got));
+    if (!r.ok()) co_return r.error();
+    if (*r == 0) co_return got == 0 ? Errc::disconnected : Errc::protocol_error;
+    got += *r;
+  }
+  co_return Status{};
+}
+
+void Socket::close() {
+  if (state_ == SockState::established) {
+    stack_->transmit_control(peer_nic_, wire::Kind::fin, 0, id_, peer_sock_);
+  }
+  state_ = SockState::closed;
+  rx_signal_.add();  // wake any blocked reader so it sees the closed state
+}
+
+void Socket::deliver(std::vector<std::byte> chunk) {
+  rx_bytes_ += chunk.size();
+  rx_chunks_.push_back(std::move(chunk));
+  rx_signal_.add();
+}
+
+void Socket::deliver_eof() {
+  peer_closed_ = true;
+  rx_signal_.add();
+}
+
+// --------------------------------------------------------------- NetStack
+
+NetStack::NetStack(sim::Scheduler& sched, sim::Fabric& fabric, sim::Host& host,
+                   StackCosts costs)
+    : sched_(&sched), fabric_(&fabric), host_(&host), costs_(costs) {
+  nic_ = &fabric.add_nic(host);
+  sched.spawn(dispatch());
+}
+
+Socket& NetStack::make_socket() {
+  const std::uint32_t id = next_sock_id_++;
+  auto sock = std::make_unique<Socket>(*this, id);
+  Socket& ref = *sock;
+  sockets_.emplace(id, std::move(sock));
+  return ref;
+}
+
+Listener& NetStack::listen(std::uint16_t port) {
+  auto [it, inserted] = listeners_.emplace(port, std::make_unique<Listener>(*sched_));
+  assert(inserted && "port already listening");
+  return *it->second;
+}
+
+void NetStack::stop_listen(std::uint16_t port) {
+  auto it = listeners_.find(port);
+  if (it == listeners_.end()) return;
+  it->second->pending_.close();
+  listeners_.erase(it);
+}
+
+sim::Task<Result<Socket*>> NetStack::connect(sim::NicAddr dst, std::uint16_t port,
+                                             sim::Time timeout) {
+  Socket& sock = make_socket();
+  sock.peer_nic_ = dst;
+
+  auto pending = std::make_shared<PendingConnect>();
+  pending->resolved = std::make_unique<sim::Counter>(*sched_);
+  pending_connects_.emplace(sock.id(), pending);
+
+  co_await host_->cpu().consume(costs_.syscall_ns);
+  transmit_control(dst, wire::Kind::syn, port, sock.id(), 0);
+
+  const bool ok = co_await pending->resolved->wait_geq(1, timeout);
+  pending_connects_.erase(sock.id());
+  if (!ok) {
+    pending->done = true;
+    sockets_.erase(sock.id());
+    co_return Errc::timed_out;
+  }
+  if (pending->err != Errc::ok) {
+    sockets_.erase(sock.id());
+    co_return pending->err;
+  }
+  co_return &sock;
+}
+
+void NetStack::transmit_stream(Socket& socket, std::span<const std::byte> data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t len = std::min<std::size_t>(costs_.mss, data.size() - offset);
+    auto seg = std::make_unique<wire::Segment>();
+    seg->kind = wire::Kind::data;
+    seg->src = nic_->addr();
+    seg->dst = socket.peer_nic_;
+    seg->src_sock = socket.id();
+    seg->dst_sock = socket.peer_sock_;
+    seg->payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                        data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    seg->wire_bytes = len;
+    offset += len;
+    ++segments_sent_;
+
+    // Per-segment processing: host kernel CPU, or the TOE's tx engine.
+    sim::Time ready;
+    if (costs_.offload_segmentation) {
+      tx_engine_free_ = std::max(tx_engine_free_, sched_->now()) + costs_.offload_tx_engine_ns;
+      ready = tx_engine_free_;
+    } else {
+      ready = host_->cpu().reserve(costs_.per_segment_tx_ns);
+    }
+    // Keep stream order even if CPU cores complete out of order.
+    tx_engine_free_ = std::max(tx_engine_free_, ready);
+    sched_->call_at(tx_engine_free_, [fabric = fabric_, s = std::move(seg)]() mutable {
+      fabric->transmit(std::move(s));
+    });
+  }
+}
+
+void NetStack::transmit_control(sim::NicAddr dst, wire::Kind kind, std::uint16_t port,
+                                std::uint32_t src_sock, std::uint32_t dst_sock) {
+  auto seg = std::make_unique<wire::Segment>();
+  seg->kind = kind;
+  seg->src = nic_->addr();
+  seg->dst = dst;
+  seg->port = port;
+  seg->src_sock = src_sock;
+  seg->dst_sock = dst_sock;
+  seg->wire_bytes = 60;
+  // Control segments keep FIFO with data already queued.
+  tx_engine_free_ = std::max(tx_engine_free_, sched_->now());
+  sched_->call_at(tx_engine_free_, [fabric = fabric_, s = std::move(seg)]() mutable {
+    fabric->transmit(std::move(s));
+  });
+}
+
+sim::Task<> NetStack::dispatch() {
+  while (true) {
+    auto packet = co_await nic_->inbox.recv();
+    if (!packet) co_return;
+    auto seg = std::unique_ptr<wire::Segment>(static_cast<wire::Segment*>(packet->release()));
+    ++segments_received_;
+    if (seg->kind == wire::Kind::data) {
+      co_await handle_data(std::move(seg));
+    } else {
+      handle_control(*seg);
+    }
+  }
+}
+
+sim::Task<> NetStack::handle_data(std::unique_ptr<wire::Segment> seg) {
+  // Kernel receive path: per-segment softirq processing, serialized.
+  co_await host_->cpu().consume(costs_.per_segment_rx_ns);
+  auto it = sockets_.find(seg->dst_sock);
+  if (it == sockets_.end() || it->second->state() != SockState::established) {
+    co_return;  // stray segment after close: dropped (a real stack RSTs)
+  }
+  Socket& sock = *it->second;
+  if (costs_.jitter_ns) {
+    // Implementation noise (e.g. SDP on QDR, §VI-B): a random extra delay
+    // before delivery. Pure latency — it does not occupy the CPU — and
+    // monotonic per socket so the stream never reorders.
+    const sim::Time target =
+        std::max(sched_->now() + jitter_rng_.below(costs_.jitter_ns + 1),
+                 sock.jitter_release_);
+    sock.jitter_release_ = target;
+    sched_->call_at(target, [&sock, payload = std::move(seg->payload)]() mutable {
+      if (sock.state() == SockState::established) sock.deliver(std::move(payload));
+    });
+    co_return;
+  }
+  sock.deliver(std::move(seg->payload));
+}
+
+void NetStack::handle_control(wire::Segment& seg) {
+  switch (seg.kind) {
+    case wire::Kind::syn: {
+      auto it = listeners_.find(seg.port);
+      if (it == listeners_.end()) {
+        transmit_control(seg.src, wire::Kind::rst, 0, 0, seg.src_sock);
+        return;
+      }
+      Socket& server = make_socket();
+      server.peer_nic_ = seg.src;
+      server.peer_sock_ = seg.src_sock;
+      server.state_ = SockState::established;
+      transmit_control(seg.src, wire::Kind::syn_ack, 0, server.id(), seg.src_sock);
+      it->second->pending_.send(&server);
+      return;
+    }
+    case wire::Kind::syn_ack: {
+      auto sock_it = sockets_.find(seg.dst_sock);
+      auto pend_it = pending_connects_.find(seg.dst_sock);
+      if (sock_it == sockets_.end() || pend_it == pending_connects_.end()) return;
+      if (pend_it->second->done) return;
+      Socket& sock = *sock_it->second;
+      sock.peer_sock_ = seg.src_sock;
+      sock.state_ = SockState::established;
+      pend_it->second->done = true;
+      pend_it->second->resolved->add();
+      return;
+    }
+    case wire::Kind::rst: {
+      auto pend_it = pending_connects_.find(seg.dst_sock);
+      if (pend_it == pending_connects_.end() || pend_it->second->done) return;
+      pend_it->second->done = true;
+      pend_it->second->err = Errc::refused;
+      pend_it->second->resolved->add();
+      return;
+    }
+    case wire::Kind::fin: {
+      auto it = sockets_.find(seg.dst_sock);
+      if (it == sockets_.end()) return;
+      it->second->deliver_eof();
+      return;
+    }
+    case wire::Kind::data:
+      break;  // handled elsewhere
+  }
+}
+
+}  // namespace rmc::sock

@@ -1,0 +1,108 @@
+// NetStack: one protocol stack instance per (host, fabric) pair.
+//
+// Owns the NIC, the socket table, listeners, and the receive dispatch
+// loop (the "kernel" of this host for the given stack). The same class
+// models plain TCP, IPoIB, SDP and TOE — only the StackCosts and the
+// underlying Fabric differ (see costs.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "simnet/channel.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/scheduler.hpp"
+#include "simnet/task.hpp"
+#include "sockets/costs.hpp"
+#include "sockets/segment.hpp"
+#include "sockets/socket.hpp"
+
+namespace rmc::sock {
+
+class Listener {
+ public:
+  explicit Listener(sim::Scheduler& sched) : pending_(sched) {}
+
+  /// Await the next established inbound connection.
+  sim::Task<Socket*> accept() {
+    auto s = co_await pending_.recv();
+    co_return s.value_or(nullptr);
+  }
+
+  std::size_t backlog() const { return pending_.size(); }
+
+ private:
+  friend class NetStack;
+  sim::Channel<Socket*> pending_;
+};
+
+class NetStack {
+ public:
+  NetStack(sim::Scheduler& sched, sim::Fabric& fabric, sim::Host& host, StackCosts costs);
+  NetStack(const NetStack&) = delete;
+  NetStack& operator=(const NetStack&) = delete;
+
+  sim::NicAddr addr() const { return nic_->addr(); }
+  sim::Host& host() { return *host_; }
+  sim::Scheduler& scheduler() { return *sched_; }
+  const StackCosts& costs() const { return costs_; }
+
+  /// Open a listening port. The Listener lives until stop_listen.
+  Listener& listen(std::uint16_t port);
+  void stop_listen(std::uint16_t port);
+
+  /// Active connect: resolves to an established socket, or refused /
+  /// timed_out (no listener answers arrive when the peer host is down).
+  sim::Task<Result<Socket*>> connect(sim::NicAddr dst, std::uint16_t port,
+                                     sim::Time timeout = 1 * kNsPerSec);
+
+  /// Stats for tests/benches.
+  std::uint64_t segments_sent() const { return segments_sent_; }
+  std::uint64_t segments_received() const { return segments_received_; }
+
+ private:
+  friend class Socket;
+
+  /// Socket tx path: segmentation + injection (called from Socket::send
+  /// after the syscall/copy costs were charged).
+  void transmit_stream(Socket& socket, std::span<const std::byte> data);
+  void transmit_control(sim::NicAddr dst, wire::Kind kind, std::uint16_t port,
+                        std::uint32_t src_sock, std::uint32_t dst_sock);
+
+  sim::Task<> dispatch();
+  sim::Task<> handle_data(std::unique_ptr<wire::Segment> seg);
+  void handle_control(wire::Segment& seg);
+
+  Socket& make_socket();
+
+  struct PendingConnect {
+    bool done = false;
+    Errc err = Errc::ok;
+    std::unique_ptr<sim::Counter> resolved;
+  };
+
+  sim::Scheduler* sched_;
+  sim::Fabric* fabric_;
+  sim::Host* host_;
+  sim::Nic* nic_;
+  StackCosts costs_;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<Socket>> sockets_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<Listener>> listeners_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<PendingConnect>> pending_connects_;
+  std::uint32_t next_sock_id_ = 1;
+
+  /// TOE tx engine occupancy (segmentation offload).
+  sim::Time tx_engine_free_ = 0;
+
+  /// Deterministic noise source for StackCosts::jitter_ns.
+  Rng jitter_rng_{0x7e57ed};
+
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t segments_received_ = 0;
+};
+
+}  // namespace rmc::sock

@@ -1,0 +1,559 @@
+#include "ucr/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace rmc::ucr {
+
+namespace {
+
+// wr_id tagging so one send CQ can carry both staging-send and RDMA-read
+// completions.
+constexpr std::uint64_t kTagShift = 62;
+constexpr std::uint64_t kTagSend = 1ull << kTagShift;
+constexpr std::uint64_t kTagRead = 2ull << kTagShift;
+constexpr std::uint64_t kTagOneSided = 3ull << kTagShift;
+constexpr std::uint64_t kTagMask = 3ull << kTagShift;
+
+/// Byte offset of AmWire::credits within the encoded header (see encode()).
+constexpr std::size_t kCreditsOffset = 1 + 1 + 2 + 2;
+
+std::span<const std::byte> const_span(const std::vector<std::byte>& v) {
+  return {v.data(), v.size()};
+}
+
+}  // namespace
+
+Runtime::Runtime(verbs::Hca& hca, UcrConfig config) : hca_(&hca), config_(config) {
+  const auto cq_mode =
+      config_.event_driven_cq ? verbs::CqMode::event_driven : verbs::CqMode::polling;
+  send_cq_ = hca.create_cq(cq_mode);
+  recv_cq_ = hca.create_cq(cq_mode);
+
+  recv_arena_.resize(static_cast<std::size_t>(config_.recv_buffers) * config_.eager_limit);
+  recv_mr_ = &hca.reg_mr(recv_arena_);
+  for (std::uint32_t slot = 0; slot < config_.recv_buffers; ++slot) {
+    repost_recv_slot(slot);
+  }
+
+  // Staging arena sized to the credit window times a generous endpoint
+  // count; grows never — exhaustion backpressures through acquire_slot.
+  const std::uint32_t slots = config_.recv_buffers;
+  send_arena_.resize(static_cast<std::size_t>(slots) * config_.eager_limit);
+  send_mr_ = &hca.reg_mr(send_arena_);
+  free_slots_.reserve(slots);
+  for (std::uint32_t s = 0; s < slots; ++s) free_slots_.push_back(slots - 1 - s);
+
+  scheduler().spawn(recv_progress());
+  scheduler().spawn(send_progress());
+}
+
+Runtime::~Runtime() = default;
+
+CounterRef Runtime::export_counter(sim::Counter& counter) {
+  const std::uint64_t id = next_counter_id_++;
+  exported_counters_.emplace(id, &counter);
+  return CounterRef{id};
+}
+
+void Runtime::register_region(std::span<std::byte> memory) {
+  (void)find_or_register(memory);
+}
+
+verbs::MemoryRegion* Runtime::find_or_register(std::span<const std::byte> memory) {
+  const auto base = reinterpret_cast<std::uint64_t>(memory.data());
+  auto it = regions_.upper_bound(base);
+  if (it != regions_.begin()) {
+    --it;
+    if (base >= it->first && base + memory.size() <= it->first + it->second.len) {
+      return it->second.mr;
+    }
+  }
+  // Registration-cache miss: register on the fly (charges the pin cost).
+  auto mutable_span = std::span<std::byte>(const_cast<std::byte*>(memory.data()), memory.size());
+  verbs::MemoryRegion* mr = &hca_->reg_mr(mutable_span);
+  regions_[base] = Region{memory.size(), mr};
+  return mr;
+}
+
+std::uint32_t Runtime::acquire_slot() {
+  assert(!free_slots_.empty() && "send staging exhausted; raise recv_buffers");
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void Runtime::release_slot(std::uint32_t slot) { free_slots_.push_back(slot); }
+
+std::span<std::byte> Runtime::slot_span(std::uint32_t slot) {
+  return {send_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
+          config_.eager_limit};
+}
+
+void Runtime::repost_recv_slot(std::uint32_t slot) {
+  std::span<std::byte> buf{
+      recv_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
+      config_.eager_limit};
+  srq_.post({.wr_id = slot, .buffer = buf, .lkey = recv_mr_->lkey()});
+}
+
+// ------------------------------------------------------------ connection
+
+Endpoint& Runtime::adopt_qp(verbs::QueuePair& qp) {
+  auto ep = std::make_unique<Endpoint>(*this, next_ep_id_++, qp, config_.credits_per_ep);
+  Endpoint& ref = *ep;
+  ref.state_ = EpState::ready;
+  ep_by_qpn_.emplace(qp.qp_num(), &ref);
+  endpoints_.push_back(std::move(ep));
+  return ref;
+}
+
+verbs::QueuePair& Runtime::ensure_ud_qp() {
+  if (!ud_qp_) ud_qp_ = &hca_->create_ud_qp(*send_cq_, *recv_cq_, &srq_);
+  return *ud_qp_;
+}
+
+Endpoint& Runtime::adopt_ud_peer(sim::NicAddr nic, std::uint32_t qpn,
+                                 std::uint64_t peer_ep_id) {
+  auto ep = std::make_unique<Endpoint>(*this, next_ep_id_++, ensure_ud_qp(),
+                                       config_.credits_per_ep, EpType::unreliable);
+  Endpoint& ref = *ep;
+  ref.state_ = EpState::ready;
+  ref.ud_remote_nic_ = nic;
+  ref.ud_remote_qpn_ = qpn;
+  ref.ud_remote_ep_ = static_cast<std::uint32_t>(peer_ep_id);
+  ep_by_ud_id_.emplace(static_cast<std::uint32_t>(ref.id()), &ref);
+  endpoints_.push_back(std::move(ep));
+  return ref;
+}
+
+void Runtime::listen(std::uint16_t port, std::function<void(Endpoint&)> on_client) {
+  auto shared_cb = std::make_shared<std::function<void(Endpoint&)>>(std::move(on_client));
+  hca_->listen(
+      port,
+      {.make_qp = [this] { return &hca_->create_qp(*send_cq_, *recv_cq_, &srq_); },
+       .on_established =
+           [this, shared_cb](verbs::QueuePair& qp) {
+             Endpoint& ep = adopt_qp(qp);
+             if (*shared_cb) (*shared_cb)(ep);
+           },
+       .on_ud_connect =
+           [this, shared_cb](sim::NicAddr nic, std::uint32_t qpn, std::uint64_t peer_ep)
+           -> std::optional<std::pair<std::uint32_t, std::uint64_t>> {
+             Endpoint& ep = adopt_ud_peer(nic, qpn, peer_ep);
+             if (*shared_cb) (*shared_cb)(ep);
+             return std::make_pair(ensure_ud_qp().qp_num(), ep.id());
+           }});
+}
+
+sim::Task<Result<Endpoint*>> Runtime::connect(sim::NicAddr dst, std::uint16_t port,
+                                              EpType type, sim::Time timeout) {
+  if (type == EpType::unreliable) {
+    // Reserve the endpoint id first so the peer can address us from its
+    // very first datagram.
+    const std::uint64_t my_ep_id = next_ep_id_;
+    auto answer =
+        co_await hca_->connect_ud(dst, port, ensure_ud_qp().qp_num(), my_ep_id, timeout);
+    if (!answer.ok()) co_return answer.error();
+    Endpoint& ep = adopt_ud_peer(dst, answer->first, answer->second);
+    co_return &ep;
+  }
+  auto qp = co_await hca_->connect(dst, port, *send_cq_, *recv_cq_, &srq_, timeout);
+  if (!qp.ok()) co_return qp.error();
+  co_return &adopt_qp(**qp);
+}
+
+void Runtime::close(Endpoint& ep) {
+  if (ep.type_ == EpType::unreliable) {
+    // The UD QP is shared; just forget this endpoint.
+    ep.state_ = EpState::closed;
+    ep.backlog_.clear();
+    ep_by_ud_id_.erase(static_cast<std::uint32_t>(ep.id()));
+    return;
+  }
+  if (ep.state_ == EpState::ready) hca_->disconnect(*ep.qp_);
+  ep.state_ = EpState::closed;
+  ep.backlog_.clear();
+  ep_by_qpn_.erase(ep.qp_->qp_num());
+}
+
+void Runtime::fail_endpoint(Endpoint& ep) {
+  if (ep.state_ == EpState::closed) return;
+  ep.state_ = EpState::failed;
+  ep.backlog_.clear();
+}
+
+// -------------------------------------------------------- send machinery
+
+Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
+                             std::span<const std::byte> header,
+                             std::span<const std::byte> data, sim::Counter* origin_counter,
+                             CounterRef target_counter, sim::Counter* completion_counter) {
+  if (ep.state_ != EpState::ready) return Errc::disconnected;
+  if (header.size() > std::uint16_t(-1)) return Errc::invalid_argument;
+
+  const std::size_t eager_total = wire::AmWire::kSize + header.size() + data.size();
+  const bool eager = eager_total <= config_.eager_limit;
+  if (!eager && wire::AmWire::kSize + header.size() > config_.eager_limit) {
+    return Errc::invalid_argument;  // header alone must fit a buffer
+  }
+  if (ep.type_ == EpType::unreliable) {
+    // Datagram endpoints are eager-only (no RC to RDMA-read over) and
+    // bounded by the UD path MTU.
+    if (!eager || eager_total > hca_->costs().ud_mtu) return Errc::invalid_argument;
+  }
+
+  wire::AmWire am;
+  am.dst_ep = ep.ud_remote_ep_;
+  am.msg_id = msg_id;
+  am.header_len = static_cast<std::uint16_t>(header.size());
+  am.data_len = static_cast<std::uint32_t>(data.size());
+  am.target_counter = target_counter.id;
+  am.token = next_token_++;
+
+  std::vector<std::byte> packed;
+  if (eager) {
+    am.kind = wire::Kind::eager;
+    am.want_flags = completion_counter ? wire::kAckCompletion : 0;
+    packed.resize(eager_total);
+    am.encode(packed.data());
+    std::memcpy(packed.data() + wire::AmWire::kSize, header.data(), header.size());
+    if (!data.empty()) {
+      std::memcpy(packed.data() + wire::AmWire::kSize + header.size(), data.data(),
+                  data.size());
+    }
+    ++eager_sent_;
+    if (am.want_flags) {
+      pending_origin_[am.token] =
+          PendingOrigin{nullptr, completion_counter, am.want_flags};
+    }
+  } else {
+    am.kind = wire::Kind::rendezvous;
+    am.want_flags = static_cast<std::uint8_t>((origin_counter ? wire::kAckOrigin : 0) |
+                                              (completion_counter ? wire::kAckCompletion : 0));
+    verbs::MemoryRegion* mr = find_or_register(data);
+    am.rndz_addr = reinterpret_cast<std::uint64_t>(data.data());
+    am.rndz_rkey = mr->rkey();
+    packed.resize(wire::AmWire::kSize + header.size());
+    am.encode(packed.data());
+    std::memcpy(packed.data() + wire::AmWire::kSize, header.data(), header.size());
+    ++rendezvous_sent_;
+    if (am.want_flags) {
+      pending_origin_[am.token] =
+          PendingOrigin{origin_counter, completion_counter, am.want_flags};
+    }
+  }
+
+  if (ep.send_credits_ == 0) {
+    ep.backlog_.push_back({std::move(packed), !eager});
+  } else {
+    --ep.send_credits_;
+    transmit(ep, const_span(packed));
+  }
+
+  // Eager local completion: the message was staged (copied), so the
+  // caller's header and data buffers are immediately reusable (§IV-C).
+  if (eager && origin_counter) origin_counter->add();
+  return {};
+}
+
+void Runtime::transmit(Endpoint& ep, std::span<const std::byte> packed) {
+  const std::uint32_t slot = acquire_slot();
+  auto buf = slot_span(slot);
+  assert(packed.size() <= buf.size());
+  std::memcpy(buf.data(), packed.data(), packed.size());
+
+  // Piggyback owed credits.
+  const auto credits = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(ep.credits_owed_, std::uint16_t(-1)));
+  std::memcpy(buf.data() + kCreditsOffset, &credits, sizeof(credits));
+  ep.credits_owed_ -= credits;
+
+  verbs::SendWr wr{.wr_id = kTagSend | slot,
+                   .opcode = verbs::Opcode::send,
+                   .local = buf.first(packed.size()),
+                   .lkey = send_mr_->lkey()};
+  if (ep.type_ == EpType::unreliable) {
+    wr.ud_remote_nic = ep.ud_remote_nic_;
+    wr.ud_remote_qpn = ep.ud_remote_qpn_;
+  }
+  if (!ep.qp_->post_send(wr).ok()) {
+    release_slot(slot);
+    fail_endpoint(ep);
+  }
+}
+
+void Runtime::send_internal(Endpoint& ep, wire::Kind kind, std::uint64_t token,
+                            std::uint8_t ack_flags) {
+  if (ep.state_ != EpState::ready) return;
+  wire::AmWire am;
+  am.dst_ep = ep.ud_remote_ep_;
+  am.kind = kind;
+  am.token = token;
+  am.ack_flags = ack_flags;
+  std::vector<std::byte> packed(wire::AmWire::kSize);
+  am.encode(packed.data());
+  // Internal messages bypass the credit window (bounded by outstanding
+  // operations, which are themselves credit-bounded).
+  transmit(ep, const_span(packed));
+}
+
+void Runtime::flush_backlog(Endpoint& ep) {
+  while (ep.send_credits_ > 0 && !ep.backlog_.empty()) {
+    auto queued = std::move(ep.backlog_.front());
+    ep.backlog_.pop_front();
+    --ep.send_credits_;
+    transmit(ep, const_span(queued.packed));
+  }
+}
+
+void Runtime::return_credits(Endpoint& ep) {
+  ++ep.credits_owed_;
+  if (ep.credits_owed_ >= config_.credit_return_threshold) {
+    send_internal(ep, wire::Kind::credit, 0, 0);  // transmit() flushes owed
+  }
+}
+
+// ------------------------------------------------- one-sided put / get
+
+Runtime::RemoteMemory Runtime::expose_memory(std::span<std::byte> memory) {
+  verbs::MemoryRegion* mr = find_or_register(memory);
+  return RemoteMemory{reinterpret_cast<std::uint64_t>(memory.data()), mr->rkey(),
+                      static_cast<std::uint32_t>(memory.size())};
+}
+
+Status Runtime::one_sided(Endpoint& ep, verbs::Opcode opcode, std::span<std::byte> local,
+                          const RemoteMemory& window, std::uint32_t offset,
+                          sim::Counter* done) {
+  if (ep.state_ != EpState::ready) return Errc::disconnected;
+  if (ep.type_ != EpType::reliable) return Errc::invalid_argument;  // UD has no RDMA
+  if (offset > window.length || local.size() > window.length - offset) {
+    return Errc::invalid_argument;
+  }
+  verbs::MemoryRegion* mr = find_or_register(local);
+  const std::uint64_t token = next_token_++;
+  if (done) pending_one_sided_.emplace(token, done);
+  const verbs::SendWr wr{.wr_id = kTagOneSided | token,
+                         .opcode = opcode,
+                         .local = local,
+                         .lkey = mr->lkey(),
+                         .remote_addr = window.addr + offset,
+                         .rkey = window.rkey};
+  if (!ep.qp_->post_send(wr).ok()) {
+    pending_one_sided_.erase(token);
+    fail_endpoint(ep);
+    return Errc::disconnected;
+  }
+  return {};
+}
+
+Status Runtime::put(Endpoint& ep, std::span<const std::byte> src, const RemoteMemory& window,
+                    std::uint32_t offset, sim::Counter* done) {
+  return one_sided(ep, verbs::Opcode::rdma_write,
+                   {const_cast<std::byte*>(src.data()), src.size()}, window, offset, done);
+}
+
+Status Runtime::get(Endpoint& ep, std::span<std::byte> dst, const RemoteMemory& window,
+                    std::uint32_t offset, sim::Counter* done) {
+  return one_sided(ep, verbs::Opcode::rdma_read, dst, window, offset, done);
+}
+
+// ------------------------------------------------------ progress engines
+
+sim::Task<> Runtime::send_progress() {
+  while (true) {
+    auto wc = co_await send_cq_->next();
+    const std::uint64_t tag = wc.wr_id & kTagMask;
+    const std::uint64_t value = wc.wr_id & ~kTagMask;
+    if (tag == kTagSend) {
+      release_slot(static_cast<std::uint32_t>(value));
+      if (wc.status != verbs::WcStatus::success) {
+        auto it = ep_by_qpn_.find(wc.qp_num);
+        if (it != ep_by_qpn_.end()) fail_endpoint(*it->second);
+      }
+    } else if (tag == kTagRead) {
+      co_await complete_target_read(value, wc.status);
+    } else if (tag == kTagOneSided) {
+      auto it = pending_one_sided_.find(value);
+      if (it != pending_one_sided_.end()) {
+        if (wc.status == verbs::WcStatus::success) it->second->add();
+        // On error the counter stays put and the caller's timeout fires
+        // (§IV-A: corrective action is the application's call).
+        pending_one_sided_.erase(it);
+      }
+      if (wc.status != verbs::WcStatus::success) {
+        auto ep_it = ep_by_qpn_.find(wc.qp_num);
+        if (ep_it != ep_by_qpn_.end()) fail_endpoint(*ep_it->second);
+      }
+    }
+  }
+}
+
+sim::Task<> Runtime::recv_progress() {
+  while (true) {
+    auto wc = co_await recv_cq_->next();
+    const auto slot = static_cast<std::uint32_t>(wc.wr_id);
+    if (wc.status == verbs::WcStatus::success) {
+      ++messages_received_;
+      std::span<std::byte> buf{
+          recv_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
+          config_.eager_limit};
+      Endpoint* ep = nullptr;
+      if (ud_qp_ && wc.qp_num == ud_qp_->qp_num()) {
+        // Datagram: route by the endpoint id stamped into the AM header.
+        const wire::AmWire am = wire::AmWire::decode(buf.data());
+        auto it = ep_by_ud_id_.find(am.dst_ep);
+        if (it != ep_by_ud_id_.end()) ep = it->second;
+      } else {
+        auto it = ep_by_qpn_.find(wc.qp_num);
+        if (it != ep_by_qpn_.end()) ep = it->second;
+      }
+      if (ep) co_await handle_message(*ep, buf, wc.byte_len);
+    }
+    repost_recv_slot(slot);
+  }
+}
+
+sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
+                                    std::uint32_t len) {
+  assert(len >= wire::AmWire::kSize);
+  (void)len;
+  const wire::AmWire am = wire::AmWire::decode(buffer.data());
+
+  // Credits piggybacked on anything unblock our sends.
+  if (am.credits) {
+    ep.send_credits_ += am.credits;
+    flush_backlog(ep);
+  }
+
+  switch (am.kind) {
+    case wire::Kind::credit:
+      co_return;
+
+    case wire::Kind::internal_ack: {
+      auto it = pending_origin_.find(am.token);
+      if (it == pending_origin_.end()) co_return;
+      PendingOrigin& pending = it->second;
+      if ((am.ack_flags & wire::kAckOrigin) && pending.origin) pending.origin->add();
+      if ((am.ack_flags & wire::kAckCompletion) && pending.completion) {
+        pending.completion->add();
+      }
+      pending.awaiting &= static_cast<std::uint8_t>(~am.ack_flags);
+      if (pending.awaiting == 0) pending_origin_.erase(it);
+      co_return;
+    }
+
+    case wire::Kind::eager: {
+      co_await hca_->host().cpu().consume(
+          config_.am_dispatch_ns +
+          static_cast<sim::Time>(am.data_len * config_.memcpy_ns_per_byte));
+      auto handler_it = handlers_.find(am.msg_id);
+      if (handler_it == handlers_.end()) {
+        RMC_LOG_WARN("ucr: no handler for msg_id %u", am.msg_id);
+        return_credits(ep);
+        co_return;
+      }
+      const std::span<const std::byte> header{buffer.data() + wire::AmWire::kSize,
+                                              am.header_len};
+      std::span<std::byte> dest{};
+      if (handler_it->second.on_header) {
+        dest = handler_it->second.on_header(ep, header, am.data_len);
+      }
+      std::uint32_t placed = 0;
+      if (am.data_len && !dest.empty()) {
+        placed = std::min<std::uint32_t>(am.data_len, static_cast<std::uint32_t>(dest.size()));
+        std::memcpy(dest.data(), buffer.data() + wire::AmWire::kSize + am.header_len, placed);
+      }
+      if (handler_it->second.on_complete) {
+        handler_it->second.on_complete(ep, header, dest.first(placed));
+      }
+      if (am.target_counter) {
+        auto cit = exported_counters_.find(am.target_counter);
+        if (cit != exported_counters_.end()) cit->second->add();
+      }
+      if (am.want_flags & wire::kAckCompletion) {
+        send_internal(ep, wire::Kind::internal_ack, am.token, wire::kAckCompletion);
+      }
+      return_credits(ep);
+      co_return;
+    }
+
+    case wire::Kind::rendezvous: {
+      co_await hca_->host().cpu().consume(config_.am_dispatch_ns);
+      auto handler_it = handlers_.find(am.msg_id);
+      const std::span<const std::byte> header{buffer.data() + wire::AmWire::kSize,
+                                              am.header_len};
+      std::span<std::byte> dest{};
+      if (handler_it != handlers_.end() && handler_it->second.on_header) {
+        dest = handler_it->second.on_header(ep, header, am.data_len);
+      }
+      if (dest.size() < am.data_len) {
+        // Payload dropped (no handler or no buffer). The active message
+        // itself is still delivered: run the completion handler with an
+        // empty data span so the application can answer with an error,
+        // and release the origin so its counters cannot hang.
+        if (handler_it != handlers_.end() && handler_it->second.on_complete) {
+          handler_it->second.on_complete(ep, header, {});
+        }
+        if (am.target_counter) {
+          auto cit = exported_counters_.find(am.target_counter);
+          if (cit != exported_counters_.end()) cit->second->add();
+        }
+        if (am.want_flags) {
+          send_internal(ep, wire::Kind::internal_ack, am.token, am.want_flags);
+        }
+        return_credits(ep);
+        co_return;
+      }
+      // Pull the data with a one-sided read into the destination buffer.
+      verbs::MemoryRegion* mr = find_or_register(dest);
+      const std::uint64_t token = next_token_++;
+      pending_reads_[token] = PendingTargetRead{
+          &ep, std::vector<std::byte>(header.begin(), header.end()),
+          dest.first(am.data_len), am};
+      const verbs::SendWr wr{.wr_id = kTagRead | token,
+                             .opcode = verbs::Opcode::rdma_read,
+                             .local = dest.first(am.data_len),
+                             .lkey = mr->lkey(),
+                             .remote_addr = am.rndz_addr,
+                             .rkey = am.rndz_rkey};
+      if (!ep.qp_->post_send(wr).ok()) {
+        pending_reads_.erase(token);
+        fail_endpoint(ep);
+      }
+      return_credits(ep);
+      co_return;
+    }
+  }
+}
+
+sim::Task<> Runtime::complete_target_read(std::uint64_t token, verbs::WcStatus status) {
+  auto it = pending_reads_.find(token);
+  if (it == pending_reads_.end()) co_return;
+  PendingTargetRead pending = std::move(it->second);
+  pending_reads_.erase(it);
+
+  if (status != verbs::WcStatus::success) {
+    fail_endpoint(*pending.ep);
+    co_return;
+  }
+
+  co_await hca_->host().cpu().consume(config_.am_dispatch_ns);
+  auto handler_it = handlers_.find(pending.am.msg_id);
+  if (handler_it != handlers_.end() && handler_it->second.on_complete) {
+    handler_it->second.on_complete(*pending.ep, const_span(pending.header), pending.dest);
+  }
+  if (pending.am.target_counter) {
+    auto cit = exported_counters_.find(pending.am.target_counter);
+    if (cit != exported_counters_.end()) cit->second->add();
+  }
+  if (pending.am.want_flags) {
+    send_internal(*pending.ep, wire::Kind::internal_ack, pending.am.token,
+                  pending.am.want_flags);
+  }
+}
+
+}  // namespace rmc::ucr

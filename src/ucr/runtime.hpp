@@ -1,0 +1,235 @@
+// The Unified Communication Runtime (§IV) — the paper's core contribution.
+//
+// UCR exposes an active-message API over verbs:
+//
+//   send_message(ep, msg_id, header, data,
+//                origin_counter, target_counter, completion_counter)
+//
+// mirroring the paper's ucr_send_message. Messages whose wire header +
+// user header + data fit one pre-registered 8 KB buffer go *eager*: one
+// SEND, data memcpy'd out of the network buffer at the target (Fig. 2b).
+// Larger messages go *rendezvous*: the SEND carries only the header plus
+// the (addr, rkey) of the origin's data; the target's header handler names
+// a destination buffer and UCR pulls the payload with an RDMA READ
+// (Fig. 2a) — zero copies on either side.
+//
+// Counters (§IV-C): origin_counter bumps when the origin's buffers are
+// reusable (immediately for eager, on an internal ack for rendezvous);
+// target_counter is a counter *at the target*, named by a CounterRef the
+// origin learned earlier, bumped after the completion handler runs;
+// completion_counter bumps at the origin when the target's completion
+// handler has run (internal ack). NULL/invalid counters suppress the
+// corresponding internal messages, exactly as the paper specifies.
+//
+// Flow control: per-endpoint credit window over a shared receive queue
+// (SRQ), the MVAPICH-derived buffer-scalability design; senders without
+// credits queue in a backlog that drains as credits return (piggybacked on
+// reverse traffic or via explicit credit messages).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simnet/event.hpp"
+#include "simnet/task.hpp"
+#include "ucr/config.hpp"
+#include "ucr/endpoint.hpp"
+#include "ucr/wire.hpp"
+#include "verbs/hca.hpp"
+
+namespace rmc::ucr {
+
+/// A shippable reference to a counter living at another process. Obtained
+/// from Runtime::export_counter and carried inside AM headers.
+struct CounterRef {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Active-message handler pair (§IV-B).
+struct AmHandler {
+  /// Header handler: runs on arrival; identifies the destination buffer
+  /// for the data (must be at least data_len bytes; return an empty span
+  /// to drop the payload). Runs "short logic" — it is charged the
+  /// dispatch cost, so keep real work in on_complete or a worker.
+  std::function<std::span<std::byte>(Endpoint&, std::span<const std::byte> header,
+                                     std::uint32_t data_len)>
+      on_header;
+  /// Completion handler: runs once the data is in place.
+  std::function<void(Endpoint&, std::span<const std::byte> header, std::span<std::byte> data)>
+      on_complete;
+};
+
+class Runtime {
+ public:
+  Runtime(verbs::Hca& hca, UcrConfig config = {});
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  sim::Scheduler& scheduler() { return hca_->scheduler(); }
+  verbs::Hca& hca() { return *hca_; }
+  const UcrConfig& config() const { return config_; }
+  sim::NicAddr addr() const { return hca_->addr(); }
+
+  // ------------------------------------------------------------ counters
+  /// Create a counter bound to this runtime's scheduler.
+  std::unique_ptr<sim::Counter> make_counter() {
+    return std::make_unique<sim::Counter>(scheduler());
+  }
+  /// Make `counter` nameable by remote peers (for target_counter fields).
+  CounterRef export_counter(sim::Counter& counter);
+
+  // ------------------------------------------------------------ handlers
+  void register_handler(std::uint16_t msg_id, AmHandler handler) {
+    handlers_[msg_id] = std::move(handler);
+  }
+
+  // -------------------------------------------------------------- memory
+  /// Pre-register application memory so rendezvous transfers to/from it
+  /// need no on-the-fly registration (e.g. memcached slab arenas, client
+  /// value buffers).
+  void register_region(std::span<std::byte> memory);
+
+  // ---------------------------------------------------------- connection
+  /// Accept UCR clients on `port`; on_client runs once per endpoint
+  /// (reliable and unreliable alike).
+  void listen(std::uint16_t port, std::function<void(Endpoint&)> on_client);
+
+  /// Establish an endpoint with a listening runtime. Reliable endpoints
+  /// get their own RC QP; unreliable endpoints (§VII future work) share
+  /// one UD QP per runtime — eager-only, no delivery guarantee, but no
+  /// per-client connection state at the server.
+  sim::Task<Result<Endpoint*>> connect(sim::NicAddr dst, std::uint16_t port,
+                                       EpType type = EpType::reliable,
+                                       sim::Time timeout = 1 * kNsPerSec);
+
+  /// Tear one endpoint down; other endpoints are unaffected (§IV-A).
+  void close(Endpoint& ep);
+
+  // ----------------------------------------------------- active messages
+  /// The ucr_send_message call. Non-blocking: returns after handing the
+  /// message to the transport (or queueing it for credits). Counter
+  /// arguments may be null / invalid to suppress the respective updates.
+  Status send_message(Endpoint& ep, std::uint16_t msg_id, std::span<const std::byte> header,
+                      std::span<const std::byte> data, sim::Counter* origin_counter,
+                      CounterRef target_counter, sim::Counter* completion_counter);
+
+  // ------------------------------------------- one-sided put/get (§IV-B)
+  /// RemoteMemory names a window a peer may access one-sided. Obtained at
+  /// the target via expose_memory() and shipped to peers by the
+  /// application (e.g. inside an AM header) — the PGAS-style half of the
+  /// UCR API. Reliable endpoints only.
+  struct RemoteMemory {
+    std::uint64_t addr = 0;
+    std::uint32_t rkey = 0;
+    std::uint32_t length = 0;
+  };
+
+  /// Register (or look up) `memory` and return a shippable descriptor.
+  RemoteMemory expose_memory(std::span<std::byte> memory);
+
+  /// One-sided write: src -> remote window (+offset). `done` bumps when
+  /// the data is placed (remote CPU never involved).
+  Status put(Endpoint& ep, std::span<const std::byte> src, const RemoteMemory& window,
+             std::uint32_t offset, sim::Counter* done);
+
+  /// One-sided read: remote window (+offset) -> dst.
+  Status get(Endpoint& ep, std::span<std::byte> dst, const RemoteMemory& window,
+             std::uint32_t offset, sim::Counter* done);
+
+  // ---------------------------------------------------------------- stats
+  std::uint64_t eager_sent() const { return eager_sent_; }
+  std::uint64_t rendezvous_sent() const { return rendezvous_sent_; }
+  std::uint64_t messages_received() const { return messages_received_; }
+
+ private:
+  struct PendingOrigin {
+    sim::Counter* origin = nullptr;
+    sim::Counter* completion = nullptr;
+    std::uint8_t awaiting = 0;  ///< AckFlags still expected
+  };
+  struct PendingTargetRead {
+    Endpoint* ep = nullptr;
+    std::vector<std::byte> header;  ///< user header, copied out of the buffer
+    std::span<std::byte> dest;
+    wire::AmWire am;
+  };
+
+  /// Registered-memory bookkeeping (registration cache).
+  struct Region {
+    std::size_t len = 0;
+    verbs::MemoryRegion* mr = nullptr;
+  };
+
+  Endpoint& adopt_qp(verbs::QueuePair& qp);
+  Endpoint& adopt_ud_peer(sim::NicAddr nic, std::uint32_t qpn, std::uint64_t peer_ep_id);
+  verbs::QueuePair& ensure_ud_qp();
+  verbs::MemoryRegion* find_or_register(std::span<const std::byte> memory);
+
+  /// Grab a send-staging slot (index into the staging arena).
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  std::span<std::byte> slot_span(std::uint32_t slot);
+
+  /// Transmit a packed AM over the endpoint, consuming one credit and
+  /// piggybacking owed credits.
+  void transmit(Endpoint& ep, std::span<const std::byte> packed);
+  void send_internal(Endpoint& ep, wire::Kind kind, std::uint64_t token,
+                     std::uint8_t ack_flags);
+  void flush_backlog(Endpoint& ep);
+  void fail_endpoint(Endpoint& ep);
+  void return_credits(Endpoint& ep);
+
+  Status one_sided(Endpoint& ep, verbs::Opcode opcode, std::span<std::byte> local,
+                   const RemoteMemory& window, std::uint32_t offset, sim::Counter* done);
+
+  sim::Task<> recv_progress();
+  sim::Task<> send_progress();
+  sim::Task<> handle_message(Endpoint& ep, std::span<std::byte> buffer, std::uint32_t len);
+  sim::Task<> complete_target_read(std::uint64_t token, verbs::WcStatus status);
+  void repost_recv_slot(std::uint32_t slot);
+
+  verbs::Hca* hca_;
+  UcrConfig config_;
+
+  std::unique_ptr<verbs::CompletionQueue> send_cq_;
+  std::unique_ptr<verbs::CompletionQueue> recv_cq_;
+  verbs::SharedReceiveQueue srq_;
+
+  // Receive arena: recv_buffers slots of eager_limit bytes, registered.
+  std::vector<std::byte> recv_arena_;
+  verbs::MemoryRegion* recv_mr_ = nullptr;
+
+  // Send-staging arena with a freelist of slots.
+  std::vector<std::byte> send_arena_;
+  verbs::MemoryRegion* send_mr_ = nullptr;
+  std::vector<std::uint32_t> free_slots_;
+
+  std::unordered_map<std::uint16_t, AmHandler> handlers_;
+  std::unordered_map<std::uint64_t, sim::Counter*> exported_counters_;
+  std::unordered_map<std::uint32_t, Endpoint*> ep_by_qpn_;
+  std::unordered_map<std::uint32_t, Endpoint*> ep_by_ud_id_;  ///< local ep id -> UD endpoint
+  verbs::QueuePair* ud_qp_ = nullptr;  ///< one shared datagram QP (lazy)
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unordered_map<std::uint64_t, PendingOrigin> pending_origin_;
+  std::unordered_map<std::uint64_t, PendingTargetRead> pending_reads_;
+  std::unordered_map<std::uint64_t, sim::Counter*> pending_one_sided_;
+  std::map<std::uint64_t, Region> regions_;
+
+  std::uint64_t next_counter_id_ = 1;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t next_ep_id_ = 1;
+
+  std::uint64_t eager_sent_ = 0;
+  std::uint64_t rendezvous_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+};
+
+}  // namespace rmc::ucr

@@ -1,0 +1,93 @@
+// UCR active-message wire format (internal).
+//
+// Every UCR message starts with a fixed AmWire header, followed by the
+// user header and (eager only) the data. The same layout carries internal
+// acknowledgement and credit messages (§IV-C's "optional internal
+// messages").
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace rmc::ucr::wire {
+
+enum class Kind : std::uint8_t {
+  eager,         ///< header + data in one transaction (Fig. 2b)
+  rendezvous,    ///< header only; target RDMA-reads the data (Fig. 2a)
+  internal_ack,  ///< counter update back to the origin
+  credit,        ///< explicit credit return (flow control)
+};
+
+/// Flags on internal_ack saying which origin-side counters to bump, and on
+/// eager/rendezvous saying which acks the origin wants.
+enum AckFlags : std::uint8_t {
+  kAckOrigin = 1,      ///< data has been pulled; origin buffer reusable
+  kAckCompletion = 2,  ///< target completion handler has run
+};
+
+struct AmWire {
+  Kind kind = Kind::eager;
+  std::uint8_t want_flags = 0;       ///< acks requested by the origin
+  std::uint16_t msg_id = 0;          ///< header-handler selector
+  std::uint16_t header_len = 0;
+  std::uint16_t credits = 0;         ///< piggybacked credit return
+  std::uint32_t data_len = 0;
+  std::uint64_t target_counter = 0;  ///< counter ref at the target (0=none)
+  std::uint64_t token = 0;           ///< origin-side pending-op correlation
+  std::uint64_t rndz_addr = 0;       ///< rendezvous: origin data address
+  std::uint32_t rndz_rkey = 0;       ///< rendezvous: origin data rkey
+  std::uint8_t ack_flags = 0;        ///< internal_ack: which counters fired
+  std::uint32_t dst_ep = 0;          ///< UD endpoints: target endpoint id
+
+  static constexpr std::size_t kSize = 48;
+
+  void encode(std::byte* out) const {
+    std::byte buf[kSize] = {};
+    std::size_t o = 0;
+    auto put = [&](const auto& v) {
+      std::memcpy(buf + o, &v, sizeof(v));
+      o += sizeof(v);
+    };
+    put(kind);
+    put(want_flags);
+    put(msg_id);
+    put(header_len);
+    put(credits);
+    put(data_len);
+    put(target_counter);
+    put(token);
+    put(rndz_addr);
+    put(rndz_rkey);
+    put(ack_flags);
+    put(dst_ep);
+    std::memcpy(out, buf, kSize);
+  }
+
+  static AmWire decode(const std::byte* in) {
+    AmWire w;
+    std::size_t o = 0;
+    auto get = [&](auto& v) {
+      std::memcpy(&v, in + o, sizeof(v));
+      o += sizeof(v);
+    };
+    get(w.kind);
+    get(w.want_flags);
+    get(w.msg_id);
+    get(w.header_len);
+    get(w.credits);
+    get(w.data_len);
+    get(w.target_counter);
+    get(w.token);
+    get(w.rndz_addr);
+    get(w.rndz_rkey);
+    get(w.ack_flags);
+    get(w.dst_ep);
+    return w;
+  }
+};
+
+static_assert(AmWire::kSize >= 1 + 1 + 2 + 2 + 2 + 4 + 8 + 8 + 8 + 4 + 1 + 4,
+              "wire header fits");
+
+}  // namespace rmc::ucr::wire

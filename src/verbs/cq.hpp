@@ -1,0 +1,63 @@
+// Completion queue.
+//
+// The HCA pushes WorkCompletions; the application drains them either by
+// polling (poll(), next() with CqMode::polling — the paper's low-latency
+// choice) or in event-driven mode, where every wake-up pays the interrupt
+// and context-switch cost like ibv_req_notify_cq + epoll would.
+#pragma once
+
+#include <optional>
+
+#include "simnet/channel.hpp"
+#include "simnet/cpu.hpp"
+#include "simnet/scheduler.hpp"
+#include "simnet/task.hpp"
+#include "verbs/types.hpp"
+
+namespace rmc::verbs {
+
+class CompletionQueue {
+ public:
+  CompletionQueue(sim::Scheduler& sched, sim::CpuResource& cpu, CqMode mode,
+                  const VerbsCosts& costs)
+      : sched_(&sched), cpu_(&cpu), mode_(mode), costs_(costs), entries_(sched) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  CqMode mode() const { return mode_; }
+
+  /// Non-blocking poll; charges the per-completion poll cost on a hit.
+  std::optional<WorkCompletion> poll() {
+    auto wc = entries_.try_recv();
+    if (wc) cpu_->reserve(costs_.poll_cq_ns);
+    return wc;
+  }
+
+  /// Await the next completion. In polling mode the waiter wakes the
+  /// instant the completion is generated (busy-poll, burning a core is not
+  /// modeled as added latency); in event mode the interrupt cost is added.
+  sim::Task<WorkCompletion> next() {
+    auto wc = co_await entries_.recv();
+    // The channel is never closed while the CQ lives.
+    if (mode_ == CqMode::event_driven) {
+      co_await sched_->delay(costs_.interrupt_ns);
+    }
+    cpu_->reserve(costs_.poll_cq_ns);
+    co_return *wc;
+  }
+
+  /// HCA side: deliver a completion.
+  void push(WorkCompletion wc) { entries_.send(wc); }
+
+  std::size_t depth() const { return entries_.size(); }
+
+ private:
+  sim::Scheduler* sched_;
+  sim::CpuResource* cpu_;
+  CqMode mode_;
+  VerbsCosts costs_;
+  sim::Channel<WorkCompletion> entries_;
+};
+
+}  // namespace rmc::verbs

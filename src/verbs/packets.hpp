@@ -1,0 +1,58 @@
+// Wire formats of the software verbs layer (internal).
+//
+// One packet == one fabric message. RC reliability is modeled with explicit
+// acknowledgement packets: a SEND or RDMA WRITE completes at the origin
+// when the ack returns, an RDMA READ when the response data lands. This
+// matches InfiniBand RC observable behaviour (and charges the wire for
+// acks, which matters at high message rates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "verbs/types.hpp"
+
+namespace rmc::verbs::wire {
+
+enum class Kind : std::uint8_t {
+  send_data,       ///< two-sided SEND payload (RC, acknowledged)
+  ud_data,         ///< unacknowledged UD datagram
+  rdma_write,      ///< one-sided write: payload + remote addr/rkey
+  rdma_read_req,   ///< one-sided read request (no payload)
+  rdma_read_resp,  ///< read response carrying the data
+  ack,             ///< RC acknowledgement (completes sends/writes)
+  cm_connect_req,  ///< connection manager: active side hello
+  cm_connect_resp, ///< connection manager: passive side reply
+  cm_disconnect,   ///< either side tearing the connection down
+};
+
+struct IbPacket final : sim::Packet {
+  Kind kind = Kind::send_data;
+  std::uint32_t src_qpn = 0;
+  std::uint32_t dst_qpn = 0;
+
+  /// Token correlating requests with their ack / response at the origin.
+  std::uint64_t token = 0;
+
+  /// send_data / rdma_write / rdma_read_resp payload (real bytes).
+  std::vector<std::byte> payload;
+
+  /// One-sided target (rdma_write, rdma_read_req).
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t length = 0;
+
+  /// Immediate data (send_data).
+  std::uint32_t imm_data = 0;
+
+  /// Ack status back-propagated to the origin's completion.
+  WcStatus status = WcStatus::success;
+
+  /// Connection management fields.
+  std::uint16_t cm_port = 0;
+  bool cm_ud = false;           ///< handshake for a UD (unreliable) endpoint
+  std::uint64_t cm_ep_id = 0;   ///< UCR endpoint id exchanged at CM time
+};
+
+}  // namespace rmc::verbs::wire

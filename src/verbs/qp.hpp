@@ -1,0 +1,110 @@
+// Queue pairs and the shared receive queue.
+//
+// A QueuePair is the RC communication endpoint of §II-A1: the application
+// posts work requests; the HCA executes them and reports completions. The
+// SharedReceiveQueue implements the SRQ scalability design the paper
+// inherits from MVAPICH ([11] Sur et al., IPDPS'06): many QPs draw receive
+// buffers from one pool instead of pre-posting per connection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/error.hpp"
+#include "verbs/cq.hpp"
+#include "verbs/types.hpp"
+
+namespace rmc::verbs {
+
+class Hca;
+
+/// Receive-buffer pool shared across QPs (ibv_srq).
+class SharedReceiveQueue {
+ public:
+  void post(const RecvWr& wr) { queue_.push_back(wr); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+
+  RecvWr take() {
+    RecvWr wr = queue_.front();
+    queue_.pop_front();
+    return wr;
+  }
+
+ private:
+  std::deque<RecvWr> queue_;
+};
+
+enum class QpState : std::uint8_t { reset, ready, error };
+
+class QueuePair {
+ public:
+  QueuePair(Hca& hca, std::uint32_t qp_num, QpType type, CompletionQueue& send_cq,
+            CompletionQueue& recv_cq, SharedReceiveQueue* srq)
+      : hca_(&hca), qp_num_(qp_num), type_(type), send_cq_(&send_cq), recv_cq_(&recv_cq),
+        srq_(srq) {
+    // UD QPs are connectionless: usable as soon as they exist.
+    if (type_ == QpType::ud) state_ = QpState::ready;
+  }
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  std::uint32_t qp_num() const { return qp_num_; }
+  QpType type() const { return type_; }
+  QpState state() const { return state_; }
+  CompletionQueue& send_cq() { return *send_cq_; }
+  CompletionQueue& recv_cq() { return *recv_cq_; }
+
+  /// Wire this QP to its peer (the modify_qp INIT->RTR->RTS dance, done
+  /// either manually in tests or by the connection manager).
+  void connect(std::uint32_t remote_nic, std::uint32_t remote_qpn) {
+    remote_nic_ = remote_nic;
+    remote_qpn_ = remote_qpn;
+    state_ = QpState::ready;
+  }
+
+  std::uint32_t remote_nic() const { return remote_nic_; }
+  std::uint32_t remote_qpn() const { return remote_qpn_; }
+
+  /// Post a send-queue WR (send / rdma_read / rdma_write). Validates local
+  /// keys synchronously (like a doorbell would fault); transfer results
+  /// arrive on send_cq.
+  Status post_send(const SendWr& wr);
+
+  /// Post a receive buffer. With an SRQ attached, recvs must be posted to
+  /// the SRQ instead (matching ibverbs, which errors ENOTSUP).
+  Status post_recv(const RecvWr& wr);
+
+  /// Move to error state: flush pending receives (the HCA flushes pending
+  /// sends). Further posts fail with disconnected.
+  void to_error();
+
+ private:
+  friend class Hca;
+
+  /// HCA side: take the next receive buffer (SRQ first if attached).
+  Result<RecvWr> take_recv() {
+    if (srq_) {
+      if (srq_->empty()) return Errc::no_resources;
+      return srq_->take();
+    }
+    if (recv_queue_.empty()) return Errc::no_resources;
+    RecvWr wr = recv_queue_.front();
+    recv_queue_.pop_front();
+    return wr;
+  }
+
+  Hca* hca_;
+  std::uint32_t qp_num_;
+  QpType type_ = QpType::rc;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  SharedReceiveQueue* srq_;
+  std::deque<RecvWr> recv_queue_;
+  QpState state_ = QpState::reset;
+  std::uint32_t remote_nic_ = 0;
+  std::uint32_t remote_qpn_ = 0;
+};
+
+}  // namespace rmc::verbs

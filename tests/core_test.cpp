@@ -1,0 +1,144 @@
+// Tests for the core façade: testbed assembly across every (cluster,
+// transport) combination, workload patterns, and the headline ordering
+// properties the paper's figures rest on.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "core/workload.hpp"
+
+namespace rmc::core {
+namespace {
+
+using namespace rmc::literals;
+
+WorkloadResult run(ClusterKind cluster, TransportKind transport, WorkloadConfig workload,
+                   unsigned clients = 1) {
+  TestBedConfig config;
+  config.cluster = cluster;
+  config.transport = transport;
+  config.num_clients = clients;
+  TestBed bed(config);
+  return run_workload(bed, workload);
+}
+
+TEST(TestBed, EveryValidCombinationServesTraffic) {
+  WorkloadConfig workload;
+  workload.ops_per_client = 20;
+  workload.pattern = OpPattern::interleaved;
+  workload.value_size = 512;
+  for (auto cluster : {ClusterKind::cluster_a, ClusterKind::cluster_b}) {
+    for (auto transport : {TransportKind::ucr_verbs, TransportKind::sdp, TransportKind::ipoib,
+                           TransportKind::toe_10ge, TransportKind::tcp_1ge}) {
+      if (!transport_available(cluster, transport)) continue;
+      auto result = run(cluster, transport, workload);
+      EXPECT_EQ(result.total_ops, 20u)
+          << cluster_name(cluster) << " / " << transport_name(transport);
+      EXPECT_GT(result.mean_latency_us(), 0.0);
+    }
+  }
+}
+
+TEST(TestBed, ClusterBRejectsTenGigE) {
+  EXPECT_FALSE(transport_available(ClusterKind::cluster_b, TransportKind::toe_10ge));
+  EXPECT_FALSE(transport_available(ClusterKind::cluster_b, TransportKind::tcp_1ge));
+  EXPECT_TRUE(transport_available(ClusterKind::cluster_b, TransportKind::sdp));
+  EXPECT_TRUE(transport_available(ClusterKind::cluster_a, TransportKind::toe_10ge));
+}
+
+TEST(TestBed, NamesAreStable) {
+  EXPECT_EQ(transport_name(TransportKind::ucr_verbs), "UCR-IB");
+  EXPECT_EQ(transport_name(TransportKind::toe_10ge), "10GigE-TOE");
+  EXPECT_EQ(pattern_name(OpPattern::pure_get), "100% Get");
+}
+
+TEST(Workload, PatternsProduceExpectedMix) {
+  WorkloadConfig workload;
+  workload.ops_per_client = 200;
+  workload.value_size = 64;
+
+  workload.pattern = OpPattern::pure_get;
+  auto r = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload);
+  EXPECT_EQ(r.get_latency.count(), 200u);
+  EXPECT_EQ(r.set_latency.count(), 0u);
+
+  workload.pattern = OpPattern::pure_set;
+  r = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload);
+  EXPECT_EQ(r.set_latency.count(), 200u);
+
+  workload.pattern = OpPattern::non_interleaved;
+  r = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload);
+  EXPECT_EQ(r.set_latency.count(), 20u);   // 10 per 100
+  EXPECT_EQ(r.get_latency.count(), 180u);
+
+  workload.pattern = OpPattern::interleaved;
+  r = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload);
+  EXPECT_EQ(r.set_latency.count(), 100u);
+  EXPECT_EQ(r.get_latency.count(), 100u);
+}
+
+TEST(Workload, MultiClientAggregatesOps) {
+  WorkloadConfig workload;
+  workload.ops_per_client = 50;
+  workload.value_size = 4;
+  auto r = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload, 4);
+  EXPECT_EQ(r.total_ops, 200u);
+  EXPECT_GT(r.tps(), 0.0);
+}
+
+TEST(Workload, DeterministicAcrossRuns) {
+  WorkloadConfig workload;
+  workload.ops_per_client = 100;
+  workload.value_size = 1024;
+  const auto a = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload);
+  const auto b = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us(), b.mean_latency_us());
+}
+
+// ------------------------------------------------- paper-shape checks ----
+
+TEST(PaperShape, UcrBeatsEverySocketTransport4K) {
+  // The core claim of Figures 3/4 at the headline 4 KB point.
+  WorkloadConfig workload;
+  workload.pattern = OpPattern::pure_get;
+  workload.value_size = 4096;
+  workload.ops_per_client = 200;
+
+  const double ucr = run(ClusterKind::cluster_a, TransportKind::ucr_verbs, workload)
+                         .mean_latency_us();
+  const double toe = run(ClusterKind::cluster_a, TransportKind::toe_10ge, workload)
+                         .mean_latency_us();
+  const double sdp = run(ClusterKind::cluster_a, TransportKind::sdp, workload)
+                         .mean_latency_us();
+  const double ipoib = run(ClusterKind::cluster_a, TransportKind::ipoib, workload)
+                           .mean_latency_us();
+
+  EXPECT_LT(ucr * 3.5, toe) << "UCR must beat TOE by ~4x";
+  EXPECT_LT(ucr * 4.0, sdp) << "UCR must beat SDP by >4x";
+  EXPECT_LT(ucr * 4.0, ipoib) << "UCR must beat IPoIB by >4x";
+}
+
+TEST(PaperShape, QdrFasterThanDdr) {
+  WorkloadConfig workload;
+  workload.pattern = OpPattern::pure_get;
+  workload.value_size = 4096;
+  workload.ops_per_client = 200;
+  const double ddr = run(ClusterKind::cluster_a, TransportKind::ucr_verbs, workload)
+                         .mean_latency_us();
+  const double qdr = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload)
+                         .mean_latency_us();
+  EXPECT_LT(qdr, ddr);
+}
+
+TEST(PaperShape, MultiClientThroughputScalesThenSaturates) {
+  WorkloadConfig workload;
+  workload.pattern = OpPattern::pure_get;
+  workload.value_size = 4;
+  workload.ops_per_client = 300;
+  const double tps1 = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload, 1).tps();
+  const double tps8 = run(ClusterKind::cluster_b, TransportKind::ucr_verbs, workload, 8).tps();
+  EXPECT_GT(tps8, tps1 * 2) << "8 clients must deliver much more aggregate TPS than 1";
+}
+
+}  // namespace
+}  // namespace rmc::core

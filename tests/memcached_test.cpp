@@ -1,0 +1,795 @@
+// End-to-end memcached tests: full client/server round trips over the UCR
+// (verbs) transport and over the byte-stream stacks, mixed-transport
+// serving, multi-server pools, and the §V zero-copy properties.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/testbed.hpp"
+#include "memcached/client.hpp"
+#include "memcached/server.hpp"
+#include "simnet/netparams.hpp"
+
+namespace rmc::mc {
+namespace {
+
+using namespace rmc::literals;
+using sim::Scheduler;
+using sim::Task;
+
+std::span<const std::byte> val(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+std::string str(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// One server host + one client host on an IB QDR fabric, with both a UCR
+/// frontend and an SDP socket frontend attached to the same server.
+struct TestBed {
+  Scheduler sched;
+  sim::Fabric ib{sched, sim::ib_qdr_link()};
+  sim::Host server_host{sched, 0, "server", 8};
+  sim::Host client_host{sched, 1, "client", 8};
+
+  verbs::Hca server_hca{sched, ib, server_host};
+  verbs::Hca client_hca{sched, ib, client_host};
+  ucr::Runtime server_ucr{server_hca};
+  ucr::Runtime client_ucr{client_hca};
+
+  sock::NetStack server_sock{sched, ib, server_host, sock::sdp_ib()};
+  sock::NetStack client_sock{sched, ib, client_host, sock::sdp_ib()};
+
+  Server server{sched, server_host, {}};
+
+  TestBed() {
+    server.attach_ucr_frontend(server_ucr);
+    server.attach_socket_frontend(server_sock);
+  }
+
+  std::unique_ptr<Client> make_ucr_client() {
+    auto client = std::make_unique<Client>(sched, client_host);
+    client->add_server_ucr(client_ucr, server_ucr.addr(), server.config().port);
+    return client;
+  }
+  std::unique_ptr<Client> make_sock_client() {
+    auto client = std::make_unique<Client>(sched, client_host);
+    client->add_server_socket(client_sock, server_sock.addr(), server.config().port);
+    return client;
+  }
+
+  /// Run a client scenario to completion.
+  void run(Task<> task) {
+    sched.spawn(std::move(task));
+    sched.run();
+  }
+};
+
+/// The full command matrix, executed against a connected client. Used for
+/// both transports so they provably behave identically.
+Task<> exercise_full_api(Client& client, bool* done) {
+  EXPECT_TRUE((co_await client.connect_all()).ok());
+
+  // set / get round trip with flags.
+  EXPECT_TRUE((co_await client.set("greeting", val("hello world"), 77)).ok());
+  auto got = co_await client.get("greeting");
+  EXPECT_TRUE(got.ok());
+  EXPECT_EQ(str(got->data), "hello world");
+  EXPECT_EQ(got->flags, 77u);
+
+  // get miss.
+  EXPECT_EQ((co_await client.get("missing")).error(), Errc::not_found);
+
+  // add semantics.
+  EXPECT_TRUE((co_await client.add("fresh", val("1"))).ok());
+  EXPECT_EQ((co_await client.add("fresh", val("2"))).error(), Errc::not_stored);
+
+  // replace semantics.
+  EXPECT_EQ((co_await client.replace("nothere", val("x"))).error(), Errc::not_stored);
+  EXPECT_TRUE((co_await client.replace("fresh", val("3"))).ok());
+
+  // append / prepend.
+  EXPECT_TRUE((co_await client.append("greeting", val("!"))).ok());
+  EXPECT_TRUE((co_await client.prepend("greeting", val(">"))).ok());
+  got = co_await client.get("greeting");
+  EXPECT_EQ(str(got->data), ">hello world!");
+
+  // gets + cas.
+  auto with_cas = co_await client.gets("fresh");
+  EXPECT_TRUE(with_cas.ok());
+  EXPECT_GT(with_cas->cas, 0u);
+  EXPECT_TRUE((co_await client.cas("fresh", val("4"), with_cas->cas)).ok());
+  EXPECT_EQ((co_await client.cas("fresh", val("5"), with_cas->cas)).error(), Errc::exists);
+
+  // incr / decr.
+  EXPECT_TRUE((co_await client.set("count", val("10"))).ok());
+  auto n = co_await client.incr("count", 7);
+  EXPECT_TRUE(n.ok());
+  EXPECT_EQ(*n, 17u);
+  n = co_await client.decr("count", 20);
+  EXPECT_EQ(*n, 0u);
+  EXPECT_EQ((co_await client.incr("missing", 1)).error(), Errc::not_found);
+
+  // delete.
+  EXPECT_TRUE((co_await client.del("count")).ok());
+  EXPECT_EQ((co_await client.del("count")).error(), Errc::not_found);
+
+  // mget with mixed hits and misses.
+  const std::vector<std::string> keys{"greeting", "absent", "fresh"};
+  auto multi = co_await client.mget(keys);
+  EXPECT_TRUE(multi.ok());
+  EXPECT_TRUE((*multi)[0].has_value());
+  EXPECT_FALSE((*multi)[1].has_value());
+  EXPECT_TRUE((*multi)[2].has_value());
+  EXPECT_EQ(str((*multi)[2]->data), "4");
+
+  // flush_all.
+  EXPECT_TRUE((co_await client.flush_all()).ok());
+  EXPECT_EQ((co_await client.get("greeting")).error(), Errc::not_found);
+
+  *done = true;
+}
+
+TEST(EndToEnd, FullApiOverUcr) {
+  TestBed bed;
+  auto client = bed.make_ucr_client();
+  bool done = false;
+  bed.run(exercise_full_api(*client, &done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, FullApiOverSockets) {
+  TestBed bed;
+  auto client = bed.make_sock_client();
+  bool done = false;
+  bed.run(exercise_full_api(*client, &done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, BothFrontendsShareOneStore) {
+  // §V-A: the same server serves Sockets and UCR clients simultaneously.
+  TestBed bed;
+  auto ucr_client = bed.make_ucr_client();
+  auto sock_client = bed.make_sock_client();
+  bool done = false;
+  bed.run([](Client& ucr, Client& sock, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await ucr.connect_all()).ok());
+    EXPECT_TRUE((co_await sock.connect_all()).ok());
+    // Write over sockets, read over UCR (and vice versa).
+    EXPECT_TRUE((co_await sock.set("via-sock", val("text-path"))).ok());
+    auto got = co_await ucr.get("via-sock");
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(str(got->data), "text-path");
+    EXPECT_TRUE((co_await ucr.set("via-ucr", val("rdma-path"))).ok());
+    auto got2 = co_await sock.get("via-ucr");
+    EXPECT_TRUE(got2.ok());
+    EXPECT_EQ(str(got2->data), "rdma-path");
+    done = true;
+  }(*ucr_client, *sock_client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, LargeValuesTakeRendezvousBothWays) {
+  // > 8 KB: SET value is RDMA-read into the slab; GET value RDMA-read by
+  // the client. Data integrity across the full path.
+  TestBed bed;
+  auto client = bed.make_ucr_client();
+  bool done = false;
+  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    Rng rng(42);
+    std::vector<std::byte> value(300_KiB);
+    for (auto& b : value) b = static_cast<std::byte>(rng() & 0xff);
+    bed.client_ucr.register_region(value);
+
+    const auto rendezvous_before = bed.client_ucr.rendezvous_sent();
+    EXPECT_TRUE((co_await client.set("big", value)).ok());
+    EXPECT_GT(bed.client_ucr.rendezvous_sent(), rendezvous_before);
+
+    auto got = co_await client.get("big");
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(got->data.size(), value.size());
+    EXPECT_TRUE(std::equal(value.begin(), value.end(), got->data.begin()));
+    // The response came back via the server's rendezvous path.
+    EXPECT_GT(bed.server_ucr.rendezvous_sent(), 0u);
+    done = true;
+  }(bed, *client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, UcrSetIsZeroCopyIntoSlab) {
+  // §V-B: for a large SET the value's final resting place is written by
+  // the RDMA read itself — the stored item IS the RDMA destination.
+  TestBed bed;
+  auto client = bed.make_ucr_client();
+  bool done = false;
+  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    std::vector<std::byte> value(64_KiB, std::byte{0x5a});
+    bed.client_ucr.register_region(value);
+    EXPECT_TRUE((co_await client.set("zerocopy", value)).ok());
+    ItemHeader* item = bed.server.store().get("zerocopy");
+    EXPECT_NE(item, nullptr);
+    EXPECT_EQ(item->value().size(), 64_KiB);
+    EXPECT_EQ(item->value()[1000], std::byte{0x5a});
+    done = true;
+  }(bed, *client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, PipelinedMgetOverUcr) {
+  TestBed bed;
+  auto client = bed.make_ucr_client();
+  bool done = false;
+  bed.run([](Client& client, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    std::vector<std::string> keys;
+    for (int i = 0; i < 32; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      keys.push_back(key);
+      EXPECT_TRUE((co_await client.set(key, val("value-" + std::to_string(i)))).ok());
+    }
+    auto result = co_await client.mget(keys);
+    EXPECT_TRUE(result.ok());
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_TRUE((*result)[i].has_value());
+      EXPECT_EQ(str((*result)[i]->data), "value-" + std::to_string(i));
+    }
+    done = true;
+  }(*client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, ExpirationVisibleThroughClient) {
+  TestBed bed;
+  auto client = bed.make_ucr_client();
+  bool done = false;
+  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    EXPECT_TRUE((co_await client.set("ttl", val("v"), 0, 2)).ok());  // 2 s TTL
+    auto got = co_await client.get("ttl");
+    EXPECT_TRUE(got.ok());
+    co_await bed.sched.delay(3_s);
+    EXPECT_EQ((co_await client.get("ttl")).error(), Errc::not_found);
+    done = true;
+  }(bed, *client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, MultiServerPoolRoutesByKeyHash) {
+  // Three servers, one client pool: keys spread across servers; each key
+  // consistently lands on the same server (§II-C).
+  Scheduler sched;
+  sim::Fabric ib{sched, sim::ib_qdr_link()};
+  sim::Host client_host{sched, 99, "client", 8};
+  verbs::Hca client_hca{sched, ib, client_host};
+  ucr::Runtime client_ucr{client_hca};
+  Client client{sched, client_host};
+
+  std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<std::unique_ptr<verbs::Hca>> hcas;
+  std::vector<std::unique_ptr<ucr::Runtime>> runtimes;
+  std::vector<std::unique_ptr<Server>> servers;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(std::make_unique<sim::Host>(sched, i, "s" + std::to_string(i), 8));
+    hcas.push_back(std::make_unique<verbs::Hca>(sched, ib, *hosts.back()));
+    runtimes.push_back(std::make_unique<ucr::Runtime>(*hcas.back()));
+    servers.push_back(std::make_unique<Server>(sched, *hosts.back(), ServerConfig{}));
+    servers.back()->attach_ucr_frontend(*runtimes.back());
+    client.add_server_ucr(client_ucr, runtimes.back()->addr(), 11211);
+  }
+
+  bool done = false;
+  sched.spawn([](Client& client, std::vector<std::unique_ptr<Server>>& servers,
+                 bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    for (int i = 0; i < 60; ++i) {
+      const std::string key = "user:" + std::to_string(i);
+      EXPECT_TRUE((co_await client.set(key, val("v" + std::to_string(i)))).ok());
+    }
+    // Every key readable; items distributed across all three stores.
+    for (int i = 0; i < 60; ++i) {
+      const std::string key = "user:" + std::to_string(i);
+      auto got = co_await client.get(key);
+      EXPECT_TRUE(got.ok());
+      EXPECT_EQ(str(got->data), "v" + std::to_string(i));
+    }
+    int populated = 0;
+    for (auto& server : servers) {
+      if (server->store().item_count() > 0) ++populated;
+    }
+    EXPECT_EQ(populated, 3);
+    done = true;
+  }(client, servers, done));
+  sched.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, ServerFailureIsIsolatedAndTimesOut) {
+  // §IV-A in action: one server of the pool dies; requests to it time
+  // out, requests to the survivor keep working.
+  Scheduler sched;
+  sim::Fabric ib{sched, sim::ib_qdr_link()};
+  sim::Host client_host{sched, 99, "client", 8};
+  verbs::Hca client_hca{sched, ib, client_host};
+  ucr::Runtime client_ucr{client_hca};
+  ClientBehavior behavior;
+  behavior.op_timeout = 200_us;
+  Client client{sched, client_host, behavior};
+
+  sim::Host h0{sched, 0, "s0", 8}, h1{sched, 1, "s1", 8};
+  verbs::Hca hca0{sched, ib, h0}, hca1{sched, ib, h1};
+  ucr::Runtime rt0{hca0}, rt1{hca1};
+  ServerConfig cfg;
+  // Server 0 with zero workers is legal-but-useless; emulate a hung server
+  // by giving it a store and workers but pausing... instead: kill it by
+  // never attaching a frontend on the request port after connect. We use
+  // a different trick: attach, connect, then make the server unresponsive
+  // by flooding its worker queue is complex — simplest honest failure is
+  // an endpoint the server never answers: attach a frontend, then close
+  // the server's endpoints at the UCR layer mid-run.
+  Server s0{sched, h0, cfg}, s1{sched, h1, cfg};
+  s0.attach_ucr_frontend(rt0);
+  s1.attach_ucr_frontend(rt1);
+  client.add_server_ucr(client_ucr, rt0.addr(), 11211);
+  client.add_server_ucr(client_ucr, rt1.addr(), 11211);
+
+  bool done = false;
+  sched.spawn([](Scheduler& sched, Client& client, ucr::Runtime& rt0, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    // Find keys for each server.
+    std::string key0, key1;
+    for (int i = 0; key0.empty() || key1.empty(); ++i) {
+      const std::string key = "k" + std::to_string(i);
+      (client.server_index(key) == 0 ? key0 : key1) = key;
+    }
+    EXPECT_TRUE((co_await client.set(key0, val("a"))).ok());
+    EXPECT_TRUE((co_await client.set(key1, val("b"))).ok());
+
+    // Server 0's runtime stops answering: unregister its request handler.
+    rt0.register_handler(ucrp::kMsgRequest, {});
+    const sim::Time before = sched.now();
+    auto dead = co_await client.get(key0);
+    EXPECT_EQ(dead.error(), Errc::timed_out);
+    EXPECT_GE(sched.now() - before, 200_us);
+
+    // Survivor unaffected.
+    auto alive = co_await client.get(key1);
+    EXPECT_TRUE(alive.ok());
+    EXPECT_EQ(str(alive->data), "b");
+    done = true;
+  }(sched, client, rt0, done));
+  sched.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, SocketClientSurvivesServerStats) {
+  // stats / version / quit over the text protocol exercise the simple
+  // reply paths end to end.
+  TestBed bed;
+  bool done = false;
+  bed.run([](TestBed& bed, bool& done) -> Task<> {
+    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+    EXPECT_TRUE(r.ok());
+    sock::Socket* s = *r;
+    const std::string cmd = "stats\r\n";
+    (void)co_await s->send(val(cmd));
+    std::vector<std::byte> buf(8192);
+    std::string text;
+    while (text.find("END\r\n") == std::string::npos) {
+      auto n = co_await s->recv(buf);
+      EXPECT_TRUE(n.ok());
+      if (!n.ok() || *n == 0) break;
+      text.append(reinterpret_cast<const char*>(buf.data()), *n);
+    }
+    EXPECT_NE(text.find("STAT cmd_get"), std::string::npos);
+    EXPECT_NE(text.find("STAT threads 4"), std::string::npos);
+    done = true;
+  }(bed, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, MemcachedOverUnreliableDatagrams) {
+  // §VII future work end to end: the same server, a client on UD
+  // endpoints. Small items work; oversized values are rejected cleanly.
+  TestBed bed;
+  ClientBehavior behavior;
+  behavior.unreliable_ucr = true;
+  behavior.op_timeout = 500_us;
+  Client client{bed.sched, bed.client_host, behavior};
+  client.add_server_ucr(bed.client_ucr, bed.server_ucr.addr(), bed.server.config().port);
+
+  bool done = false;
+  bed.run([](Client& client, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    EXPECT_TRUE((co_await client.set("udp-key", val("datagram value"))).ok());
+    auto got = co_await client.get("udp-key");
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(str(got->data), "datagram value");
+
+    EXPECT_TRUE((co_await client.del("udp-key")).ok());
+    EXPECT_EQ((co_await client.get("udp-key")).error(), Errc::not_found);
+
+    // incr/decr over datagrams.
+    EXPECT_TRUE((co_await client.set("n", val("41"))).ok());
+    auto n = co_await client.incr("n", 1);
+    EXPECT_TRUE(n.ok());
+    EXPECT_EQ(*n, 42u);
+
+    // Too big for a datagram: rejected at the client, not a hang.
+    std::vector<std::byte> big(8_KiB);
+    EXPECT_EQ((co_await client.set("big", big)).error(), Errc::invalid_argument);
+    done = true;
+  }(client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(EndToEnd, UdGetOfLargeValueFailsCleanly) {
+  // Store a big item over a reliable endpoint, then ask for it over UD:
+  // the server cannot ship it in a datagram and answers server_error
+  // instead of letting the client time out.
+  TestBed bed;
+  auto rc_client = bed.make_ucr_client();
+  ClientBehavior behavior;
+  behavior.unreliable_ucr = true;
+  behavior.op_timeout = 500_us;
+  Client ud_client{bed.sched, bed.client_host, behavior};
+  ud_client.add_server_ucr(bed.client_ucr, bed.server_ucr.addr(), bed.server.config().port);
+
+  bool done = false;
+  bed.run([](TestBed& bed, Client& rc, Client& ud, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await rc.connect_all()).ok());
+    EXPECT_TRUE((co_await ud.connect_all()).ok());
+    std::vector<std::byte> big(32_KiB, std::byte{1});
+    bed.client_ucr.register_region(big);
+    EXPECT_TRUE((co_await rc.set("big", big)).ok());
+
+    const sim::Time before = bed.sched.now();
+    auto got = co_await ud.get("big");
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.error(), Errc::no_resources);          // server_error
+    EXPECT_LT(bed.sched.now() - before, 100_us);          // no timeout wait
+    done = true;
+  }(bed, *rc_client, ud_client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Robustness, OversizedUcrSetGetsErrorNotTimeout) {
+  // A 2 MB value exceeds the 1 MB item limit: the server's header handler
+  // cannot allocate, and the client must get a prompt error (not hang
+  // until its op timeout).
+  TestBed bed;
+  auto client = bed.make_ucr_client();
+  bool done = false;
+  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    std::vector<std::byte> huge(2 * 1024 * 1024);
+    bed.client_ucr.register_region(huge);
+    const sim::Time before = bed.sched.now();
+    auto st = co_await client.set("monster", huge);
+    EXPECT_FALSE(st.ok());
+    EXPECT_LT(bed.sched.now() - before, 10_ms);  // an answer, not a timeout
+    // The connection is still healthy afterwards.
+    EXPECT_TRUE((co_await client.set("ok", val("fine"))).ok());
+    done = true;
+  }(bed, *client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Robustness, GarbageOnTextPortAnswersErrorAndCloses) {
+  TestBed bed;
+  bool done = false;
+  bed.run([](TestBed& bed, bool& done) -> Task<> {
+    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+    sock::Socket* s = *r;
+    (void)co_await s->send(val("utter nonsense command\r\n"));
+    std::vector<std::byte> buf(256);
+    auto n = co_await s->recv(buf);
+    EXPECT_TRUE(n.ok());
+    EXPECT_EQ(str(std::span<const std::byte>(buf.data(), *n)), "ERROR\r\n");
+    // Server closed the connection after the protocol error.
+    n = co_await s->recv(buf);
+    EXPECT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0u);
+    done = true;
+  }(bed, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Robustness, AbruptClientCloseMidCommandLeavesServerServing) {
+  TestBed bed;
+  auto client = bed.make_sock_client();
+  bool done = false;
+  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
+    // A rogue connection sends half a set command and vanishes.
+    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+    (void)co_await (*r)->send(val("set half-done 0 0 100\r\nonly-some-bytes"));
+    (*r)->close();
+    co_await bed.sched.delay(1_ms);
+
+    // A well-behaved client is unaffected.
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    EXPECT_TRUE((co_await client.set("fine", val("value"))).ok());
+    auto got = co_await client.get("fine");
+    EXPECT_TRUE(got.ok());
+    // The half-written key never materialized.
+    EXPECT_EQ((co_await client.get("half-done")).error(), Errc::not_found);
+    done = true;
+  }(bed, *client, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Robustness, PipelinedTextRequestsAnswerInOrder) {
+  // The text protocol allows pipelining: send many commands before reading
+  // anything. The single worker owning the connection must answer them in
+  // request order or the stream is garbage.
+  TestBed bed;
+  bool done = false;
+  bed.run([](TestBed& bed, bool& done) -> Task<> {
+    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+    sock::Socket* s = *r;
+    std::string burst;
+    for (int i = 0; i < 20; ++i) {
+      burst += "set pipe" + std::to_string(i) + " 0 0 2\r\nv" + std::to_string(i % 10) +
+               "\r\n";
+      burst += "get pipe" + std::to_string(i) + "\r\n";
+    }
+    (void)co_await s->send(val(burst));
+
+    std::string text;
+    std::vector<std::byte> buf(16 * 1024);
+    // 20x (STORED + VALUE..END) expected, in exactly this order.
+    std::string expected;
+    for (int i = 0; i < 20; ++i) {
+      expected += "STORED\r\nVALUE pipe" + std::to_string(i) + " 0 2\r\nv" +
+                  std::to_string(i % 10) + "\r\nEND\r\n";
+    }
+    while (text.size() < expected.size()) {
+      auto n = co_await s->recv(buf);
+      EXPECT_TRUE(n.ok());
+      if (!n.ok() || *n == 0) break;
+      text.append(reinterpret_cast<const char*>(buf.data()), *n);
+    }
+    EXPECT_EQ(text, expected);
+    done = true;
+  }(bed, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Robustness, ServerEvictsUnderMemoryPressureViaClient) {
+  TestBed bed;
+  ServerConfig small;
+  small.port = 11311;  // own port; handlers on the runtime are overwritten,
+                       // which is fine because only `tiny` is used below
+  small.store.slabs.memory_limit = 2 * 1024 * 1024;
+  Server tiny{bed.sched, bed.server_host, small};
+  tiny.attach_ucr_frontend(bed.server_ucr);
+  bool done = false;
+  bed.run([](TestBed& bed, Server& tiny, bool& done) -> Task<> {
+    Client client{bed.sched, bed.client_host};
+    client.add_server_ucr(bed.client_ucr, bed.server_ucr.addr(), tiny.config().port);
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    std::vector<std::byte> value(10 * 1024, std::byte{9});
+    bed.client_ucr.register_region(value);
+    for (int i = 0; i < 400; ++i) {  // 4 MB into a 2 MB cache
+      EXPECT_TRUE((co_await client.set("bulk:" + std::to_string(i), value)).ok());
+    }
+    EXPECT_GT(tiny.store().stats().evictions, 0u);
+    EXPECT_LE(tiny.store().slabs().memory_allocated(), std::size_t{2 * 1024 * 1024});
+    // Newest keys survived; a get on them works.
+    auto got = co_await client.get("bulk:399");
+    EXPECT_TRUE(got.ok());
+    done = true;
+  }(bed, tiny, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Distribution, KetamaBalancesAndMinimallyRemaps) {
+  KetamaContinuum continuum;
+  std::vector<std::string> servers;
+  for (int i = 0; i < 8; ++i) servers.push_back("mc" + std::to_string(i) + ":11211");
+  continuum.rebuild(servers);
+  EXPECT_EQ(continuum.point_count(), 8u * 160u);
+
+  // Balance: every server gets a reasonable share of 8000 keys.
+  std::vector<int> load(8, 0);
+  std::vector<std::size_t> before(8000);
+  for (int i = 0; i < 8000; ++i) {
+    before[i] = continuum.lookup("object:" + std::to_string(i));
+    load[before[i]]++;
+  }
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_GT(load[s], 8000 / 8 / 3) << "server " << s;
+    EXPECT_LT(load[s], 8000 / 8 * 3) << "server " << s;
+  }
+
+  // Minimal remapping: drop one server; only its keys (~1/8) move.
+  servers.pop_back();
+  continuum.rebuild(servers);
+  int moved = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const std::size_t now = continuum.lookup("object:" + std::to_string(i));
+    if (before[i] != 7) {
+      EXPECT_EQ(now, before[i]) << "key of a surviving server must not move";
+    } else if (now != before[i]) {
+      ++moved;
+    }
+  }
+  EXPECT_EQ(moved, load[7]);  // exactly the dead server's keys moved
+}
+
+TEST(Distribution, ClientUsesKetamaWhenConfigured) {
+  sim::Scheduler sched;
+  sim::Host host{sched, 0, "client", 8};
+  ClientBehavior behavior;
+  behavior.distribution = Distribution::ketama;
+  Client client{sched, host, behavior};
+  // Register three fake socket servers (no traffic sent).
+  sim::Fabric fabric{sched, sim::ib_qdr_link()};
+  sock::NetStack stack{sched, fabric, host, sock::sdp_ib()};
+  for (int i = 0; i < 3; ++i) client.add_server_socket(stack, 100 + i, 11211);
+
+  // Deterministic, in-range, and consistent.
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const std::size_t a = client.server_index(key);
+    EXPECT_LT(a, 3u);
+    EXPECT_EQ(a, client.server_index(key));
+  }
+  // Uses the continuum, not modulo: the two must disagree somewhere.
+  ClientBehavior mod_behavior;
+  Client mod_client{sched, host, mod_behavior};
+  for (int i = 0; i < 3; ++i) mod_client.add_server_socket(stack, 100 + i, 11211);
+  int differs = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    differs += client.server_index(key) != mod_client.server_index(key);
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(Stress, ManyConcurrentClientsConvergeToReferenceState) {
+  // 8 clients hammer one server concurrently over UCR with randomized
+  // set/get/del/incr streams on per-client key spaces; afterwards the
+  // server's visible state must equal a per-client reference model, and
+  // every in-flight read must have returned a value the model once held.
+  core::TestBedConfig config;  // reuse the core facade for the fan-out
+  config.cluster = core::ClusterKind::cluster_b;
+  config.transport = core::TransportKind::ucr_verbs;
+  config.num_clients = 8;
+  core::TestBed bed(config);
+
+  struct ClientModel {
+    std::map<std::string, std::string> kv;
+    bool ok = false;
+  };
+  std::vector<ClientModel> models(8);
+
+  for (std::size_t c = 0; c < 8; ++c) {
+    bed.scheduler().spawn([](core::TestBed& bed, std::size_t c, ClientModel& model) -> Task<> {
+      Client& client = bed.client(c);
+      EXPECT_TRUE((co_await client.connect_all()).ok());
+      Rng rng(7000 + c);
+      for (int i = 0; i < 400; ++i) {
+        const std::string key =
+            "c" + std::to_string(c) + ":k" + std::to_string(rng.below(30));
+        switch (rng.below(4)) {
+          case 0: {
+            const std::string value = rng.alnum(rng.between(1, 900));
+            EXPECT_TRUE((co_await client.set(key, val(value))).ok());
+            model.kv[key] = value;
+            break;
+          }
+          case 1: {
+            auto got = co_await client.get(key);
+            auto it = model.kv.find(key);
+            if (it == model.kv.end()) {
+              EXPECT_FALSE(got.ok()) << key;
+            } else {
+              EXPECT_TRUE(got.ok()) << key;
+              if (got.ok()) EXPECT_EQ(str(got->data), it->second);
+            }
+            break;
+          }
+          case 2: {
+            auto st = co_await client.del(key);
+            EXPECT_EQ(st.ok(), model.kv.erase(key) > 0) << key;
+            break;
+          }
+          case 3: {
+            auto st = co_await client.append(key, val("+"));
+            if (model.kv.count(key)) {
+              EXPECT_TRUE(st.ok());
+              model.kv[key] += "+";
+            } else {
+              EXPECT_EQ(st.error(), Errc::not_stored);
+            }
+            break;
+          }
+        }
+      }
+      // Final audit: every modeled key readable with exact bytes.
+      for (const auto& [key, value] : model.kv) {
+        auto got = co_await client.get(key);
+        EXPECT_TRUE(got.ok()) << key;
+        if (got.ok()) EXPECT_EQ(str(got->data), value);
+      }
+      model.ok = true;
+    }(bed, c, models[c]));
+  }
+  bed.scheduler().run();
+  std::size_t total_keys = 0;
+  for (const auto& model : models) {
+    EXPECT_TRUE(model.ok);
+    total_keys += model.kv.size();
+  }
+  EXPECT_EQ(bed.server().store().item_count(), total_keys);
+}
+
+TEST(EndToEnd, RandomizedWorkloadBothTransportsAgree) {
+  // Property test: run the same random op sequence over UCR and sockets
+  // against separate servers; both must produce identical results.
+  struct Run {
+    std::vector<std::string> log;
+  };
+  auto run_workload = [](bool use_ucr) {
+    TestBed bed;
+    auto client = use_ucr ? bed.make_ucr_client() : bed.make_sock_client();
+    auto log = std::make_unique<Run>();
+    bool done = false;
+    bed.run([](Client& client, Run& run, bool& done) -> Task<> {
+      EXPECT_TRUE((co_await client.connect_all()).ok());
+      Rng rng(1234);  // same seed for both transports
+      for (int i = 0; i < 300; ++i) {
+        const std::string key = "k" + std::to_string(rng.below(40));
+        switch (rng.below(5)) {
+          case 0: {
+            const std::string value = rng.alnum(rng.between(1, 200));
+            auto st = co_await client.set(key, val(value));
+            run.log.push_back("set:" + std::string(to_string(st.error())));
+            break;
+          }
+          case 1: {
+            auto got = co_await client.get(key);
+            run.log.push_back(got.ok() ? "get:" + str(got->data)
+                                       : "get:" + std::string(to_string(got.error())));
+            break;
+          }
+          case 2: {
+            auto st = co_await client.del(key);
+            run.log.push_back("del:" + std::string(to_string(st.error())));
+            break;
+          }
+          case 3: {
+            auto st = co_await client.add(key, val("A"));
+            run.log.push_back("add:" + std::string(to_string(st.error())));
+            break;
+          }
+          case 4: {
+            auto st = co_await client.append(key, val("+"));
+            run.log.push_back("app:" + std::string(to_string(st.error())));
+            break;
+          }
+        }
+      }
+      done = true;
+    }(*client, *log, done));
+    EXPECT_TRUE(done);
+    return std::move(log->log);
+  };
+
+  const auto ucr_log = run_workload(true);
+  const auto sock_log = run_workload(false);
+  ASSERT_EQ(ucr_log.size(), sock_log.size());
+  for (std::size_t i = 0; i < ucr_log.size(); ++i) {
+    EXPECT_EQ(ucr_log[i], sock_log[i]) << "divergence at op " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rmc::mc

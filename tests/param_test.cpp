@@ -1,0 +1,185 @@
+// Parameterized property sweeps across the whole stack: every (cluster,
+// transport, pattern) combination serves a correct workload; end-to-end
+// data integrity holds for every value size across the eager/rendezvous
+// boundary and both wire protocols; and the latency ordering UCR < TOE <
+// SDP/IPoIB holds at every size of the paper's sweep.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+#include "memcached/client.hpp"
+#include "memcached/server.hpp"
+#include "simnet/netparams.hpp"
+
+namespace rmc {
+namespace {
+
+using namespace rmc::literals;
+using core::ClusterKind;
+using core::OpPattern;
+using core::TransportKind;
+
+// ----------------------------------------- transport x pattern matrix ----
+
+using MatrixParam = std::tuple<ClusterKind, TransportKind, OpPattern>;
+
+class WorkloadMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(WorkloadMatrix, ServesCorrectMix) {
+  const auto [cluster, transport, pattern] = GetParam();
+  if (!core::transport_available(cluster, transport)) GTEST_SKIP();
+
+  core::TestBedConfig config;
+  config.cluster = cluster;
+  config.transport = transport;
+  core::TestBed bed(config);
+  core::WorkloadConfig workload;
+  workload.pattern = pattern;
+  workload.ops_per_client = 100;
+  workload.value_size = 512;
+  const auto result = core::run_workload(bed, workload);
+
+  EXPECT_EQ(result.total_ops, 100u);
+  EXPECT_GT(result.mean_latency_us(), 0.0);
+  switch (pattern) {
+    case OpPattern::pure_get:
+      EXPECT_EQ(result.get_latency.count(), 100u);
+      break;
+    case OpPattern::pure_set:
+      EXPECT_EQ(result.set_latency.count(), 100u);
+      break;
+    case OpPattern::non_interleaved:
+      EXPECT_EQ(result.set_latency.count(), 10u);
+      EXPECT_EQ(result.get_latency.count(), 90u);
+      break;
+    case OpPattern::interleaved:
+      EXPECT_EQ(result.set_latency.count(), 50u);
+      EXPECT_EQ(result.get_latency.count(), 50u);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, WorkloadMatrix,
+    ::testing::Combine(::testing::Values(ClusterKind::cluster_a, ClusterKind::cluster_b),
+                       ::testing::Values(TransportKind::ucr_verbs, TransportKind::sdp,
+                                         TransportKind::ipoib, TransportKind::toe_10ge,
+                                         TransportKind::tcp_1ge, TransportKind::ucr_roce,
+                                         TransportKind::ucr_iwarp),
+                       ::testing::Values(OpPattern::pure_get, OpPattern::pure_set,
+                                         OpPattern::non_interleaved,
+                                         OpPattern::interleaved)));
+
+// ------------------------------------------- value-size integrity sweep ----
+
+struct SizeParam {
+  std::uint32_t size;
+  bool binary;  ///< wire protocol for the socket leg
+};
+
+class ValueSizeIntegrity : public ::testing::TestWithParam<SizeParam> {};
+
+TEST_P(ValueSizeIntegrity, RoundTripsExactBytesOverUcrAndSockets) {
+  const auto param = GetParam();
+  sim::Scheduler sched;
+  sim::Fabric fabric{sched, sim::ib_qdr_link()};
+  sim::Host server_host{sched, 0, "server", 8};
+  sim::Host client_host{sched, 1, "client", 8};
+  verbs::Hca server_hca{sched, fabric, server_host};
+  verbs::Hca client_hca{sched, fabric, client_host};
+  ucr::Runtime server_ucr{server_hca};
+  ucr::Runtime client_ucr{client_hca};
+  sock::NetStack server_sock{sched, fabric, server_host, sock::sdp_ib()};
+  sock::NetStack client_sock{sched, fabric, client_host, sock::sdp_ib()};
+  mc::Server server{sched, server_host, {}};
+  server.attach_ucr_frontend(server_ucr);
+  server.attach_socket_frontend(server_sock);
+
+  mc::Client ucr_client{sched, client_host};
+  ucr_client.add_server_ucr(client_ucr, server_ucr.addr(), 11211);
+  mc::ClientBehavior sock_behavior;
+  sock_behavior.binary_protocol = param.binary;
+  mc::Client sock_client{sched, client_host, sock_behavior};
+  sock_client.add_server_socket(client_sock, server_sock.addr(), 11211);
+
+  bool done = false;
+  sched.spawn([](sim::Scheduler& sched, ucr::Runtime& client_ucr, mc::Client& ucr_client,
+                 mc::Client& sock_client, std::uint32_t size, bool& done) -> sim::Task<> {
+    (void)sched;
+    EXPECT_TRUE((co_await ucr_client.connect_all()).ok());
+    EXPECT_TRUE((co_await sock_client.connect_all()).ok());
+
+    std::vector<std::byte> payload(size);
+    Rng rng(size);
+    for (auto& b : payload) b = static_cast<std::byte>(rng() & 0xff);
+    client_ucr.register_region(payload);
+
+    // Write over UCR, read back over both transports, byte-compare.
+    EXPECT_TRUE((co_await ucr_client.set("blob", payload)).ok());
+    auto via_ucr = co_await ucr_client.get("blob");
+    auto via_sock = co_await sock_client.get("blob");
+    EXPECT_TRUE(via_ucr.ok());
+    EXPECT_TRUE(via_sock.ok());
+    if (via_ucr.ok() && via_sock.ok()) {
+      EXPECT_TRUE(std::equal(payload.begin(), payload.end(), via_ucr->data.begin()));
+      EXPECT_TRUE(std::equal(payload.begin(), payload.end(), via_sock->data.begin()));
+      EXPECT_EQ(via_ucr->data.size(), size);
+      EXPECT_EQ(via_sock->data.size(), size);
+    }
+    done = true;
+  }(sched, client_ucr, ucr_client, sock_client, param.size, done));
+  sched.run();
+  EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossEagerBoundary, ValueSizeIntegrity,
+    ::testing::Values(SizeParam{1, false}, SizeParam{100, true}, SizeParam{4096, false},
+                      // straddling the 8 KiB eager threshold (48B AM + header)
+                      SizeParam{8100, false}, SizeParam{8192, true}, SizeParam{8292, false},
+                      SizeParam{65536, true}, SizeParam{500000, false}),
+    [](const auto& info) {
+      return std::to_string(info.param.size) + (info.param.binary ? "_binary" : "_ascii");
+    });
+
+// ------------------------------------------------ ordering at every size ----
+
+class LatencyOrdering : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LatencyOrdering, UcrWinsAtEverySizeOnClusterA) {
+  const std::uint32_t size = GetParam();
+  auto latency = [&](TransportKind transport) {
+    core::TestBedConfig config;
+    config.cluster = ClusterKind::cluster_a;
+    config.transport = transport;
+    core::TestBed bed(config);
+    core::WorkloadConfig workload;
+    workload.pattern = OpPattern::pure_get;
+    workload.value_size = size;
+    workload.ops_per_client = 60;
+    return core::run_workload(bed, workload).mean_latency_us();
+  };
+  const double ucr = latency(TransportKind::ucr_verbs);
+  const double toe = latency(TransportKind::toe_10ge);
+  const double sdp = latency(TransportKind::sdp);
+  const double ipoib = latency(TransportKind::ipoib);
+  // The paper's global claim: UCR wins at every size, >= ~4x vs TOE.
+  EXPECT_LT(ucr * 3.0, toe) << "size " << size;
+  EXPECT_LT(ucr, sdp) << "size " << size;
+  EXPECT_LT(ucr, ipoib) << "size " << size;
+  // And the socket ordering: TOE best below the bandwidth regime.
+  if (size <= 4096) {
+    EXPECT_LT(toe, sdp) << "size " << size;
+    EXPECT_LT(sdp, ipoib) << "size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, LatencyOrdering,
+                         ::testing::Values(1u, 64u, 1024u, 4096u, 32768u, 262144u));
+
+}  // namespace
+}  // namespace rmc

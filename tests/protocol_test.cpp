@@ -1,0 +1,347 @@
+// Tests for the memcached ASCII protocol codec: request parsing (including
+// fragmented streams and malformed input), request encoding round trips,
+// response encoding/parsing, and a randomized encode->parse property test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "memcached/protocol.hpp"
+
+namespace rmc::mc::proto {
+namespace {
+
+std::span<const std::byte> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string str(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+Request parse_one(const std::string& wire) {
+  RequestParser parser;
+  parser.feed(bytes(wire));
+  auto r = parser.next();
+  EXPECT_TRUE(r.ok());
+  if (!r.ok() || !r->has_value()) {
+    ADD_FAILURE() << "no complete request parsed from: " << wire;
+    return {};
+  }
+  return std::move(**r);
+}
+
+// ----------------------------------------------------- request parsing ----
+
+TEST(RequestParse, Get) {
+  const Request req = parse_one("get somekey\r\n");
+  EXPECT_EQ(req.command, Command::get);
+  ASSERT_EQ(req.keys.size(), 1u);
+  EXPECT_EQ(req.keys[0], "somekey");
+}
+
+TEST(RequestParse, MultiKeyGet) {
+  const Request req = parse_one("get a b c\r\n");
+  EXPECT_EQ(req.keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RequestParse, SetWithData) {
+  const Request req = parse_one("set k 42 100 5\r\nhello\r\n");
+  EXPECT_EQ(req.command, Command::set);
+  EXPECT_EQ(req.key, "k");
+  EXPECT_EQ(req.flags, 42u);
+  EXPECT_EQ(req.exptime, 100u);
+  EXPECT_EQ(str(req.data), "hello");
+  EXPECT_FALSE(req.noreply);
+}
+
+TEST(RequestParse, SetNoreply) {
+  const Request req = parse_one("set k 0 0 2 noreply\r\nhi\r\n");
+  EXPECT_TRUE(req.noreply);
+}
+
+TEST(RequestParse, CasCarriesUnique) {
+  const Request req = parse_one("cas k 0 0 2 987\r\nhi\r\n");
+  EXPECT_EQ(req.command, Command::cas);
+  EXPECT_EQ(req.cas_unique, 987u);
+}
+
+TEST(RequestParse, IncrDecr) {
+  Request req = parse_one("incr counter 5\r\n");
+  EXPECT_EQ(req.command, Command::incr);
+  EXPECT_EQ(req.key, "counter");
+  EXPECT_EQ(req.delta, 5u);
+  req = parse_one("decr counter 2\r\n");
+  EXPECT_EQ(req.command, Command::decr);
+}
+
+TEST(RequestParse, DeleteTouchFlushVersionQuit) {
+  EXPECT_EQ(parse_one("delete k\r\n").command, Command::del);
+  EXPECT_EQ(parse_one("touch k 99\r\n").exptime, 99u);
+  EXPECT_EQ(parse_one("flush_all\r\n").command, Command::flush_all);
+  EXPECT_EQ(parse_one("flush_all 10\r\n").exptime, 10u);
+  EXPECT_EQ(parse_one("version\r\n").command, Command::version);
+  EXPECT_EQ(parse_one("quit\r\n").command, Command::quit);
+  EXPECT_EQ(parse_one("stats\r\n").command, Command::stats);
+}
+
+TEST(RequestParse, FragmentedStreamReassembles) {
+  // Feed a set command one byte at a time: the parser must wait patiently.
+  const std::string wire = "set frag 1 2 10\r\n0123456789\r\n";
+  RequestParser parser;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    parser.feed(bytes(wire.substr(i, 1)));
+    auto r = parser.next();
+    ASSERT_TRUE(r.ok());
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(r->has_value()) << "completed early at byte " << i;
+    } else {
+      ASSERT_TRUE(r->has_value());
+      EXPECT_EQ(str((*r)->data), "0123456789");
+    }
+  }
+}
+
+TEST(RequestParse, PipelinedRequests) {
+  RequestParser parser;
+  parser.feed(bytes("get a\r\nset b 0 0 1\r\nx\r\nget c\r\n"));
+  auto r1 = parser.next();
+  auto r2 = parser.next();
+  auto r3 = parser.next();
+  auto r4 = parser.next();
+  ASSERT_TRUE(r1.ok() && r1->has_value());
+  ASSERT_TRUE(r2.ok() && r2->has_value());
+  ASSERT_TRUE(r3.ok() && r3->has_value());
+  EXPECT_EQ((*r1)->keys[0], "a");
+  EXPECT_EQ((*r2)->key, "b");
+  EXPECT_EQ((*r3)->keys[0], "c");
+  EXPECT_TRUE(r4.ok());
+  EXPECT_FALSE(r4->has_value());
+}
+
+TEST(RequestParse, DataMayContainCrlf) {
+  // The byte-count framing means binary data with \r\n inside must work.
+  const Request req = parse_one("set k 0 0 5\r\na\r\nb!\r\n");
+  EXPECT_EQ(str(req.data), "a\r\nb!");
+}
+
+TEST(RequestParse, GarbageIsProtocolError) {
+  for (const char* bad : {"bogus cmd\r\n", "set k\r\n", "set k a b c\r\n", "incr k\r\n",
+                          "get\r\n", "incr k abc\r\n"}) {
+    RequestParser parser;
+    parser.feed(bytes(bad));
+    auto r = parser.next();
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+TEST(RequestParse, BadDataTerminatorIsError) {
+  RequestParser parser;
+  parser.feed(bytes("set k 0 0 2\r\nhiXX"));
+  auto r = parser.next();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RequestParse, WireBytesAccounting) {
+  const std::string wire = "set k 0 0 3\r\nabc\r\n";
+  const Request req = parse_one(wire);
+  EXPECT_EQ(req.wire_bytes, wire.size());
+}
+
+// ---------------------------------------------------- request encoding ----
+
+TEST(RequestEncode, RoundTripsThroughParser) {
+  Request req;
+  req.command = Command::set;
+  req.key = "mykey";
+  req.flags = 3;
+  req.exptime = 60;
+  const std::string payload = "payload-data";
+  req.data.assign(reinterpret_cast<const std::byte*>(payload.data()),
+                  reinterpret_cast<const std::byte*>(payload.data()) + payload.size());
+
+  RequestParser parser;
+  parser.feed(encode_request(req));
+  auto r = parser.next();
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_EQ((*r)->key, "mykey");
+  EXPECT_EQ((*r)->flags, 3u);
+  EXPECT_EQ((*r)->exptime, 60u);
+  EXPECT_EQ(str((*r)->data), payload);
+}
+
+TEST(RequestEncode, AllCommandsRoundTrip) {
+  Rng rng(7);
+  for (auto cmd : {Command::get, Command::gets, Command::set, Command::add, Command::replace,
+                   Command::append, Command::prepend, Command::cas, Command::del,
+                   Command::incr, Command::decr, Command::touch, Command::flush_all,
+                   Command::stats, Command::version, Command::quit}) {
+    Request req;
+    req.command = cmd;
+    req.key = "key-" + rng.alnum(8);
+    req.keys = {req.key, "second"};
+    req.flags = static_cast<std::uint32_t>(rng.below(1000));
+    req.exptime = static_cast<std::uint32_t>(rng.below(1000));
+    req.delta = rng.below(1000);
+    req.cas_unique = rng.below(100000);
+    const auto value = rng.alnum(rng.between(0, 64));
+    req.data.assign(reinterpret_cast<const std::byte*>(value.data()),
+                    reinterpret_cast<const std::byte*>(value.data()) + value.size());
+
+    RequestParser parser;
+    parser.feed(encode_request(req));
+    auto r = parser.next();
+    ASSERT_TRUE(r.ok() && r->has_value()) << static_cast<int>(cmd);
+    EXPECT_EQ((*r)->command, cmd);
+  }
+}
+
+// ---------------------------------------------------------- responses ----
+
+TEST(Response, SimpleRepliesRoundTrip) {
+  using Type = Response::Type;
+  for (auto type : {Type::stored, Type::not_stored, Type::exists, Type::not_found,
+                    Type::deleted, Type::touched, Type::ok, Type::error}) {
+    Response resp;
+    resp.type = type;
+    ResponseParser parser;
+    parser.feed(encode_response(resp, false));
+    auto r = parser.next(ResponseParser::Expect::simple);
+    ASSERT_TRUE(r.ok() && r->has_value()) << static_cast<int>(type);
+    EXPECT_EQ((*r)->type, type);
+  }
+}
+
+TEST(Response, ValuesBlockRoundTrip) {
+  Response resp;
+  resp.type = Response::Type::values;
+  for (int i = 0; i < 3; ++i) {
+    Value v;
+    v.key = "key" + std::to_string(i);
+    v.flags = static_cast<std::uint32_t>(i * 10);
+    v.cas = static_cast<std::uint64_t>(i * 100);
+    const std::string data = "value-" + std::to_string(i);
+    v.data.assign(reinterpret_cast<const std::byte*>(data.data()),
+                  reinterpret_cast<const std::byte*>(data.data()) + data.size());
+    resp.values.push_back(std::move(v));
+  }
+
+  ResponseParser parser;
+  parser.feed(encode_response(resp, true));
+  auto r = parser.next(ResponseParser::Expect::values);
+  ASSERT_TRUE(r.ok() && r->has_value());
+  ASSERT_EQ((*r)->values.size(), 3u);
+  EXPECT_EQ((*r)->values[1].key, "key1");
+  EXPECT_EQ((*r)->values[1].flags, 10u);
+  EXPECT_EQ((*r)->values[1].cas, 100u);
+  EXPECT_EQ(str((*r)->values[2].data), "value-2");
+}
+
+TEST(Response, EmptyValuesIsAllMisses) {
+  Response resp;
+  resp.type = Response::Type::values;
+  ResponseParser parser;
+  parser.feed(encode_response(resp, false));
+  auto r = parser.next(ResponseParser::Expect::values);
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_TRUE((*r)->values.empty());
+}
+
+TEST(Response, NumberReply) {
+  Response resp;
+  resp.type = Response::Type::number;
+  resp.number = 1234567;
+  ResponseParser parser;
+  parser.feed(encode_response(resp, false));
+  auto r = parser.next(ResponseParser::Expect::number);
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_EQ((*r)->number, 1234567u);
+}
+
+TEST(Response, ErrorsCarryMessages) {
+  Response resp;
+  resp.type = Response::Type::client_error;
+  resp.message = "bad data chunk";
+  ResponseParser parser;
+  parser.feed(encode_response(resp, false));
+  auto r = parser.next(ResponseParser::Expect::simple);
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_EQ((*r)->type, Response::Type::client_error);
+  EXPECT_EQ((*r)->message, "bad data chunk");
+}
+
+TEST(Response, PartialValuesWaitForMoreBytes) {
+  Response resp;
+  resp.type = Response::Type::values;
+  Value v;
+  v.key = "k";
+  const std::string data(100, 'd');
+  v.data.assign(reinterpret_cast<const std::byte*>(data.data()),
+                reinterpret_cast<const std::byte*>(data.data()) + data.size());
+  resp.values.push_back(std::move(v));
+  const auto wire = encode_response(resp, false);
+
+  ResponseParser parser;
+  parser.feed(std::span<const std::byte>(wire.data(), wire.size() / 2));
+  auto r = parser.next(ResponseParser::Expect::values);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+  parser.feed(std::span<const std::byte>(wire.data() + wire.size() / 2,
+                                         wire.size() - wire.size() / 2));
+  r = parser.next(ResponseParser::Expect::values);
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_EQ((*r)->values.size(), 1u);
+}
+
+// Property: any sequence of valid encoded requests, fed in random chunk
+// sizes, parses back to the same sequence.
+TEST(Property, RandomChunkingNeverCorruptsStream) {
+  Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Request> sent;
+    std::vector<std::byte> wire;
+    const int count = static_cast<int>(rng.between(1, 20));
+    for (int i = 0; i < count; ++i) {
+      Request req;
+      if (rng.chance(0.5)) {
+        req.command = Command::set;
+        req.key = rng.alnum(rng.between(1, 30));
+        const auto value = rng.alnum(rng.between(0, 500));
+        req.data.assign(reinterpret_cast<const std::byte*>(value.data()),
+                        reinterpret_cast<const std::byte*>(value.data()) + value.size());
+      } else {
+        req.command = Command::get;
+        req.keys = {rng.alnum(rng.between(1, 30))};
+      }
+      const auto encoded = encode_request(req);
+      wire.insert(wire.end(), encoded.begin(), encoded.end());
+      sent.push_back(std::move(req));
+    }
+
+    RequestParser parser;
+    std::vector<Request> got;
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(rng.between(1, 64), wire.size() - offset);
+      parser.feed(std::span<const std::byte>(wire.data() + offset, n));
+      offset += n;
+      while (true) {
+        auto r = parser.next();
+        ASSERT_TRUE(r.ok());
+        if (!r->has_value()) break;
+        got.push_back(std::move(**r));
+      }
+    }
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i].command, sent[i].command);
+      EXPECT_EQ(got[i].key, sent[i].key);
+      EXPECT_EQ(got[i].keys, sent[i].keys);
+      EXPECT_EQ(got[i].data, sent[i].data);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmc::mc::proto

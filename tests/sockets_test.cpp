@@ -1,0 +1,456 @@
+// Tests for the byte-stream stacks: handshake, stream integrity across
+// segmentation, EOF/close semantics, refused/timeout connects, CPU cost
+// accounting, and cross-stack latency ordering.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simnet/netparams.hpp"
+#include "sockets/stack.hpp"
+
+namespace rmc::sock {
+namespace {
+
+using namespace rmc::literals;
+using sim::Scheduler;
+using sim::Task;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(std::span<const std::byte> v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+struct TwoHosts {
+  Scheduler sched;
+  sim::Fabric fabric{sched, sim::ten_gige_link()};
+  sim::Host host_a{sched, 0, "client", 8};
+  sim::Host host_b{sched, 1, "server", 8};
+  NetStack stack_a{sched, fabric, host_a, toe_10ge()};
+  NetStack stack_b{sched, fabric, host_b, toe_10ge()};
+};
+
+// ---------------------------------------------------------- handshake ----
+
+TEST(Handshake, ConnectAcceptEstablishes) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(11211);
+
+  Socket* server = nullptr;
+  Socket* client = nullptr;
+  t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
+    out = co_await l.accept();
+  }(listener, server));
+  t.sched.spawn([](TwoHosts& t, Socket*& out) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 11211);
+    EXPECT_TRUE(r.ok());
+    out = *r;
+  }(t, client));
+  t.sched.run();
+
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(server->state(), SockState::established);
+  EXPECT_EQ(client->state(), SockState::established);
+}
+
+TEST(Handshake, ConnectRefusedWithoutListener) {
+  TwoHosts t;
+  Errc err = Errc::ok;
+  t.sched.spawn([](TwoHosts& t, Errc& err) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 4242);
+    err = r.error();
+  }(t, err));
+  t.sched.run();
+  EXPECT_EQ(err, Errc::refused);
+}
+
+TEST(Handshake, MultipleClientsAccepted) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(11211);
+  int accepted = 0;
+  t.sched.spawn([](Listener& l, int& n) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      Socket* s = co_await l.accept();
+      if (s) ++n;
+    }
+  }(listener, accepted));
+  for (int i = 0; i < 3; ++i) {
+    t.sched.spawn([](TwoHosts& t) -> Task<> {
+      auto r = co_await t.stack_a.connect(t.stack_b.addr(), 11211);
+      EXPECT_TRUE(r.ok());
+    }(t));
+  }
+  t.sched.run();
+  EXPECT_EQ(accepted, 3);
+}
+
+// ------------------------------------------------------------- stream ----
+
+Task<> echo_server(Listener& listener) {
+  Socket* s = co_await listener.accept();
+  std::vector<std::byte> buf(1 << 16);
+  while (true) {
+    auto n = co_await s->recv(buf);
+    if (!n.ok() || *n == 0) co_return;
+    auto sent = co_await s->send(std::span<const std::byte>(buf.data(), *n));
+    if (!sent.ok()) co_return;
+  }
+}
+
+TEST(Stream, RoundTripSmallMessage) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  t.sched.spawn(echo_server(listener));
+
+  std::string got;
+  t.sched.spawn([](TwoHosts& t, std::string& got) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    Socket* s = *r;
+    auto msg = bytes_of("hello, socket");
+    (void)co_await s->send(msg);
+    std::vector<std::byte> buf(64);
+    auto st = co_await s->recv_exact(std::span(buf.data(), msg.size()));
+    EXPECT_TRUE(st.ok());
+    got = string_of(std::span<const std::byte>(buf.data(), msg.size()));
+  }(t, got));
+  t.sched.run();
+  EXPECT_EQ(got, "hello, socket");
+}
+
+TEST(Stream, LargeTransferCrossesManySegments) {
+  // 512 KiB >> MSS: segmentation + reassembly must preserve every byte.
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  t.sched.spawn(echo_server(listener));
+
+  bool verified = false;
+  t.sched.spawn([](TwoHosts& t, bool& verified) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    Socket* s = *r;
+    std::vector<std::byte> out(512_KiB);
+    Rng rng(11);
+    for (auto& b : out) b = static_cast<std::byte>(rng() & 0xff);
+    (void)co_await s->send(out);
+    std::vector<std::byte> in(out.size());
+    auto st = co_await s->recv_exact(in);
+    EXPECT_TRUE(st.ok());
+    verified = std::equal(out.begin(), out.end(), in.begin());
+  }(t, verified));
+  t.sched.run();
+  EXPECT_TRUE(verified);
+  EXPECT_GE(t.stack_a.segments_sent(), 512_KiB / toe_10ge().mss);
+}
+
+TEST(Stream, ByteStreamHasNoMessageBoundaries) {
+  // Two sends coalesce into the receiver's buffer: the mismatch with
+  // memcached's memory-object model that motivates the paper (§I).
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  Socket* server = nullptr;
+  t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
+    out = co_await l.accept();
+  }(listener, server));
+
+  t.sched.spawn([](TwoHosts& t) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    (void)co_await (*r)->send(bytes_of("abc"));
+    (void)co_await (*r)->send(bytes_of("def"));
+  }(t));
+  t.sched.run_until(1_ms);
+
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->rx_available(), 6u);
+  std::vector<std::byte> buf(6);
+  bool done = false;
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, bool& done) -> Task<> {
+    auto st = co_await s.recv_exact(buf);
+    EXPECT_TRUE(st.ok());
+    done = true;
+  }(*server, buf, done));
+  t.sched.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(string_of(buf), "abcdef");
+}
+
+TEST(Stream, PartialRecvReturnsAvailableBytes) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  Socket* server = nullptr;
+  t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
+    out = co_await l.accept();
+  }(listener, server));
+  t.sched.spawn([](TwoHosts& t) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    (void)co_await (*r)->send(bytes_of("xyz"));
+  }(t));
+  t.sched.run_until(1_ms);
+
+  std::size_t got = 0;
+  std::vector<std::byte> buf(100);
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, std::size_t& got) -> Task<> {
+    auto n = co_await s.recv(buf);
+    got = n.value_or(0);
+  }(*server, buf, got));
+  t.sched.run();
+  EXPECT_EQ(got, 3u);  // returns what is there, not the full 100
+}
+
+// ---------------------------------------------------------- lifecycle ----
+
+TEST(Lifecycle, CloseDeliversEofToPeer) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  Socket* server = nullptr;
+  t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
+    out = co_await l.accept();
+  }(listener, server));
+  t.sched.spawn([](TwoHosts& t) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    (*r)->close();
+  }(t));
+  t.sched.run_until(1_ms);
+
+  ASSERT_NE(server, nullptr);
+  std::size_t n = 99;
+  std::vector<std::byte> buf(8);
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, std::size_t& n) -> Task<> {
+    auto r = co_await s.recv(buf);
+    n = r.value_or(99);
+  }(*server, buf, n));
+  t.sched.run();
+  EXPECT_EQ(n, 0u);  // orderly EOF
+}
+
+TEST(Lifecycle, SendAfterCloseFails) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  t.sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(listener));
+  Errc err = Errc::ok;
+  t.sched.spawn([](TwoHosts& t, Errc& err) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    (*r)->close();
+    auto msg = bytes_of("late");
+    auto res = co_await (*r)->send(msg);
+    err = res.error();
+  }(t, err));
+  t.sched.run();
+  EXPECT_EQ(err, Errc::disconnected);
+}
+
+TEST(Lifecycle, CloseWakesBlockedReader) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  t.sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(listener));
+  Errc err = Errc::ok;
+  t.sched.spawn([](TwoHosts& t, Errc& err) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    Socket* s = *r;
+    t.sched.call_at(t.sched.now() + 10_us, [s] { s->close(); });
+    std::vector<std::byte> buf(8);
+    auto res = co_await s->recv(buf);
+    err = res.ok() ? Errc::ok : res.error();
+  }(t, err));
+  t.sched.run();
+  EXPECT_EQ(err, Errc::disconnected);
+}
+
+TEST(Lifecycle, EofMidRecvExactIsProtocolError) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  Socket* server = nullptr;
+  t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
+    out = co_await l.accept();
+  }(listener, server));
+  t.sched.spawn([](TwoHosts& t) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    (void)co_await (*r)->send(bytes_of("ab"));  // only 2 of the 4 expected
+    (*r)->close();
+  }(t));
+  t.sched.run_until(1_ms);
+
+  Errc err = Errc::ok;
+  std::vector<std::byte> buf(4);
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, Errc& err) -> Task<> {
+    auto st = co_await s.recv_exact(buf);
+    err = st.error();
+  }(*server, buf, err));
+  t.sched.run();
+  EXPECT_EQ(err, Errc::protocol_error);
+}
+
+TEST(Lifecycle, SimultaneousCloseBothEnds) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  Socket* server = nullptr;
+  Socket* client = nullptr;
+  t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
+    out = co_await l.accept();
+  }(listener, server));
+  t.sched.spawn([](TwoHosts& t, Socket*& out) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    out = *r;
+  }(t, client));
+  t.sched.run();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+
+  // Both sides close at the same instant; both FINs cross on the wire.
+  client->close();
+  server->close();
+  t.sched.run();
+  EXPECT_EQ(client->state(), SockState::closed);
+  EXPECT_EQ(server->state(), SockState::closed);
+  // Reads on either side report the local close, not a hang.
+  Errc err = Errc::ok;
+  t.sched.spawn([](Socket& s, Errc& err) -> Task<> {
+    std::vector<std::byte> buf(8);
+    auto r = co_await s.recv(buf);
+    err = r.ok() ? Errc::ok : r.error();
+  }(*client, err));
+  t.sched.run();
+  EXPECT_EQ(err, Errc::disconnected);
+}
+
+// -------------------------------------------------------------- costs ----
+
+TEST(Costs, SendChargesCpu) {
+  TwoHosts t;
+  Listener& listener = t.stack_b.listen(1);
+  t.sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(listener));
+  t.sched.spawn([](TwoHosts& t) -> Task<> {
+    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+    std::vector<std::byte> msg(64_KiB);
+    (void)co_await (*r)->send(msg);
+  }(t));
+  t.sched.run();
+  // Syscall + copy of 64 KiB must appear in client CPU accounting.
+  EXPECT_GT(t.host_a.cpu().busy_ns(),
+            static_cast<std::uint64_t>(64.0 * 1024 * toe_10ge().copy_ns_per_byte));
+}
+
+TEST(Costs, ToeOffloadsSegmentationCpu) {
+  // Same payload over TOE vs plain kernel TCP on identical fabric: the
+  // TOE sender burns less CPU (per-segment work moved to the NIC).
+  auto run_one = [](StackCosts costs) {
+    Scheduler sched;
+    sim::Fabric fabric(sched, sim::ten_gige_link());
+    sim::Host a(sched, 0, "a", 8), b(sched, 1, "b", 8);
+    NetStack sa(sched, fabric, a, costs), sb(sched, fabric, b, costs);
+    Listener& l = sb.listen(1);
+    sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(l));
+    sched.spawn([](NetStack& sa, NetStack& sb) -> Task<> {
+      auto r = co_await sa.connect(sb.addr(), 1);
+      std::vector<std::byte> msg(256_KiB);
+      (void)co_await (*r)->send(msg);
+    }(sa, sb));
+    sched.run();
+    return a.cpu().busy_ns();
+  };
+  auto toe_costs = toe_10ge();
+  auto tcp_costs = kernel_tcp_1ge();
+  tcp_costs.copy_ns_per_byte = toe_costs.copy_ns_per_byte;
+  tcp_costs.syscall_ns = toe_costs.syscall_ns;
+  tcp_costs.mss = toe_costs.mss;
+  EXPECT_LT(run_one(toe_costs), run_one(tcp_costs));
+}
+
+// ------------------------------------------------------------- jitter ----
+
+TEST(Jitter, StreamNeverReordersUnderNoise) {
+  // The SDP-on-QDR jitter model delays segments by random amounts; the
+  // byte stream must still arrive in exact order (per-socket monotonic
+  // delivery). Property-check with a long patterned transfer.
+  Scheduler sched;
+  sim::Fabric fabric(sched, sim::ib_qdr_link());
+  sim::Host a(sched, 0, "a", 8), b(sched, 1, "b", 8);
+  auto costs = sdp_ib();
+  costs.jitter_ns = 50000;  // heavy noise, up to 50 us per segment
+  NetStack sa(sched, fabric, a, costs), sb(sched, fabric, b, costs);
+  Listener& listener = sb.listen(1);
+
+  bool verified = false;
+  sched.spawn([](Listener& l, bool& verified) -> Task<> {
+    Socket* s = co_await l.accept();
+    std::vector<std::byte> buf(256_KiB);
+    auto st = co_await s->recv_exact(buf);
+    EXPECT_TRUE(st.ok());
+    bool ordered = true;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      ordered &= buf[i] == static_cast<std::byte>(i & 0xff);
+    }
+    verified = ordered;
+  }(listener, verified));
+
+  sched.spawn([](NetStack& sa, NetStack& sb) -> Task<> {
+    auto r = co_await sa.connect(sb.addr(), 1);
+    std::vector<std::byte> out(256_KiB);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<std::byte>(i & 0xff);
+    // Send in awkward chunk sizes to shuffle segment boundaries.
+    std::size_t offset = 0;
+    const std::size_t chunks[] = {1, 7777, 100, 65536, 3, 190000};
+    for (std::size_t c : chunks) {
+      const std::size_t n = std::min(c, out.size() - offset);
+      (void)co_await (*r)->send(std::span<const std::byte>(out.data() + offset, n));
+      offset += n;
+    }
+    if (offset < out.size()) {
+      (void)co_await (*r)->send(
+          std::span<const std::byte>(out.data() + offset, out.size() - offset));
+    }
+  }(sa, sb));
+  sched.run();
+  EXPECT_TRUE(verified);
+}
+
+// ------------------------------------------------- cross-stack timing ----
+
+/// Round-trip a small message and report completion time.
+sim::Time ping_pong_time(const sim::LinkParams& link, const StackCosts& costs) {
+  Scheduler sched;
+  sim::Fabric fabric(sched, link);
+  sim::Host a(sched, 0, "a", 8), b(sched, 1, "b", 8);
+  NetStack sa(sched, fabric, a, costs), sb(sched, fabric, b, costs);
+  Listener& l = sb.listen(1);
+  sched.spawn(echo_server(l));
+  sim::Time done = 0;
+  sched.spawn([](Scheduler& sched, NetStack& sa, NetStack& sb, sim::Time& done) -> Task<> {
+    auto r = co_await sa.connect(sb.addr(), 1);
+    Socket* s = *r;
+    std::vector<std::byte> msg(64);
+    const sim::Time start = sched.now();
+    (void)co_await s->send(msg);
+    auto st = co_await s->recv_exact(msg);
+    EXPECT_TRUE(st.ok());
+    done = sched.now() - start;
+  }(sched, sa, sb, done));
+  sched.run();
+  return done;
+}
+
+TEST(Timing, StackLatencyOrderingMatchesPaper) {
+  // §I: best sockets-on-IB ~20-25 us one-way vs verbs 1-2 us; 1GigE worst.
+  const auto sdp = ping_pong_time(sim::ib_qdr_link(), sdp_ib());
+  const auto ipoib = ping_pong_time(sim::ib_qdr_link(), kernel_tcp_ipoib());
+  const auto toe = ping_pong_time(sim::ten_gige_link(), toe_10ge());
+  const auto gige = ping_pong_time(sim::one_gige_link(), kernel_tcp_1ge());
+
+  EXPECT_LT(sdp, ipoib);   // SDP bypasses kernel TCP
+  EXPECT_LT(toe, ipoib);   // offloaded 10GigE beats kernel TCP over IB
+  EXPECT_LT(toe, gige);    // and of course beats 1GigE
+  EXPECT_LT(ipoib, gige);  // fast link still helps kernel TCP
+  // Round-trip small message over SDP should be tens of microseconds.
+  EXPECT_GT(sdp, 10_us);
+  EXPECT_LT(sdp, 100_us);
+}
+
+}  // namespace
+}  // namespace rmc::sock

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures as PNG plots.
+
+Runs the fig* bench binaries in --csv mode and renders one panel per
+CSV block. Requires matplotlib; without it, the CSVs are still written
+to the output directory so any plotting tool can consume them.
+
+    python3 tools/plot_figures.py [--build build] [--out figures]
+"""
+import argparse
+import pathlib
+import subprocess
+import sys
+
+FIGS = [
+    ("fig3_latency_cluster_a", "latency (us)", "log"),
+    ("fig4_latency_cluster_b", "latency (us)", "log"),
+    ("fig5_mixed_workload", "latency (us)", "log"),
+    ("fig6_multi_client_tps", "KTPS", "linear"),
+]
+
+
+def parse_blocks(text):
+    """Yield (title, header, rows) for each '# title' CSV block."""
+    blocks, title, header, rows = [], None, None, []
+    for line in text.splitlines():
+        if line.startswith("# "):
+            if title and rows:
+                blocks.append((title, header, rows))
+            title, header, rows = line[2:].strip(), None, []
+        elif title and "," in line:
+            cells = line.split(",")
+            if header is None:
+                header = cells
+            else:
+                rows.append([float(c) for c in cells])
+        elif not line.strip() and title and rows:
+            blocks.append((title, header, rows))
+            title, header, rows = None, None, []
+    if title and rows:
+        blocks.append((title, header, rows))
+    return blocks
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build")
+    ap.add_argument("--out", default="figures")
+    args = ap.parse_args()
+    out = pathlib.Path(args.out)
+    out.mkdir(exist_ok=True)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib not available: writing CSVs only", file=sys.stderr)
+
+    for binary, ylabel, yscale in FIGS:
+        path = pathlib.Path(args.build) / "bench" / binary
+        if not path.exists():
+            print(f"missing {path}; build the benches first", file=sys.stderr)
+            continue
+        text = subprocess.run([str(path), "--csv"], capture_output=True,
+                              text=True, check=True).stdout
+        (out / f"{binary}.csv").write_text(text)
+        if plt is None:
+            continue
+        blocks = parse_blocks(text)
+        fig, axes = plt.subplots(1, len(blocks), figsize=(5 * len(blocks), 4))
+        if len(blocks) == 1:
+            axes = [axes]
+        for ax, (title, header, rows) in zip(axes, blocks):
+            xs = [r[0] for r in rows]
+            for col in range(1, len(header)):
+                ax.plot(xs, [r[col] for r in rows], marker="o", label=header[col])
+            ax.set_title(title, fontsize=9)
+            ax.set_xlabel(header[0])
+            ax.set_ylabel(ylabel)
+            ax.set_xscale("log" if yscale == "log" else "linear")
+            ax.set_yscale(yscale)
+            ax.legend(fontsize=7)
+            ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        fig.savefig(out / f"{binary}.png", dpi=120)
+        print(f"wrote {out / binary}.png")
+
+
+if __name__ == "__main__":
+    main()
