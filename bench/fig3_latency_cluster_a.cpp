@@ -39,5 +39,22 @@ int main(int argc, char** argv) {
                                     core::OpPattern::pure_get, 4096);
   std::printf("headline: 4KB Get UCR(DDR)=%.1f us (paper ~20), TOE/UCR=%.1fx (paper >=4x)\n",
               ucr4k, toe4k / ucr4k);
+
+  // --trace <file>: re-run one representative cell (UCR 4 KB Get) with the
+  // sim-time tracer on, so the request path client -> wire -> CQ -> worker
+  // -> store -> reply can be opened in chrome://tracing / Perfetto.
+  // Enabled only for this cell to keep the artifact small.
+  const std::string trace_file = arg_value(argc, argv, "--trace");
+  if (!trace_file.empty()) {
+    obs::tracer().enable();
+    const double traced_us = latency_cell(core::ClusterKind::cluster_a,
+                                          core::TransportKind::ucr_verbs,
+                                          core::OpPattern::pure_get, 4096, 50);
+    std::printf("traced cell: 4KB Get UCR mean=%.1f us\n", traced_us);
+    write_trace(trace_file);
+  }
+
+  // --metrics-json <file>: registry accumulated across every cell above.
+  dump_metrics_if_requested(argc, argv);
   return 0;
 }

@@ -6,10 +6,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rmc::bench {
 
@@ -80,6 +83,51 @@ inline bool csv_mode(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--csv") return true;
   }
   return false;
+}
+
+/// Value of `--flag <value>` on the command line, or "" when absent.
+inline std::string arg_value(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == flag) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Write the accumulated metrics registry as JSON to `--metrics-json
+/// <file>` if given. Call once, after all cells ran; the registry
+/// aggregates across every TestBed created by the process.
+inline void dump_metrics_if_requested(int argc, char** argv) {
+  const std::string path = arg_value(argc, argv, "--metrics-json");
+  if (path.empty()) return;
+  const std::string json = obs::registry().to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+}
+
+/// Enable the sim-time tracer when `--trace <file>` is given; returns the
+/// path ("" when tracing is off). The caller runs its traced scenario and
+/// then calls write_trace().
+inline std::string trace_path(int argc, char** argv) {
+  const std::string path = arg_value(argc, argv, "--trace");
+  if (!path.empty()) obs::tracer().enable();
+  return path;
+}
+
+inline void write_trace(const std::string& path) {
+  if (path.empty()) return;
+  if (obs::tracer().write(path)) {
+    std::fprintf(stderr, "trace written to %s (%zu events, %zu tracks)\n", path.c_str(),
+                 obs::tracer().event_count(), obs::tracer().track_count());
+  } else {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+  }
+  obs::tracer().disable();
 }
 
 }  // namespace rmc::bench

@@ -2,12 +2,18 @@
 // fabric, connect a client over UCR (the paper's RDMA design), and run a
 // few operations.
 //
+// Observability artifacts (see DESIGN.md "Observability"):
+//   $ ./examples/quickstart --trace trace.json --metrics-json metrics.json
+//
 //   $ ./examples/quickstart
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 #include "core/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace rmc;
 using namespace rmc::literals;
@@ -72,9 +78,20 @@ sim::Task<> scenario(core::TestBed& bed) {
   std::printf("\nserver stats:\n%s", bed.server().render_stats().c_str());
 }
 
+std::string flag_value(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == flag) return argv[i + 1];
+  }
+  return {};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_file = flag_value(argc, argv, "--trace");
+  const std::string metrics_file = flag_value(argc, argv, "--metrics-json");
+  if (!trace_file.empty()) obs::tracer().enable();
+
   core::TestBedConfig config;
   config.cluster = core::ClusterKind::cluster_b;       // ConnectX QDR
   config.transport = core::TransportKind::ucr_verbs;   // the paper's design
@@ -82,5 +99,24 @@ int main() {
 
   bed.scheduler().spawn(scenario(bed));
   bed.scheduler().run();
+
+  if (!trace_file.empty()) {
+    if (obs::tracer().write(trace_file)) {
+      std::printf("trace written to %s (%zu events)\n", trace_file.c_str(),
+                  obs::tracer().event_count());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_file.c_str());
+    }
+  }
+  if (!metrics_file.empty()) {
+    const std::string json = obs::registry().to_json();
+    if (std::FILE* f = std::fopen(metrics_file.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", metrics_file.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_file.c_str());
+    }
+  }
   return 0;
 }

@@ -34,10 +34,18 @@ std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t index) {
   return ((kSubBuckets + sub + 1) << shift) - 1;
 }
 
+namespace {
+// Saturating accumulate: a huge sample count times huge values must not wrap
+// the running sum (mean() would silently go wrong); pin it at UINT64_MAX.
+void add_saturating(std::uint64_t& acc, std::uint64_t v) {
+  if (__builtin_add_overflow(acc, v, &acc)) acc = ~0ull;
+}
+}  // namespace
+
 void LatencyHistogram::record(std::uint64_t value) {
   buckets_[bucket_index(value)]++;
   ++count_;
-  sum_ += value;
+  add_saturating(sum_, value);
   if (value < min_) min_ = value;
   if (value > max_) max_ = value;
 }
@@ -45,7 +53,7 @@ void LatencyHistogram::record(std::uint64_t value) {
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
-  sum_ += other.sum_;
+  add_saturating(sum_, other.sum_);
   if (other.count_) {
     if (other.min_ < min_) min_ = other.min_;
     if (other.max_ > max_) max_ = other.max_;
@@ -58,7 +66,9 @@ double LatencyHistogram::mean() const {
 
 std::uint64_t LatencyHistogram::percentile(double q) const {
   if (count_ == 0) return 0;
-  if (q < 0) q = 0;
+  // q<=0 (and NaN, which fails both comparisons below) means "the smallest
+  // sample" — we know it exactly, so don't widen to a bucket bound.
+  if (!(q > 0)) return min_;
   if (q > 1) q = 1;
   const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
   std::uint64_t seen = 0;

@@ -19,6 +19,8 @@ class LatencyHistogram {
   void record(std::uint64_t value);
 
   /// Merge another histogram into this one (for multi-client aggregation).
+  /// The running sum saturates instead of wrapping, so mean() degrades
+  /// gracefully on pathological totals.
   void merge(const LatencyHistogram& other);
 
   std::uint64_t count() const { return count_; }
@@ -26,8 +28,9 @@ class LatencyHistogram {
   std::uint64_t max() const { return max_; }
   double mean() const;
 
-  /// Value at quantile q in [0,1]; q=0.5 is the median. Returns an upper
-  /// bound of the bucket containing the quantile. 0 when empty.
+  /// Value at quantile q; q=0.5 is the median. q outside [0,1] (including
+  /// NaN) is clamped. q<=0 returns the exact recorded minimum; otherwise
+  /// an upper bound of the bucket containing the quantile. 0 when empty.
   std::uint64_t percentile(double q) const;
 
   void reset();

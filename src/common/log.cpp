@@ -4,6 +4,8 @@ namespace rmc {
 
 namespace {
 LogLevel g_level = LogLevel::warn;
+LogClockFn g_clock_fn = nullptr;
+void* g_clock_ctx = nullptr;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -20,8 +22,27 @@ const char* level_tag(LogLevel level) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
+void set_log_clock(LogClockFn fn, void* ctx) {
+  g_clock_fn = fn;
+  g_clock_ctx = ctx;
+}
+
+std::string log_prefix(LogLevel level) {
+  std::string prefix = "[";
+  prefix += level_tag(level);
+  prefix += "] ";
+  if (g_clock_fn) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[t=%lluns] ",
+                  static_cast<unsigned long long>(g_clock_fn(g_clock_ctx)));
+    prefix += buf;
+  }
+  return prefix;
+}
+
 void log_write(LogLevel level, const char* fmt, ...) {
-  std::fprintf(stderr, "[%s] ", level_tag(level));
+  const std::string prefix = log_prefix(level);
+  std::fwrite(prefix.data(), 1, prefix.size(), stderr);
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stderr, fmt, args);

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 namespace rmc {
 
@@ -16,6 +18,18 @@ enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 /// Process-wide log threshold (default: warn).
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Optional virtual-clock hook: when set, every log line is prefixed with
+/// the simulated time as `[t=<ns>ns]`. Registered as a plain function
+/// pointer + context so common/ stays below simnet/ in the build graph
+/// (simnet attaches the scheduler via sim::attach_log_clock). Pass nullptr
+/// to detach (the default — output format is unchanged without a clock).
+using LogClockFn = std::uint64_t (*)(void* ctx);
+void set_log_clock(LogClockFn fn, void* ctx);
+
+/// The `[LEVEL] [t=...ns] ` prefix log_write emits for `level` right now
+/// (clock sampled at call time). Exposed so tests can pin the format.
+std::string log_prefix(LogLevel level);
 
 /// Core sink; prefer the RMC_LOG_* macros, which skip argument evaluation
 /// when the level is disabled.

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace rmc::mc {
 
@@ -587,7 +588,10 @@ class UcrConn final : public ServerConn {
     const Pending pending = it->second;
     pending_.erase(it);
     release_counter(pending.counter_slot);
-    if (!ok) co_return Errc::timed_out;
+    if (!ok) {
+      obs::registry().counter("mc.client.timeouts").inc();
+      co_return Errc::timed_out;
+    }
     maybe_reset_arena();
     co_return pending.response;
   }
@@ -603,7 +607,10 @@ class UcrConn final : public ServerConn {
     const Pending pending = it->second;
     pending_.erase(it);
     release_counter(pending.counter_slot);
-    if (!ok) co_return Errc::timed_out;
+    if (!ok) {
+      obs::registry().counter("mc.client.timeouts").inc();
+      co_return Errc::timed_out;
+    }
 
     if (pending.response.status != ucrp::RStatus::value) {
       maybe_reset_arena();
@@ -766,6 +773,7 @@ std::size_t Client::server_index(std::string_view key) const {
 
 sim::Task<Status> Client::set(std::string_view key, std::span<const std::byte> value,
                               std::uint32_t flags, std::uint32_t exptime) {
+  obs::registry().counter("mc.client.sets").inc();
   co_return co_await conn_for(key).store(SetMode::set, key, value, flags, exptime, 0);
 }
 sim::Task<Status> Client::add(std::string_view key, std::span<const std::byte> value,
@@ -789,6 +797,7 @@ sim::Task<Status> Client::cas(std::string_view key, std::span<const std::byte> v
 }
 
 sim::Task<Result<proto::Value>> Client::get(std::string_view key) {
+  obs::registry().counter("mc.client.gets").inc();
   co_return co_await conn_for(key).get(key, false);
 }
 sim::Task<Result<proto::Value>> Client::gets(std::string_view key) {

@@ -1,9 +1,12 @@
 #include "memcached/server.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <utility>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace rmc::mc {
 
@@ -15,7 +18,15 @@ struct Server::UcrConnState {
 };
 
 Server::Server(sim::Scheduler& sched, sim::Host& host, ServerConfig config)
-    : sched_(&sched), host_(&host), config_(config), store_(config.store) {
+    : sched_(&sched),
+      host_(&host),
+      config_(config),
+      store_(config.store),
+      stage_parse_(&obs::registry().timer("mc.server.stage.parse")),
+      stage_queue_(&obs::registry().timer("mc.server.stage.queue")),
+      stage_execute_(&obs::registry().timer("mc.server.stage.execute")),
+      stage_format_(&obs::registry().timer("mc.server.stage.format")),
+      queue_depth_(&obs::registry().gauge("mc.worker.queue_depth")) {
   config_.workers = std::max(1u, config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i) {
     worker_queues_.push_back(std::make_unique<sim::Channel<Work>>(sched));
@@ -27,6 +38,12 @@ Server::~Server() = default;
 
 void Server::advance_clock() {
   store_.set_clock(static_cast<std::uint32_t>(1 + sched_->now() / kNsPerSec));
+}
+
+void Server::enqueue_work(std::size_t index, Work work) {
+  work.enqueued_at = sched_->now();
+  worker_queues_[index]->send(std::move(work));
+  queue_depth_->set(static_cast<std::int64_t>(worker_queues_[index]->size()));
 }
 
 // ------------------------------------------------------ socket frontend
@@ -41,6 +58,8 @@ sim::Task<> Server::accept_loop(sock::NetStack& stack, sock::Listener& listener)
   while (true) {
     sock::Socket* socket = co_await listener.accept();
     if (!socket) co_return;
+    ++total_connections_;
+    obs::registry().counter("mc.server.connections").inc();
     // Round-robin: all requests of this connection go to one worker, as
     // §V-A describes for the thread assignment.
     const std::size_t worker = next_worker_++ % worker_queues_.size();
@@ -57,6 +76,7 @@ sim::Task<> Server::connection_loop(sock::Socket& socket, std::size_t worker) {
     socket.close();
     co_return;
   }
+  bytes_read_ += *n;
   const std::span<const std::byte> initial(first.data(), *n);
   if (first[0] == std::byte{bproto::kMagicRequest}) {
     co_await binary_loop(socket, worker, initial);
@@ -78,6 +98,7 @@ sim::Task<> Server::text_loop(sock::Socket& socket, std::size_t worker,
         socket.close();
         co_return;
       }
+      bytes_read_ += *n;
       parser.feed(std::span<const std::byte>(chunk.data(), *n));
     }
     first_pass = false;
@@ -96,15 +117,17 @@ sim::Task<> Server::text_loop(sock::Socket& socket, std::size_t worker,
       }
       if (!parsed->has_value()) break;
       proto::Request& request = **parsed;
+      const sim::Time parse_start = sched_->now();
       co_await host_->cpu().consume(
           config_.costs.parse_base_ns +
           static_cast<sim::Time>(static_cast<double>(request.wire_bytes - request.data.size()) *
                                  config_.costs.parse_ns_per_byte));
+      stage_parse_->record(sched_->now() - parse_start);
       const bool quit = request.command == proto::Command::quit;
       Work work;
       work.request = std::move(request);
       work.socket = &socket;
-      worker_queues_[worker]->send(std::move(work));
+      enqueue_work(worker, std::move(work));
       if (quit) co_return;  // stop reading; worker closes after draining
     }
   }
@@ -123,6 +146,7 @@ sim::Task<> Server::binary_loop(sock::Socket& socket, std::size_t worker,
         socket.close();
         co_return;
       }
+      bytes_read_ += *n;
       parser.feed(std::span<const std::byte>(chunk.data(), *n));
     }
     first_pass = false;
@@ -135,13 +159,15 @@ sim::Task<> Server::binary_loop(sock::Socket& socket, std::size_t worker,
       }
       if (!parsed->has_value()) break;
       // Binary framing needs no line scanning: flat parse cost.
+      const sim::Time parse_start = sched_->now();
       co_await host_->cpu().consume(config_.costs.parse_base_ns / 2);
+      stage_parse_->record(sched_->now() - parse_start);
       const bool quit = (*parsed)->opcode == bproto::Opcode::quit;
       Work work;
       work.is_binary = true;
       work.bin_request = std::move(**parsed);
       work.socket = &socket;
-      worker_queues_[worker]->send(std::move(work));
+      enqueue_work(worker, std::move(work));
       if (quit) co_return;
     }
   }
@@ -152,13 +178,28 @@ sim::Task<> Server::worker_loop(std::size_t index) {
   while (true) {
     auto work = co_await queue.recv();
     if (!work) co_return;
+    queue_depth_->set(static_cast<std::int64_t>(queue.size()));
     ++requests_served_;
+    const sim::Time dequeued_at = sched_->now();
+    stage_queue_->record(dequeued_at - work->enqueued_at);
+    const char* kind;
     if (work->is_ucr) {
+      kind = "ucr";
+      obs::registry().counter("mc.requests.ucr").inc();
       co_await process_ucr(*work);
     } else if (work->is_binary) {
+      kind = "binary";
+      obs::registry().counter("mc.requests.binary").inc();
       co_await process_binary(*work);
     } else {
+      kind = "text";
+      obs::registry().counter("mc.requests.text").inc();
       co_await process_socket(*work);
+    }
+    if (obs::tracer().enabled()) {
+      obs::tracer().complete(dequeued_at, sched_->now() - dequeued_at,
+                             "mc:" + host_->name() + "/w" + std::to_string(index), kind,
+                             "mc");
     }
   }
 }
@@ -272,11 +313,13 @@ proto::Response Server::execute(const proto::Request& request) {
 
 sim::Task<> Server::process_socket(Work& work) {
   const proto::Request& request = work.request;
+  const sim::Time exec_start = sched_->now();
   co_await host_->cpu().consume(
       config_.costs.op_base_ns +
       static_cast<sim::Time>(static_cast<double>(request.data.size()) *
                              config_.costs.value_copy_ns_per_byte));
   proto::Response resp = execute(request);
+  stage_execute_->record(sched_->now() - exec_start);
 
   if (request.command == proto::Command::quit) {
     work.socket->close();
@@ -286,6 +329,7 @@ sim::Task<> Server::process_socket(Work& work) {
 
   std::size_t value_bytes = 0;
   for (const auto& v : resp.values) value_bytes += v.data.size();
+  const sim::Time format_start = sched_->now();
   co_await host_->cpu().consume(
       config_.costs.format_base_ns +
       static_cast<sim::Time>(static_cast<double>(value_bytes) *
@@ -293,6 +337,8 @@ sim::Task<> Server::process_socket(Work& work) {
 
   const bool with_cas = request.command == proto::Command::gets;
   const auto bytes = proto::encode_response(resp, with_cas);
+  stage_format_->record(sched_->now() - format_start);
+  bytes_written_ += bytes.size();
   (void)co_await work.socket->send(bytes);
 }
 
@@ -301,6 +347,7 @@ sim::Task<> Server::process_binary(Work& work) {
   using bproto::BStatus;
   using bproto::Opcode;
   const bproto::Request& req = work.bin_request;
+  const sim::Time exec_start = sched_->now();
   co_await host_->cpu().consume(
       config_.costs.op_base_ns +
       static_cast<sim::Time>(static_cast<double>(req.value.size()) *
@@ -434,9 +481,13 @@ sim::Task<> Server::process_binary(Work& work) {
       break;
   }
 
+  stage_execute_->record(sched_->now() - exec_start);
   if (!reply) co_return;
+  const sim::Time format_start = sched_->now();
   co_await host_->cpu().consume(config_.costs.format_base_ns / 2);
   const auto bytes = bproto::encode_response(resp);
+  stage_format_->record(sched_->now() - format_start);
+  bytes_written_ += bytes.size();
   (void)co_await work.socket->send(bytes);
 }
 
@@ -473,7 +524,8 @@ void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
            },
        .on_complete =
            [this](ucr::Endpoint& ep, std::span<const std::byte> header,
-                  std::span<std::byte> /*data*/) {
+                  std::span<std::byte> data) {
+             bytes_read_ += header.size() + data.size();
              const auto req = ucrp::RequestHeader::decode(header.data());
              Work work;
              work.is_ucr = true;
@@ -490,10 +542,12 @@ void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
                state->pending_sets.erase(it);
              }
              // Same worker for all requests of this endpoint (§V-A).
-             worker_queues_[state->worker]->send(std::move(work));
+             enqueue_work(state->worker, std::move(work));
            }});
 
   runtime.listen(config_.port, [this](ucr::Endpoint& ep) {
+    ++total_connections_;
+    obs::registry().counter("mc.server.connections").inc();
     auto state = std::make_unique<UcrConnState>();
     state->worker = next_worker_++ % worker_queues_.size();
     ep.set_user_data(state.get());
@@ -514,6 +568,7 @@ void Server::ucr_reply(ucr::Endpoint& ep, const ucrp::ResponseHeader& header,
   header.encode(hdr);
   std::span<const std::byte> data{};
   if (pinned_item) data = pinned_item->value();
+  bytes_written_ += sizeof(hdr) + data.size();
 
   // The origin counter tells us when the value memory may be unpinned —
   // immediately for eager responses, after the client's RDMA read for
@@ -548,7 +603,13 @@ void Server::ucr_reply(ucr::Endpoint& ep, const ucrp::ResponseHeader& header,
 }
 
 sim::Task<> Server::process_ucr(Work& work) {
-  co_await host_->cpu().consume(config_.costs.ucr_request_ns + config_.costs.op_base_ns);
+  // Stage split: the AM-header decode is the UCR path's "parse", the store
+  // operation is its "execute".
+  const sim::Time parse_start = sched_->now();
+  co_await host_->cpu().consume(config_.costs.ucr_request_ns);
+  stage_parse_->record(sched_->now() - parse_start);
+  const sim::Time exec_start = sched_->now();
+  co_await host_->cpu().consume(config_.costs.op_base_ns);
   advance_clock();
 
   const ucrp::RequestHeader& req = work.ucr_header;
@@ -645,16 +706,23 @@ sim::Task<> Server::process_ucr(Work& work) {
       break;
   }
 
+  stage_execute_->record(sched_->now() - exec_start);
+  const sim::Time format_start = sched_->now();
   ucr_reply(*work.ep, resp, pinned, req.reply_counter);
+  stage_format_->record(sched_->now() - format_start);
   co_return;
 }
 
 std::string Server::render_stats() const {
   const StoreStats& s = store_.stats();
-  std::ostringstream out;
-  auto stat = [&](const char* name, std::uint64_t value) {
-    out << "STAT " << name << " " << value << "\r\n";
+  std::vector<std::pair<std::string, std::string>> stats;
+  auto stat = [&](std::string name, std::uint64_t value) {
+    stats.emplace_back(std::move(name), std::to_string(value));
   };
+  stat("uptime", sched_->now() / kNsPerSec);
+  stat("total_connections", total_connections_);
+  stat("bytes_read", bytes_read_);
+  stat("bytes_written", bytes_written_);
   stat("cmd_get", s.cmd_get);
   stat("cmd_set", s.cmd_set);
   stat("get_hits", s.get_hits);
@@ -673,6 +741,19 @@ std::string Server::render_stats() const {
   stat("bytes", s.bytes);
   stat("limit_maxbytes", config_.store.slabs.memory_limit);
   stat("threads", config_.workers);
+  // Surface the cross-layer metrics registry over the same protocol, as
+  // real memcached does with its internal counters.
+  obs::registry().for_each_stat([&](const std::string& name, std::string value) {
+    stats.emplace_back(name, std::move(value));
+  });
+  // Stable sort: fixed stats and registry entries interleave in a
+  // deterministic, name-ordered stream.
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::ostringstream out;
+  for (const auto& [name, value] : stats) {
+    out << "STAT " << name << " " << value << "\r\n";
+  }
   return out.str();
 }
 

@@ -25,6 +25,7 @@
 #include "memcached/protocol.hpp"
 #include "memcached/store.hpp"
 #include "memcached/ucr_proto.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/channel.hpp"
 #include "sockets/stack.hpp"
 #include "ucr/runtime.hpp"
@@ -89,7 +90,12 @@ class Server {
     ItemHeader* prepared_item = nullptr;  ///< SET: already filled by RDMA/eager
     bool alloc_failed = false;            ///< SET: header handler could not allocate
     bool is_ucr = false;
+    sim::Time enqueued_at = 0;  ///< worker-queue wait start (stage.queue timer)
   };
+
+  /// Push `work` onto worker `index`'s queue, stamping the queue-wait
+  /// start and updating the depth gauge.
+  void enqueue_work(std::size_t index, Work work);
 
   sim::Task<> accept_loop(sock::NetStack& stack, sock::Listener& listener);
   sim::Task<> connection_loop(sock::Socket& socket, std::size_t worker);
@@ -123,6 +129,17 @@ class Server {
   std::vector<std::unique_ptr<UcrConnState>> ucr_conns_;
 
   std::uint64_t requests_served_ = 0;
+  std::uint64_t total_connections_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+
+  // Per-stage server latency (§V request path: parse -> queue -> execute
+  // -> format), cached registry handles.
+  obs::Timer* stage_parse_;    ///< mc.server.stage.parse
+  obs::Timer* stage_queue_;    ///< mc.server.stage.queue
+  obs::Timer* stage_execute_;  ///< mc.server.stage.execute
+  obs::Timer* stage_format_;   ///< mc.server.stage.format
+  obs::Gauge* queue_depth_;    ///< mc.worker.queue_depth
 };
 
 }  // namespace rmc::mc

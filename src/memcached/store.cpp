@@ -6,6 +6,8 @@
 #include <new>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace rmc::mc {
 
 namespace {
@@ -113,6 +115,7 @@ bool ItemStore::evict_one(std::uint8_t cls) {
         ++stats_.expired_unfetched;
       } else {
         ++stats_.evictions;
+        obs::registry().counter("mc.store.evictions").inc();
       }
       unlink(victim);
       free_item(victim);

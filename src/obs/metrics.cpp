@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace rmc::obs {
+
+namespace {
+
+/// Dotted metric names are plain ASCII, but escape defensively so the dump
+/// is always valid JSON.
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+std::string Registry::to_json() const {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_u64(out, c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"value\":";
+    append_i64(out, g->value());
+    out += ",\"hwm\":";
+    append_i64(out, g->hwm());
+    out += '}';
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    if (!first) out += ',';
+    first = false;
+    const LatencyHistogram& h = t->hist();
+    append_json_string(out, name);
+    out += ":{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"mean_ns\":";
+    append_u64(out, static_cast<std::uint64_t>(h.mean()));
+    out += ",\"min_ns\":";
+    append_u64(out, h.min());
+    out += ",\"max_ns\":";
+    append_u64(out, h.max());
+    out += ",\"p50_ns\":";
+    append_u64(out, h.percentile(0.50));
+    out += ",\"p95_ns\":";
+    append_u64(out, h.percentile(0.95));
+    out += ",\"p99_ns\":";
+    append_u64(out, h.percentile(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::print_table() const {
+  if (!counters_.empty()) {
+    Table table("metrics: counters", {"name", "value"});
+    for (const auto& [name, c] : counters_) {
+      table.add_row({name, Table::num(c->value())});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  if (!gauges_.empty()) {
+    Table table("metrics: gauges", {"name", "value", "hwm"});
+    for (const auto& [name, g] : gauges_) {
+      table.add_row({name, std::to_string(g->value()), std::to_string(g->hwm())});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  if (!timers_.empty()) {
+    Table table("metrics: timers (ns)", {"name", "count", "mean", "p50", "p99", "max"});
+    for (const auto& [name, t] : timers_) {
+      const LatencyHistogram& h = t->hist();
+      table.add_row({name, Table::num(h.count()), Table::num(h.mean(), 0),
+                     Table::num(h.percentile(0.50)), Table::num(h.percentile(0.99)),
+                     Table::num(h.max())});
+    }
+    table.print();
+    std::printf("\n");
+  }
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace rmc::obs

@@ -1,0 +1,119 @@
+// Cross-layer metrics registry: named counters, gauges and histogram-backed
+// timers, cheap enough to stay always-on in every layer of the simulation
+// (simnet, verbs, ucr, sockets, memcached). Names are hierarchical dotted
+// paths ("ucr.eager.sends", "mc.server.stage.parse"); the registry dumps
+// them as JSON (for --metrics-json artifacts) or an ASCII table.
+//
+// Threading: the simulator is single-threaded, so there are no atomics or
+// locks. Hot paths cache the Counter*/Gauge*/Timer* returned by the
+// registry — instruments are never deallocated (reset() zeroes values but
+// keeps every entry), so cached pointers stay valid for the process
+// lifetime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.hpp"
+
+namespace rmc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level (queue depth, buffer occupancy) with a high-water
+/// mark. add()/sub() track levels that move both ways; set() snapshots.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    if (v > hwm_) hwm_ = v;
+  }
+  void add(std::int64_t n = 1) { set(value_ + n); }
+  void sub(std::int64_t n = 1) { value_ -= n; }
+  std::int64_t value() const { return value_; }
+  std::int64_t hwm() const { return hwm_; }
+  void reset() { value_ = hwm_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t hwm_ = 0;
+};
+
+/// Duration distribution (nanoseconds) over a LatencyHistogram.
+class Timer {
+ public:
+  void record(std::uint64_t ns) { hist_.record(ns); }
+  const LatencyHistogram& hist() const { return hist_; }
+  void reset() { hist_.reset(); }
+
+ private:
+  LatencyHistogram hist_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name. References stay valid forever (see header
+  /// comment); repeated lookups with the same name return the same object.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// Zero every instrument but keep all entries registered (cached
+  /// pointers in the instrumented layers survive a reset).
+  void reset();
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + timers_.size();
+  }
+
+  /// {"counters":{...},"gauges":{name:{"value":v,"hwm":h}},
+  ///  "timers":{name:{"count","sum_ns","mean_ns","min_ns","max_ns",
+  ///                  "p50_ns","p95_ns","p99_ns"}}} — keys sorted.
+  std::string to_json() const;
+
+  /// Human-readable dump (one table per instrument kind) to stdout.
+  void print_table() const;
+
+  /// Visit every instrument as (name, rendered value) in sorted name
+  /// order; timers expand to <name>.count and <name>.mean_ns. Used by
+  /// Server::render_stats to surface the registry over the text protocol.
+  template <typename Fn>
+  void for_each_stat(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, std::to_string(c->value()));
+    for (const auto& [name, g] : gauges_) {
+      fn(name, std::to_string(g->value()));
+      fn(name + ".hwm", std::to_string(g->hwm()));
+    }
+    for (const auto& [name, t] : timers_) {
+      fn(name + ".count", std::to_string(t->hist().count()));
+      fn(name + ".mean_ns", std::to_string(static_cast<std::uint64_t>(t->hist().mean())));
+    }
+  }
+
+ private:
+  // std::map keeps dumps sorted; unique_ptr keeps addresses stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// The process-wide default registry every layer records into.
+Registry& registry();
+
+}  // namespace rmc::obs

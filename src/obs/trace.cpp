@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rmc::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Chrome's ts/dur fields are microseconds; keep nanosecond precision as
+/// fractional microseconds.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void Tracer::clear() {
+  events_.clear();
+  tracks_.clear();
+}
+
+std::uint32_t Tracer::track_id(std::string_view track) {
+  auto it = tracks_.find(track);
+  if (it == tracks_.end()) {
+    it = tracks_.emplace(std::string(track), static_cast<std::uint32_t>(tracks_.size()))
+             .first;
+  }
+  return it->second;
+}
+
+void Tracer::complete(std::uint64_t ts_ns, std::uint64_t dur_ns, std::string_view track,
+                      std::string_view name, std::string_view category) {
+  if (!enabled_) return;
+  events_.push_back(Event{ts_ns, dur_ns, track_id(track), true, std::string(name),
+                          std::string(category)});
+}
+
+void Tracer::instant(std::uint64_t ts_ns, std::string_view track, std::string_view name,
+                     std::string_view category) {
+  if (!enabled_) return;
+  events_.push_back(
+      Event{ts_ns, 0, track_id(track), false, std::string(name), std::string(category)});
+}
+
+std::string Tracer::to_chrome_json() const {
+  // Sorted output keeps chrome://tracing importers happy and makes the
+  // monotonicity of the stream testable.
+  std::vector<const Event*> sorted;
+  sorted.reserve(events_.size());
+  for (const Event& e : events_) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) { return a->ts_ns < b->ts_ns; });
+
+  std::string out;
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : tracks_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_string(out, track);
+    out += "}}";
+  }
+  for (const Event* e : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += e->is_span ? 'X' : 'i';
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(e->tid);
+    out += ",\"ts\":";
+    append_us(out, e->ts_ns);
+    if (e->is_span) {
+      out += ",\"dur\":";
+      append_us(out, e->dur_ns);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"name\":";
+    append_json_string(out, e->name);
+    out += ",\"cat\":";
+    append_json_string(out, e->category);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace rmc::obs

@@ -1,0 +1,77 @@
+// Sim-time event tracer emitting Chrome trace_event JSON.
+//
+// Every record is stamped with virtual (scheduler) nanoseconds, passed in
+// by the instrumented layer — the tracer itself has no scheduler
+// dependency, so it sits below simnet in the build graph. Tracks (one
+// Chrome "thread" per host / worker / NIC, e.g. "mc:server/w0",
+// "verbs:client0") are created on first use; layers tag events with their
+// category ("simnet", "verbs", "ucr", "sock", "mc") so chrome://tracing /
+// Perfetto can filter a single request's path across all five layers.
+//
+// Disabled by default (a single branch per call site); benches enable it
+// via --trace <file>. Events use the "X" (complete) and "i" (instant)
+// phases only — complete events carry begin + duration, so overlapping
+// work on one track (e.g. pipelined NIC transfers) never produces a
+// malformed begin/end nesting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rmc::obs {
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  /// Drop all recorded events and tracks (keeps the enabled flag).
+  void clear();
+
+  /// A span: work on `track` from `ts_ns` lasting `dur_ns` virtual ns.
+  void complete(std::uint64_t ts_ns, std::uint64_t dur_ns, std::string_view track,
+                std::string_view name, std::string_view category);
+
+  /// A point event on `track` at `ts_ns`.
+  void instant(std::uint64_t ts_ns, std::string_view track, std::string_view name,
+               std::string_view category);
+
+  std::size_t event_count() const { return events_.size(); }
+  std::size_t track_count() const { return tracks_.size(); }
+
+  /// Render {"traceEvents":[...],"displayTimeUnit":"ns"} with thread_name
+  /// metadata per track; events sorted by timestamp.
+  std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to `path`; false on I/O error.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;  ///< 0 for instants
+    std::uint32_t tid;
+    bool is_span;
+    std::string name;
+    std::string category;
+  };
+
+  std::uint32_t track_id(std::string_view track);
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  std::map<std::string, std::uint32_t, std::less<>> tracks_;
+};
+
+/// The process-wide default tracer every layer records into.
+Tracer& tracer();
+
+}  // namespace rmc::obs

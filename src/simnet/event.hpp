@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simnet/scheduler.hpp"
 #include "simnet/time.hpp"
 
@@ -76,6 +77,7 @@ class Counter {
 
       bool await_ready() const noexcept { return counter.value_ >= threshold; }
       void await_suspend(std::coroutine_handle<> h) {
+        obs::registry().counter("sim.counter.waits").inc();
         state = std::make_shared<WaitState>();
         state->handle = h;
         counter.waiters_.push_back({threshold, state});
@@ -86,6 +88,7 @@ class Counter {
             if (s->done) return;
             s->done = true;
             s->success = false;
+            obs::registry().counter("sim.counter.timeouts").inc();
             sched->resume_at(sched->now(), s->handle);
           });
         }

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rmc::sim {
+
+namespace {
+
+/// Trace one on-the-wire occupancy span on a per-link track.
+void trace_hop(Nic& src, Nic& dst, const Packet& p, Time start, Time end) {
+  if (!obs::tracer().enabled()) return;
+  std::string track = "wire:" + src.host().name() + "->" + dst.host().name();
+  std::string name = "xfer " + std::to_string(p.wire_bytes) + "B";
+  obs::tracer().complete(start, end > start ? end - start : 0, track, name, "simnet");
+}
+
+}  // namespace
+
+Fabric::Fabric(Scheduler& sched, LinkParams params)
+    : sched_(&sched),
+      params_(params),
+      packets_metric_(&obs::registry().counter("sim.fabric.packets")),
+      bytes_metric_(&obs::registry().counter("sim.fabric.bytes")),
+      drops_metric_(&obs::registry().counter("sim.fabric.drops")) {}
 
 void Fabric::transmit(PacketPtr packet) {
   assert(packet);
@@ -12,10 +34,18 @@ void Fabric::transmit(PacketPtr packet) {
 
   src.tx_messages_++;
   src.tx_bytes_ += packet->wire_bytes;
+  packets_metric_->inc();
+  bytes_metric_->inc(packet->wire_bytes);
 
   if (params_.drop_per_million != 0 &&
       drop_rng_.below(1000000) < params_.drop_per_million) {
     dst.dropped_messages_++;
+    drops_metric_->inc();
+    if (obs::tracer().enabled()) {
+      obs::tracer().instant(sched_->now(),
+                            "wire:" + src.host().name() + "->" + dst.host().name(),
+                            "drop", "simnet");
+    }
     return;  // lost in the fabric; no one is notified
   }
 
@@ -24,6 +54,7 @@ void Fabric::transmit(PacketPtr packet) {
     // Loopback: memory-to-memory through the adapter, no wire.
     const Time delivery = now + serialization_time(packet->wire_bytes) / 2 + 100;
     dst.rx_messages_++;
+    trace_hop(src, dst, *packet, now, delivery);
     sched_->call_at(delivery, [&dst, p = std::move(packet)]() mutable {
       dst.inbox.send(std::move(p));
     });
@@ -38,6 +69,7 @@ void Fabric::transmit(PacketPtr packet) {
   const Time delivery = std::max(arrival, dst.rx_free_ + tx_time);
   dst.rx_free_ = delivery;
   dst.rx_messages_++;
+  trace_hop(src, dst, *packet, tx_start, delivery);
 
   sched_->call_at(delivery, [&dst, p = std::move(packet)]() mutable {
     dst.inbox.send(std::move(p));

@@ -115,7 +115,7 @@ class Nic {
 /// the 10 GigE fabric of Cluster A are distinct Fabrics).
 class Fabric {
  public:
-  Fabric(Scheduler& sched, LinkParams params) : sched_(&sched), params_(params) {}
+  Fabric(Scheduler& sched, LinkParams params);
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -148,6 +148,9 @@ class Fabric {
   LinkParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
   Rng drop_rng_{0xd20bb};
+  obs::Counter* packets_metric_;  ///< sim.fabric.packets
+  obs::Counter* bytes_metric_;    ///< sim.fabric.bytes
+  obs::Counter* drops_metric_;    ///< sim.fabric.drops
 };
 
 }  // namespace rmc::sim

@@ -2,7 +2,14 @@
 
 #include <cassert>
 
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace rmc::sim {
+
+Scheduler::Scheduler()
+    : events_metric_(&obs::registry().counter("sim.sched.events")),
+      queue_depth_metric_(&obs::registry().gauge("sim.sched.queue_depth")) {}
 
 Scheduler::~Scheduler() {
   // Destroy roots that never finished (blocked servers, dispatch loops).
@@ -34,12 +41,26 @@ Time Scheduler::run_until(Time deadline) {
   while (!queue_.empty() && queue_.top().t <= deadline) {
     // Move the entry out before popping: the callback may push new events.
     auto entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_depth_metric_->set(static_cast<std::int64_t>(queue_.size()));
     queue_.pop();
     now_ = entry.t;
     ++events_processed_;
+    events_metric_->inc();
     entry.fn();
   }
   return now_;
+}
+
+void attach_log_clock(Scheduler* sched) {
+  if (!sched) {
+    set_log_clock(nullptr, nullptr);
+    return;
+  }
+  set_log_clock(
+      [](void* ctx) -> std::uint64_t {
+        return static_cast<Scheduler*>(ctx)->now();
+      },
+      sched);
 }
 
 }  // namespace rmc::sim

@@ -22,11 +22,16 @@
 #include "simnet/time.hpp"
 #include "simnet/unique_function.hpp"
 
+namespace rmc::obs {
+class Counter;
+class Gauge;
+}  // namespace rmc::obs
+
 namespace rmc::sim {
 
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
   ~Scheduler();
@@ -95,7 +100,14 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  obs::Counter* events_metric_;     ///< sim.sched.events
+  obs::Gauge* queue_depth_metric_;  ///< sim.sched.queue_depth (sampled per event)
 };
+
+/// Prefix every RMC_LOG_* line with this scheduler's virtual time
+/// (`[t=<ns>ns]`). Pass nullptr to restore the plain format. The scheduler
+/// must outlive the attachment.
+void attach_log_clock(Scheduler* sched);
 
 /// Hook used by Task promises to unregister a finished root. Kept out of
 /// Task<> so the coroutine types stay scheduler-agnostic.

@@ -5,8 +5,18 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rmc::sock {
+
+namespace {
+/// Receive-side buffer occupancy across every socket in the process.
+obs::Gauge& rx_buffered_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("sock.rx.buffered_bytes");
+  return g;
+}
+}  // namespace
 
 // ---------------------------------------------------------------- Socket
 
@@ -60,6 +70,7 @@ sim::Task<Result<std::size_t>> Socket::recv(std::span<std::byte> data) {
     }
   }
   rx_bytes_ -= n;
+  rx_buffered_gauge().sub(static_cast<std::int64_t>(n));
   co_return n;
 }
 
@@ -84,6 +95,7 @@ void Socket::close() {
 
 void Socket::deliver(std::vector<std::byte> chunk) {
   rx_bytes_ += chunk.size();
+  rx_buffered_gauge().add(static_cast<std::int64_t>(chunk.size()));
   rx_chunks_.push_back(std::move(chunk));
   rx_signal_.add();
 }
@@ -164,6 +176,8 @@ void NetStack::transmit_stream(Socket& socket, std::span<const std::byte> data) 
     seg->wire_bytes = len;
     offset += len;
     ++segments_sent_;
+    obs::registry().counter("sock.segments.sent").inc();
+    obs::registry().counter("sock.bytes.sent").inc(len);
 
     // Per-segment processing: host kernel CPU, or the TOE's tx engine.
     sim::Time ready;
@@ -204,7 +218,9 @@ sim::Task<> NetStack::dispatch() {
     if (!packet) co_return;
     auto seg = std::unique_ptr<wire::Segment>(static_cast<wire::Segment*>(packet->release()));
     ++segments_received_;
+    obs::registry().counter("sock.segments.received").inc();
     if (seg->kind == wire::Kind::data) {
+      obs::registry().counter("sock.bytes.received").inc(seg->payload.size());
       co_await handle_data(std::move(seg));
     } else {
       handle_control(*seg);
@@ -217,6 +233,7 @@ sim::Task<> NetStack::handle_data(std::unique_ptr<wire::Segment> seg) {
   co_await host_->cpu().consume(costs_.per_segment_rx_ns);
   auto it = sockets_.find(seg->dst_sock);
   if (it == sockets_.end() || it->second->state() != SockState::established) {
+    obs::registry().counter("sock.segments.stray_drops").inc();
     co_return;  // stray segment after close: dropped (a real stack RSTs)
   }
   Socket& sock = *it->second;
@@ -248,6 +265,10 @@ void NetStack::handle_control(wire::Segment& seg) {
       server.peer_nic_ = seg.src;
       server.peer_sock_ = seg.src_sock;
       server.state_ = SockState::established;
+      obs::registry().counter("sock.conn.established").inc();
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant(sched_->now(), "sock:" + host_->name(), "accept", "sock");
+      }
       transmit_control(seg.src, wire::Kind::syn_ack, 0, server.id(), seg.src_sock);
       it->second->pending_.send(&server);
       return;

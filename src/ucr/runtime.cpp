@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rmc::ucr {
 
@@ -162,7 +164,12 @@ sim::Task<Result<Endpoint*>> Runtime::connect(sim::NicAddr dst, std::uint16_t po
     co_return &ep;
   }
   auto qp = co_await hca_->connect(dst, port, *send_cq_, *recv_cq_, &srq_, timeout);
-  if (!qp.ok()) co_return qp.error();
+  if (!qp.ok()) {
+    if (qp.error() == Errc::timed_out) {
+      obs::registry().counter("ucr.connect.timeouts").inc();
+    }
+    co_return qp.error();
+  }
   co_return &adopt_qp(**qp);
 }
 
@@ -226,6 +233,7 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
                   data.size());
     }
     ++eager_sent_;
+    obs::registry().counter("ucr.eager.sends").inc();
     if (am.want_flags) {
       pending_origin_[am.token] =
           PendingOrigin{nullptr, completion_counter, am.want_flags};
@@ -241,6 +249,7 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
     am.encode(packed.data());
     std::memcpy(packed.data() + wire::AmWire::kSize, header.data(), header.size());
     ++rendezvous_sent_;
+    obs::registry().counter("ucr.rendezvous.sends").inc();
     if (am.want_flags) {
       pending_origin_[am.token] =
           PendingOrigin{origin_counter, completion_counter, am.want_flags};
@@ -248,6 +257,7 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
   }
 
   if (ep.send_credits_ == 0) {
+    obs::registry().counter("ucr.backlog.stalls").inc();
     ep.backlog_.push_back({std::move(packed), !eager});
   } else {
     --ep.send_credits_;
@@ -398,6 +408,7 @@ sim::Task<> Runtime::recv_progress() {
     const auto slot = static_cast<std::uint32_t>(wc.wr_id);
     if (wc.status == verbs::WcStatus::success) {
       ++messages_received_;
+      obs::registry().counter("ucr.msgs.received").inc();
       std::span<std::byte> buf{
           recv_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
           config_.eager_limit};
@@ -447,6 +458,7 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
     }
 
     case wire::Kind::eager: {
+      const sim::Time dispatch_start = scheduler().now();
       co_await hca_->host().cpu().consume(
           config_.am_dispatch_ns +
           static_cast<sim::Time>(am.data_len * config_.memcpy_ns_per_byte));
@@ -476,6 +488,11 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
       }
       if (am.want_flags & wire::kAckCompletion) {
         send_internal(ep, wire::Kind::internal_ack, am.token, wire::kAckCompletion);
+      }
+      if (obs::tracer().enabled()) {
+        const sim::Time now = scheduler().now();
+        obs::tracer().complete(dispatch_start, now - dispatch_start,
+                               "ucr:" + hca_->host().name(), "eager_dispatch", "ucr");
       }
       return_credits(ep);
       co_return;
@@ -513,7 +530,7 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
       const std::uint64_t token = next_token_++;
       pending_reads_[token] = PendingTargetRead{
           &ep, std::vector<std::byte>(header.begin(), header.end()),
-          dest.first(am.data_len), am};
+          dest.first(am.data_len), am, scheduler().now()};
       const verbs::SendWr wr{.wr_id = kTagRead | token,
                              .opcode = verbs::Opcode::rdma_read,
                              .local = dest.first(am.data_len),
@@ -553,6 +570,11 @@ sim::Task<> Runtime::complete_target_read(std::uint64_t token, verbs::WcStatus s
   if (pending.am.want_flags) {
     send_internal(*pending.ep, wire::Kind::internal_ack, pending.am.token,
                   pending.am.want_flags);
+  }
+  if (obs::tracer().enabled()) {
+    const sim::Time now = scheduler().now();
+    obs::tracer().complete(pending.arrived_at, now - pending.arrived_at,
+                           "ucr:" + hca_->host().name(), "rendezvous_pull", "ucr");
   }
 }
 

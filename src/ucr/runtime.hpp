@@ -160,6 +160,7 @@ class Runtime {
     std::vector<std::byte> header;  ///< user header, copied out of the buffer
     std::span<std::byte> dest;
     wire::AmWire am;
+    sim::Time arrived_at = 0;  ///< rendezvous header arrival (tracing)
   };
 
   /// Registered-memory bookkeeping (registration cache).

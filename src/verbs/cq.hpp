@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "simnet/channel.hpp"
 #include "simnet/cpu.hpp"
 #include "simnet/scheduler.hpp"
@@ -20,7 +21,13 @@ class CompletionQueue {
  public:
   CompletionQueue(sim::Scheduler& sched, sim::CpuResource& cpu, CqMode mode,
                   const VerbsCosts& costs)
-      : sched_(&sched), cpu_(&cpu), mode_(mode), costs_(costs), entries_(sched) {}
+      : sched_(&sched),
+        cpu_(&cpu),
+        mode_(mode),
+        costs_(costs),
+        entries_(sched),
+        polls_metric_(&obs::registry().counter("verbs.cq.polls")),
+        completions_metric_(&obs::registry().counter("verbs.cq.completions")) {}
 
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
@@ -29,6 +36,7 @@ class CompletionQueue {
 
   /// Non-blocking poll; charges the per-completion poll cost on a hit.
   std::optional<WorkCompletion> poll() {
+    polls_metric_->inc();
     auto wc = entries_.try_recv();
     if (wc) cpu_->reserve(costs_.poll_cq_ns);
     return wc;
@@ -38,6 +46,7 @@ class CompletionQueue {
   /// instant the completion is generated (busy-poll, burning a core is not
   /// modeled as added latency); in event mode the interrupt cost is added.
   sim::Task<WorkCompletion> next() {
+    polls_metric_->inc();
     auto wc = co_await entries_.recv();
     // The channel is never closed while the CQ lives.
     if (mode_ == CqMode::event_driven) {
@@ -48,7 +57,10 @@ class CompletionQueue {
   }
 
   /// HCA side: deliver a completion.
-  void push(WorkCompletion wc) { entries_.send(wc); }
+  void push(WorkCompletion wc) {
+    completions_metric_->inc();
+    entries_.send(wc);
+  }
 
   std::size_t depth() const { return entries_.size(); }
 
@@ -58,6 +70,8 @@ class CompletionQueue {
   CqMode mode_;
   VerbsCosts costs_;
   sim::Channel<WorkCompletion> entries_;
+  obs::Counter* polls_metric_;        ///< verbs.cq.polls
+  obs::Counter* completions_metric_;  ///< verbs.cq.completions
 };
 
 }  // namespace rmc::verbs

@@ -111,11 +111,13 @@ class Hca {
     std::uint64_t wr_id;
     Opcode opcode;
     std::uint32_t byte_len;
+    sim::Time posted_at = 0;  ///< requester-side span start (tracing)
   };
   struct PendingRead {
     std::uint32_t qpn;
     std::uint64_t wr_id;
     std::span<std::byte> dest;
+    sim::Time posted_at = 0;  ///< requester-side span start (tracing)
   };
   struct PendingConnect {
     bool done = false;

@@ -2,6 +2,7 @@
 // determinism, tables, units.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -223,6 +224,43 @@ TEST(Histogram, LargeValuesDoNotOverflowBuckets) {
   h.record(1ull << 62);
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.max(), ~0ull);
+}
+
+// Regression: q<=0 must return the exact recorded minimum, not the upper
+// bound of the minimum's bucket (which for e.g. 1000 is 1008).
+TEST(Histogram, PercentileZeroIsExactMin) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(5000);
+  EXPECT_EQ(h.percentile(0.0), 1000u);
+  EXPECT_EQ(h.percentile(-0.5), 1000u);
+  EXPECT_EQ(h.min(), 1000u);
+}
+
+// Regression: q>1 and NaN clamp instead of scanning past the last bucket.
+TEST(Histogram, PercentileOutOfRangeClamps) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {7u, 70u, 700u}) h.record(v);
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), h.min());
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::infinity()), h.percentile(1.0));
+}
+
+// Regression: the running sum saturates on record() and merge() instead of
+// wrapping, so mean() stays at the ceiling rather than going tiny.
+TEST(Histogram, SumSaturatesInsteadOfWrapping) {
+  LatencyHistogram a;
+  a.record(~0ull);
+  a.record(~0ull);  // sum would wrap to ~0; must pin at 2^64-1
+  EXPECT_GE(a.mean(), static_cast<double>(~0ull) / 2.1);
+
+  LatencyHistogram b;
+  b.record(~0ull);
+  LatencyHistogram c;
+  c.record(~0ull);
+  b.merge(c);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_GE(b.mean(), static_cast<double>(~0ull) / 2.1);
 }
 
 // -------------------------------------------------------------- units ----

@@ -5,9 +5,14 @@ Runs the fig* bench binaries in --csv mode and renders one panel per
 CSV block. Requires matplotlib; without it, the CSVs are still written
 to the output directory so any plotting tool can consume them.
 
+Also collects the --metrics-json registry dump from the fig3 run and
+renders the server-side stage breakdown (parse/queue/execute/format) as
+a bar panel, plus a per-layer counter table on stdout.
+
     python3 tools/plot_figures.py [--build build] [--out figures]
 """
 import argparse
+import json
 import pathlib
 import subprocess
 import sys
@@ -42,6 +47,45 @@ def parse_blocks(text):
     return blocks
 
 
+def render_metrics(metrics_path, out, plt):
+    """Summarize a --metrics-json registry dump: counter table on stdout,
+    stage-latency bar panel as PNG when matplotlib is available."""
+    metrics = json.loads(metrics_path.read_text())
+    counters = metrics.get("counters", {})
+    layers = {}
+    for name, value in sorted(counters.items()):
+        layers.setdefault(name.split(".")[0], []).append((name, value))
+    print(f"\nmetrics from {metrics_path}:")
+    for layer, entries in sorted(layers.items()):
+        print(f"  [{layer}]")
+        for name, value in entries:
+            print(f"    {name:<32} {value}")
+
+    stages = {
+        name.rsplit(".", 1)[-1]: stats
+        for name, stats in metrics.get("timers", {}).items()
+        if name.startswith("mc.server.stage.")
+    }
+    if plt is None or not stages:
+        return
+    order = [s for s in ("parse", "queue", "execute", "format") if s in stages]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    means = [stages[s]["mean_ns"] / 1e3 for s in order]
+    p99s = [stages[s]["p99_ns"] / 1e3 for s in order]
+    xs = range(len(order))
+    ax.bar([x - 0.2 for x in xs], means, width=0.4, label="mean")
+    ax.bar([x + 0.2 for x in xs], p99s, width=0.4, label="p99")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(order)
+    ax.set_ylabel("latency (us)")
+    ax.set_title("server request stages (from metrics JSON)", fontsize=9)
+    ax.legend(fontsize=7)
+    ax.grid(True, alpha=0.3, axis="y")
+    fig.tight_layout()
+    fig.savefig(out / "metrics_stages.png", dpi=120)
+    print(f"wrote {out / 'metrics_stages.png'}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build", default="build")
@@ -63,9 +107,16 @@ def main():
         if not path.exists():
             print(f"missing {path}; build the benches first", file=sys.stderr)
             continue
-        text = subprocess.run([str(path), "--csv"], capture_output=True,
+        cmd = [str(path), "--csv"]
+        metrics_path = None
+        if binary == "fig3_latency_cluster_a":
+            metrics_path = out / f"{binary}_metrics.json"
+            cmd += ["--metrics-json", str(metrics_path)]
+        text = subprocess.run(cmd, capture_output=True,
                               text=True, check=True).stdout
         (out / f"{binary}.csv").write_text(text)
+        if metrics_path and metrics_path.exists():
+            render_metrics(metrics_path, out, plt)
         if plt is None:
             continue
         blocks = parse_blocks(text)
