@@ -1,0 +1,126 @@
+// RingDeque: a FIFO over a single contiguous power-of-two ring.
+//
+// std::deque allocates and frees fixed-size chunks as the queue breathes,
+// which puts malloc on the per-event path of every Channel, SRQ and NIC
+// inbox in the simulator. This ring keeps one buffer that only grows
+// (doubling), so a steady-state producer/consumer pair never allocates
+// after warm-up. Only the operations the simulator needs are provided:
+// push_back / emplace_back, pop_front, front, and random access for the
+// rare scan-and-erase paths (waiter deregistration).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace rmc {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+  RingDeque(const RingDeque&) = delete;
+  RingDeque& operator=(const RingDeque&) = delete;
+
+  RingDeque(RingDeque&& other) noexcept
+      : data_(other.data_), cap_(other.cap_), head_(other.head_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.cap_ = other.head_ = other.size_ = 0;
+  }
+
+  RingDeque& operator=(RingDeque&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      data_ = other.data_;
+      cap_ = other.cap_;
+      head_ = other.head_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.cap_ = other.head_ = other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~RingDeque() { destroy_all(); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow_to(round_up(n));
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow_to(cap_ == 0 ? 8 : cap_ * 2);
+    T* slot = data_ + ((head_ + size_) & (cap_ - 1));
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  T& front() { return data_[head_]; }
+  const T& front() const { return data_[head_]; }
+
+  T& back() { return (*this)[size_ - 1]; }
+
+  T& operator[](std::size_t i) { return data_[(head_ + i) & (cap_ - 1)]; }
+  const T& operator[](std::size_t i) const { return data_[(head_ + i) & (cap_ - 1)]; }
+
+  void pop_front() {
+    data_[head_].~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  /// Remove element i preserving FIFO order of the rest (used by the rare
+  /// waiter-deregistration paths; O(n) shift toward the back).
+  void erase_at(std::size_t i) {
+    for (std::size_t j = i; j + 1 < size_; ++j) (*this)[j] = std::move((*this)[j + 1]);
+    (*this)[size_ - 1].~T();
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c *= 2;
+    return c;
+  }
+
+  void grow_to(std::size_t new_cap) {
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move((*this)[i]));
+      (*this)[i].~T();
+    }
+    if (data_ != nullptr) ::operator delete(data_, std::align_val_t(alignof(T)));
+    data_ = fresh;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  void destroy_all() {
+    clear();
+    if (data_ != nullptr) ::operator delete(data_, std::align_val_t(alignof(T)));
+    data_ = nullptr;
+    cap_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rmc

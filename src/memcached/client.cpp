@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "common/slotmap.hpp"
 #include "obs/metrics.hpp"
 
 namespace rmc::mc {
@@ -73,6 +74,21 @@ Status status_from(ucrp::RStatus status) {
 
 }  // namespace
 
+sim::Task<Result<GetIntoResult>> ServerConn::get_into(std::string_view key,
+                                                      std::span<std::byte> dest,
+                                                      bool with_cas) {
+  // Generic fallback: fetch a Value and copy it into the caller's buffer.
+  auto r = co_await get(key, with_cas);
+  if (!r.ok()) co_return r.error();
+  if (r->data.size() > dest.size()) co_return Errc::too_large;
+  std::memcpy(dest.data(), r->data.data(), r->data.size());
+  GetIntoResult out;
+  out.value_len = static_cast<std::uint32_t>(r->data.size());
+  out.flags = r->flags;
+  out.cas = r->cas;
+  co_return out;
+}
+
 // ---------------------------------------------------------------- text --
 
 class TextConn final : public ServerConn {
@@ -106,7 +122,9 @@ class TextConn final : public ServerConn {
     if (!alive()) co_return Errc::disconnected;
     proto::Request req;
     req.command = with_cas ? proto::Command::gets : proto::Command::get;
-    req.keys.assign(keys.begin(), keys.end());
+    for (const auto& k : keys) {
+      if (!req.add_key(k)) co_return Errc::invalid_argument;
+    }
     auto resp = co_await round_trip(req, proto::ResponseParser::Expect::values);
     if (!resp.ok()) co_return resp.error();
 
@@ -132,7 +150,7 @@ class TextConn final : public ServerConn {
     if (!alive()) co_return Errc::disconnected;
     proto::Request req;
     req.command = storage_command(mode);
-    req.key = std::string(key);
+    req.set_key(key);
     req.flags = flags;
     req.exptime = exptime;
     req.cas_unique = cas;
@@ -146,7 +164,7 @@ class TextConn final : public ServerConn {
     if (!alive()) co_return Errc::disconnected;
     proto::Request req;
     req.command = proto::Command::del;
-    req.key = std::string(key);
+    req.set_key(key);
     auto resp = co_await round_trip(req, proto::ResponseParser::Expect::simple);
     if (!resp.ok()) co_return resp.error();
     co_return status_from(resp->type);
@@ -157,7 +175,7 @@ class TextConn final : public ServerConn {
     if (!alive()) co_return Errc::disconnected;
     proto::Request req;
     req.command = decrement ? proto::Command::decr : proto::Command::incr;
-    req.key = std::string(key);
+    req.set_key(key);
     req.delta = delta;
     auto resp = co_await round_trip(req, proto::ResponseParser::Expect::number);
     if (!resp.ok()) co_return resp.error();
@@ -170,7 +188,7 @@ class TextConn final : public ServerConn {
     if (!alive()) co_return Errc::disconnected;
     proto::Request req;
     req.command = proto::Command::touch;
-    req.key = std::string(key);
+    req.set_key(key);
     req.exptime = exptime;
     auto resp = co_await round_trip(req, proto::ResponseParser::Expect::simple);
     if (!resp.ok()) co_return resp.error();
@@ -455,7 +473,7 @@ class UcrConn final : public ServerConn {
     co_await host_->cpu().consume(behavior_.format_ns);
     auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {});
     if (!issued.ok()) co_return issued.error();
-    co_return co_await finish_get(*issued, std::string(key));
+    co_return co_await finish_get(*issued, key);
   }
 
   sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
@@ -480,6 +498,29 @@ class UcrConn final : public ServerConn {
         co_return value.error();
       }
     }
+    co_return out;
+  }
+
+  sim::Task<Result<GetIntoResult>> get_into(std::string_view key, std::span<std::byte> dest,
+                                            bool with_cas) override {
+    // The zero-allocation GET: the reply header handler lands the value
+    // bytes directly in `dest`, so no arena slot, no Value, no copy-out.
+    if (!alive()) co_return Errc::disconnected;
+    co_await host_->cpu().consume(behavior_.format_ns);
+    auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {}, dest);
+    if (!issued.ok()) co_return issued.error();
+    auto pending = co_await await_reply(*issued);
+    if (!pending.ok()) co_return pending.error();
+    maybe_reset_arena();
+    if (pending->response.status != ucrp::RStatus::value) {
+      const Status st = status_from(pending->response.status);
+      co_return st.ok() ? Errc::not_found : st.error();
+    }
+    if (pending->value_len > dest.size()) co_return Errc::too_large;
+    GetIntoResult out;
+    out.value_len = pending->value_len;
+    out.flags = pending->response.flags;
+    out.cas = pending->response.cas;
     co_return out;
   }
 
@@ -534,6 +575,7 @@ class UcrConn final : public ServerConn {
   struct Pending {
     ucrp::ResponseHeader response{};
     std::span<std::byte> dest{};
+    std::span<std::byte> user_dest{};  ///< get_into: land the value here
     std::uint32_t value_len = 0;
     bool done = false;
     sim::Counter* counter = nullptr;
@@ -547,15 +589,18 @@ class UcrConn final : public ServerConn {
 
   Result<std::uint64_t> issue(ucrp::Op op, std::string_view key,
                               std::span<const std::byte> value,
-                              const ucrp::RequestHeader& extra) {
-    const std::uint64_t req_id = next_req_id_++;
+                              const ucrp::RequestHeader& extra,
+                              std::span<std::byte> user_dest = {}) {
+    if (key.size() > proto::Request::kMaxKeyLen) return Errc::invalid_argument;
     auto [counter, ref, slot] = acquire_counter();
 
     Pending pending;
     pending.counter = counter;
     pending.wait_target = counter->value() + 1;
     pending.counter_slot = slot;
-    pending_.emplace(req_id, pending);
+    pending.user_dest = user_dest;
+    // The slot-map key doubles as the wire req_id (opaque, echoed back).
+    const std::uint64_t req_id = pending_.emplace(pending);
 
     ucrp::RequestHeader header = extra;
     header.op = op;
@@ -563,12 +608,16 @@ class UcrConn final : public ServerConn {
     header.req_id = req_id;
     header.reply_counter = ref.id;
 
-    std::vector<std::byte> packed(ucrp::RequestHeader::kSize + key.size());
-    header.encode(packed.data());
-    std::memcpy(packed.data() + ucrp::RequestHeader::kSize, key.data(), key.size());
+    // Keys are bounded, so the AM packs on the stack; send_message copies
+    // it out (slot or backlog) before returning.
+    std::byte packed[ucrp::RequestHeader::kSize + proto::Request::kMaxKeyLen];
+    header.encode(packed);
+    std::memcpy(packed + ucrp::RequestHeader::kSize, key.data(), key.size());
 
-    const Status sent =
-        runtime_->send_message(*ep_, ucrp::kMsgRequest, packed, value, nullptr, {}, nullptr);
+    const Status sent = runtime_->send_message(
+        *ep_, ucrp::kMsgRequest,
+        std::span<const std::byte>(packed, ucrp::RequestHeader::kSize + key.size()), value,
+        nullptr, {}, nullptr);
     if (!sent.ok()) {
       release_counter(slot);
       pending_.erase(req_id);
@@ -577,53 +626,49 @@ class UcrConn final : public ServerConn {
     return req_id;
   }
 
-  sim::Task<Result<ucrp::ResponseHeader>> finish(std::uint64_t req_id) {
-    auto it = pending_.find(req_id);
-    assert(it != pending_.end());
-    sim::Counter* counter = it->second.counter;
-    const std::uint64_t target = it->second.wait_target;
+  /// Wait out the reply for `req_id` and pop its Pending. Error means the
+  /// operation failed wholesale (timeout / stale id).
+  sim::Task<Result<Pending>> await_reply(std::uint64_t req_id) {
+    Pending* p = pending_.get(req_id);
+    assert(p != nullptr);
+    sim::Counter* counter = p->counter;
+    const std::uint64_t target = p->wait_target;
     const bool ok = co_await counter->wait_geq(target, behavior_.op_timeout);
-    it = pending_.find(req_id);  // may have rehashed while suspended
-    if (it == pending_.end()) co_return Errc::protocol_error;
-    const Pending pending = it->second;
-    pending_.erase(it);
+    p = pending_.get(req_id);  // slots may have moved while suspended
+    if (p == nullptr) co_return Errc::protocol_error;
+    const Pending pending = *p;
+    pending_.erase(req_id);
     release_counter(pending.counter_slot);
     if (!ok) {
       obs::registry().counter("mc.client.timeouts").inc();
       co_return Errc::timed_out;
     }
-    maybe_reset_arena();
-    co_return pending.response;
+    co_return pending;
   }
 
-  sim::Task<Result<proto::Value>> finish_get(std::uint64_t req_id, std::string key) {
-    auto it = pending_.find(req_id);
-    assert(it != pending_.end());
-    sim::Counter* counter = it->second.counter;
-    const std::uint64_t target = it->second.wait_target;
-    const bool ok = co_await counter->wait_geq(target, behavior_.op_timeout);
-    it = pending_.find(req_id);
-    if (it == pending_.end()) co_return Errc::protocol_error;
-    const Pending pending = it->second;
-    pending_.erase(it);
-    release_counter(pending.counter_slot);
-    if (!ok) {
-      obs::registry().counter("mc.client.timeouts").inc();
-      co_return Errc::timed_out;
-    }
+  sim::Task<Result<ucrp::ResponseHeader>> finish(std::uint64_t req_id) {
+    auto pending = co_await await_reply(req_id);
+    if (!pending.ok()) co_return pending.error();
+    maybe_reset_arena();
+    co_return pending->response;
+  }
 
-    if (pending.response.status != ucrp::RStatus::value) {
+  sim::Task<Result<proto::Value>> finish_get(std::uint64_t req_id, std::string_view key) {
+    auto pending = co_await await_reply(req_id);
+    if (!pending.ok()) co_return pending.error();
+
+    if (pending->response.status != ucrp::RStatus::value) {
       maybe_reset_arena();
-      const Status st = status_from(pending.response.status);
+      const Status st = status_from(pending->response.status);
       co_return st.ok() ? Errc::not_found : st.error();
     }
     proto::Value value;
-    value.key = std::move(key);
-    value.flags = pending.response.flags;
-    value.cas = pending.response.cas;
-    value.data.assign(pending.dest.begin(), pending.dest.begin() + pending.value_len);
+    value.key.assign(key.data(), key.size());
+    value.flags = pending->response.flags;
+    value.cas = pending->response.cas;
+    value.data.assign(pending->dest.begin(), pending->dest.begin() + pending->value_len);
     co_await host_->cpu().consume(static_cast<sim::Time>(
-        static_cast<double>(pending.value_len) * behavior_.result_copy_ns_per_byte));
+        static_cast<double>(pending->value_len) * behavior_.result_copy_ns_per_byte));
     maybe_reset_arena();
     co_return value;
   }
@@ -643,20 +688,25 @@ class UcrConn final : public ServerConn {
   std::span<std::byte> on_response_header(std::span<const std::byte> header,
                                           std::uint32_t data_len) {
     const auto resp = ucrp::ResponseHeader::decode(header.data());
-    auto it = pending_.find(resp.req_id);
-    if (it == pending_.end()) return {};
-    // The item length is known only now (§V-C): allocate from the pool.
-    it->second.dest = arena_alloc(data_len);
-    it->second.value_len = data_len;
-    return it->second.dest;
+    Pending* p = pending_.get(resp.req_id);
+    if (p == nullptr) return {};
+    // The item length is known only now (§V-C): land directly in the
+    // caller's get_into buffer when it fits, else allocate from the pool.
+    if (!p->user_dest.empty() && data_len <= p->user_dest.size()) {
+      p->dest = p->user_dest.first(data_len);
+    } else {
+      p->dest = arena_alloc(data_len);
+    }
+    p->value_len = data_len;
+    return p->dest;
   }
 
   void on_response_complete(std::span<const std::byte> header) {
     const auto resp = ucrp::ResponseHeader::decode(header.data());
-    auto it = pending_.find(resp.req_id);
-    if (it == pending_.end()) return;
-    it->second.response = resp;
-    it->second.done = true;
+    Pending* p = pending_.get(resp.req_id);
+    if (p == nullptr) return;
+    p->response = resp;
+    p->done = true;
     // The UCR target counter (counter C) fires right after this handler.
   }
 
@@ -664,6 +714,7 @@ class UcrConn final : public ServerConn {
   std::span<std::byte> arena_alloc(std::size_t len) {
     if (arena_offset_ + len > arena_.size()) {
       // Overflow: fall back to a side buffer (registered on demand).
+      obs::registry().counter("mc.alloc.arena_overflows").inc();
       overflow_.push_back(std::vector<std::byte>(len));
       return overflow_.back();
     }
@@ -700,8 +751,7 @@ class UcrConn final : public ServerConn {
   std::uint16_t port_;
   ucr::Endpoint* ep_ = nullptr;
 
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::uint64_t next_req_id_ = 1;
+  SlotMap<Pending> pending_;
 
   std::vector<std::byte> arena_;
   std::size_t arena_offset_ = 0;
@@ -802,6 +852,11 @@ sim::Task<Result<proto::Value>> Client::get(std::string_view key) {
 }
 sim::Task<Result<proto::Value>> Client::gets(std::string_view key) {
   co_return co_await conn_for(key).get(key, true);
+}
+sim::Task<Result<GetIntoResult>> Client::get_into(std::string_view key,
+                                                  std::span<std::byte> dest) {
+  obs::registry().counter("mc.client.gets").inc();
+  co_return co_await conn_for(key).get_into(key, dest, false);
 }
 
 sim::Task<Result<std::vector<std::optional<proto::Value>>>> Client::mget(

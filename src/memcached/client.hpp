@@ -52,12 +52,25 @@ struct ClientBehavior {
   bool binary_protocol = false;
 };
 
+/// get_into result: the value bytes landed in the caller's buffer.
+struct GetIntoResult {
+  std::uint32_t value_len = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+};
+
 /// One server connection (transport-specific).
 class ServerConn {
  public:
   virtual ~ServerConn() = default;
   virtual sim::Task<Status> connect() = 0;
   virtual sim::Task<Result<proto::Value>> get(std::string_view key, bool with_cas) = 0;
+  /// Zero-allocation GET: the value is written into `dest` (too_large if it
+  /// does not fit). Transports without a direct-landing path fall back to
+  /// get() and copy.
+  virtual sim::Task<Result<GetIntoResult>> get_into(std::string_view key,
+                                                    std::span<std::byte> dest,
+                                                    bool with_cas);
   virtual sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
       std::span<const std::string> keys, bool with_cas) = 0;
   virtual sim::Task<Status> store(SetMode mode, std::string_view key,
@@ -105,6 +118,9 @@ class Client {
                         std::uint64_t cas_unique, std::uint32_t flags = 0,
                         std::uint32_t exptime = 0);
   sim::Task<Result<proto::Value>> get(std::string_view key);
+  /// Zero-allocation GET: value bytes land in `dest` (steady-state UCR GETs
+  /// through this path perform no heap allocation).
+  sim::Task<Result<GetIntoResult>> get_into(std::string_view key, std::span<std::byte> dest);
   /// Like memcached_gets: the returned Value carries the CAS id.
   sim::Task<Result<proto::Value>> gets(std::string_view key);
   /// Multi-get: results positionally match `keys`; miss = nullopt.

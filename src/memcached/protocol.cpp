@@ -4,26 +4,37 @@
 #include <charconv>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace rmc::mc::proto {
+
+void note_key_spill() { obs::registry().counter("mc.alloc.key_spills").inc(); }
 
 namespace {
 
-std::string_view view_of(const std::vector<std::byte>& buf, std::size_t from, std::size_t len) {
-  return {reinterpret_cast<const char*>(buf.data()) + from, len};
-}
+/// Hard cap on tokens per protocol line: enough for the largest sane
+/// multiget (the ablations use 64 keys) with room to spare, small enough
+/// that a hostile line cannot make the tokenizer allocate.
+constexpr std::size_t kMaxTokens = 128;
 
-/// Split a protocol line into whitespace-separated tokens.
-std::vector<std::string_view> tokenize(std::string_view line) {
-  std::vector<std::string_view> tokens;
+/// Split a protocol line into whitespace-separated tokens, writing into
+/// the caller's fixed-size array. Returns the token count, or
+/// kMaxTokens + 1 if the line has more tokens than fit (callers treat
+/// that as a protocol error).
+std::size_t tokenize(std::string_view line, std::span<std::string_view> out) {
+  std::size_t count = 0;
   std::size_t pos = 0;
   while (pos < line.size()) {
     while (pos < line.size() && line[pos] == ' ') ++pos;
     std::size_t end = pos;
     while (end < line.size() && line[end] != ' ') ++end;
-    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    if (end > pos) {
+      if (count == out.size()) return kMaxTokens + 1;
+      out[count++] = line.substr(pos, end - pos);
+    }
     pos = end;
   }
-  return tokens;
+  return count;
 }
 
 template <typename T>
@@ -35,6 +46,13 @@ bool parse_number(std::string_view token, T& out) {
 void append_str(std::vector<std::byte>& out, std::string_view s) {
   const auto* p = reinterpret_cast<const std::byte*>(s.data());
   out.insert(out.end(), p, p + s.size());
+}
+
+void append_number(std::vector<std::byte>& out, std::uint64_t v) {
+  char buf[20];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  append_str(out, {buf, static_cast<std::size_t>(ptr - buf)});
 }
 
 void append_crlf(std::vector<std::byte>& out) { append_str(out, "\r\n"); }
@@ -92,28 +110,39 @@ std::optional<Command> command_from(std::string_view name) {
   return std::nullopt;
 }
 
-}  // namespace
-
-// ------------------------------------------------------- RequestParser
-
-std::optional<std::size_t> RequestParser::find_crlf(std::size_t from) const {
-  if (buffer_.size() < 2) return std::nullopt;
-  for (std::size_t i = from; i + 1 < buffer_.size(); ++i) {
-    if (buffer_[i] == std::byte{'\r'} && buffer_[i + 1] == std::byte{'\n'}) return i;
+/// Find "\r\n" in `hay` starting at `from`; index into `hay`.
+std::optional<std::size_t> find_crlf(std::string_view hay, std::size_t from) {
+  if (hay.size() < 2) return std::nullopt;
+  for (std::size_t i = from; i + 1 < hay.size(); ++i) {
+    if (hay[i] == '\r' && hay[i + 1] == '\n') return i;
   }
   return std::nullopt;
 }
 
+}  // namespace
+
+// ------------------------------------------------------- RequestParser
+
 Result<std::optional<Request>> RequestParser::next() {
-  const auto line_end = find_crlf(0);
+  const char* base = reinterpret_cast<const char*>(buffer_.data()) + consumed_;
+  const std::size_t avail = buffer_.size() - consumed_;
+  const std::string_view window{base, avail};
+
+  const auto line_end = find_crlf(window, scan_from_);
   if (!line_end) {
-    if (buffer_.size() > 8192) return Errc::protocol_error;  // unbounded line
+    scan_from_ = avail > 0 ? avail - 1 : 0;  // the tail byte may be a lone '\r'
+    if (avail > 8192) return Errc::protocol_error;  // unbounded line
     return std::optional<Request>{};
   }
 
-  const std::string_view line = view_of(buffer_, 0, *line_end);
-  const auto tokens = tokenize(line);
-  if (tokens.empty()) return Errc::protocol_error;
+  const std::string_view line = window.substr(0, *line_end);
+  // static: string_view's default ctor is non-trivial, so an automatic
+  // array would zero 2 KB per request. Constant-initialized (no guard),
+  // and the simulator is single-threaded; only [0, token_count) is read.
+  static std::array<std::string_view, kMaxTokens> token_storage;
+  const std::size_t token_count = tokenize(line, token_storage);
+  if (token_count == 0 || token_count > kMaxTokens) return Errc::protocol_error;
+  const std::span<const std::string_view> tokens{token_storage.data(), token_count};
   const auto command = command_from(tokens[0]);
   if (!command) return Errc::protocol_error;
 
@@ -126,7 +155,7 @@ Result<std::optional<Request>> RequestParser::next() {
     const bool is_cas = req.command == Command::cas;
     const std::size_t expected = is_cas ? 6 : 5;
     if (tokens.size() < expected) return Errc::protocol_error;
-    req.key = std::string(tokens[1]);
+    if (!req.add_key(tokens[1])) return Errc::protocol_error;  // key too long
     std::uint32_t bytes = 0;
     if (!parse_number(tokens[2], req.flags) || !parse_number(tokens[3], req.exptime) ||
         !parse_number(tokens[4], bytes)) {
@@ -140,24 +169,25 @@ Result<std::optional<Request>> RequestParser::next() {
     if (tokens.size() > next_token && tokens[next_token] == "noreply") req.noreply = true;
 
     // The data block plus trailing CRLF must be fully buffered.
-    if (buffer_.size() < consumed + bytes + 2) return std::optional<Request>{};
-    if (buffer_[consumed + bytes] != std::byte{'\r'} ||
-        buffer_[consumed + bytes + 1] != std::byte{'\n'}) {
+    if (avail < consumed + bytes + 2) return std::optional<Request>{};
+    if (window[consumed + bytes] != '\r' || window[consumed + bytes + 1] != '\n') {
       return Errc::protocol_error;  // bad data chunk
     }
-    req.data.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed),
-                    buffer_.begin() + static_cast<std::ptrdiff_t>(consumed + bytes));
+    const auto* data = buffer_.data() + consumed_ + consumed;
+    req.data.assign(data, data + bytes);
     consumed += bytes + 2;
   } else {
     switch (req.command) {
       case Command::get:
       case Command::gets:
         if (tokens.size() < 2) return Errc::protocol_error;
-        for (std::size_t i = 1; i < tokens.size(); ++i) req.keys.emplace_back(tokens[i]);
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          if (!req.add_key(tokens[i])) return Errc::protocol_error;
+        }
         break;
       case Command::del:
         if (tokens.size() < 2) return Errc::protocol_error;
-        req.key = std::string(tokens[1]);
+        if (!req.add_key(tokens[1])) return Errc::protocol_error;
         if (tokens.size() > 2 && tokens.back() == "noreply") req.noreply = true;
         break;
       case Command::incr:
@@ -165,14 +195,14 @@ Result<std::optional<Request>> RequestParser::next() {
         if (tokens.size() < 3 || !parse_number(tokens[2], req.delta)) {
           return Errc::protocol_error;
         }
-        req.key = std::string(tokens[1]);
+        if (!req.add_key(tokens[1])) return Errc::protocol_error;
         if (tokens.size() > 3 && tokens.back() == "noreply") req.noreply = true;
         break;
       case Command::touch:
         if (tokens.size() < 3 || !parse_number(tokens[2], req.exptime)) {
           return Errc::protocol_error;
         }
-        req.key = std::string(tokens[1]);
+        if (!req.add_key(tokens[1])) return Errc::protocol_error;
         if (tokens.size() > 3 && tokens.back() == "noreply") req.noreply = true;
         break;
       case Command::flush_all:
@@ -197,7 +227,8 @@ Result<std::optional<Request>> RequestParser::next() {
   }
 
   req.wire_bytes = consumed;
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  consumed_ += consumed;
+  scan_from_ = 0;
   return std::optional<Request>(std::move(req));
 }
 
@@ -209,11 +240,17 @@ std::vector<std::byte> encode_request(const Request& request) {
   append_str(out, command_name(request.command));
 
   if (storage_command(request.command)) {
-    append_str(out, " " + request.key + " " + std::to_string(request.flags) + " " +
-                        std::to_string(request.exptime) + " " +
-                        std::to_string(request.data.size()));
+    append_str(out, " ");
+    append_str(out, request.key());
+    append_str(out, " ");
+    append_number(out, request.flags);
+    append_str(out, " ");
+    append_number(out, request.exptime);
+    append_str(out, " ");
+    append_number(out, request.data.size());
     if (request.command == Command::cas) {
-      append_str(out, " " + std::to_string(request.cas_unique));
+      append_str(out, " ");
+      append_number(out, request.cas_unique);
     }
     if (request.noreply) append_str(out, " noreply");
     append_crlf(out);
@@ -225,20 +262,33 @@ std::vector<std::byte> encode_request(const Request& request) {
   switch (request.command) {
     case Command::get:
     case Command::gets:
-      for (const auto& key : request.keys) append_str(out, " " + key);
+      for (std::size_t i = 0; i < request.key_count(); ++i) {
+        append_str(out, " ");
+        append_str(out, request.key_at(i));
+      }
       break;
     case Command::del:
-      append_str(out, " " + request.key);
+      append_str(out, " ");
+      append_str(out, request.key());
       break;
     case Command::incr:
     case Command::decr:
-      append_str(out, " " + request.key + " " + std::to_string(request.delta));
+      append_str(out, " ");
+      append_str(out, request.key());
+      append_str(out, " ");
+      append_number(out, request.delta);
       break;
     case Command::touch:
-      append_str(out, " " + request.key + " " + std::to_string(request.exptime));
+      append_str(out, " ");
+      append_str(out, request.key());
+      append_str(out, " ");
+      append_number(out, request.exptime);
       break;
     case Command::flush_all:
-      if (request.exptime) append_str(out, " " + std::to_string(request.exptime));
+      if (request.exptime) {
+        append_str(out, " ");
+        append_number(out, request.exptime);
+      }
       break;
     default:
       break;
@@ -248,8 +298,12 @@ std::vector<std::byte> encode_request(const Request& request) {
   return out;
 }
 
-std::vector<std::byte> encode_response(const Response& response, bool with_cas) {
-  std::vector<std::byte> out;
+void append_bytes(std::vector<std::byte>& out, std::string_view s) { append_str(out, s); }
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) { append_number(out, v); }
+
+void encode_response_into(const Response& response, bool with_cas,
+                          std::vector<std::byte>& out) {
   using Type = Response::Type;
   switch (response.type) {
     case Type::stored: append_str(out, "STORED"); break;
@@ -259,20 +313,36 @@ std::vector<std::byte> encode_response(const Response& response, bool with_cas) 
     case Type::deleted: append_str(out, "DELETED"); break;
     case Type::touched: append_str(out, "TOUCHED"); break;
     case Type::ok: append_str(out, "OK"); break;
-    case Type::number: append_str(out, std::to_string(response.number)); break;
+    case Type::number: append_number(out, response.number); break;
     case Type::error: append_str(out, "ERROR"); break;
-    case Type::client_error: append_str(out, "CLIENT_ERROR " + response.message); break;
-    case Type::server_error: append_str(out, "SERVER_ERROR " + response.message); break;
-    case Type::version: append_str(out, "VERSION " + response.message); break;
+    case Type::client_error:
+      append_str(out, "CLIENT_ERROR ");
+      append_str(out, response.message);
+      break;
+    case Type::server_error:
+      append_str(out, "SERVER_ERROR ");
+      append_str(out, response.message);
+      break;
+    case Type::version:
+      append_str(out, "VERSION ");
+      append_str(out, response.message);
+      break;
     case Type::stats:
       append_str(out, response.message);  // pre-rendered STAT lines
       append_str(out, "END");
       break;
     case Type::values:
       for (const auto& v : response.values) {
-        append_str(out, "VALUE " + v.key + " " + std::to_string(v.flags) + " " +
-                            std::to_string(v.data.size()));
-        if (with_cas) append_str(out, " " + std::to_string(v.cas));
+        append_str(out, "VALUE ");
+        append_str(out, v.key);
+        append_str(out, " ");
+        append_number(out, v.flags);
+        append_str(out, " ");
+        append_number(out, v.data.size());
+        if (with_cas) {
+          append_str(out, " ");
+          append_number(out, v.cas);
+        }
         append_crlf(out);
         out.insert(out.end(), v.data.begin(), v.data.end());
         append_crlf(out);
@@ -281,57 +351,62 @@ std::vector<std::byte> encode_response(const Response& response, bool with_cas) 
       break;
   }
   append_crlf(out);
+}
+
+std::vector<std::byte> encode_response(const Response& response, bool with_cas) {
+  std::vector<std::byte> out;
+  encode_response_into(response, with_cas, out);
   return out;
 }
 
 // ------------------------------------------------------ ResponseParser
 
-std::optional<std::size_t> ResponseParser::find_crlf(std::size_t from) const {
-  for (std::size_t i = from; i + 1 < buffer_.size(); ++i) {
-    if (buffer_[i] == std::byte{'\r'} && buffer_[i + 1] == std::byte{'\n'}) return i;
-  }
-  return std::nullopt;
-}
-
 Result<std::optional<Response>> ResponseParser::next(Expect expect) {
   Response resp;
+  const char* base = reinterpret_cast<const char*>(buffer_.data()) + consumed_;
+  const std::size_t avail = buffer_.size() - consumed_;
+  const std::string_view window{base, avail};
 
   if (expect == Expect::values) {
     // Parse VALUE blocks until END, all of which must be buffered.
     std::size_t cursor = 0;
     std::vector<Value> values;
     while (true) {
-      const auto line_end = find_crlf(cursor);
+      const auto line_end = find_crlf(window, cursor);
       if (!line_end) return std::optional<Response>{};
-      const std::string_view line = view_of(buffer_, cursor, *line_end - cursor);
+      const std::string_view line = window.substr(cursor, *line_end - cursor);
       if (line == "END") {
         resp.type = Response::Type::values;
         resp.values = std::move(values);
-        buffer_.erase(buffer_.begin(),
-                      buffer_.begin() + static_cast<std::ptrdiff_t>(*line_end + 2));
+        consumed_ += *line_end + 2;
         return std::optional<Response>(std::move(resp));
       }
-      const auto tokens = tokenize(line);
-      if (tokens.size() < 4 || tokens[0] != "VALUE") return Errc::protocol_error;
-      Value v;
-      v.key = std::string(tokens[1]);
-      std::uint32_t bytes = 0;
-      if (!parse_number(tokens[2], v.flags) || !parse_number(tokens[3], bytes)) {
+      std::array<std::string_view, kMaxTokens> token_storage;
+      const std::size_t token_count = tokenize(line, token_storage);
+      if (token_count < 4 || token_count > kMaxTokens || token_storage[0] != "VALUE") {
         return Errc::protocol_error;
       }
-      if (tokens.size() > 4 && !parse_number(tokens[4], v.cas)) return Errc::protocol_error;
+      Value v;
+      v.key = std::string(token_storage[1]);
+      std::uint32_t bytes = 0;
+      if (!parse_number(token_storage[2], v.flags) || !parse_number(token_storage[3], bytes)) {
+        return Errc::protocol_error;
+      }
+      if (token_count > 4 && !parse_number(token_storage[4], v.cas)) {
+        return Errc::protocol_error;
+      }
       const std::size_t data_start = *line_end + 2;
-      if (buffer_.size() < data_start + bytes + 2) return std::optional<Response>{};
-      v.data.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(data_start),
-                    buffer_.begin() + static_cast<std::ptrdiff_t>(data_start + bytes));
+      if (avail < data_start + bytes + 2) return std::optional<Response>{};
+      const auto* data = buffer_.data() + consumed_ + data_start;
+      v.data.assign(data, data + bytes);
       values.push_back(std::move(v));
       cursor = data_start + bytes + 2;
     }
   }
 
-  const auto line_end = find_crlf(0);
+  const auto line_end = find_crlf(window, 0);
   if (!line_end) return std::optional<Response>{};
-  const std::string_view line = view_of(buffer_, 0, *line_end);
+  const std::string_view line = window.substr(0, *line_end);
 
   using Type = Response::Type;
   if (line == "STORED") {
@@ -366,7 +441,7 @@ Result<std::optional<Response>> ResponseParser::next(Expect expect) {
     return Errc::protocol_error;
   }
 
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(*line_end + 2));
+  consumed_ += *line_end + 2;
   return std::optional<Response>(std::move(resp));
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "obs/trace.hpp"
+#include "ucr/wire.hpp"
 
 namespace rmc::mc {
 
@@ -175,6 +176,10 @@ sim::Task<> Server::binary_loop(sock::Socket& socket, std::size_t worker,
 
 sim::Task<> Server::worker_loop(std::size_t index) {
   sim::Channel<Work>& queue = *worker_queues_[index];
+  WorkerScratch scratch;
+  obs::Counter& ucr_requests = obs::registry().counter("mc.requests.ucr");
+  obs::Counter& binary_requests = obs::registry().counter("mc.requests.binary");
+  obs::Counter& text_requests = obs::registry().counter("mc.requests.text");
   while (true) {
     auto work = co_await queue.recv();
     if (!work) co_return;
@@ -185,16 +190,16 @@ sim::Task<> Server::worker_loop(std::size_t index) {
     const char* kind;
     if (work->is_ucr) {
       kind = "ucr";
-      obs::registry().counter("mc.requests.ucr").inc();
+      ucr_requests.inc();
       co_await process_ucr(*work);
     } else if (work->is_binary) {
       kind = "binary";
-      obs::registry().counter("mc.requests.binary").inc();
+      binary_requests.inc();
       co_await process_binary(*work);
     } else {
       kind = "text";
-      obs::registry().counter("mc.requests.text").inc();
-      co_await process_socket(*work);
+      text_requests.inc();
+      co_await process_socket(*work, scratch);
     }
     if (obs::tracer().enabled()) {
       obs::tracer().complete(dequeued_at, sched_->now() - dequeued_at,
@@ -213,11 +218,12 @@ proto::Response Server::execute(const proto::Request& request) {
     case proto::Command::get:
     case proto::Command::gets: {
       resp.type = Type::values;
-      for (const auto& key : request.keys) {
+      for (std::size_t i = 0; i < request.key_count(); ++i) {
+        const std::string_view key = request.key_at(i);
         ItemHeader* item = store_.get(key);
         if (!item) continue;
         proto::Value v;
-        v.key = key;
+        v.key.assign(key.data(), key.size());
         v.flags = item->flags;
         v.cas = item->cas;
         v.data.assign(item->value().begin(), item->value().end());
@@ -240,7 +246,7 @@ proto::Response Server::execute(const proto::Request& request) {
         case proto::Command::cas: mode = SetMode::cas; break;
         default: break;
       }
-      auto stored = store_.store(mode, request.key, request.data, request.flags,
+      auto stored = store_.store(mode, request.key(), request.data, request.flags,
                                  request.exptime, request.cas_unique);
       if (stored.ok()) {
         resp.type = Type::stored;
@@ -266,12 +272,12 @@ proto::Response Server::execute(const proto::Request& request) {
       return resp;
     }
     case proto::Command::del:
-      resp.type = store_.del(request.key) ? Type::deleted : Type::not_found;
+      resp.type = store_.del(request.key()) ? Type::deleted : Type::not_found;
       return resp;
     case proto::Command::incr:
     case proto::Command::decr: {
       auto result =
-          store_.arith(request.key, request.delta, request.command == proto::Command::decr);
+          store_.arith(request.key(), request.delta, request.command == proto::Command::decr);
       if (result.ok()) {
         resp.type = Type::number;
         resp.number = *result;
@@ -284,7 +290,7 @@ proto::Response Server::execute(const proto::Request& request) {
       return resp;
     }
     case proto::Command::touch:
-      resp.type = store_.touch(request.key, request.exptime) ? Type::touched : Type::not_found;
+      resp.type = store_.touch(request.key(), request.exptime) ? Type::touched : Type::not_found;
       return resp;
     case proto::Command::flush_all:
       if (request.exptime == 0) {
@@ -311,8 +317,58 @@ proto::Response Server::execute(const proto::Request& request) {
   return resp;
 }
 
-sim::Task<> Server::process_socket(Work& work) {
+sim::Task<> Server::process_socket(Work& work, WorkerScratch& scratch) {
   const proto::Request& request = work.request;
+
+  if (request.command == proto::Command::get || request.command == proto::Command::gets) {
+    // GET fast path: pin matching items, render VALUE lines straight from
+    // the slab into the worker's reusable scratch buffer — no Response, no
+    // per-request value copies on the heap. Charged costs and emitted
+    // bytes are identical to the generic path.
+    const sim::Time exec_start = sched_->now();
+    co_await host_->cpu().consume(config_.costs.op_base_ns);
+    advance_clock();
+    scratch.items.clear();
+    std::size_t value_bytes = 0;
+    for (std::size_t i = 0; i < request.key_count(); ++i) {
+      ItemHeader* item = store_.get_pinned(request.key_at(i));
+      if (!item) continue;
+      scratch.items.push_back(item);
+      value_bytes += item->value().size();
+    }
+    stage_execute_->record(sched_->now() - exec_start);
+
+    const sim::Time format_start = sched_->now();
+    co_await host_->cpu().consume(
+        config_.costs.format_base_ns +
+        static_cast<sim::Time>(static_cast<double>(value_bytes) *
+                               config_.costs.value_copy_ns_per_byte));
+    const bool with_cas = request.command == proto::Command::gets;
+    scratch.out.clear();
+    for (ItemHeader* item : scratch.items) {
+      proto::append_bytes(scratch.out, "VALUE ");
+      proto::append_bytes(scratch.out, item->key());
+      proto::append_bytes(scratch.out, " ");
+      proto::append_u64(scratch.out, item->flags);
+      proto::append_bytes(scratch.out, " ");
+      proto::append_u64(scratch.out, item->value().size());
+      if (with_cas) {
+        proto::append_bytes(scratch.out, " ");
+        proto::append_u64(scratch.out, item->cas);
+      }
+      proto::append_bytes(scratch.out, "\r\n");
+      scratch.out.insert(scratch.out.end(), item->value().begin(), item->value().end());
+      proto::append_bytes(scratch.out, "\r\n");
+    }
+    proto::append_bytes(scratch.out, "END\r\n");
+    for (ItemHeader* item : scratch.items) store_.release(item);
+    scratch.items.clear();
+    stage_format_->record(sched_->now() - format_start);
+    bytes_written_ += scratch.out.size();
+    (void)co_await work.socket->send(scratch.out);
+    co_return;
+  }
+
   const sim::Time exec_start = sched_->now();
   co_await host_->cpu().consume(
       config_.costs.op_base_ns +
@@ -336,10 +392,11 @@ sim::Task<> Server::process_socket(Work& work) {
                              config_.costs.value_copy_ns_per_byte));
 
   const bool with_cas = request.command == proto::Command::gets;
-  const auto bytes = proto::encode_response(resp, with_cas);
+  scratch.out.clear();
+  proto::encode_response_into(resp, with_cas, scratch.out);
   stage_format_->record(sched_->now() - format_start);
-  bytes_written_ += bytes.size();
-  (void)co_await work.socket->send(bytes);
+  bytes_written_ += scratch.out.size();
+  (void)co_await work.socket->send(scratch.out);
 }
 
 
@@ -531,9 +588,9 @@ void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
              work.is_ucr = true;
              work.ep = &ep;
              work.ucr_header = req;
-             work.key.assign(
+             work.set_key(std::string_view{
                  reinterpret_cast<const char*>(header.data() + ucrp::RequestHeader::kSize),
-                 req.key_len);
+                 req.key_len});
              auto* state = static_cast<UcrConnState*>(ep.user_data());
              auto it = state->pending_sets.find(req.req_id);
              if (it != state->pending_sets.end()) {
@@ -574,6 +631,25 @@ void Server::ucr_reply(ucr::Endpoint& ep, const ucrp::ResponseHeader& header,
   // immediately for eager responses, after the client's RDMA read for
   // rendezvous ones.
   if (pinned_item) {
+    if (ucr::wire::AmWire::kSize + sizeof(hdr) + data.size() <=
+        ucr_runtime_->config().eager_limit) {
+      // Eager responses copy the value out synchronously inside
+      // send_message (into a staging slot or the backlog), so the item can
+      // be unpinned right away — no completion counter, no tracking task.
+      const Status sent = ucr_runtime_->send_message(
+          ep, ucrp::kMsgResponse, hdr, data, nullptr, ucr::CounterRef{reply_counter},
+          nullptr);
+      store_.release(pinned_item);
+      if (!sent.ok()) {
+        ucrp::ResponseHeader err = header;
+        err.status = ucrp::RStatus::server_error;
+        std::byte err_hdr[ucrp::ResponseHeader::kSize];
+        err.encode(err_hdr);
+        (void)ucr_runtime_->send_message(ep, ucrp::kMsgResponse, err_hdr, {}, nullptr,
+                                         ucr::CounterRef{reply_counter}, nullptr);
+      }
+      return;
+    }
     auto counter = std::make_unique<sim::Counter>(*sched_);
     const Status sent =
         ucr_runtime_->send_message(ep, ucrp::kMsgResponse, hdr, data, counter.get(),
@@ -620,7 +696,7 @@ sim::Task<> Server::process_ucr(Work& work) {
   switch (req.op) {
     case ucrp::Op::get:
     case ucrp::Op::gets: {
-      pinned = store_.get_pinned(work.key);
+      pinned = store_.get_pinned(work.key());
       if (pinned) {
         resp.status = ucrp::RStatus::value;
         resp.flags = pinned->flags;
@@ -658,7 +734,7 @@ sim::Task<> Server::process_ucr(Work& work) {
       }
       std::span<const std::byte> value{};
       if (work.prepared_item) value = work.prepared_item->value();
-      auto stored = store_.store(mode, work.key, value, req.flags, req.exptime, req.cas);
+      auto stored = store_.store(mode, work.key(), value, req.flags, req.exptime, req.cas);
       if (work.prepared_item) store_.abandon_item(work.prepared_item);
       if (stored.ok()) {
         resp.status = ucrp::RStatus::stored;
@@ -673,11 +749,11 @@ sim::Task<> Server::process_ucr(Work& work) {
       break;
     }
     case ucrp::Op::del:
-      resp.status = store_.del(work.key) ? ucrp::RStatus::deleted : ucrp::RStatus::not_found;
+      resp.status = store_.del(work.key()) ? ucrp::RStatus::deleted : ucrp::RStatus::not_found;
       break;
     case ucrp::Op::incr:
     case ucrp::Op::decr: {
-      auto result = store_.arith(work.key, req.delta, req.op == ucrp::Op::decr);
+      auto result = store_.arith(work.key(), req.delta, req.op == ucrp::Op::decr);
       if (result.ok()) {
         resp.status = ucrp::RStatus::number;
         resp.number = *result;
@@ -690,7 +766,7 @@ sim::Task<> Server::process_ucr(Work& work) {
     }
     case ucrp::Op::touch:
       resp.status =
-          store_.touch(work.key, req.exptime) ? ucrp::RStatus::touched : ucrp::RStatus::not_found;
+          store_.touch(work.key(), req.exptime) ? ucrp::RStatus::touched : ucrp::RStatus::not_found;
       break;
     case ucrp::Op::flush_all:
       if (req.delta == 0) {

@@ -16,9 +16,13 @@
 // queues; their count is the runtime parameter the paper mentions.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "memcached/binary.hpp"
@@ -83,14 +87,30 @@ class Server {
     // Socket path (binary protocol, auto-detected per connection).
     bproto::Request bin_request;
     bool is_binary = false;
-    // UCR path.
+    // UCR path. Keys are bounded (proto::Request::kMaxKeyLen), so the key
+    // lives inline — a Work never allocates on the steady-state GET path.
     ucr::Endpoint* ep = nullptr;
     ucrp::RequestHeader ucr_header{};
-    std::string key;
+    std::array<char, proto::Request::kMaxKeyLen> key_buf{};
+    std::uint16_t key_len = 0;
     ItemHeader* prepared_item = nullptr;  ///< SET: already filled by RDMA/eager
     bool alloc_failed = false;            ///< SET: header handler could not allocate
     bool is_ucr = false;
     sim::Time enqueued_at = 0;  ///< worker-queue wait start (stage.queue timer)
+
+    std::string_view key() const { return {key_buf.data(), key_len}; }
+    void set_key(std::string_view k) {
+      key_len = static_cast<std::uint16_t>(std::min(k.size(), key_buf.size()));
+      std::memcpy(key_buf.data(), k.data(), key_len);
+    }
+  };
+
+  /// Per-worker reusable buffers: responses are encoded into `out` and
+  /// pinned GET items staged in `items`, so the socket hot path reuses the
+  /// same storage across requests instead of allocating per response.
+  struct WorkerScratch {
+    std::vector<std::byte> out;
+    std::vector<ItemHeader*> items;
   };
 
   /// Push `work` onto worker `index`'s queue, stamping the queue-wait
@@ -105,7 +125,7 @@ class Server {
                           std::span<const std::byte> initial);
   sim::Task<> worker_loop(std::size_t index);
 
-  sim::Task<> process_socket(Work& work);
+  sim::Task<> process_socket(Work& work, WorkerScratch& scratch);
   sim::Task<> process_binary(Work& work);
   sim::Task<> process_ucr(Work& work);
   proto::Response execute(const proto::Request& request);

@@ -10,10 +10,10 @@
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
+#include "common/ring_deque.hpp"
 #include "simnet/scheduler.hpp"
 
 namespace rmc::sim {
@@ -90,9 +90,12 @@ class Channel {
     std::optional<T> slot;
   };
 
+  // Rings instead of std::deque: a steady-state producer/consumer pair
+  // breathes inside retained capacity with zero allocation (std::deque
+  // churns chunk allocations at every boundary crossing).
   Scheduler* sched_;
-  std::deque<T> queue_;
-  std::deque<Waiter*> waiters_;
+  RingDeque<T> queue_;
+  RingDeque<Waiter*> waiters_;
   bool closed_ = false;
 };
 

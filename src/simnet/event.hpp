@@ -54,6 +54,13 @@ class Event {
 /// wait_geq() resolves to true when the counter reaches the threshold and
 /// to false if the timeout elapses first. With kNoTimeout it never times
 /// out. Multiple waiters with different thresholds are supported.
+///
+/// Allocation: a kNoTimeout wait registers an intrusive node living in the
+/// awaiter itself (inside the suspended coroutine frame, whose address is
+/// stable), so the steady-state request path never heap-allocates here.
+/// Timed waits still share state with their timer closure via shared_ptr —
+/// the timer can outlive both the waiter and the Counter, so intrusive
+/// registration would dangle.
 class Counter {
  public:
   explicit Counter(Scheduler& sched) : sched_(&sched) {}
@@ -73,31 +80,47 @@ class Counter {
       Counter& counter;
       std::uint64_t threshold;
       Time timeout;
-      std::shared_ptr<WaitState> state;
+      IntrusiveWaiter node;              // kNoTimeout: lives in this frame
+      std::shared_ptr<WaitState> state;  // timed: shared with the timer
+
+      Awaiter(Counter& c, std::uint64_t th, Time to)
+          : counter(c), threshold(th), timeout(to) {}
+      Awaiter(const Awaiter&) = delete;
+      Awaiter& operator=(const Awaiter&) = delete;
+
+      ~Awaiter() {
+        // Frame destroyed while still waiting (teardown): unregister so
+        // the counter never touches freed memory.
+        if (node.registered != nullptr) node.registered->deregister(&node);
+      }
 
       bool await_ready() const noexcept { return counter.value_ >= threshold; }
       void await_suspend(std::coroutine_handle<> h) {
-        obs::registry().counter("sim.counter.waits").inc();
+        counter.waits_metric_().inc();
+        if (timeout == kNoTimeout) {
+          node.handle = h;
+          node.registered = &counter;
+          counter.waiters_.push_back({threshold, &node, nullptr});
+          return;
+        }
         state = std::make_shared<WaitState>();
         state->handle = h;
-        counter.waiters_.push_back({threshold, state});
-        if (timeout != kNoTimeout) {
-          auto s = state;
-          auto* sched = counter.sched_;
-          sched->call_in(timeout, [s, sched] {
-            if (s->done) return;
-            s->done = true;
-            s->success = false;
-            obs::registry().counter("sim.counter.timeouts").inc();
-            sched->resume_at(sched->now(), s->handle);
-          });
-        }
+        counter.waiters_.push_back({threshold, nullptr, state});
+        auto s = state;
+        auto* sched = counter.sched_;
+        sched->call_in(timeout, [s, sched] {
+          if (s->done) return;
+          s->done = true;
+          s->success = false;
+          obs::registry().counter("sim.counter.timeouts").inc();
+          sched->resume_at(sched->now(), s->handle);
+        });
       }
       bool await_resume() const noexcept {
         return state == nullptr ? true : state->success;
       }
     };
-    return Awaiter{*this, threshold, timeout, nullptr};
+    return Awaiter{*this, threshold, timeout};
   }
 
  private:
@@ -107,22 +130,52 @@ class Counter {
     std::coroutine_handle<> handle;
   };
 
+  struct IntrusiveWaiter {
+    std::coroutine_handle<> handle;
+    Counter* registered = nullptr;  // non-null while on the waiter list
+  };
+
   struct Waiter {
     std::uint64_t threshold;
+    IntrusiveWaiter* node;  // non-null: intrusive (no timeout)
     std::shared_ptr<WaitState> state;
   };
 
+  static obs::Counter& waits_metric_() {
+    static obs::Counter* c = &obs::registry().counter("sim.counter.waits");
+    return *c;
+  }
+
+  void deregister(IntrusiveWaiter* node) {
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i].node == node) {
+        waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(i));
+        node->registered = nullptr;
+        return;
+      }
+    }
+  }
+
   void fire_ready() {
-    // Wake every waiter whose threshold is now met; compact the list.
+    // Wake every waiter whose threshold is now met; compact the list
+    // in place (capacity is retained, so steady state never reallocates).
     std::size_t keep = 0;
     for (std::size_t i = 0; i < waiters_.size(); ++i) {
       auto& w = waiters_[i];
-      if (w.state->done) continue;  // timed out already; drop
-      if (value_ >= w.threshold) {
-        w.state->done = true;
-        w.state->success = true;
-        sched_->resume_at(sched_->now(), w.state->handle);
-        continue;
+      if (w.node != nullptr) {
+        if (value_ >= w.threshold) {
+          w.node->registered = nullptr;
+          sched_->resume_at(sched_->now(), w.node->handle);
+          continue;
+        }
+      } else {
+        if (w.state->done) continue;  // timed out already; drop
+        if (value_ >= w.threshold) {
+          w.state->done = true;
+          w.state->success = true;
+          sched_->resume_at(sched_->now(), w.state->handle);
+          continue;
+        }
       }
       if (keep != i) waiters_[keep] = std::move(w);
       ++keep;

@@ -25,7 +25,8 @@ Fabric::Fabric(Scheduler& sched, LinkParams params)
       params_(params),
       packets_metric_(&obs::registry().counter("sim.fabric.packets")),
       bytes_metric_(&obs::registry().counter("sim.fabric.bytes")),
-      drops_metric_(&obs::registry().counter("sim.fabric.drops")) {}
+      drops_metric_(&obs::registry().counter("sim.fabric.drops")),
+      loopback_metric_(&obs::registry().counter("sim.fabric.loopback_packets")) {}
 
 void Fabric::transmit(PacketPtr packet) {
   assert(packet);
@@ -51,8 +52,11 @@ void Fabric::transmit(PacketPtr packet) {
 
   const Time now = sched_->now();
   if (packet->src == packet->dst) {
-    // Loopback: memory-to-memory through the adapter, no wire.
+    // Loopback: memory-to-memory through the adapter, no wire. Counted in
+    // sim.fabric.packets/bytes above exactly like the wire path, plus a
+    // dedicated counter so the bypass traffic stays distinguishable.
     const Time delivery = now + serialization_time(packet->wire_bytes) / 2 + 100;
+    loopback_metric_->inc();
     dst.rx_messages_++;
     trace_hop(src, dst, *packet, now, delivery);
     sched_->call_at(delivery, [&dst, p = std::move(packet)]() mutable {

@@ -148,9 +148,10 @@ class Fabric {
   LinkParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
   Rng drop_rng_{0xd20bb};
-  obs::Counter* packets_metric_;  ///< sim.fabric.packets
-  obs::Counter* bytes_metric_;    ///< sim.fabric.bytes
-  obs::Counter* drops_metric_;    ///< sim.fabric.drops
+  obs::Counter* packets_metric_;   ///< sim.fabric.packets
+  obs::Counter* bytes_metric_;     ///< sim.fabric.bytes
+  obs::Counter* drops_metric_;     ///< sim.fabric.drops
+  obs::Counter* loopback_metric_;  ///< sim.fabric.loopback_packets
 };
 
 }  // namespace rmc::sim

@@ -1,0 +1,213 @@
+// Pooled allocation for the simulator hot path.
+//
+// Three allocation families dominate a steady-state request: packet
+// objects (one IbPacket or TCP Segment per simulated message), their
+// payload buffers, and coroutine frames (one per Task the message flows
+// through). All three recycle through a single size-class freelist here,
+// so after warm-up the simulator stops calling malloc on the request
+// path entirely — which is both a wall-clock win and the property the
+// zero-allocation test in tests/zeroalloc_test.cpp pins down.
+//
+// Blocks are bucketed by power-of-two size class (64 B .. 1 MiB); larger
+// requests fall through to plain operator new and are counted as
+// `unpooled`. The pool is a leaky process-lifetime singleton: blocks are
+// never returned to the OS, matching the registry's "instruments live
+// forever" discipline. Single-threaded by design, like the scheduler.
+//
+// Per-family registry metrics (PR-1 registry, dumped by --metrics-json):
+//   sim.pool.<family>.hits     reuses served from a freelist
+//   sim.pool.<family>.misses   freelist empty -> fresh malloc
+//   sim.pool.<family>.unpooled over-sized requests bypassing the pool
+//   sim.pool.cached_bytes      bytes currently parked in freelists
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rmc::sim {
+
+enum class PoolTag : unsigned { kBuffer = 0, kPacket = 1, kFrame = 2 };
+
+namespace pool_detail {
+
+inline constexpr std::size_t kMinClassBytes = 64;
+inline constexpr std::size_t kMaxClassBytes = std::size_t{1} << 20;
+inline constexpr unsigned kNumClasses = 15;  // 64 << 14 == 1 MiB
+inline constexpr unsigned kNumTags = 3;
+
+inline unsigned class_of(std::size_t n) {
+  std::size_t c = kMinClassBytes;
+  unsigned idx = 0;
+  while (c < n) {
+    c <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+inline constexpr std::size_t class_bytes(unsigned idx) { return kMinClassBytes << idx; }
+
+struct Central {
+  std::vector<void*> free_lists[kNumClasses];
+  obs::Counter* hits[kNumTags];
+  obs::Counter* misses[kNumTags];
+  obs::Counter* unpooled[kNumTags];
+  obs::Gauge* cached_bytes;
+
+  Central() {
+    static constexpr const char* kFamilies[kNumTags] = {"buffer", "packet", "frame"};
+    auto& reg = obs::registry();
+    for (unsigned t = 0; t < kNumTags; ++t) {
+      const std::string base = std::string("sim.pool.") + kFamilies[t];
+      hits[t] = &reg.counter(base + ".hits");
+      misses[t] = &reg.counter(base + ".misses");
+      unpooled[t] = &reg.counter(base + ".unpooled");
+    }
+    cached_bytes = &reg.gauge("sim.pool.cached_bytes");
+    for (auto& fl : free_lists) fl.reserve(64);
+  }
+};
+
+inline Central& central() {
+  static Central* c = new Central();  // leaky: outlives all pooled objects
+  return *c;
+}
+
+}  // namespace pool_detail
+
+/// Rounded-up capacity the pool would hand out for a request of n bytes.
+inline std::size_t pooled_capacity(std::size_t n) {
+  if (n > pool_detail::kMaxClassBytes) return n;
+  return pool_detail::class_bytes(pool_detail::class_of(n));
+}
+
+inline void* pooled_alloc(std::size_t n, PoolTag tag) {
+  auto& c = pool_detail::central();
+  const auto t = static_cast<unsigned>(tag);
+  if (n > pool_detail::kMaxClassBytes) {
+    c.unpooled[t]->inc();
+    return ::operator new(n);
+  }
+  const unsigned cls = pool_detail::class_of(n);
+  auto& fl = c.free_lists[cls];
+  if (!fl.empty()) {
+    void* p = fl.back();
+    fl.pop_back();
+    c.hits[t]->inc();
+    c.cached_bytes->sub(static_cast<std::int64_t>(pool_detail::class_bytes(cls)));
+    return p;
+  }
+  c.misses[t]->inc();
+  return ::operator new(pool_detail::class_bytes(cls));
+}
+
+inline void pooled_free(void* p, std::size_t n, PoolTag tag) {
+  if (p == nullptr) return;
+  auto& c = pool_detail::central();
+  if (n > pool_detail::kMaxClassBytes) {
+    ::operator delete(p);
+    return;
+  }
+  const unsigned cls = pool_detail::class_of(n);
+  c.free_lists[cls].push_back(p);
+  c.cached_bytes->add(static_cast<std::int64_t>(pool_detail::class_bytes(cls)));
+  (void)tag;
+}
+
+/// A byte buffer drawing its storage from the pool. Replaces
+/// std::vector<std::byte> for packet payloads: same observable size()/
+/// data()/assign surface, but the backing store is recycled instead of
+/// freed, and capacity is the pool's size class (never shrinks).
+class PooledBytes {
+ public:
+  PooledBytes() = default;
+
+  PooledBytes(PooledBytes&& o) noexcept : data_(o.data_), size_(o.size_), cap_(o.cap_) {
+    o.data_ = nullptr;
+    o.size_ = o.cap_ = 0;
+  }
+
+  PooledBytes& operator=(PooledBytes&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.data_ = nullptr;
+      o.size_ = o.cap_ = 0;
+    }
+    return *this;
+  }
+
+  PooledBytes(const PooledBytes& o) { assign(o.data_, o.size_); }
+  PooledBytes& operator=(const PooledBytes& o) {
+    if (this != &o) assign(o.data_, o.size_);
+    return *this;
+  }
+
+  ~PooledBytes() { release(); }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::byte* begin() { return data_; }
+  std::byte* end() { return data_ + size_; }
+  const std::byte* begin() const { return data_; }
+  const std::byte* end() const { return data_ + size_; }
+
+  std::byte& operator[](std::size_t i) { return data_[i]; }
+  const std::byte& operator[](std::size_t i) const { return data_[i]; }
+
+  void clear() { size_ = 0; }
+
+  /// Uninitialized grow/shrink: callers overwrite the bytes they claim.
+  void resize(std::size_t n) {
+    ensure(n);
+    size_ = n;
+  }
+
+  void assign(const std::byte* p, std::size_t n) {
+    ensure(n);
+    if (n > 0) __builtin_memcpy(data_, p, n);
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    if (n == 0) {
+      size_ = 0;
+      return;
+    }
+    assign(&*first, n);
+  }
+
+ private:
+  void ensure(std::size_t n) {
+    if (n <= cap_) return;
+    const std::size_t new_cap = pooled_capacity(n);
+    std::byte* fresh = static_cast<std::byte*>(pooled_alloc(n, PoolTag::kBuffer));
+    if (size_ > 0) __builtin_memcpy(fresh, data_, size_);
+    release();
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void release() {
+    if (data_ != nullptr) pooled_free(data_, cap_, PoolTag::kBuffer);
+    data_ = nullptr;
+    size_ = cap_ = 0;
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace rmc::sim

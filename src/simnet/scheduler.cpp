@@ -1,6 +1,8 @@
 #include "simnet/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
@@ -9,7 +11,9 @@ namespace rmc::sim {
 
 Scheduler::Scheduler()
     : events_metric_(&obs::registry().counter("sim.sched.events")),
-      queue_depth_metric_(&obs::registry().gauge("sim.sched.queue_depth")) {}
+      queue_depth_metric_(&obs::registry().gauge("sim.sched.queue_depth")) {
+  heap_.reserve(1024);
+}
 
 Scheduler::~Scheduler() {
   // Destroy roots that never finished (blocked servers, dispatch loops).
@@ -22,7 +26,53 @@ Scheduler::~Scheduler() {
 
 void Scheduler::call_at(Time t, UniqueFunction fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Entry{t, seq_++, std::move(fn)});
+  const std::uint64_t seq = seq_++;
+  // Park the closure out-of-band; the heap only shuffles (t, seq, slot).
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  // Hole-based sift-up: walk the insertion hole toward the root comparing
+  // keys only; the entry is materialized once, in its final slot.
+  std::size_t hole = heap_.size();
+  heap_.emplace_back();  // reserve the slot; filled below
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!before(t, seq, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = Entry{t, seq, slot};
+}
+
+void Scheduler::pop_top_into(Entry& out) {
+  out = heap_[0];
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    // Sift the former back element down from the root, moving the smallest
+    // child up into the hole each level; one move per level, no swaps.
+    const Entry tail = heap_[last];
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first_child = hole * kArity + 1;
+      if (first_child >= last) break;
+      std::size_t best = first_child;
+      const std::size_t fence = std::min(first_child + kArity, last);
+      for (std::size_t c = first_child + 1; c < fence; ++c) {
+        if (before(heap_[c].t, heap_[c].seq, heap_[best])) best = c;
+      }
+      if (!before(heap_[best].t, heap_[best].seq, tail)) break;
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    heap_[hole] = tail;
+  }
+  heap_.pop_back();
 }
 
 void Scheduler::spawn(Task<> task) {
@@ -38,15 +88,19 @@ void Scheduler::spawn(Task<> task) {
 Time Scheduler::run() { return run_until(kNoTimeout); }
 
 Time Scheduler::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) {
-    // Move the entry out before popping: the callback may push new events.
-    auto entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_depth_metric_->set(static_cast<std::int64_t>(queue_.size()));
-    queue_.pop();
+  Entry entry;
+  while (!heap_.empty() && heap_[0].t <= deadline) {
+    pop_top_into(entry);
+    queue_depth_metric_->set(static_cast<std::int64_t>(heap_.size()));
     now_ = entry.t;
     ++events_processed_;
     events_metric_->inc();
-    entry.fn();
+    // Move the closure out before dispatching: the callback may push new
+    // events (growing/reusing slots_) and may destroy queued frames via
+    // teardown. The local dies at scope end, before the next pop.
+    UniqueFunction fn = std::move(slots_[entry.slot]);
+    free_slots_.push_back(entry.slot);
+    fn();
   }
   return now_;
 }

@@ -6,6 +6,16 @@
 // events at the same instant fire in the order they were scheduled. No
 // wall-clock time, no OS threads.
 //
+// The queue is a flat 4-ary heap over a vector that only grows. Compared
+// to std::priority_queue<Entry>: half the tree depth, hole-based
+// sift-up/down (one move per level instead of a swap's three), and pop
+// extracts the top directly instead of move-out-then-sift the husk.
+// Closures live out-of-band in a recycled slot array, so heap entries are
+// 24-byte trivially-copyable (time, seq, slot) keys — sift moves are plain
+// stores instead of indirect-call UniqueFunction moves.
+// (t, seq) keys are unique, so any min-heap pops the exact same global
+// order — model output is bit-identical to the binary-heap version.
+//
 // Lifetime: root tasks handed to spawn() are owned by the scheduler. A root
 // that finishes frees its own frame (and unregisters); roots still blocked
 // when the Scheduler is destroyed are destroyed then. Never resume a
@@ -15,7 +25,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "simnet/task.hpp"
@@ -38,7 +48,9 @@ class Scheduler {
 
   Time now() const { return now_; }
 
-  /// Enqueue a callback at absolute time `t` (must be >= now()).
+  /// Enqueue a callback at absolute time `t` (must be >= now(); asserted
+  /// in debug builds so pooled-object reuse bugs fail loudly instead of
+  /// corrupting event order).
   void call_at(Time t, UniqueFunction fn);
 
   /// Enqueue a callback `dt` nanoseconds from now.
@@ -84,18 +96,27 @@ class Scheduler {
   struct Entry {
     Time t;
     std::uint64_t seq;
-    UniqueFunction fn;
-    bool operator>(const Entry& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
+    std::uint32_t slot;  ///< index into slots_ holding the closure
   };
+  static_assert(std::is_trivially_copyable_v<Entry>);
 
   struct RootRecord {
     std::coroutine_handle<> handle;
     bool alive = true;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  static constexpr std::size_t kArity = 4;
+
+  static bool before(Time at, std::uint64_t aseq, const Entry& b) {
+    return at != b.t ? at < b.t : aseq < b.seq;
+  }
+
+  /// Remove the minimum entry into `out` (heap must be non-empty).
+  void pop_top_into(Entry& out);
+
+  std::vector<Entry> heap_;
+  std::vector<UniqueFunction> slots_;     ///< closures, indexed by Entry::slot
+  std::vector<std::uint32_t> free_slots_;  ///< recycled slots_ indices
   std::vector<std::unique_ptr<RootRecord>> roots_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;

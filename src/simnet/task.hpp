@@ -13,9 +13,12 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "simnet/pool.hpp"
 
 namespace rmc::sim {
 
@@ -25,6 +28,13 @@ class [[nodiscard]] Task;
 namespace detail {
 
 struct PromiseBase {
+  // Every request flows through a handful of short-lived Task frames
+  // (per-message handlers, per-op client calls). Route frame storage
+  // through the simulator pool so steady-state traffic recycles frames
+  // instead of hitting malloc once per coroutine.
+  static void* operator new(std::size_t n) { return pooled_alloc(n, PoolTag::kFrame); }
+  static void operator delete(void* p, std::size_t n) { pooled_free(p, n, PoolTag::kFrame); }
+
   std::coroutine_handle<> continuation{};
   bool detached = false;
   // Set by Scheduler::spawn so a finished root can unregister itself

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "simnet/fabric.hpp"
+#include "simnet/pool.hpp"
 
 namespace rmc::sock::wire {
 
@@ -27,7 +27,16 @@ struct Segment final : sim::Packet {
   std::uint16_t port = 0;        ///< syn: destination listen port
   std::uint32_t src_sock = 0;    ///< sender's socket id
   std::uint32_t dst_sock = 0;    ///< receiver's socket id (0 during syn)
-  std::vector<std::byte> payload;
+  sim::PooledBytes payload;      ///< recycled with the segment itself
+
+  // Segments churn once per MSS on the streaming path; recycle their
+  // storage through the shared size-class pool.
+  static void* operator new(std::size_t n) {
+    return sim::pooled_alloc(n, sim::PoolTag::kPacket);
+  }
+  static void operator delete(void* p, std::size_t n) {
+    sim::pooled_free(p, n, sim::PoolTag::kPacket);
+  }
 };
 
 }  // namespace rmc::sock::wire

@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
-#include <vector>
 
 #include "common/error.hpp"
+#include "common/ring_deque.hpp"
 #include "simnet/event.hpp"
+#include "simnet/pool.hpp"
 #include "simnet/task.hpp"
 #include "sockets/costs.hpp"
 
@@ -54,8 +54,9 @@ class Socket {
  private:
   friend class NetStack;
 
-  /// Stack side: buffered payload arrival.
-  void deliver(std::vector<std::byte> chunk);
+  /// Stack side: buffered payload arrival (storage returns to the pool
+  /// once the reader drains the chunk).
+  void deliver(sim::PooledBytes chunk);
   /// Stack side: peer sent FIN.
   void deliver_eof();
 
@@ -66,7 +67,7 @@ class Socket {
   SockState state_ = SockState::connecting;
   bool peer_closed_ = false;
 
-  std::deque<std::vector<std::byte>> rx_chunks_;
+  RingDeque<sim::PooledBytes> rx_chunks_;
   std::size_t rx_head_offset_ = 0;  ///< consumed bytes of rx_chunks_.front()
   std::size_t rx_bytes_ = 0;
   sim::Counter rx_signal_;  ///< bumped on every delivery and on EOF

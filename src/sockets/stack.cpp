@@ -93,7 +93,7 @@ void Socket::close() {
   rx_signal_.add();  // wake any blocked reader so it sees the closed state
 }
 
-void Socket::deliver(std::vector<std::byte> chunk) {
+void Socket::deliver(sim::PooledBytes chunk) {
   rx_bytes_ += chunk.size();
   rx_buffered_gauge().add(static_cast<std::int64_t>(chunk.size()));
   rx_chunks_.push_back(std::move(chunk));

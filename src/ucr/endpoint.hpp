@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring_deque.hpp"
 #include "verbs/qp.hpp"
 
 namespace rmc::ucr {
@@ -72,7 +72,7 @@ class Endpoint {
   std::uint32_t send_credits_;        ///< my right to send eager messages
   std::uint32_t credits_owed_ = 0;    ///< peer messages processed, not yet credited
   bool credit_msg_inflight_ = false;  ///< bounded explicit credit returns
-  std::deque<QueuedAm> backlog_;      ///< sends waiting for credits
+  RingDeque<QueuedAm> backlog_;       ///< sends waiting for credits
 };
 
 }  // namespace rmc::ucr

@@ -221,17 +221,11 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
   am.target_counter = target_counter.id;
   am.token = next_token_++;
 
-  std::vector<std::byte> packed;
+  const std::size_t packed_len =
+      eager ? eager_total : wire::AmWire::kSize + header.size();
   if (eager) {
     am.kind = wire::Kind::eager;
     am.want_flags = completion_counter ? wire::kAckCompletion : 0;
-    packed.resize(eager_total);
-    am.encode(packed.data());
-    std::memcpy(packed.data() + wire::AmWire::kSize, header.data(), header.size());
-    if (!data.empty()) {
-      std::memcpy(packed.data() + wire::AmWire::kSize + header.size(), data.data(),
-                  data.size());
-    }
     ++eager_sent_;
     obs::registry().counter("ucr.eager.sends").inc();
     if (am.want_flags) {
@@ -245,9 +239,6 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
     verbs::MemoryRegion* mr = find_or_register(data);
     am.rndz_addr = reinterpret_cast<std::uint64_t>(data.data());
     am.rndz_rkey = mr->rkey();
-    packed.resize(wire::AmWire::kSize + header.size());
-    am.encode(packed.data());
-    std::memcpy(packed.data() + wire::AmWire::kSize, header.data(), header.size());
     ++rendezvous_sent_;
     obs::registry().counter("ucr.rendezvous.sends").inc();
     if (am.want_flags) {
@@ -257,11 +248,32 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
   }
 
   if (ep.send_credits_ == 0) {
+    // Credit stall: the registered staging arena may be needed for credit
+    // returns, so park a heap copy on the backlog. This is the only
+    // allocating branch of the send path; ucr.backlog.stalls counts it.
     obs::registry().counter("ucr.backlog.stalls").inc();
+    std::vector<std::byte> packed(packed_len);
+    am.encode(packed.data());
+    std::memcpy(packed.data() + wire::AmWire::kSize, header.data(), header.size());
+    if (eager && !data.empty()) {
+      std::memcpy(packed.data() + wire::AmWire::kSize + header.size(), data.data(),
+                  data.size());
+    }
     ep.backlog_.push_back({std::move(packed), !eager});
   } else {
+    // Credits available: encode wire header + user header (+ eager data)
+    // straight into the registered bounce buffer — no intermediate copy.
     --ep.send_credits_;
-    transmit(ep, const_span(packed));
+    const std::uint32_t slot = acquire_slot();
+    auto buf = slot_span(slot);
+    assert(packed_len <= buf.size());
+    am.encode(buf.data());
+    std::memcpy(buf.data() + wire::AmWire::kSize, header.data(), header.size());
+    if (eager && !data.empty()) {
+      std::memcpy(buf.data() + wire::AmWire::kSize + header.size(), data.data(),
+                  data.size());
+    }
+    transmit_slot(ep, slot, packed_len);
   }
 
   // Eager local completion: the message was staged (copied), so the
@@ -275,8 +287,13 @@ void Runtime::transmit(Endpoint& ep, std::span<const std::byte> packed) {
   auto buf = slot_span(slot);
   assert(packed.size() <= buf.size());
   std::memcpy(buf.data(), packed.data(), packed.size());
+  transmit_slot(ep, slot, packed.size());
+}
 
-  // Piggyback owed credits.
+void Runtime::transmit_slot(Endpoint& ep, std::uint32_t slot, std::size_t len) {
+  auto buf = slot_span(slot);
+
+  // Piggyback owed credits by patching the already-encoded wire header.
   const auto credits = static_cast<std::uint16_t>(
       std::min<std::uint32_t>(ep.credits_owed_, std::uint16_t(-1)));
   std::memcpy(buf.data() + kCreditsOffset, &credits, sizeof(credits));
@@ -284,7 +301,7 @@ void Runtime::transmit(Endpoint& ep, std::span<const std::byte> packed) {
 
   verbs::SendWr wr{.wr_id = kTagSend | slot,
                    .opcode = verbs::Opcode::send,
-                   .local = buf.first(packed.size()),
+                   .local = buf.first(len),
                    .lkey = send_mr_->lkey()};
   if (ep.type_ == EpType::unreliable) {
     wr.ud_remote_nic = ep.ud_remote_nic_;
@@ -304,11 +321,12 @@ void Runtime::send_internal(Endpoint& ep, wire::Kind kind, std::uint64_t token,
   am.kind = kind;
   am.token = token;
   am.ack_flags = ack_flags;
-  std::vector<std::byte> packed(wire::AmWire::kSize);
-  am.encode(packed.data());
   // Internal messages bypass the credit window (bounded by outstanding
-  // operations, which are themselves credit-bounded).
-  transmit(ep, const_span(packed));
+  // operations, which are themselves credit-bounded). Encode straight
+  // into the staging slot; nothing to copy.
+  const std::uint32_t slot = acquire_slot();
+  am.encode(slot_span(slot).data());
+  transmit_slot(ep, slot, wire::AmWire::kSize);
 }
 
 void Runtime::flush_backlog(Endpoint& ep) {
@@ -376,28 +394,35 @@ Status Runtime::get(Endpoint& ep, std::span<std::byte> dst, const RemoteMemory& 
 sim::Task<> Runtime::send_progress() {
   while (true) {
     auto wc = co_await send_cq_->next();
-    const std::uint64_t tag = wc.wr_id & kTagMask;
-    const std::uint64_t value = wc.wr_id & ~kTagMask;
-    if (tag == kTagSend) {
-      release_slot(static_cast<std::uint32_t>(value));
-      if (wc.status != verbs::WcStatus::success) {
-        auto it = ep_by_qpn_.find(wc.qp_num);
-        if (it != ep_by_qpn_.end()) fail_endpoint(*it->second);
+    // Batch drain: after the awaited completion, pull any others already
+    // queued (polling mode) without bouncing through the awaitable again.
+    while (true) {
+      const std::uint64_t tag = wc.wr_id & kTagMask;
+      const std::uint64_t value = wc.wr_id & ~kTagMask;
+      if (tag == kTagSend) {
+        release_slot(static_cast<std::uint32_t>(value));
+        if (wc.status != verbs::WcStatus::success) {
+          auto it = ep_by_qpn_.find(wc.qp_num);
+          if (it != ep_by_qpn_.end()) fail_endpoint(*it->second);
+        }
+      } else if (tag == kTagRead) {
+        co_await complete_target_read(value, wc.status);
+      } else if (tag == kTagOneSided) {
+        auto it = pending_one_sided_.find(value);
+        if (it != pending_one_sided_.end()) {
+          if (wc.status == verbs::WcStatus::success) it->second->add();
+          // On error the counter stays put and the caller's timeout fires
+          // (§IV-A: corrective action is the application's call).
+          pending_one_sided_.erase(it);
+        }
+        if (wc.status != verbs::WcStatus::success) {
+          auto ep_it = ep_by_qpn_.find(wc.qp_num);
+          if (ep_it != ep_by_qpn_.end()) fail_endpoint(*ep_it->second);
+        }
       }
-    } else if (tag == kTagRead) {
-      co_await complete_target_read(value, wc.status);
-    } else if (tag == kTagOneSided) {
-      auto it = pending_one_sided_.find(value);
-      if (it != pending_one_sided_.end()) {
-        if (wc.status == verbs::WcStatus::success) it->second->add();
-        // On error the counter stays put and the caller's timeout fires
-        // (§IV-A: corrective action is the application's call).
-        pending_one_sided_.erase(it);
-      }
-      if (wc.status != verbs::WcStatus::success) {
-        auto ep_it = ep_by_qpn_.find(wc.qp_num);
-        if (ep_it != ep_by_qpn_.end()) fail_endpoint(*ep_it->second);
-      }
+      auto more = send_cq_->try_next_ready();
+      if (!more) break;
+      wc = *more;
     }
   }
 }
@@ -405,26 +430,32 @@ sim::Task<> Runtime::send_progress() {
 sim::Task<> Runtime::recv_progress() {
   while (true) {
     auto wc = co_await recv_cq_->next();
-    const auto slot = static_cast<std::uint32_t>(wc.wr_id);
-    if (wc.status == verbs::WcStatus::success) {
-      ++messages_received_;
-      obs::registry().counter("ucr.msgs.received").inc();
-      std::span<std::byte> buf{
-          recv_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
-          config_.eager_limit};
-      Endpoint* ep = nullptr;
-      if (ud_qp_ && wc.qp_num == ud_qp_->qp_num()) {
-        // Datagram: route by the endpoint id stamped into the AM header.
-        const wire::AmWire am = wire::AmWire::decode(buf.data());
-        auto it = ep_by_ud_id_.find(am.dst_ep);
-        if (it != ep_by_ud_id_.end()) ep = it->second;
-      } else {
-        auto it = ep_by_qpn_.find(wc.qp_num);
-        if (it != ep_by_qpn_.end()) ep = it->second;
+    // Batch drain queued completions (polling mode) before suspending.
+    while (true) {
+      const auto slot = static_cast<std::uint32_t>(wc.wr_id);
+      if (wc.status == verbs::WcStatus::success) {
+        ++messages_received_;
+        obs::registry().counter("ucr.msgs.received").inc();
+        std::span<std::byte> buf{
+            recv_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
+            config_.eager_limit};
+        Endpoint* ep = nullptr;
+        if (ud_qp_ && wc.qp_num == ud_qp_->qp_num()) {
+          // Datagram: route by the endpoint id stamped into the AM header.
+          const wire::AmWire am = wire::AmWire::decode(buf.data());
+          auto it = ep_by_ud_id_.find(am.dst_ep);
+          if (it != ep_by_ud_id_.end()) ep = it->second;
+        } else {
+          auto it = ep_by_qpn_.find(wc.qp_num);
+          if (it != ep_by_qpn_.end()) ep = it->second;
+        }
+        if (ep) co_await handle_message(*ep, buf, wc.byte_len);
       }
-      if (ep) co_await handle_message(*ep, buf, wc.byte_len);
+      repost_recv_slot(slot);
+      auto more = recv_cq_->try_next_ready();
+      if (!more) break;
+      wc = *more;
     }
-    repost_recv_slot(slot);
   }
 }
 

@@ -182,6 +182,9 @@ class Runtime {
   /// Transmit a packed AM over the endpoint, consuming one credit and
   /// piggybacking owed credits.
   void transmit(Endpoint& ep, std::span<const std::byte> packed);
+  /// Transmit a message already encoded into the staging slot `slot`
+  /// (first `len` bytes); patches piggybacked credits in place.
+  void transmit_slot(Endpoint& ep, std::uint32_t slot, std::size_t len);
   void send_internal(Endpoint& ep, wire::Kind kind, std::uint64_t token,
                      std::uint8_t ack_flags);
   void flush_backlog(Endpoint& ep);

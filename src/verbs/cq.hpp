@@ -56,6 +56,22 @@ class CompletionQueue {
     co_return *wc;
   }
 
+  /// Polling-mode batch path for progress loops: drain a completion that
+  /// has already been delivered, without going through the awaitable
+  /// machinery. Charges exactly the cost sequence next() would (one poll
+  /// count, one poll_cq reservation), so draining N queued completions via
+  /// one next() + N-1 of these is sim-time-identical to N next() calls.
+  /// Returns nullopt in event-driven mode: the interrupt cost must be paid
+  /// per completion, so callers fall back to next().
+  std::optional<WorkCompletion> try_next_ready() {
+    if (mode_ != CqMode::polling) return std::nullopt;
+    auto wc = entries_.try_recv();
+    if (!wc) return std::nullopt;
+    polls_metric_->inc();
+    cpu_->reserve(costs_.poll_cq_ns);
+    return wc;
+  }
+
   /// HCA side: deliver a completion.
   void push(WorkCompletion wc) {
     completions_metric_->inc();

@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/slotmap.hpp"
 #include "simnet/event.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/scheduler.hpp"
@@ -159,8 +160,13 @@ class Hca {
   std::uint32_t next_qpn_ = 1;
   std::uint64_t next_token_ = 1;
 
-  std::unordered_map<std::uint64_t, PendingSend> pending_sends_;
-  std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+  // In-flight operations keyed by the token that crosses the wire: the
+  // SlotMap key (slot | generation) *is* the token, so per-message
+  // bookkeeping recycles slots instead of churning unordered_map nodes.
+  // Sends and reads are separate key spaces; the packet kind (ack vs
+  // read_resp) selects the map, so overlapping keys cannot collide.
+  SlotMap<PendingSend> pending_sends_;
+  SlotMap<PendingRead> pending_reads_;
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingConnect>> pending_connects_;
   std::unordered_map<std::uint16_t, ListenerConfig> listeners_;
 

@@ -7,10 +7,12 @@
 // acks, which matters at high message rates).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <new>
 
 #include "simnet/fabric.hpp"
+#include "simnet/pool.hpp"
 #include "verbs/types.hpp"
 
 namespace rmc::verbs::wire {
@@ -28,6 +30,17 @@ enum class Kind : std::uint8_t {
 };
 
 struct IbPacket final : sim::Packet {
+  // One IbPacket per simulated message: object and payload storage both
+  // recycle through the simulator pool (sim.pool.packet / sim.pool.buffer)
+  // so steady-state traffic never touches malloc. `final` keeps the sized
+  // operator delete exact.
+  static void* operator new(std::size_t n) {
+    return sim::pooled_alloc(n, sim::PoolTag::kPacket);
+  }
+  static void operator delete(void* p, std::size_t n) {
+    sim::pooled_free(p, n, sim::PoolTag::kPacket);
+  }
+
   Kind kind = Kind::send_data;
   std::uint32_t src_qpn = 0;
   std::uint32_t dst_qpn = 0;
@@ -36,7 +49,7 @@ struct IbPacket final : sim::Packet {
   std::uint64_t token = 0;
 
   /// send_data / rdma_write / rdma_read_resp payload (real bytes).
-  std::vector<std::byte> payload;
+  sim::PooledBytes payload;
 
   /// One-sided target (rdma_write, rdma_read_req).
   std::uint64_t remote_addr = 0;

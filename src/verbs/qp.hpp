@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "common/error.hpp"
+#include "common/ring_deque.hpp"
 #include "verbs/cq.hpp"
 #include "verbs/types.hpp"
 
@@ -32,7 +32,7 @@ class SharedReceiveQueue {
   }
 
  private:
-  std::deque<RecvWr> queue_;
+  RingDeque<RecvWr> queue_;  // breathes in place; no chunk churn per recv
 };
 
 enum class QpState : std::uint8_t { reset, ready, error };
@@ -101,7 +101,7 @@ class QueuePair {
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
   SharedReceiveQueue* srq_;
-  std::deque<RecvWr> recv_queue_;
+  RingDeque<RecvWr> recv_queue_;
   QpState state_ = QpState::reset;
   std::uint32_t remote_nic_ = 0;
   std::uint32_t remote_qpn_ = 0;

@@ -20,6 +20,12 @@ std::string str(std::span<const std::byte> b) {
   return {reinterpret_cast<const char*>(b.data()), b.size()};
 }
 
+std::vector<std::string> keys_of(const Request& req) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < req.key_count(); ++i) out.emplace_back(req.key_at(i));
+  return out;
+}
+
 Request parse_one(const std::string& wire) {
   RequestParser parser;
   parser.feed(bytes(wire));
@@ -37,19 +43,19 @@ Request parse_one(const std::string& wire) {
 TEST(RequestParse, Get) {
   const Request req = parse_one("get somekey\r\n");
   EXPECT_EQ(req.command, Command::get);
-  ASSERT_EQ(req.keys.size(), 1u);
-  EXPECT_EQ(req.keys[0], "somekey");
+  ASSERT_EQ(req.key_count(), 1u);
+  EXPECT_EQ(req.key(), "somekey");
 }
 
 TEST(RequestParse, MultiKeyGet) {
   const Request req = parse_one("get a b c\r\n");
-  EXPECT_EQ(req.keys, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(keys_of(req), (std::vector<std::string>{"a", "b", "c"}));
 }
 
 TEST(RequestParse, SetWithData) {
   const Request req = parse_one("set k 42 100 5\r\nhello\r\n");
   EXPECT_EQ(req.command, Command::set);
-  EXPECT_EQ(req.key, "k");
+  EXPECT_EQ(req.key(), "k");
   EXPECT_EQ(req.flags, 42u);
   EXPECT_EQ(req.exptime, 100u);
   EXPECT_EQ(str(req.data), "hello");
@@ -70,7 +76,7 @@ TEST(RequestParse, CasCarriesUnique) {
 TEST(RequestParse, IncrDecr) {
   Request req = parse_one("incr counter 5\r\n");
   EXPECT_EQ(req.command, Command::incr);
-  EXPECT_EQ(req.key, "counter");
+  EXPECT_EQ(req.key(), "counter");
   EXPECT_EQ(req.delta, 5u);
   req = parse_one("decr counter 2\r\n");
   EXPECT_EQ(req.command, Command::decr);
@@ -113,9 +119,9 @@ TEST(RequestParse, PipelinedRequests) {
   ASSERT_TRUE(r1.ok() && r1->has_value());
   ASSERT_TRUE(r2.ok() && r2->has_value());
   ASSERT_TRUE(r3.ok() && r3->has_value());
-  EXPECT_EQ((*r1)->keys[0], "a");
-  EXPECT_EQ((*r2)->key, "b");
-  EXPECT_EQ((*r3)->keys[0], "c");
+  EXPECT_EQ((*r1)->key(), "a");
+  EXPECT_EQ((*r2)->key(), "b");
+  EXPECT_EQ((*r3)->key(), "c");
   EXPECT_TRUE(r4.ok());
   EXPECT_FALSE(r4->has_value());
 }
@@ -154,7 +160,7 @@ TEST(RequestParse, WireBytesAccounting) {
 TEST(RequestEncode, RoundTripsThroughParser) {
   Request req;
   req.command = Command::set;
-  req.key = "mykey";
+  req.set_key("mykey");
   req.flags = 3;
   req.exptime = 60;
   const std::string payload = "payload-data";
@@ -165,7 +171,7 @@ TEST(RequestEncode, RoundTripsThroughParser) {
   parser.feed(encode_request(req));
   auto r = parser.next();
   ASSERT_TRUE(r.ok() && r->has_value());
-  EXPECT_EQ((*r)->key, "mykey");
+  EXPECT_EQ((*r)->key(), "mykey");
   EXPECT_EQ((*r)->flags, 3u);
   EXPECT_EQ((*r)->exptime, 60u);
   EXPECT_EQ(str((*r)->data), payload);
@@ -179,8 +185,8 @@ TEST(RequestEncode, AllCommandsRoundTrip) {
                    Command::stats, Command::version, Command::quit}) {
     Request req;
     req.command = cmd;
-    req.key = "key-" + rng.alnum(8);
-    req.keys = {req.key, "second"};
+    req.set_key("key-" + rng.alnum(8));
+    ASSERT_TRUE(req.add_key("second"));
     req.flags = static_cast<std::uint32_t>(rng.below(1000));
     req.exptime = static_cast<std::uint32_t>(rng.below(1000));
     req.delta = rng.below(1000);
@@ -306,13 +312,13 @@ TEST(Property, RandomChunkingNeverCorruptsStream) {
       Request req;
       if (rng.chance(0.5)) {
         req.command = Command::set;
-        req.key = rng.alnum(rng.between(1, 30));
+        req.set_key(rng.alnum(rng.between(1, 30)));
         const auto value = rng.alnum(rng.between(0, 500));
         req.data.assign(reinterpret_cast<const std::byte*>(value.data()),
                         reinterpret_cast<const std::byte*>(value.data()) + value.size());
       } else {
         req.command = Command::get;
-        req.keys = {rng.alnum(rng.between(1, 30))};
+        req.set_key(rng.alnum(rng.between(1, 30)));
       }
       const auto encoded = encode_request(req);
       wire.insert(wire.end(), encoded.begin(), encoded.end());
@@ -336,11 +342,82 @@ TEST(Property, RandomChunkingNeverCorruptsStream) {
     ASSERT_EQ(got.size(), sent.size());
     for (std::size_t i = 0; i < sent.size(); ++i) {
       EXPECT_EQ(got[i].command, sent[i].command);
-      EXPECT_EQ(got[i].key, sent[i].key);
-      EXPECT_EQ(got[i].keys, sent[i].keys);
+      EXPECT_EQ(keys_of(got[i]), keys_of(sent[i]));
       EXPECT_EQ(got[i].data, sent[i].data);
     }
   }
+}
+
+// ------------------------------------------- hot-path regression tests ----
+
+TEST(RequestParse, KeySurvivesLaterFeedsAndCompaction) {
+  // A parsed Request owns its key bytes: mutating the parser's buffer
+  // afterwards (more feeds, compaction, further requests) must not change
+  // what key()/key_at() return.
+  RequestParser parser;
+  parser.feed(bytes("get aliased-key another\r\n"));
+  auto r = parser.next();
+  ASSERT_TRUE(r.ok() && r->has_value());
+  Request req = std::move(**r);
+  // Push enough traffic through the parser to force reallocation and
+  // front-compaction of its internal buffer.
+  const std::string filler = "set filler 0 0 40000\r\n" + std::string(40000, 'z') + "\r\n";
+  for (int i = 0; i < 4; ++i) {
+    parser.feed(bytes(filler));
+    auto f = parser.next();
+    ASSERT_TRUE(f.ok() && f->has_value());
+  }
+  EXPECT_EQ(req.key(), "aliased-key");
+  ASSERT_EQ(req.key_count(), 2u);
+  EXPECT_EQ(req.key_at(1), "another");
+  // Copies and moves keep the keys intact too.
+  Request copy = req;
+  Request moved = std::move(req);
+  EXPECT_EQ(copy.key_at(1), "another");
+  EXPECT_EQ(moved.key(), "aliased-key");
+}
+
+TEST(RequestParse, OversizedKeyIsRejectedBeforeCopy) {
+  const std::string big(251, 'k');
+  for (const std::string& wire : {"get " + big + "\r\n", "set " + big + " 0 0 1\r\nx\r\n",
+                                  "delete " + big + "\r\n"}) {
+    RequestParser parser;
+    parser.feed(bytes(wire));
+    auto r = parser.next();
+    EXPECT_FALSE(r.ok()) << wire.substr(0, 20);
+  }
+  // 250 bytes is exactly legal.
+  const std::string legal(250, 'k');
+  const Request req = parse_one("get " + legal + "\r\n");
+  EXPECT_EQ(req.key(), legal);
+}
+
+TEST(RequestParse, TokenFloodIsRejected) {
+  // More tokens than the tokenizer's fixed cap: protocol_error, not an
+  // unbounded allocation.
+  std::string wire = "get";
+  for (int i = 0; i < 200; ++i) wire += " k" + std::to_string(i);
+  wire += "\r\n";
+  RequestParser parser;
+  parser.feed(bytes(wire));
+  auto r = parser.next();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RequestParse, ManyKeysSpillButParse) {
+  // More keys than the inline arena holds: they spill to the heap
+  // (mc.alloc.key_spills) but parse and copy correctly.
+  std::string wire = "get";
+  std::vector<std::string> expect;
+  for (int i = 0; i < 40; ++i) {
+    expect.push_back("key-number-" + std::to_string(i));
+    wire += " " + expect.back();
+  }
+  wire += "\r\n";
+  const Request req = parse_one(wire);
+  EXPECT_EQ(keys_of(req), expect);
+  Request copy = req;  // spilled keys survive copies as well
+  EXPECT_EQ(keys_of(copy), expect);
 }
 
 }  // namespace

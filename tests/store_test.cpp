@@ -3,6 +3,7 @@
 // the two-phase RDMA path, and refcount pinning.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <set>
@@ -335,6 +336,26 @@ TEST(Store, EvictionDisabledReturnsNoResources) {
   }
   EXPECT_TRUE(failed);
   EXPECT_EQ(store.stats().evictions, 0u);
+}
+
+TEST(Store, ItemOwnsKeyAndValueBytesAfterCallerBufferDies) {
+  // The store must copy key and value into the slab chunk: the hot path
+  // hands it string_views/spans into receive buffers that are recycled
+  // immediately after the call.
+  ItemStore store;
+  std::string key_buf = "volatile-key";
+  std::string val_buf = "volatile-value";
+  ASSERT_TRUE(store.store(SetMode::set, key_buf, val(val_buf), 0, 0).ok());
+  // Scribble over the caller's buffers (simulating rx-buffer reuse).
+  std::fill(key_buf.begin(), key_buf.end(), '!');
+  std::fill(val_buf.begin(), val_buf.end(), '?');
+  ItemHeader* item = store.get("volatile-key");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->key(), "volatile-key");
+  EXPECT_EQ(str(item->value()), "volatile-value");
+  // And lookups read the probe key by value, not by pointer identity.
+  std::string probe = "volatile-key";
+  EXPECT_EQ(store.get(probe), item);
 }
 
 TEST(Store, PinnedItemSurvivesDeleteUntilRelease) {

@@ -1,0 +1,119 @@
+// The PR's headline property, verified end to end: once warm, a GET over
+// UCR performs ZERO heap allocations per request — client marshalling,
+// verbs transmit/receive, scheduler dispatch, server worker, store lookup,
+// eager reply, and the client-side landing of the value are all pooled,
+// intrusive, or on the stack.
+//
+// This TU replaces the global operator new/delete with counting wrappers;
+// the steady-state loop asserts the counter does not move.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "core/testbed.hpp"
+#include "memcached/client.hpp"
+#include "memcached/server.hpp"
+#include "simnet/netparams.hpp"
+
+namespace {
+// Not atomic on purpose: the simulation is single-threaded, and the counter
+// must not perturb codegen on the hot path.
+long long g_news = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_news;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void* operator new(std::size_t n, std::align_val_t align) {
+  ++g_news;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (n + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t align) { return operator new(n, align); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace rmc::mc {
+namespace {
+
+using sim::Scheduler;
+using sim::Task;
+
+std::span<const std::byte> val(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+TEST(ZeroAlloc, SteadyStateUcrGetAllocatesNothing) {
+  Scheduler sched;
+  sim::Fabric ib{sched, sim::ib_qdr_link()};
+  sim::Host server_host{sched, 0, "server", 8};
+  sim::Host client_host{sched, 1, "client", 8};
+  verbs::Hca server_hca{sched, ib, server_host};
+  verbs::Hca client_hca{sched, ib, client_host};
+  ucr::Runtime server_ucr{server_hca};
+  ucr::Runtime client_ucr{client_hca};
+  Server server{sched, server_host, {}};
+  server.attach_ucr_frontend(server_ucr);
+
+  ClientBehavior behavior;
+  behavior.op_timeout = sim::kNoTimeout;  // timed waits heap-allocate a WaitState
+  Client client{sched, client_host, behavior};
+  client.add_server_ucr(client_ucr, server_ucr.addr(), server.config().port);
+
+  bool done = false;
+  long long delta = -1;
+  long long failures = 0;
+
+  sched.spawn([](Client& client, bool& done, long long& delta,
+                 long long& failures) -> Task<> {
+    // ASSERT_* expands to `return;`, ill-formed in a coroutine — check by hand.
+    if (!(co_await client.connect_all()).ok()) { ADD_FAILURE() << "connect"; co_return; }
+    const std::string value(64, 'v');
+    if (!(co_await client.set("hot-key", val(value), 7)).ok()) {
+      ADD_FAILURE() << "set";
+      co_return;
+    }
+
+    std::array<std::byte, 256> dest;
+    // Warm-up: fill every pool and free list (scheduler heap, packet and
+    // frame pools, staging slots, slot maps, worker queues, metrics).
+    for (int i = 0; i < 2000; ++i) {
+      auto r = co_await client.get_into("hot-key", dest);
+      if (!r.ok() || r->value_len != 64) { ADD_FAILURE() << "warm-up get"; co_return; }
+    }
+
+    // Steady state: 10k GETs, zero allocations. No gtest macros inside the
+    // loop — even their success paths are not audited for allocation.
+    const long long before = g_news;
+    for (int i = 0; i < 10000; ++i) {
+      auto r = co_await client.get_into("hot-key", dest);
+      if (!r.ok() || r->value_len != 64 || r->flags != 7) ++failures;
+    }
+    delta = g_news - before;
+    done = true;
+  }(client, done, delta, failures));
+  sched.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(delta, 0) << "heap allocations on the steady-state GET path";
+}
+
+}  // namespace
+}  // namespace rmc::mc

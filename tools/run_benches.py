@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Run the tracked benchmark suite and write a BENCH_<n>.json snapshot.
+
+Measures (in a Release tree):
+  * micro_sim_components  — scheduler/coroutine/counter micro-benchmarks
+  * micro_kv_components   — parser/store/encode micro-benchmarks
+  * fig3 / fig6 binaries  — end-to-end wall-clock (sanity, not a gate)
+
+The snapshot keeps two sections:
+  * "baseline" — the pre-change numbers. Preserved verbatim from an existing
+    output file so the before/after pair lives in one tracked artifact.
+  * "current"  — what this run measured.
+
+Headline gauges (the ones CI gates on):
+  * sim_events_per_sec — BM_SchedulerEventDispatch items/sec (higher better)
+  * kv_parse_get_ns    — BM_ParseGetRequest real ns/op      (lower better)
+
+Usage:
+  tools/run_benches.py [--build-dir build-rel] [--out BENCH_2.json] [--quick]
+  tools/run_benches.py --check BENCH_2.json [--build-dir ...] [--quick]
+
+--check re-measures and fails (exit 1) if sim_events_per_sec regressed more
+than --tolerance (default 20%) against the checked-in snapshot's "current"
+section. No files are written in check mode.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MICRO_TARGETS = ["micro_sim_components", "micro_kv_components"]
+WALLCLOCK_TARGETS = {
+    "fig3": "fig3_latency_cluster_a",
+    "fig6": "fig6_multi_client_tps",
+}
+
+
+def run(cmd, **kw):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, check=True, **kw)
+
+
+def ensure_build(build_dir, targets):
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    if not os.path.exists(cache):
+        run(["cmake", "-B", build_dir, "-S", REPO,
+             "-DCMAKE_BUILD_TYPE=Release"])
+    else:
+        with open(cache) as f:
+            if "CMAKE_BUILD_TYPE:STRING=Release" not in f.read():
+                sys.exit(f"error: {build_dir} is not a Release tree; "
+                         "benchmark numbers would be meaningless")
+    run(["cmake", "--build", build_dir, "-j", str(os.cpu_count() or 2),
+         "--target"] + targets)
+
+
+def find_binary(build_dir, name):
+    for sub in ("bench", "examples", "."):
+        p = os.path.join(build_dir, sub, name)
+        if os.path.exists(p):
+            return p
+    sys.exit(f"error: benchmark binary {name} not found under {build_dir}")
+
+
+def run_micro(build_dir, target, quick):
+    out = os.path.join(build_dir, f"{target}.json")
+    cmd = [find_binary(build_dir, target),
+           "--benchmark_format=json", f"--benchmark_out={out}"]
+    if quick:
+        # Plain seconds: the "0.05s" suffix form is only understood by
+        # google-benchmark >= 1.8, a bare double works on both old and new.
+        cmd.append("--benchmark_min_time=0.05")
+    run(cmd, stdout=subprocess.DEVNULL)
+    with open(out) as f:
+        data = json.load(f)
+    results = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {"real_time_ns": b["real_time"]}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        if "bytes_per_second" in b:
+            entry["bytes_per_second"] = b["bytes_per_second"]
+        results[b["name"]] = entry
+    return results
+
+
+def run_wallclock(build_dir):
+    timings = {}
+    for key, target in WALLCLOCK_TARGETS.items():
+        binary = find_binary(build_dir, target)
+        t0 = time.monotonic()
+        run([binary], stdout=subprocess.DEVNULL)
+        timings[key] = round(time.monotonic() - t0, 3)
+    return timings
+
+
+def measure(build_dir, quick):
+    targets = MICRO_TARGETS + ([] if quick else list(WALLCLOCK_TARGETS.values()))
+    ensure_build(build_dir, targets)
+    current = {"quick": quick, "benchmarks": {}}
+    for target in MICRO_TARGETS:
+        current["benchmarks"][target] = run_micro(build_dir, target, quick)
+    if not quick:
+        current["wallclock_sec"] = run_wallclock(build_dir)
+    sim = current["benchmarks"]["micro_sim_components"]
+    kv = current["benchmarks"]["micro_kv_components"]
+    current["headline"] = {
+        "sim_events_per_sec": sim["BM_SchedulerEventDispatch"]["items_per_second"],
+        "kv_parse_get_ns": kv["BM_ParseGetRequest"]["real_time_ns"],
+    }
+    return current
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(REPO, "build-rel"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_2.json"))
+    ap.add_argument("--quick", action="store_true",
+                    help="short benchmark repetitions, skip wall-clock figs")
+    ap.add_argument("--check", metavar="SNAPSHOT",
+                    help="compare against a checked-in snapshot instead of writing")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional regression in --check mode")
+    args = ap.parse_args()
+
+    current = measure(args.build_dir, args.quick)
+
+    if args.check:
+        # Leave a machine-readable record of what was measured (CI artifact).
+        check_out = os.path.join(args.build_dir, "bench-check.json")
+        with open(check_out, "w") as f:
+            json.dump({"schema": "rmc-bench-snapshot/1", "current": current},
+                      f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {check_out}")
+        with open(args.check) as f:
+            snapshot = json.load(f)
+        ref = snapshot["current"]["headline"]["sim_events_per_sec"]
+        got = current["headline"]["sim_events_per_sec"]
+        floor = ref * (1.0 - args.tolerance)
+        print(f"scheduler events/sec: reference {ref:,.0f}  measured {got:,.0f}  "
+              f"floor {floor:,.0f}")
+        if got < floor:
+            print("FAIL: scheduler dispatch throughput regressed beyond "
+                  f"{args.tolerance:.0%}", file=sys.stderr)
+            sys.exit(1)
+        print("OK: within tolerance")
+        return
+
+    doc = {"schema": "rmc-bench-snapshot/1", "baseline": current}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            doc = json.load(f)
+    doc["current"] = current
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    h = current["headline"]
+    if "headline" in doc.get("baseline", {}):
+        b = doc["baseline"]["headline"]
+        ev = h["sim_events_per_sec"] / b["sim_events_per_sec"] - 1.0
+        pg = b["kv_parse_get_ns"] / h["kv_parse_get_ns"] - 1.0
+        print(f"vs baseline: scheduler dispatch {ev:+.1%}, GET parse {pg:+.1%}")
+
+
+if __name__ == "__main__":
+    main()
