@@ -1,10 +1,21 @@
-// Multi-server pool + fault isolation (§II-C, §IV-A): a client shards keys
-// across four memcached servers by key hash — no central directory — and
-// when one server stops answering, operations against it time out while
-// the remaining servers keep serving. This is the data-center fault model
-// that distinguishes UCR endpoints from MPI ranks.
+// Multi-server pool + scripted fault injection (§II-C, §IV-A): a client
+// shards keys across three memcached servers with a ketama continuum — no
+// central directory — and a FaultPlan crashes one server's NIC mid-run.
+//
+// The failure path exercises the whole recovery stack:
+//   * keepalive probes notice the silence and fail the endpoint, waking
+//     every in-flight operation with an error instead of a silent hang,
+//   * the client retries with backoff, ejects the dead host after
+//     consecutive failures, and re-routes its keyspace share onto the
+//     survivors (ketama: only ~1/n of keys remap),
+//   * a rejoin probe reconnects once the FaultPlan revives the NIC, and
+//     the host takes its keys back — with its store intact.
+//
+// Surviving servers never miss a beat, and every operation resolves
+// within its timeout budget: endpoint failure is an event, not a hang.
 //
 //   $ ./examples/server_pool
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -13,6 +24,8 @@
 
 #include "memcached/client.hpp"
 #include "memcached/server.hpp"
+#include "obs/metrics.hpp"
+#include "simnet/faults.hpp"
 #include "simnet/netparams.hpp"
 
 using namespace rmc;
@@ -34,75 +47,145 @@ struct Pool {
 
   sim::Host client_host{sched, 100, "webserver", 8};
   verbs::Hca client_hca{sched, fabric, client_host};
-  ucr::Runtime client_ucr{client_hca};
+  std::unique_ptr<ucr::Runtime> client_ucr;
   std::unique_ptr<mc::Client> client;
 
   explicit Pool(int n) {
+    // Keepalive on the client runtime: a dead server is detected even
+    // when no request happens to be in flight.
+    ucr::UcrConfig ucr_config;
+    ucr_config.keepalive_interval = 100_us;
+    client_ucr = std::make_unique<ucr::Runtime>(client_hca, ucr_config);
+
     mc::ClientBehavior behavior;
+    behavior.distribution = mc::Distribution::ketama;
     behavior.op_timeout = 300_us;  // fail fast when a server is dead
+    behavior.max_retries = 2;
+    behavior.retry_backoff = 20_us;
+    behavior.eject_after_failures = 2;
+    behavior.rejoin_interval = 200_us;
+    behavior.rejoin_attempts = 40;
     client = std::make_unique<mc::Client>(sched, client_host, behavior);
+
     for (int i = 0; i < n; ++i) {
       hosts.push_back(std::make_unique<sim::Host>(sched, i, "mc" + std::to_string(i), 8));
       hcas.push_back(std::make_unique<verbs::Hca>(sched, fabric, *hosts.back()));
       runtimes.push_back(std::make_unique<ucr::Runtime>(*hcas.back()));
       servers.push_back(std::make_unique<mc::Server>(sched, *hosts.back(), mc::ServerConfig{}));
       servers.back()->attach_ucr_frontend(*runtimes.back());
-      client->add_server_ucr(client_ucr, runtimes.back()->addr(), 11211);
+      client->add_server_ucr(*client_ucr, runtimes.back()->addr(), 11211);
     }
   }
 };
 
+constexpr int kKeys = 300;
+constexpr std::size_t kVictim = 1;
+
+std::string key_of(int i) { return "session:" + std::to_string(i); }
+
 sim::Task<> scenario(Pool& pool) {
   mc::Client& client = *pool.client;
+  obs::Registry& reg = obs::registry();
   (void)co_await client.connect_all();
 
-  // Shard 200 session objects across the pool.
+  // ---- act 1: shard the working set across the pool ----
   std::vector<int> per_server(pool.servers.size(), 0);
-  for (int i = 0; i < 200; ++i) {
-    const std::string key = "session:" + std::to_string(i);
-    per_server[client.server_index(key)]++;
-    (void)co_await client.set(key, bytes("state-" + std::to_string(i)));
+  std::vector<std::size_t> owner(kKeys);  // pre-crash ownership
+  for (int i = 0; i < kKeys; ++i) {
+    owner[i] = client.server_index(key_of(i));
+    per_server[owner[i]]++;
+    (void)co_await client.set(key_of(i), bytes("state-" + std::to_string(i)));
   }
   std::printf("key distribution across %zu servers:", pool.servers.size());
   for (std::size_t s = 0; s < per_server.size(); ++s) {
     std::printf("  mc%zu=%d", s, per_server[s]);
   }
   std::printf("\n");
+  const int victim_keys = per_server[kVictim];
 
-  // Server 2 crashes: its runtime stops answering requests.
-  std::printf("\n*** killing server mc2 ***\n\n");
-  pool.runtimes[2]->register_handler(mc::ucrp::kMsgRequest, {});
+  // ---- act 2: script the outage — crash mc1's NIC, revive it later ----
+  const sim::Time crash_at = pool.sched.now() + 200_us;
+  const sim::Time revive_at = crash_at + 4_ms;
+  const sim::NicAddr victim_nic = pool.runtimes[kVictim]->addr();
+  pool.fabric.faults().schedule({
+      {crash_at, {.kind = sim::Fault::Kind::node_down, .a = victim_nic}},
+      {revive_at, {.kind = sim::Fault::Kind::node_up, .a = victim_nic}},
+  });
+  std::printf("\n*** fault plan: mc%zu crashes at t+200us, revives at t+4.2ms ***\n\n",
+              kVictim);
 
-  int ok = 0, dead = 0;
-  sim::Time dead_latency = 0, ok_latency = 0;
-  for (int i = 0; i < 200; ++i) {
-    const std::string key = "session:" + std::to_string(i);
+  const std::uint64_t retries_before = reg.counter("mc.client.retries").value();
+  const std::uint64_t ejected_before = reg.counter("mc.pool.ejected").value();
+
+  // ---- act 3: read through the outage ----
+  int hits = 0, misses = 0, errors = 0;
+  sim::Time slowest = 0;
+  for (int i = 0; i < kKeys; ++i) {
     const sim::Time begin = pool.sched.now();
-    auto got = co_await client.get(key);
-    const sim::Time lat = pool.sched.now() - begin;
+    auto got = co_await client.get(key_of(i));
+    slowest = std::max(slowest, pool.sched.now() - begin);
     if (got.ok()) {
-      ++ok;
-      ok_latency += lat;
+      ++hits;
+    } else if (got.error() == Errc::not_found) {
+      ++misses;  // re-routed to a survivor that never saw the key
     } else {
-      ++dead;
-      dead_latency += lat;
-      if (dead == 1) {
-        std::printf("first failed get: key=%s routed to mc%zu -> %s after %.0f us\n",
-                    key.c_str(), client.server_index(key),
-                    std::string(to_string(got.error())).c_str(), to_us(lat));
+      ++errors;
+      if (errors == 1) {
+        std::printf("first failed get: key=%s -> %s after %.0f us\n", key_of(i).c_str(),
+                    std::string(to_string(got.error())).c_str(),
+                    to_us(pool.sched.now() - begin));
       }
     }
   }
-  std::printf("after failure: %d gets served (avg %.1f us), %d timed out (avg %.0f us)\n",
-              ok, to_us(ok_latency) / ok, dead, to_us(dead_latency) / dead);
-  std::printf("surviving servers were never disturbed: fault isolation holds.\n");
+  std::printf("reads through the outage: %d hits, %d re-routed misses, %d errors\n", hits,
+              misses, errors);
+  std::printf("slowest operation: %.0f us — every op resolved within its retry budget\n",
+              to_us(slowest));
+  std::printf("client ejected mc%zu (pool ejections: %llu, op retries: %llu)\n", kVictim,
+              static_cast<unsigned long long>(reg.counter("mc.pool.ejected").value() -
+                                              ejected_before),
+              static_cast<unsigned long long>(reg.counter("mc.client.retries").value() -
+                                              retries_before));
+
+  // ---- act 4: survivors were never disturbed ----
+  int survivor_hits = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (owner[i] == kVictim) continue;
+    auto got = co_await client.get(key_of(i));
+    if (got.ok()) ++survivor_hits;
+  }
+  std::printf("survivor re-read: %d/%d keys still served without interruption\n",
+              survivor_hits, kKeys - victim_keys);
+
+  // ---- act 5: wait out the revival; the rejoin probe reconnects ----
+  while (client.server_ejected(kVictim) && pool.sched.now() < revive_at + 20_ms) {
+    co_await pool.sched.delay(500_us);
+  }
+  int healed_hits = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    auto got = co_await client.get(key_of(i));
+    if (got.ok()) ++healed_hits;
+  }
+  std::printf("after rejoin: %d/%d keys hit again (mc%zu kept its store: the NIC died, "
+              "not the data)\n",
+              healed_hits, kKeys, kVictim);
+
+  std::printf("\nfailure accounting:\n");
+  for (const char* name : {"ucr.ep.failures", "ucr.keepalive.timeouts",
+                           "mc.client.disconnects", "mc.client.retries", "mc.pool.ejected",
+                           "mc.pool.rejoined", "sim.fault.drops"}) {
+    std::printf("  %-24s %llu\n", name,
+                static_cast<unsigned long long>(reg.counter(name).value()));
+  }
 }
 
 }  // namespace
 
 int main() {
-  Pool pool(4);
+  Pool pool(3);
   pool.sched.spawn(scenario(pool));
-  pool.sched.run();
+  // Keepalive probing is a perpetual task: drive the sim to a horizon
+  // instead of draining the queue.
+  pool.sched.run_until(100_ms);
   return 0;
 }

@@ -453,7 +453,21 @@ class UcrConn final : public ServerConn {
         port_(port) {
     ensure_handler(runtime);
     arena_.resize(kArenaSize);
+    // Endpoint death must not leave in-flight operations to ride out their
+    // timeouts: fail every pending request the moment the runtime reports
+    // the endpoint down, so callers see Errc::disconnected immediately.
+    down_handler_ = runtime.on_endpoint_down([this](ucr::Endpoint& ep, Errc) {
+      if (&ep != ep_) return;
+      ep_ = nullptr;
+      obs::registry().counter("mc.client.disconnects").inc();
+      pending_.for_each([](std::uint64_t, Pending& p) {
+        p.failed = true;
+        if (p.counter) p.counter->fail_waiters();
+      });
+    });
   }
+
+  ~UcrConn() override { runtime_->remove_endpoint_handler(down_handler_); }
 
   sim::Task<Status> connect() override {
     const auto type =
@@ -578,6 +592,7 @@ class UcrConn final : public ServerConn {
     std::span<std::byte> user_dest{};  ///< get_into: land the value here
     std::uint32_t value_len = 0;
     bool done = false;
+    bool failed = false;  ///< endpoint died while this op was in flight
     sim::Counter* counter = nullptr;
     std::uint64_t wait_target = 0;
     std::size_t counter_slot = 0;
@@ -631,14 +646,18 @@ class UcrConn final : public ServerConn {
   sim::Task<Result<Pending>> await_reply(std::uint64_t req_id) {
     Pending* p = pending_.get(req_id);
     assert(p != nullptr);
-    sim::Counter* counter = p->counter;
-    const std::uint64_t target = p->wait_target;
-    const bool ok = co_await counter->wait_geq(target, behavior_.op_timeout);
-    p = pending_.get(req_id);  // slots may have moved while suspended
-    if (p == nullptr) co_return Errc::protocol_error;
+    bool ok = true;
+    if (!p->failed) {  // a dead endpoint never delivers; don't wait for it
+      sim::Counter* counter = p->counter;
+      const std::uint64_t target = p->wait_target;
+      ok = co_await counter->wait_geq(target, behavior_.op_timeout);
+      p = pending_.get(req_id);  // slots may have moved while suspended
+      if (p == nullptr) co_return Errc::protocol_error;
+    }
     const Pending pending = *p;
     pending_.erase(req_id);
     release_counter(pending.counter_slot);
+    if (pending.failed) co_return Errc::disconnected;
     if (!ok) {
       obs::registry().counter("mc.client.timeouts").inc();
       co_return Errc::timed_out;
@@ -750,6 +769,7 @@ class UcrConn final : public ServerConn {
   sim::NicAddr addr_;
   std::uint16_t port_;
   ucr::Endpoint* ep_ = nullptr;
+  std::uint64_t down_handler_ = 0;
 
   SlotMap<Pending> pending_;
 
@@ -788,6 +808,7 @@ Client::~Client() = default;
 
 void Client::register_server(std::string name) {
   server_names_.push_back(std::move(name));
+  health_.emplace_back();
   if (behavior_.distribution == Distribution::ketama) continuum_.rebuild(server_names_);
 }
 
@@ -817,46 +838,162 @@ sim::Task<Status> Client::connect_all() {
 
 std::size_t Client::server_index(std::string_view key) const {
   assert(!conns_.empty());
-  if (behavior_.distribution == Distribution::ketama) return continuum_.lookup(key);
-  return hash_key(behavior_.key_hash, key) % conns_.size();
+  if (behavior_.distribution == Distribution::ketama) {
+    const std::size_t index = continuum_.lookup(key);
+    return alive_to_conn_.empty() ? index : alive_to_conn_[index];
+  }
+  const std::size_t start = hash_key(behavior_.key_hash, key) % conns_.size();
+  for (std::size_t probe = 0; probe < conns_.size(); ++probe) {
+    const std::size_t index = (start + probe) % conns_.size();
+    if (index >= health_.size() || !health_[index].ejected) return index;
+  }
+  return start;  // whole pool ejected: fall back to the natural owner
+}
+
+// ------------------------------------------------ failure recovery --
+
+sim::Task<Status> Client::ensure_conn(std::size_t index) {
+  ServerConn& conn = *conns_[index];
+  if (conn.alive()) co_return Status{};
+  obs::registry().counter("mc.client.reconnects").inc();
+  co_return co_await conn.connect();
+}
+
+void Client::note_failure(std::size_t index) {
+  if (index >= health_.size()) return;
+  ServerHealth& h = health_[index];
+  ++h.consecutive_failures;
+  if (h.ejected || behavior_.eject_after_failures == 0 || conns_.size() < 2) return;
+  if (h.consecutive_failures < behavior_.eject_after_failures) return;
+  h.ejected = true;
+  obs::registry().counter("mc.pool.ejected").inc();
+  rebuild_routing();
+  if (behavior_.rejoin_interval != 0 && !h.probing) {
+    h.probing = true;
+    sched_->spawn(rejoin_probe(index));
+  }
+}
+
+void Client::note_success(std::size_t index) {
+  if (index >= health_.size()) return;
+  ServerHealth& h = health_[index];
+  h.consecutive_failures = 0;
+  if (!h.ejected) return;
+  h.ejected = false;
+  obs::registry().counter("mc.pool.rejoined").inc();
+  rebuild_routing();
+}
+
+void Client::rebuild_routing() {
+  if (behavior_.distribution != Distribution::ketama) return;
+  // Re-hash the continuum over the surviving pool: ketama's whole point
+  // is that this remaps only the dead server's share of the keyspace.
+  std::vector<std::string> alive;
+  alive_to_conn_.clear();
+  for (std::size_t i = 0; i < server_names_.size(); ++i) {
+    if (i < health_.size() && health_[i].ejected) continue;
+    alive.push_back(server_names_[i]);
+    alive_to_conn_.push_back(i);
+  }
+  if (alive.empty()) {  // nobody left: keep routing to natural owners
+    alive_to_conn_.clear();
+    continuum_.rebuild(server_names_);
+    return;
+  }
+  continuum_.rebuild(alive);
+}
+
+sim::Task<> Client::rejoin_probe(std::size_t index) {
+  for (std::uint32_t i = 0; i < behavior_.rejoin_attempts && health_[index].ejected; ++i) {
+    co_await sched_->delay(behavior_.rejoin_interval);
+    if (!health_[index].ejected) break;
+    ServerConn& conn = *conns_[index];
+    if (!conn.alive()) {
+      auto st = co_await conn.connect();
+      if (!st.ok()) continue;
+    }
+    // Any reply — even a miss — proves the server is back.
+    auto probe = co_await conn.get("rejoin-probe", false);
+    if (probe.ok() || !transport_error(probe.error())) note_success(index);
+  }
+  health_[index].probing = false;
+}
+
+template <typename Op>
+std::invoke_result_t<Op&, ServerConn&> Client::with_retries(std::string_view key, Op op) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    // Route per attempt: an ejection between attempts re-routes the key.
+    const std::size_t index = server_index(key);
+    Errc failure = Errc::ok;
+    if (!conns_[index]->alive()) {
+      auto reconnected = co_await ensure_conn(index);
+      if (!reconnected.ok()) {
+        if (!transport_error(reconnected.error())) co_return reconnected.error();
+        failure = reconnected.error();
+      }
+    }
+    if (failure == Errc::ok) {
+      auto result = co_await op(*conns_[index]);
+      if (result.ok() || !transport_error(result.error())) {
+        note_success(index);
+        co_return std::move(result);
+      }
+      failure = result.error();
+    }
+    note_failure(index);
+    if (attempt >= behavior_.max_retries) co_return failure;
+    obs::registry().counter("mc.client.retries").inc();
+    co_await sched_->delay(behavior_.retry_backoff << std::min(attempt, 6u));
+  }
 }
 
 sim::Task<Status> Client::set(std::string_view key, std::span<const std::byte> value,
                               std::uint32_t flags, std::uint32_t exptime) {
   obs::registry().counter("mc.client.sets").inc();
-  co_return co_await conn_for(key).store(SetMode::set, key, value, flags, exptime, 0);
+  co_return co_await with_retries(key, [&](ServerConn& c) {
+    return c.store(SetMode::set, key, value, flags, exptime, 0);
+  });
 }
 sim::Task<Status> Client::add(std::string_view key, std::span<const std::byte> value,
                               std::uint32_t flags, std::uint32_t exptime) {
-  co_return co_await conn_for(key).store(SetMode::add, key, value, flags, exptime, 0);
+  co_return co_await with_retries(key, [&](ServerConn& c) {
+    return c.store(SetMode::add, key, value, flags, exptime, 0);
+  });
 }
 sim::Task<Status> Client::replace(std::string_view key, std::span<const std::byte> value,
                                   std::uint32_t flags, std::uint32_t exptime) {
-  co_return co_await conn_for(key).store(SetMode::replace, key, value, flags, exptime, 0);
+  co_return co_await with_retries(key, [&](ServerConn& c) {
+    return c.store(SetMode::replace, key, value, flags, exptime, 0);
+  });
 }
 sim::Task<Status> Client::append(std::string_view key, std::span<const std::byte> value) {
-  co_return co_await conn_for(key).store(SetMode::append, key, value, 0, 0, 0);
+  co_return co_await with_retries(
+      key, [&](ServerConn& c) { return c.store(SetMode::append, key, value, 0, 0, 0); });
 }
 sim::Task<Status> Client::prepend(std::string_view key, std::span<const std::byte> value) {
-  co_return co_await conn_for(key).store(SetMode::prepend, key, value, 0, 0, 0);
+  co_return co_await with_retries(
+      key, [&](ServerConn& c) { return c.store(SetMode::prepend, key, value, 0, 0, 0); });
 }
 sim::Task<Status> Client::cas(std::string_view key, std::span<const std::byte> value,
                               std::uint64_t cas_unique, std::uint32_t flags,
                               std::uint32_t exptime) {
-  co_return co_await conn_for(key).store(SetMode::cas, key, value, flags, exptime, cas_unique);
+  co_return co_await with_retries(key, [&](ServerConn& c) {
+    return c.store(SetMode::cas, key, value, flags, exptime, cas_unique);
+  });
 }
 
 sim::Task<Result<proto::Value>> Client::get(std::string_view key) {
   obs::registry().counter("mc.client.gets").inc();
-  co_return co_await conn_for(key).get(key, false);
+  co_return co_await with_retries(key, [&](ServerConn& c) { return c.get(key, false); });
 }
 sim::Task<Result<proto::Value>> Client::gets(std::string_view key) {
-  co_return co_await conn_for(key).get(key, true);
+  co_return co_await with_retries(key, [&](ServerConn& c) { return c.get(key, true); });
 }
 sim::Task<Result<GetIntoResult>> Client::get_into(std::string_view key,
                                                   std::span<std::byte> dest) {
   obs::registry().counter("mc.client.gets").inc();
-  co_return co_await conn_for(key).get_into(key, dest, false);
+  co_return co_await with_retries(
+      key, [&](ServerConn& c) { return c.get_into(key, dest, false); });
 }
 
 sim::Task<Result<std::vector<std::optional<proto::Value>>>> Client::mget(
@@ -900,16 +1037,19 @@ sim::Task<Result<std::vector<std::optional<proto::Value>>>> Client::mget(
 }
 
 sim::Task<Status> Client::del(std::string_view key) {
-  co_return co_await conn_for(key).del(key);
+  co_return co_await with_retries(key, [&](ServerConn& c) { return c.del(key); });
 }
 sim::Task<Result<std::uint64_t>> Client::incr(std::string_view key, std::uint64_t delta) {
-  co_return co_await conn_for(key).arith(key, delta, false);
+  co_return co_await with_retries(key,
+                                  [&](ServerConn& c) { return c.arith(key, delta, false); });
 }
 sim::Task<Result<std::uint64_t>> Client::decr(std::string_view key, std::uint64_t delta) {
-  co_return co_await conn_for(key).arith(key, delta, true);
+  co_return co_await with_retries(key,
+                                  [&](ServerConn& c) { return c.arith(key, delta, true); });
 }
 sim::Task<Status> Client::touch(std::string_view key, std::uint32_t exptime) {
-  co_return co_await conn_for(key).touch(key, exptime);
+  co_return co_await with_retries(key,
+                                  [&](ServerConn& c) { return c.touch(key, exptime); });
 }
 
 sim::Task<Status> Client::flush_all() {

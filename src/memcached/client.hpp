@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,23 @@ struct ClientBehavior {
   /// Speak the memcached binary protocol on socket servers (auto-detected
   /// server side, like memcached 1.4).
   bool binary_protocol = false;
+
+  // ---- failure recovery (all off by default: a client with the default
+  // behavior is byte-identical to the pre-fault-tolerance one) ----
+
+  /// Retry an operation this many times after a transport failure
+  /// (disconnected / timed_out), reconnecting and re-routing through the
+  /// current pool view between attempts. 0 = single attempt.
+  std::uint32_t max_retries = 0;
+  /// Delay before the first retry; doubles per attempt (capped at 64x).
+  sim::Time retry_backoff = 20'000;  // 20 us
+  /// Eject a server from key routing after this many consecutive
+  /// transport failures (0 = never eject; pools of one never eject).
+  std::uint32_t eject_after_failures = 2;
+  /// Probe ejected servers for rejoin this often (0 = no probing; a
+  /// successful operation on an ejected server also rejoins it).
+  sim::Time rejoin_interval = 0;
+  std::uint32_t rejoin_attempts = 8;
 };
 
 /// get_into result: the value bytes landed in the caller's buffer.
@@ -102,8 +120,14 @@ class Client {
   sim::Task<Status> connect_all();
 
   std::size_t server_count() const { return conns_.size(); }
-  /// Which server a key routes to (exposed for tests).
+  /// Which server a key routes to (exposed for tests). Ejected servers
+  /// are routed around: ketama re-hashes over the surviving pool, modulo
+  /// probes forward to the next live server.
   std::size_t server_index(std::string_view key) const;
+  /// Pool-health view: has this server been ejected from routing?
+  bool server_ejected(std::size_t index) const {
+    return index < health_.size() && health_[index].ejected;
+  }
 
   // ------------------------------------------------------- operations
   sim::Task<Status> set(std::string_view key, std::span<const std::byte> value,
@@ -134,15 +158,42 @@ class Client {
   sim::Task<Status> flush_all();
 
  private:
+  /// Per-server failure tracking (drives ejection / rejoin).
+  struct ServerHealth {
+    bool ejected = false;
+    bool probing = false;  ///< a rejoin_probe task is running
+    std::uint32_t consecutive_failures = 0;
+  };
+
   ServerConn& conn_for(std::string_view key) { return *conns_[server_index(key)]; }
   void register_server(std::string name);
+
+  static bool transport_error(Errc e) {
+    return e == Errc::disconnected || e == Errc::timed_out;
+  }
+
+  /// Run `op` against the server the key routes to, retrying transport
+  /// failures per ClientBehavior (reconnect, backoff, re-route). Defined
+  /// in client.cpp — all instantiations live there.
+  template <typename Op>
+  std::invoke_result_t<Op&, ServerConn&> with_retries(std::string_view key, Op op);
+
+  sim::Task<Status> ensure_conn(std::size_t index);
+  void note_failure(std::size_t index);
+  void note_success(std::size_t index);
+  void rebuild_routing();
+  sim::Task<> rejoin_probe(std::size_t index);
 
   sim::Scheduler* sched_;
   sim::Host* host_;
   ClientBehavior behavior_;
   std::vector<std::unique_ptr<ServerConn>> conns_;
   std::vector<std::string> server_names_;
+  std::vector<ServerHealth> health_;
   KetamaContinuum continuum_;
+  /// Ketama over the surviving pool: continuum index -> conns_ index.
+  /// Empty while nobody is ejected (the continuum then spans all servers).
+  std::vector<std::size_t> alive_to_conn_;
 };
 
 }  // namespace rmc::mc

@@ -35,7 +35,11 @@ Server::Server(sim::Scheduler& sched, sim::Host& host, ServerConfig config)
   }
 }
 
-Server::~Server() = default;
+Server::~Server() {
+  if (ucr_runtime_ != nullptr && ucr_down_handler_ != 0) {
+    ucr_runtime_->remove_endpoint_handler(ucr_down_handler_);
+  }
+}
 
 void Server::advance_clock() {
   store_.set_clock(static_cast<std::uint32_t>(1 + sched_->now() / kNsPerSec));
@@ -568,6 +572,7 @@ void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
                  reinterpret_cast<const char*>(header.data() + ucrp::RequestHeader::kSize),
                  req.key_len};
              auto* state = static_cast<UcrConnState*>(ep.user_data());
+             if (state == nullptr) return {};  // connection already reaped
              auto item = store_.allocate_item(key, data_len, req.flags, req.exptime);
              if (!item.ok()) {
                // Remember the failure so the completion path can answer
@@ -592,6 +597,7 @@ void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
                  reinterpret_cast<const char*>(header.data() + ucrp::RequestHeader::kSize),
                  req.key_len});
              auto* state = static_cast<UcrConnState*>(ep.user_data());
+             if (state == nullptr) return;  // connection already reaped
              auto it = state->pending_sets.find(req.req_id);
              if (it != state->pending_sets.end()) {
                work.prepared_item = it->second;
@@ -609,6 +615,23 @@ void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
     state->worker = next_worker_++ % worker_queues_.size();
     ep.set_user_data(state.get());
     ucr_conns_.push_back(std::move(state));
+  });
+
+  // Reap per-connection state when a client endpoint dies: abandon
+  // half-arrived SET values (their slab chunks go back to the free lists)
+  // and drop the UcrConnState before the endpoint storage is reclaimed.
+  ucr_down_handler_ = runtime.on_endpoint_down([this](ucr::Endpoint& ep, Errc) {
+    auto* state = static_cast<UcrConnState*>(ep.user_data());
+    if (state == nullptr) return;
+    for (auto& [req_id, item] : state->pending_sets) {
+      if (item != nullptr) store_.abandon_item(item);
+    }
+    state->pending_sets.clear();
+    ep.set_user_data(nullptr);
+    std::erase_if(ucr_conns_, [state](const std::unique_ptr<UcrConnState>& p) {
+      return p.get() == state;
+    });
+    obs::registry().counter("mc.server.conns_reaped").inc();
   });
 }
 

@@ -146,6 +146,7 @@ class Server {
   std::size_t next_worker_ = 0;  ///< round-robin connection assignment
 
   ucr::Runtime* ucr_runtime_ = nullptr;
+  std::uint64_t ucr_down_handler_ = 0;  ///< on_endpoint_down registration
   std::vector<std::unique_ptr<UcrConnState>> ucr_conns_;
 
   std::uint64_t requests_served_ = 0;

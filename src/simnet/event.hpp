@@ -74,6 +74,26 @@ class Counter {
     fire_ready();
   }
 
+  /// Wake every current waiter with failure (wait_geq resolves false)
+  /// without touching the value. Used when the thing being counted can
+  /// never complete — e.g. the endpoint that would have bumped this
+  /// counter died. Future waiters are unaffected.
+  void fail_waiters() {
+    for (auto& w : waiters_) {
+      if (w.node != nullptr) {
+        w.node->registered = nullptr;
+        w.node->failed = true;
+        sched_->resume_at(sched_->now(), w.node->handle);
+      } else {
+        if (w.state->done) continue;
+        w.state->done = true;
+        w.state->success = false;
+        sched_->resume_at(sched_->now(), w.state->handle);
+      }
+    }
+    waiters_.clear();
+  }
+
   /// Awaitable threshold wait; see class comment.
   auto wait_geq(std::uint64_t threshold, Time timeout = kNoTimeout) {
     struct Awaiter {
@@ -117,7 +137,7 @@ class Counter {
         });
       }
       bool await_resume() const noexcept {
-        return state == nullptr ? true : state->success;
+        return state == nullptr ? !node.failed : state->success;
       }
     };
     return Awaiter{*this, threshold, timeout};
@@ -133,6 +153,7 @@ class Counter {
   struct IntrusiveWaiter {
     std::coroutine_handle<> handle;
     Counter* registered = nullptr;  // non-null while on the waiter list
+    bool failed = false;            // set by fail_waiters before resuming
   };
 
   struct Waiter {

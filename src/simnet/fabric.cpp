@@ -38,8 +38,9 @@ void Fabric::transmit(PacketPtr packet) {
   packets_metric_->inc();
   bytes_metric_->inc(packet->wire_bytes);
 
-  if (params_.drop_per_million != 0 &&
-      drop_rng_.below(1000000) < params_.drop_per_million) {
+  const bool fault_drop = faults_ && faults_->should_drop(packet->src, packet->dst);
+  if (fault_drop || (params_.drop_per_million != 0 &&
+                     drop_rng_.below(1000000) < params_.drop_per_million)) {
     dst.dropped_messages_++;
     drops_metric_->inc();
     if (obs::tracer().enabled()) {
@@ -49,6 +50,7 @@ void Fabric::transmit(PacketPtr packet) {
     }
     return;  // lost in the fabric; no one is notified
   }
+  const Time fault_delay = faults_ ? faults_->extra_delay(packet->src, packet->dst) : 0;
 
   const Time now = sched_->now();
   if (packet->src == packet->dst) {
@@ -69,7 +71,7 @@ void Fabric::transmit(PacketPtr packet) {
   const Time tx_start = std::max(now, src.tx_free_);
   src.tx_free_ = tx_start + tx_time;
 
-  const Time arrival = tx_start + tx_time + params_.wire_latency;
+  const Time arrival = tx_start + tx_time + params_.wire_latency + fault_delay;
   const Time delivery = std::max(arrival, dst.rx_free_ + tx_time);
   dst.rx_free_ = delivery;
   dst.rx_messages_++;

@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "simnet/channel.hpp"
 #include "simnet/cpu.hpp"
+#include "simnet/faults.hpp"
 #include "simnet/scheduler.hpp"
 #include "simnet/time.hpp"
 
@@ -143,10 +144,20 @@ class Fabric {
     return static_cast<Time>(b / params_.bandwidth_Bpns);
   }
 
+  /// The fault injector for this fabric, created on first use. Fabrics
+  /// that never call this pay nothing on the transmit path beyond one
+  /// null-pointer check.
+  FaultInjector& faults() {
+    if (!faults_) faults_ = std::make_unique<FaultInjector>(*sched_);
+    return *faults_;
+  }
+  bool has_faults() const { return faults_ != nullptr; }
+
  private:
   Scheduler* sched_;
   LinkParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  std::unique_ptr<FaultInjector> faults_;
   Rng drop_rng_{0xd20bb};
   obs::Counter* packets_metric_;   ///< sim.fabric.packets
   obs::Counter* bytes_metric_;     ///< sim.fabric.bytes

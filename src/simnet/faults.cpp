@@ -1,0 +1,116 @@
+#include "simnet/faults.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "simnet/scheduler.hpp"
+
+namespace rmc::sim {
+
+FaultInjector::FaultInjector(Scheduler& sched)
+    : sched_(&sched),
+      injected_metric_(&obs::registry().counter("sim.fault.injected")),
+      drops_metric_(&obs::registry().counter("sim.fault.drops")) {}
+
+void FaultInjector::schedule(const FaultPlan& plan) {
+  for (const TimedFault& tf : plan) {
+    sched_->call_at(tf.at, [this, f = tf.fault] { apply(f); });
+  }
+}
+
+void FaultInjector::apply(const Fault& f) {
+  injected_metric_->inc();
+  switch (f.kind) {
+    case Fault::Kind::link_down:
+      set_link_down(f.a, f.b, true);
+      break;
+    case Fault::Kind::link_up:
+      set_link_down(f.a, f.b, false);
+      break;
+    case Fault::Kind::loss:
+      set_link_loss(f.a, f.b, f.drop_per_million);
+      break;
+    case Fault::Kind::delay:
+      set_link_delay(f.a, f.b, f.extra_delay);
+      break;
+    case Fault::Kind::partition:
+      partition(f.group);
+      break;
+    case Fault::Kind::heal:
+      heal();
+      break;
+    case Fault::Kind::node_down:
+      set_node_down(f.a, true);
+      break;
+    case Fault::Kind::node_up:
+      set_node_down(f.a, false);
+      break;
+  }
+}
+
+void FaultInjector::set_link_down(NicAddr a, NicAddr b, bool down) {
+  LinkState& ls = links_[link_key(a, b)];
+  ls.down = down;
+  if (ls.idle()) links_.erase(link_key(a, b));
+}
+
+void FaultInjector::set_link_loss(NicAddr a, NicAddr b, std::uint32_t drop_per_million) {
+  LinkState& ls = links_[link_key(a, b)];
+  ls.drop_per_million = drop_per_million;
+  if (ls.idle()) links_.erase(link_key(a, b));
+}
+
+void FaultInjector::set_link_delay(NicAddr a, NicAddr b, Time extra) {
+  LinkState& ls = links_[link_key(a, b)];
+  ls.extra_delay = extra;
+  if (ls.idle()) links_.erase(link_key(a, b));
+}
+
+void FaultInjector::set_node_down(NicAddr n, bool down) {
+  if (down) {
+    dead_nodes_.insert(n);
+  } else {
+    dead_nodes_.erase(n);
+  }
+}
+
+void FaultInjector::partition(std::vector<NicAddr> group) {
+  partition_group_.clear();
+  partition_group_.insert(group.begin(), group.end());
+  partitioned_ = true;
+}
+
+void FaultInjector::heal() {
+  partition_group_.clear();
+  partitioned_ = false;
+}
+
+bool FaultInjector::should_drop(NicAddr src, NicAddr dst) {
+  if (dead_nodes_.contains(src) || dead_nodes_.contains(dst)) {
+    drops_metric_->inc();
+    return true;
+  }
+  if (partitioned_ && src != dst &&
+      partition_group_.contains(src) != partition_group_.contains(dst)) {
+    drops_metric_->inc();
+    return true;
+  }
+  if (const LinkState* ls = find_link(src, dst)) {
+    if (ls->down) {
+      drops_metric_->inc();
+      return true;
+    }
+    if (ls->drop_per_million != 0 && loss_rng_.below(1000000) < ls->drop_per_million) {
+      drops_metric_->inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+Time FaultInjector::extra_delay(NicAddr src, NicAddr dst) const {
+  const LinkState* ls = find_link(src, dst);
+  return ls ? ls->extra_delay : 0;
+}
+
+}  // namespace rmc::sim

@@ -1,0 +1,138 @@
+// Deterministic fault injection for the fabric.
+//
+// A FaultInjector hangs off a Fabric and is consulted on every transmit.
+// Faults are scripted as a FaultPlan — a list of (time, fault) entries —
+// so a chaos run replays bit-identically: the injector carries its own
+// seeded Rng for per-link loss, separate from the fabric's global
+// drop_per_million stream (which remains untouched and becomes the
+// "uniform loss everywhere" special case of this machinery).
+//
+// Supported faults:
+//   link_down/link_up   — sever / restore one (undirected) NIC pair
+//   loss                — per-link probabilistic drop window
+//   delay               — add fixed latency on one link
+//   partition/heal      — cut the fabric in two (group vs. the rest)
+//   node_down/node_up   — crash / revive a NIC: nothing in or out
+//
+// The injector only *drops or delays* packets; detecting the resulting
+// silence is the job of the layers above (verbs RC retransmission, UCR
+// keepalive). That mirrors real hardware: a dead peer looks exactly like
+// a very quiet one.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simnet/time.hpp"
+
+namespace rmc::obs {
+class Counter;
+}  // namespace rmc::obs
+
+namespace rmc::sim {
+
+class Scheduler;
+
+using NicAddr = std::uint32_t;
+
+struct Fault {
+  enum class Kind : std::uint8_t {
+    link_down,
+    link_up,
+    loss,
+    delay,
+    partition,
+    heal,
+    node_down,
+    node_up,
+  };
+
+  Kind kind = Kind::link_down;
+  /// Link endpoints for link_down/link_up/loss/delay (undirected); the
+  /// affected NIC for node_down/node_up is `a`.
+  NicAddr a = 0;
+  NicAddr b = 0;
+  /// Per-link drop probability for Kind::loss (0 clears the window).
+  std::uint32_t drop_per_million = 0;
+  /// Added one-way latency for Kind::delay (0 clears it).
+  Time extra_delay = 0;
+  /// One side of a Kind::partition cut; every NIC not listed is on the
+  /// other side. Ignored for other kinds.
+  std::vector<NicAddr> group;
+};
+
+/// One scheduled fault activation.
+struct TimedFault {
+  Time at = 0;
+  Fault fault;
+};
+
+/// A reproducible chaos script: applied via FaultInjector::schedule.
+using FaultPlan = std::vector<TimedFault>;
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Scheduler& sched);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Queue every entry of `plan` on the scheduler (times are absolute).
+  void schedule(const FaultPlan& plan);
+
+  /// Apply one fault immediately.
+  void apply(const Fault& f);
+
+  // Direct setters for tests that want to flip state without a plan.
+  void set_link_down(NicAddr a, NicAddr b, bool down);
+  void set_link_loss(NicAddr a, NicAddr b, std::uint32_t drop_per_million);
+  void set_link_delay(NicAddr a, NicAddr b, Time extra);
+  void set_node_down(NicAddr n, bool down);
+  void partition(std::vector<NicAddr> group);
+  void heal();
+
+  bool node_down(NicAddr n) const { return dead_nodes_.contains(n); }
+
+  /// Fabric hook: should this packet vanish? Consumes the loss Rng only
+  /// when a loss window is active on the link, so an idle injector never
+  /// perturbs deterministic replay.
+  bool should_drop(NicAddr src, NicAddr dst);
+
+  /// Fabric hook: extra one-way latency on this link (0 if none).
+  Time extra_delay(NicAddr src, NicAddr dst) const;
+
+ private:
+  struct LinkState {
+    bool down = false;
+    std::uint32_t drop_per_million = 0;
+    Time extra_delay = 0;
+    bool idle() const { return !down && drop_per_million == 0 && extra_delay == 0; }
+  };
+
+  static std::uint64_t link_key(NicAddr a, NicAddr b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  LinkState* find_link(NicAddr src, NicAddr dst) {
+    auto it = links_.find(link_key(src, dst));
+    return it == links_.end() ? nullptr : &it->second;
+  }
+  const LinkState* find_link(NicAddr src, NicAddr dst) const {
+    auto it = links_.find(link_key(src, dst));
+    return it == links_.end() ? nullptr : &it->second;
+  }
+
+  Scheduler* sched_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
+  std::unordered_set<NicAddr> dead_nodes_;
+  std::unordered_set<NicAddr> partition_group_;
+  bool partitioned_ = false;
+  Rng loss_rng_{0xfa417u};
+  obs::Counter* injected_metric_;  ///< sim.fault.injected
+  obs::Counter* drops_metric_;     ///< sim.fault.drops
+};
+
+}  // namespace rmc::sim

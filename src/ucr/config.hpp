@@ -36,6 +36,21 @@ struct UcrConfig {
   /// §II-A1), true = event-driven with interrupt cost per completion
   /// (exposed for the ablation benchmark).
   bool event_driven_cq = false;
+
+  /// Keepalive probe interval for reliable endpoints. 0 (default)
+  /// disables the prober entirely — note that a non-zero interval keeps a
+  /// perpetual task alive, so drivers must use run_until, not run().
+  sim::Time keepalive_interval = 0;
+
+  /// Declare an endpoint dead after this much silence. 0 derives
+  /// 4 * keepalive_interval.
+  sim::Time keepalive_timeout = 0;
+
+  /// How long a failed/closed endpoint lingers before its storage (and RC
+  /// QP) is reclaimed. The grace period lets in-flight references — work
+  /// items queued at server workers, handler notifications — drain before
+  /// the Endpoint object disappears.
+  sim::Time ep_reclaim_delay = 5'000'000;  // 5 ms
 };
 
 }  // namespace rmc::ucr

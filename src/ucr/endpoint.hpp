@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/ring_deque.hpp"
+#include "simnet/time.hpp"
 #include "verbs/qp.hpp"
 
 namespace rmc::ucr {
@@ -61,6 +62,8 @@ class Endpoint {
   EpType type_ = EpType::reliable;
   EpState state_ = EpState::connecting;
   void* user_data_ = nullptr;
+  sim::Time last_heard_ = 0;  ///< last inbound message (keepalive clock)
+  sim::Time retired_at_ = 0;  ///< non-zero once queued for reclamation
 
   // UD addressing (unreliable endpoints): where datagrams for this
   // endpoint go, and which endpoint id to stamp into their headers.

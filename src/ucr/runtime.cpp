@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <iterator>
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
@@ -51,6 +52,9 @@ Runtime::Runtime(verbs::Hca& hca, UcrConfig config) : hca_(&hca), config_(config
 
   scheduler().spawn(recv_progress());
   scheduler().spawn(send_progress());
+  // The keepalive prober is perpetual, so it is opt-in: drivers that
+  // enable it must run the scheduler with run_until.
+  if (config_.keepalive_interval > 0) scheduler().spawn(keepalive_loop());
 }
 
 Runtime::~Runtime() = default;
@@ -108,8 +112,16 @@ Endpoint& Runtime::adopt_qp(verbs::QueuePair& qp) {
   auto ep = std::make_unique<Endpoint>(*this, next_ep_id_++, qp, config_.credits_per_ep);
   Endpoint& ref = *ep;
   ref.state_ = EpState::ready;
+  ref.last_heard_ = scheduler().now();
   ep_by_qpn_.emplace(qp.qp_num(), &ref);
   endpoints_.push_back(std::move(ep));
+  // Async-event channel: the QP erroring out (peer disconnect, transport
+  // retry exhaustion) fails the endpoint. close()/fail_endpoint detach
+  // the qpn entry first, so self-inflicted errors are a no-op here.
+  qp.set_on_error([this](verbs::QueuePair& q) {
+    auto it = ep_by_qpn_.find(q.qp_num());
+    if (it != ep_by_qpn_.end()) fail_endpoint(*it->second, Errc::disconnected);
+  });
   return ref;
 }
 
@@ -124,6 +136,7 @@ Endpoint& Runtime::adopt_ud_peer(sim::NicAddr nic, std::uint32_t qpn,
                                        config_.credits_per_ep, EpType::unreliable);
   Endpoint& ref = *ep;
   ref.state_ = EpState::ready;
+  ref.last_heard_ = scheduler().now();
   ref.ud_remote_nic_ = nic;
   ref.ud_remote_qpn_ = qpn;
   ref.ud_remote_ep_ = static_cast<std::uint32_t>(peer_ep_id);
@@ -174,23 +187,146 @@ sim::Task<Result<Endpoint*>> Runtime::connect(sim::NicAddr dst, std::uint16_t po
 }
 
 void Runtime::close(Endpoint& ep) {
-  if (ep.type_ == EpType::unreliable) {
-    // The UD QP is shared; just forget this endpoint.
+  if (ep.state_ == EpState::closed) return;
+  if (ep.state_ == EpState::failed) {
+    // Already torn down and queued for reclamation by fail_endpoint.
     ep.state_ = EpState::closed;
-    ep.backlog_.clear();
-    ep_by_ud_id_.erase(static_cast<std::uint32_t>(ep.id()));
     return;
   }
-  if (ep.state_ == EpState::ready) hca_->disconnect(*ep.qp_);
+  const bool notify_peer = ep.state_ == EpState::ready;
+  // Mark closed *before* disconnecting: the QP's on_error fires during
+  // disconnect and must see a terminal state so it doesn't double-fail.
   ep.state_ = EpState::closed;
   ep.backlog_.clear();
-  ep_by_qpn_.erase(ep.qp_->qp_num());
+  detach_endpoint(ep);
+  if (ep.type_ == EpType::reliable && notify_peer) hca_->disconnect(*ep.qp_);
+  retire_endpoint(ep);
 }
 
-void Runtime::fail_endpoint(Endpoint& ep) {
-  if (ep.state_ == EpState::closed) return;
+void Runtime::fail_endpoint(Endpoint& ep, Errc reason) {
+  if (ep.state_ == EpState::closed || ep.state_ == EpState::failed) return;
   ep.state_ = EpState::failed;
   ep.backlog_.clear();
+  obs::registry().counter("ucr.ep.failures").inc();
+  detach_endpoint(ep);
+  // Error the QP: flushes its outstanding verbs WRs (their completions
+  // find the pending maps already cleaned below and no-op) and, if the
+  // wire still works, tells the peer. The UD QP is shared — leave it be.
+  if (ep.type_ == EpType::reliable) hca_->disconnect(*ep.qp_);
+
+  // Erase every pending operation tied to this endpoint and wake its
+  // waiters with failure *now* — this is the bug class this layer is
+  // for: nobody should ride out op_timeout against a dead peer.
+  for (auto it = pending_origin_.begin(); it != pending_origin_.end();) {
+    if (it->second.ep == &ep) {
+      if (it->second.origin) it->second.origin->fail_waiters();
+      if (it->second.completion) it->second.completion->fail_waiters();
+      it = pending_origin_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
+    it = it->second.ep == &ep ? pending_reads_.erase(it) : std::next(it);
+  }
+  for (auto it = pending_one_sided_.begin(); it != pending_one_sided_.end();) {
+    if (it->second.ep == &ep) {
+      if (it->second.done) it->second.done->fail_waiters();
+      it = pending_one_sided_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  notify_endpoint_down(ep, reason);
+  retire_endpoint(ep);
+}
+
+void Runtime::detach_endpoint(Endpoint& ep) {
+  if (ep.type_ == EpType::unreliable) {
+    ep_by_ud_id_.erase(static_cast<std::uint32_t>(ep.id()));
+  } else {
+    ep_by_qpn_.erase(ep.qp_->qp_num());
+  }
+}
+
+std::uint64_t Runtime::on_endpoint_down(EndpointDownHandler handler) {
+  const std::uint64_t id = next_down_handler_++;
+  down_handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+void Runtime::remove_endpoint_handler(std::uint64_t id) { down_handlers_.erase(id); }
+
+void Runtime::notify_endpoint_down(Endpoint& ep, Errc reason) {
+  if (down_handlers_.empty()) return;
+  // Deferred to the next scheduler turn so handlers observe a settled
+  // endpoint (pending maps cleaned, waiters woken) and may re-enter the
+  // runtime (reconnect, close) without re-entrancy surprises. The
+  // Endpoint object outlives the turn: reclamation waits ep_reclaim_delay.
+  scheduler().call_at(scheduler().now(), [this, ep = &ep, reason] {
+    std::vector<EndpointDownHandler*> snapshot;
+    snapshot.reserve(down_handlers_.size());
+    for (auto& [id, fn] : down_handlers_) snapshot.push_back(&fn);
+    for (auto* fn : snapshot) {
+      if (*fn) (*fn)(*ep, reason);
+    }
+  });
+}
+
+void Runtime::retire_endpoint(Endpoint& ep) {
+  if (ep.retired_at_ != 0) return;
+  ep.retired_at_ = scheduler().now();
+  schedule_reap();
+}
+
+void Runtime::schedule_reap() {
+  if (reap_armed_) return;
+  reap_armed_ = true;
+  scheduler().call_in(config_.ep_reclaim_delay + 1, [this] { reap_endpoints(); });
+}
+
+void Runtime::reap_endpoints() {
+  reap_armed_ = false;
+  const sim::Time now = scheduler().now();
+  bool stragglers = false;
+  std::erase_if(endpoints_, [&](std::unique_ptr<Endpoint>& ep) {
+    if (ep->retired_at_ == 0) return false;
+    if (now < ep->retired_at_ + config_.ep_reclaim_delay) {
+      stragglers = true;
+      return false;
+    }
+    if (ep->type_ == EpType::reliable) {
+      // Silence the async-event hook before destroying: this teardown is
+      // ours, not a failure to report.
+      ep->qp_->set_on_error(nullptr);
+      hca_->destroy_qp(*ep->qp_);
+    }
+    obs::registry().counter("ucr.ep.reaped").inc();
+    return true;
+  });
+  if (stragglers) schedule_reap();
+}
+
+sim::Task<> Runtime::keepalive_loop() {
+  const sim::Time interval = config_.keepalive_interval;
+  const sim::Time timeout =
+      config_.keepalive_timeout != 0 ? config_.keepalive_timeout : 4 * interval;
+  while (true) {
+    co_await scheduler().delay(interval);
+    const sim::Time now = scheduler().now();
+    for (auto& ep : endpoints_) {
+      if (ep->type_ != EpType::reliable || ep->state_ != EpState::ready) continue;
+      const sim::Time silence = now - ep->last_heard_;
+      if (silence >= timeout) {
+        obs::registry().counter("ucr.keepalive.timeouts").inc();
+        fail_endpoint(*ep, Errc::timed_out);
+      } else if (silence >= interval) {
+        obs::registry().counter("ucr.keepalive.probes").inc();
+        send_internal(*ep, wire::Kind::ping, 0, 0);
+      }
+    }
+  }
 }
 
 // -------------------------------------------------------- send machinery
@@ -230,7 +366,7 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
     obs::registry().counter("ucr.eager.sends").inc();
     if (am.want_flags) {
       pending_origin_[am.token] =
-          PendingOrigin{nullptr, completion_counter, am.want_flags};
+          PendingOrigin{nullptr, completion_counter, am.want_flags, &ep};
     }
   } else {
     am.kind = wire::Kind::rendezvous;
@@ -243,7 +379,7 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
     obs::registry().counter("ucr.rendezvous.sends").inc();
     if (am.want_flags) {
       pending_origin_[am.token] =
-          PendingOrigin{origin_counter, completion_counter, am.want_flags};
+          PendingOrigin{origin_counter, completion_counter, am.want_flags, &ep};
     }
   }
 
@@ -363,7 +499,7 @@ Status Runtime::one_sided(Endpoint& ep, verbs::Opcode opcode, std::span<std::byt
   }
   verbs::MemoryRegion* mr = find_or_register(local);
   const std::uint64_t token = next_token_++;
-  if (done) pending_one_sided_.emplace(token, done);
+  if (done) pending_one_sided_.emplace(token, PendingOneSided{done, &ep});
   const verbs::SendWr wr{.wr_id = kTagOneSided | token,
                          .opcode = opcode,
                          .local = local,
@@ -410,9 +546,13 @@ sim::Task<> Runtime::send_progress() {
       } else if (tag == kTagOneSided) {
         auto it = pending_one_sided_.find(value);
         if (it != pending_one_sided_.end()) {
-          if (wc.status == verbs::WcStatus::success) it->second->add();
-          // On error the counter stays put and the caller's timeout fires
-          // (§IV-A: corrective action is the application's call).
+          if (wc.status == verbs::WcStatus::success) {
+            it->second.done->add();
+          } else {
+            // Wake the waiter with failure now; fail_endpoint below tears
+            // the rest of the endpoint state down.
+            it->second.done->fail_waiters();
+          }
           pending_one_sided_.erase(it);
         }
         if (wc.status != verbs::WcStatus::success) {
@@ -465,6 +605,9 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
   (void)len;
   const wire::AmWire am = wire::AmWire::decode(buffer.data());
 
+  // Any inbound traffic proves the peer alive.
+  ep.last_heard_ = scheduler().now();
+
   // Credits piggybacked on anything unblock our sends.
   if (am.credits) {
     ep.send_credits_ += am.credits;
@@ -474,6 +617,13 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
   switch (am.kind) {
     case wire::Kind::credit:
       co_return;
+
+    case wire::Kind::ping:
+      send_internal(ep, wire::Kind::pong, 0, 0);
+      co_return;
+
+    case wire::Kind::pong:
+      co_return;  // last_heard_ above is the whole point
 
     case wire::Kind::internal_ack: {
       auto it = pending_origin_.find(am.token);

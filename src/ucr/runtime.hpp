@@ -113,6 +113,27 @@ class Runtime {
   /// Tear one endpoint down; other endpoints are unaffected (§IV-A).
   void close(Endpoint& ep);
 
+  // ------------------------------------------------------ failure events
+  /// Fail one endpoint: every pending operation tied to it completes with
+  /// an error *now* (waiters wake with failure instead of riding out
+  /// their own timeouts), registered on_endpoint_down handlers are
+  /// notified on the next scheduler turn, and the endpoint is queued for
+  /// deferred reclamation. Other endpoints are unaffected (§IV-A).
+  void fail_endpoint(Endpoint& ep, Errc reason = Errc::disconnected);
+
+  /// Register a handler invoked (deferred, next scheduler turn) whenever
+  /// an endpoint of this runtime fails. Returns an id for removal.
+  using EndpointDownHandler = std::function<void(Endpoint&, Errc)>;
+  std::uint64_t on_endpoint_down(EndpointDownHandler handler);
+  void remove_endpoint_handler(std::uint64_t id);
+
+  /// Live + not-yet-reclaimed endpoints (churn tests).
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+  /// Outstanding origin/read/one-sided bookkeeping entries (leak tests).
+  std::size_t pending_op_count() const {
+    return pending_origin_.size() + pending_reads_.size() + pending_one_sided_.size();
+  }
+
   // ----------------------------------------------------- active messages
   /// The ucr_send_message call. Non-blocking: returns after handing the
   /// message to the transport (or queueing it for credits). Counter
@@ -153,7 +174,12 @@ class Runtime {
   struct PendingOrigin {
     sim::Counter* origin = nullptr;
     sim::Counter* completion = nullptr;
-    std::uint8_t awaiting = 0;  ///< AckFlags still expected
+    std::uint8_t awaiting = 0;   ///< AckFlags still expected
+    Endpoint* ep = nullptr;      ///< whose failure errors this entry out
+  };
+  struct PendingOneSided {
+    sim::Counter* done = nullptr;
+    Endpoint* ep = nullptr;
   };
   struct PendingTargetRead {
     Endpoint* ep = nullptr;
@@ -188,8 +214,17 @@ class Runtime {
   void send_internal(Endpoint& ep, wire::Kind kind, std::uint64_t token,
                      std::uint8_t ack_flags);
   void flush_backlog(Endpoint& ep);
-  void fail_endpoint(Endpoint& ep);
   void return_credits(Endpoint& ep);
+
+  /// Remove the endpoint from the routing maps (no more inbound dispatch).
+  void detach_endpoint(Endpoint& ep);
+  /// Deferred on_endpoint_down delivery.
+  void notify_endpoint_down(Endpoint& ep, Errc reason);
+  /// Queue the endpoint for reclamation after ep_reclaim_delay.
+  void retire_endpoint(Endpoint& ep);
+  void schedule_reap();
+  void reap_endpoints();
+  sim::Task<> keepalive_loop();
 
   Status one_sided(Endpoint& ep, verbs::Opcode opcode, std::span<std::byte> local,
                    const RemoteMemory& window, std::uint32_t offset, sim::Counter* done);
@@ -224,8 +259,12 @@ class Runtime {
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::unordered_map<std::uint64_t, PendingOrigin> pending_origin_;
   std::unordered_map<std::uint64_t, PendingTargetRead> pending_reads_;
-  std::unordered_map<std::uint64_t, sim::Counter*> pending_one_sided_;
+  std::unordered_map<std::uint64_t, PendingOneSided> pending_one_sided_;
   std::map<std::uint64_t, Region> regions_;
+
+  std::unordered_map<std::uint64_t, EndpointDownHandler> down_handlers_;
+  std::uint64_t next_down_handler_ = 1;
+  bool reap_armed_ = false;
 
   std::uint64_t next_counter_id_ = 1;
   std::uint64_t next_token_ = 1;

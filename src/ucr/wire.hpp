@@ -17,6 +17,8 @@ enum class Kind : std::uint8_t {
   rendezvous,    ///< header only; target RDMA-reads the data (Fig. 2a)
   internal_ack,  ///< counter update back to the origin
   credit,        ///< explicit credit return (flow control)
+  ping,          ///< keepalive probe (liveness, not flow control)
+  pong,          ///< keepalive answer
 };
 
 /// Flags on internal_ack saying which origin-side counters to bump, and on

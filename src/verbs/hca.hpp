@@ -113,12 +113,26 @@ class Hca {
     Opcode opcode;
     std::uint32_t byte_len;
     sim::Time posted_at = 0;  ///< requester-side span start (tracing)
+    // Retransmission state (RC only; deadline == 0 means "never resend").
+    // `local` stays valid per the verbs contract: the application owns the
+    // buffer until the completion is delivered.
+    std::span<std::byte> local{};
+    std::uint64_t remote_addr = 0;
+    std::uint32_t rkey = 0;
+    std::uint32_t imm_data = 0;
+    std::uint32_t psn = 0;
+    sim::Time deadline = 0;
+    std::uint32_t retries_left = 0;
   };
   struct PendingRead {
     std::uint32_t qpn;
     std::uint64_t wr_id;
     std::span<std::byte> dest;
     sim::Time posted_at = 0;  ///< requester-side span start (tracing)
+    std::uint64_t remote_addr = 0;
+    std::uint32_t rkey = 0;
+    sim::Time deadline = 0;
+    std::uint32_t retries_left = 0;
   };
   struct PendingConnect {
     bool done = false;
@@ -148,6 +162,15 @@ class Hca {
 
   void flush_qp(QueuePair& qp);
 
+  // RC retransmission: one periodic sweeper per HCA, armed only while
+  // unacked WRs exist (so an idle or retransmit-disabled HCA schedules
+  // nothing and run() still terminates).
+  void arm_retransmit_timer();
+  void sweep_retransmits();
+  void retransmit_send(std::uint64_t token, PendingSend& ps);
+  void retransmit_read(std::uint64_t token, PendingRead& pr);
+  void retry_exhausted(QueuePair& qp);
+
   sim::Scheduler* sched_;
   sim::Fabric* fabric_;
   sim::Host* host_;
@@ -169,6 +192,9 @@ class Hca {
   SlotMap<PendingRead> pending_reads_;
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingConnect>> pending_connects_;
   std::unordered_map<std::uint16_t, ListenerConfig> listeners_;
+
+  bool rto_armed_ = false;
+  std::vector<std::uint64_t> rto_scratch_;  ///< expired tokens, reused per sweep
 
   std::uint64_t messages_handled_ = 0;
 };

@@ -48,6 +48,11 @@ struct IbPacket final : sim::Packet {
   /// Token correlating requests with their ack / response at the origin.
   std::uint64_t token = 0;
 
+  /// Packet sequence number (RC send_data only, 0 = unnumbered). Lets the
+  /// responder detect and absorb duplicates created by requester
+  /// retransmission, like the PSN in a real BTH.
+  std::uint32_t psn = 0;
+
   /// send_data / rdma_write / rdma_read_resp payload (real bytes).
   sim::PooledBytes payload;
 

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/ring_deque.hpp"
@@ -80,8 +82,71 @@ class QueuePair {
   /// sends). Further posts fail with disconnected.
   void to_error();
 
+  /// Invoked exactly once when the QP transitions to error — from either
+  /// side's disconnect, a peer's cm_disconnect, or retransmission giving
+  /// up. This is how the layer above (UCR) learns a connection died
+  /// without polling the CQ (the async-event channel of real verbs).
+  void set_on_error(std::function<void(QueuePair&)> fn) { on_error_ = std::move(fn); }
+
  private:
   friend class Hca;
+
+  /// PSN window depth, shared by both sides of the protocol. The
+  /// requester never lets more than this many numbered SENDs run unacked
+  /// (excess WRs wait in tx_backlog_), which is exactly what makes the
+  /// responder's "more than kPsnWindow behind the head = ancient
+  /// duplicate" classification sound: by the time PSN H arrives, every
+  /// PSN <= H - kPsnWindow has been acked, i.e. delivered. Without the
+  /// requester-side bound, a retransmit of a genuinely lost packet could
+  /// fall behind the window and be swallowed as a duplicate — a silent
+  /// loss on a reliable QP.
+  static constexpr std::uint32_t kPsnWindow = 64;
+
+  /// Responder-side duplicate detection over the PSN window. rx_is_dup
+  /// peeks (so an RNR'd packet isn't marked delivered); rx_mark records a
+  /// successful delivery.
+  bool rx_is_dup(std::uint32_t psn) const {
+    if (!rx_any_ || psn > rx_highest_psn_) return false;
+    const std::uint32_t back = rx_highest_psn_ - psn;
+    if (back >= kPsnWindow) return true;  // ancient: long since delivered
+    return (rx_seen_ >> back) & 1;
+  }
+  void rx_mark(std::uint32_t psn) {
+    if (!rx_any_) {
+      rx_any_ = true;
+      rx_highest_psn_ = psn;
+      rx_seen_ = 1;
+      return;
+    }
+    if (psn > rx_highest_psn_) {
+      const std::uint32_t shift = psn - rx_highest_psn_;
+      rx_seen_ = (shift >= kPsnWindow ? 0 : rx_seen_ << shift) | 1;
+      rx_highest_psn_ = psn;
+      return;
+    }
+    const std::uint32_t back = rx_highest_psn_ - psn;
+    if (back < kPsnWindow) rx_seen_ |= std::uint64_t{1} << back;
+  }
+
+  /// Requester-side sliding window. The window is on the PSN *range*
+  /// [tx_base_, tx_base_ + kPsnWindow), not a count of in-flight WRs: one
+  /// lost packet must stall the sender before the PSN space runs more
+  /// than a window ahead of it, even while newer sends keep being acked.
+  bool tx_window_full() const { return next_psn_ - tx_base_ >= kPsnWindow; }
+  void ack_psn(std::uint32_t psn) {
+    if (psn < tx_base_ || psn >= next_psn_) return;  // stale or never issued
+    tx_acked_ |= std::uint64_t{1} << (psn - tx_base_);
+    while (tx_acked_ & 1) {  // slide past the contiguous acked prefix
+      tx_acked_ >>= 1;
+      ++tx_base_;
+    }
+  }
+
+  /// Build and transmit one numbered SEND (registers the pending-ack
+  /// entry and advances next_psn_).
+  void transmit_send(const SendWr& wr);
+  /// Transmit backlogged SENDs while the window has room.
+  void drain_tx_backlog();
 
   /// HCA side: take the next receive buffer (SRQ first if attached).
   Result<RecvWr> take_recv() {
@@ -105,6 +170,14 @@ class QueuePair {
   QpState state_ = QpState::reset;
   std::uint32_t remote_nic_ = 0;
   std::uint32_t remote_qpn_ = 0;
+  std::function<void(QueuePair&)> on_error_;
+  std::uint32_t next_psn_ = 1;        ///< requester: next send_data PSN
+  std::uint32_t tx_base_ = 1;         ///< requester: lowest unacked PSN
+  std::uint64_t tx_acked_ = 0;        ///< requester: acked bitmap above tx_base_
+  RingDeque<SendWr> tx_backlog_;      ///< requester: SENDs awaiting window room
+  std::uint32_t rx_highest_psn_ = 0;  ///< responder: dedup window head
+  std::uint64_t rx_seen_ = 0;         ///< responder: bitmap below the head
+  bool rx_any_ = false;
 };
 
 }  // namespace rmc::verbs

@@ -29,6 +29,7 @@ enum class WcStatus : std::uint8_t {
   remote_access_error,      ///< bad rkey / out-of-bounds remote access
   receiver_not_ready,       ///< SEND arrived with no RECV posted (RNR)
   flushed,                  ///< QP went to error state with WRs outstanding
+  retry_exceeded,           ///< RC retransmission gave up (peer dead / link cut)
 };
 
 /// Queue-pair transport type. RC is what the paper evaluates; UD is its
@@ -98,6 +99,16 @@ struct VerbsCosts {
   std::uint32_t ack_bytes = 30;      ///< RC acknowledgement wire size
   std::uint32_t read_req_bytes = 48; ///< RDMA read request wire size
   std::uint32_t ud_mtu = 2048;       ///< max UD datagram payload (path MTU)
+  /// RC retransmission timeout: an unacked RC WR is resent after this long
+  /// (ibv qp_attr.timeout equivalent; the interval doubles per retry). 0
+  /// disables retransmission and restores fire-and-forget behaviour. Must
+  /// comfortably exceed serialization + receiver queueing of the largest
+  /// message under fan-in congestion, so lossless runs never retransmit —
+  /// real HCAs default far higher (~67 ms) for the same reason.
+  sim::Time rc_retransmit_ns = 10'000'000;
+  /// Retries before the WR completes with retry_exceeded and the QP is
+  /// moved to error (ibv qp_attr.retry_cnt equivalent).
+  std::uint32_t rc_retry_count = 7;
 };
 
 }  // namespace rmc::verbs

@@ -1,0 +1,408 @@
+// Fault injection and failure recovery across the stack.
+//
+// Covers the failure semantics end to end: the FaultInjector's scripted
+// link/node/partition faults at the fabric, RC retransmission and retry
+// exhaustion at the verbs layer, fail_endpoint / keepalive / deferred
+// reclamation at the UCR layer, and client retry + ketama ejection at the
+// memcached layer. The governing invariant everywhere: endpoint failure
+// is an *event*, never a silent hang — every in-flight operation resolves
+// within its timeout budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memcached/client.hpp"
+#include "memcached/server.hpp"
+#include "obs/metrics.hpp"
+#include "simnet/faults.hpp"
+#include "simnet/netparams.hpp"
+#include "ucr/runtime.hpp"
+
+namespace rmc {
+namespace {
+
+using namespace rmc::literals;
+using sim::Scheduler;
+using sim::Task;
+
+constexpr std::uint16_t kMsgData = 7;
+
+std::uint64_t metric(const char* name) { return obs::registry().counter(name).value(); }
+
+std::span<const std::byte> bytes_view(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// Client/server pair over one fabric, with configurable client-side UCR
+/// config (keepalive tests).
+struct World {
+  Scheduler sched;
+  sim::Fabric fabric{sched, sim::ib_qdr_link()};
+  sim::Host host_client{sched, 0, "client", 8};
+  sim::Host host_server{sched, 1, "server", 8};
+  verbs::Hca hca_client{sched, fabric, host_client};
+  verbs::Hca hca_server{sched, fabric, host_server};
+  ucr::Runtime client;
+  ucr::Runtime server;
+
+  ucr::Endpoint* client_ep = nullptr;
+  ucr::Endpoint* server_ep = nullptr;
+  int arrivals = 0;  ///< kMsgData messages delivered at the server
+
+  explicit World(ucr::UcrConfig client_config = {})
+      : client(hca_client, client_config), server(hca_server) {
+    server.register_handler(
+        kMsgData, {.on_complete = [this](ucr::Endpoint&, std::span<const std::byte>,
+                                         std::span<std::byte>) { ++arrivals; }});
+  }
+
+  void establish(std::uint16_t port = 7000) {
+    server.listen(port, [this](ucr::Endpoint& ep) { server_ep = &ep; });
+    sched.spawn([](World& w, std::uint16_t port) -> Task<> {
+      auto r = co_await w.client.connect(w.server.addr(), port);
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) w.client_ep = *r;
+    }(*this, port));
+    // run_until, not run(): with keepalive enabled the prober loop keeps
+    // the event queue non-empty forever.
+    sched.run_until(sched.now() + 5_ms);
+    ASSERT_NE(client_ep, nullptr);
+    ASSERT_NE(server_ep, nullptr);
+  }
+
+  Status send_data(const std::string& payload, sim::Counter* completion = nullptr) {
+    return client.send_message(*client_ep, kMsgData, bytes_view("h"), bytes_view(payload),
+                               nullptr, {}, completion);
+  }
+};
+
+// ------------------------------------------------- fabric fault hooks ----
+
+TEST(FaultInjector, LinkDownDropsUntilLinkUp) {
+  World w;
+  w.establish();
+  const std::uint64_t drops_before = metric("sim.fault.drops");
+  const std::uint64_t rexmit_before = metric("verbs.rc.retransmits");
+
+  w.fabric.faults().set_link_down(w.client.addr(), w.server.addr(), true);
+  ASSERT_TRUE(w.send_data("hello").ok());
+  w.sched.run_until(w.sched.now() + 2_ms);
+  EXPECT_EQ(w.arrivals, 0);  // severed link: nothing got through
+  EXPECT_GT(metric("sim.fault.drops"), drops_before);
+
+  // Restore the link before the RC retry budget runs out: the pending
+  // send is retransmitted and delivered — reliable transport heals.
+  w.fabric.faults().set_link_down(w.client.addr(), w.server.addr(), false);
+  w.sched.run();
+  EXPECT_EQ(w.arrivals, 1);
+  EXPECT_GT(metric("verbs.rc.retransmits"), rexmit_before);
+}
+
+TEST(FaultInjector, NodeDownSilencesBothDirections) {
+  World w;
+  w.establish();
+  w.fabric.faults().set_node_down(w.server.addr(), true);
+  ASSERT_TRUE(w.send_data("into the void").ok());
+  w.sched.run_until(w.sched.now() + 2_ms);
+  EXPECT_EQ(w.arrivals, 0);
+  w.fabric.faults().set_node_down(w.server.addr(), false);
+  w.sched.run();
+  EXPECT_EQ(w.arrivals, 1);  // revived node receives the retransmit
+}
+
+TEST(FaultInjector, ScheduledPlanFiresAtTheScriptedTimes) {
+  World w;
+  w.establish();
+  const sim::Time t0 = w.sched.now();
+  w.fabric.faults().schedule({
+      {t0 + 1_ms, {.kind = sim::Fault::Kind::node_down, .a = w.server.addr()}},
+      {t0 + 2_ms, {.kind = sim::Fault::Kind::node_up, .a = w.server.addr()}},
+  });
+  EXPECT_FALSE(w.fabric.faults().node_down(w.server.addr()));
+  w.sched.run_until(t0 + 1500_us);
+  EXPECT_TRUE(w.fabric.faults().node_down(w.server.addr()));
+  w.sched.run_until(t0 + 2500_us);
+  EXPECT_FALSE(w.fabric.faults().node_down(w.server.addr()));
+}
+
+// ------------------------------------- RC reliability under link loss ----
+
+TEST(RcReliability, LossWindowNeverLosesReliableMessages) {
+  World w;
+  w.establish();
+  const std::uint64_t rexmit_before = metric("verbs.rc.retransmits");
+
+  // 10% loss on the client<->server link, enabled only after the CM
+  // handshake so the connection itself is never at risk.
+  w.fabric.faults().set_link_loss(w.client.addr(), w.server.addr(), 100'000);
+  constexpr int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(w.send_data("payload-" + std::to_string(i)).ok());
+  }
+  w.sched.run();
+  // Every single message arrived: drops were retransmitted underneath.
+  EXPECT_EQ(w.arrivals, kMessages);
+  EXPECT_GT(metric("verbs.rc.retransmits"), rexmit_before);
+}
+
+TEST(RcReliability, RetryExhaustionFailsTheEndpointInsteadOfHanging) {
+  World w;
+  w.establish();
+  const std::uint64_t failures_before = metric("ucr.ep.failures");
+  const std::uint64_t exhausted_before = metric("verbs.rc.retry_exhausted");
+  int notified = 0;
+  w.client.on_endpoint_down([&](ucr::Endpoint& ep, Errc) {
+    EXPECT_EQ(ep.state(), ucr::EpState::failed);
+    ++notified;
+  });
+
+  w.fabric.faults().set_node_down(w.server.addr(), true);
+  sim::Counter completion(w.sched);
+  bool woke = false, ok = true;
+  ASSERT_TRUE(w.send_data("doomed", &completion).ok());
+  w.sched.spawn([](sim::Counter& c, bool& woke, bool& ok) -> Task<> {
+    ok = co_await c.wait_geq(1);  // no timeout: only failure can wake us
+    woke = true;
+  }(completion, woke, ok));
+
+  w.sched.run();  // drains: retries exhaust, endpoint fails, waiter wakes
+  EXPECT_TRUE(woke);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(w.client.endpoint_count(), 0u);  // reaped after the failure
+  EXPECT_EQ(w.client.pending_op_count(), 0u);
+  EXPECT_EQ(metric("ucr.ep.failures"), failures_before + 1);
+  EXPECT_GT(metric("verbs.rc.retry_exhausted"), exhausted_before);
+}
+
+// ------------------------------------------- UCR failure as an event ----
+
+TEST(EndpointFailure, FailEndpointWakesAllPendingWaitersImmediately) {
+  World w;
+  w.establish();
+  // Server unreachable: the completion ack can never come back, so the
+  // operation stays pending until something fails it.
+  w.fabric.faults().set_node_down(w.server.addr(), true);
+
+  sim::Counter completion(w.sched);
+  ASSERT_TRUE(w.send_data("waiting forever", &completion).ok());
+  ASSERT_GT(w.client.pending_op_count(), 0u);
+  const sim::Time failed_at = w.sched.now() + 50_us;
+  bool woke = false, ok = true;
+  sim::Time woke_at = 0;
+  w.sched.spawn([](World& w, sim::Counter& c, bool& woke, bool& ok,
+                   sim::Time& woke_at) -> Task<> {
+    ok = co_await c.wait_geq(1, 1_s);
+    woke = true;
+    woke_at = w.sched.now();
+  }(w, completion, woke, ok, woke_at));
+  w.sched.call_at(failed_at, [&w] { w.client.fail_endpoint(*w.client_ep); });
+
+  w.sched.run();
+  EXPECT_TRUE(woke);
+  EXPECT_FALSE(ok);
+  // The waiter woke at the instant of failure, not after riding out the
+  // 1 s timeout — failure is an event, not a timeout.
+  EXPECT_EQ(woke_at, failed_at);
+  EXPECT_EQ(w.client.pending_op_count(), 0u);
+}
+
+TEST(EndpointFailure, DownHandlerFiresOncePerEndpoint) {
+  World w;
+  w.establish();
+  int notified = 0;
+  const std::uint64_t id = w.client.on_endpoint_down(
+      [&](ucr::Endpoint& ep, Errc reason) {
+        EXPECT_EQ(&ep, w.client_ep);
+        EXPECT_EQ(reason, Errc::disconnected);
+        ++notified;
+      });
+  w.client.fail_endpoint(*w.client_ep);
+  w.client.fail_endpoint(*w.client_ep);  // idempotent: already failed
+  w.sched.run();
+  EXPECT_EQ(notified, 1);
+  w.client.remove_endpoint_handler(id);
+}
+
+TEST(EndpointFailure, KeepaliveDetectsASilentPeer) {
+  ucr::UcrConfig config;
+  config.keepalive_interval = 100_us;
+  World w(config);
+  w.establish();
+  const std::uint64_t timeouts_before = metric("ucr.keepalive.timeouts");
+
+  w.fabric.faults().set_node_down(w.server.addr(), true);
+  // No traffic at all: only the keepalive prober can notice.
+  w.sched.run_until(w.sched.now() + 2_ms);
+  EXPECT_EQ(w.client_ep->state(), ucr::EpState::failed);
+  EXPECT_GT(metric("ucr.keepalive.timeouts"), timeouts_before);
+}
+
+TEST(EndpointChurn, ClosedEndpointsAreReclaimedOnBothSides) {
+  World w;
+  w.server.listen(7000, [&](ucr::Endpoint&) {});
+
+  const std::size_t client_base = w.client.endpoint_count();
+  const std::size_t server_base = w.server.endpoint_count();
+  constexpr int kCycles = 10;
+  for (int i = 0; i < kCycles; ++i) {
+    ucr::Endpoint* ep = nullptr;
+    w.sched.spawn([](World& w, ucr::Endpoint*& out) -> Task<> {
+      auto r = co_await w.client.connect(w.server.addr(), 7000);
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) out = *r;
+    }(w, ep));
+    w.sched.run();
+    ASSERT_NE(ep, nullptr);
+    w.client.close(*ep);
+    // Drains everything, including the close notification to the peer and
+    // both sides' deferred reapers (ep_reclaim_delay later).
+    w.sched.run();
+  }
+  EXPECT_EQ(w.client.endpoint_count(), client_base);
+  EXPECT_EQ(w.server.endpoint_count(), server_base);
+  EXPECT_EQ(w.client.pending_op_count(), 0u);
+  EXPECT_EQ(w.server.pending_op_count(), 0u);
+}
+
+// ------------------------------------------ memcached-level recovery ----
+
+struct McPool {
+  Scheduler sched;
+  sim::Fabric fabric{sched, sim::ib_qdr_link()};
+  std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<std::unique_ptr<verbs::Hca>> hcas;
+  std::vector<std::unique_ptr<ucr::Runtime>> runtimes;
+  std::vector<std::unique_ptr<mc::Server>> servers;
+
+  sim::Host client_host{sched, 100, "client", 8};
+  verbs::Hca client_hca{sched, fabric, client_host};
+  std::unique_ptr<ucr::Runtime> client_ucr;
+  std::unique_ptr<mc::Client> client;
+
+  McPool(int n, mc::ClientBehavior behavior) {
+    ucr::UcrConfig config;
+    config.keepalive_interval = 100_us;
+    client_ucr = std::make_unique<ucr::Runtime>(client_hca, config);
+    client = std::make_unique<mc::Client>(sched, client_host, behavior);
+    for (int i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<sim::Host>(sched, i, "mc" + std::to_string(i), 8));
+      hcas.push_back(std::make_unique<verbs::Hca>(sched, fabric, *hosts.back()));
+      runtimes.push_back(std::make_unique<ucr::Runtime>(*hcas.back()));
+      servers.push_back(
+          std::make_unique<mc::Server>(sched, *hosts.back(), mc::ServerConfig{}));
+      servers.back()->attach_ucr_frontend(*runtimes.back());
+      client->add_server_ucr(*client_ucr, runtimes.back()->addr(), 11211);
+    }
+  }
+
+  /// Run one coroutine to completion under a horizon (the keepalive
+  /// prober keeps the event queue non-empty forever, so a plain run()
+  /// would never return).
+  void drive(Task<> task, sim::Time horizon = 3_s) {
+    bool done = false;
+    sched.spawn([](Task<> inner, bool& done) -> Task<> {
+      co_await std::move(inner);
+      done = true;
+    }(std::move(task), done));
+    const sim::Time deadline = sched.now() + horizon;
+    while (!done && sched.now() < deadline) {
+      const sim::Time before = sched.now();
+      sched.run_until(std::min(deadline, before + 1_ms));
+      if (sched.now() == before) break;  // queue drained: no progress possible
+    }
+    ASSERT_TRUE(done) << "scenario hung past its horizon";
+  }
+};
+
+mc::ClientBehavior recovery_behavior() {
+  mc::ClientBehavior b;
+  b.distribution = mc::Distribution::ketama;
+  b.op_timeout = 300_us;
+  b.max_retries = 2;
+  b.retry_backoff = 20_us;
+  b.eject_after_failures = 2;
+  return b;
+}
+
+TEST(McRecovery, NodeCrashEjectsHostAndSurvivorsKeepServing) {
+  McPool pool(3, recovery_behavior());
+  const std::uint64_t ejected_before = metric("mc.pool.ejected");
+  constexpr int kKeys = 60;
+
+  pool.drive([](McPool& pool) -> Task<> {
+    mc::Client& client = *pool.client;
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    std::vector<std::size_t> owner(kKeys);  // pre-crash ownership
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      owner[i] = client.server_index(key);
+      EXPECT_TRUE((co_await client.set(key, bytes_view("v" + std::to_string(i)))).ok());
+    }
+
+    pool.fabric.faults().set_node_down(pool.runtimes[1]->addr(), true);
+
+    // Every read resolves — as a hit, or as a bounded miss for keys whose
+    // owner died and got re-routed — within the retry budget. No hangs,
+    // no errors.
+    int errors = 0;
+    sim::Time slowest = 0;
+    for (int i = 0; i < kKeys; ++i) {
+      const sim::Time begin = pool.sched.now();
+      auto got = co_await client.get("k" + std::to_string(i));
+      slowest = std::max(slowest, pool.sched.now() - begin);
+      if (!got.ok() && got.error() != Errc::not_found) ++errors;
+    }
+    EXPECT_EQ(errors, 0);
+    // Budget: (max_retries + 1) op timeouts plus backoffs, with margin.
+    EXPECT_LT(slowest, 2_ms);
+    EXPECT_TRUE(client.server_ejected(1));
+
+    // Keys owned by the survivors are served as if nothing happened.
+    for (int i = 0; i < kKeys; ++i) {
+      if (owner[i] == 1) continue;
+      auto got = co_await client.get("k" + std::to_string(i));
+      EXPECT_TRUE(got.ok()) << "survivor key k" << i << " lost";
+    }
+  }(pool));
+  EXPECT_EQ(metric("mc.pool.ejected"), ejected_before + 1);
+}
+
+TEST(McRecovery, PartitionHealsAndClientReconnects) {
+  mc::ClientBehavior behavior = recovery_behavior();
+  behavior.max_retries = 1;
+  McPool pool(1, behavior);
+  const std::uint64_t reconnects_before = metric("mc.client.reconnects");
+
+  pool.drive([](McPool& pool) -> Task<> {
+    mc::Client& client = *pool.client;
+    EXPECT_TRUE((co_await client.connect_all()).ok());
+    EXPECT_TRUE((co_await client.set("island", bytes_view("castaway"))).ok());
+
+    // Cut the client off from everything.
+    pool.fabric.faults().partition({pool.client_ucr->addr()});
+    auto lost = co_await client.get("island");
+    EXPECT_FALSE(lost.ok());  // bounded failure, not a hang
+
+    // Give the keepalive prober time to declare the endpoint dead.
+    co_await pool.sched.delay(1_ms);
+
+    pool.fabric.faults().heal();
+    // The retry path reconnects and the data is still there: only the
+    // network died, not the server.
+    auto back = co_await client.get("island");
+    EXPECT_TRUE(back.ok());
+    if (back.ok()) {
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(back->data.data()),
+                            back->data.size()),
+                "castaway");
+    }
+  }(pool));
+  EXPECT_GT(metric("mc.client.reconnects"), reconnects_before);
+}
+
+}  // namespace
+}  // namespace rmc
