@@ -4,7 +4,8 @@
 // the 1 GigE baseline the paper adds in this figure.
 //
 // Paper shape (§VI-C): the mixed workloads follow the same ordering and
-// factors as the pure Set/Get experiments.
+// factors as the pure Set/Get experiments. `--seed <n>` reruns the tables
+// under a different deterministic key/value stream.
 #include <cstdio>
 
 #include "fig_common.hpp"
@@ -14,6 +15,7 @@ using namespace rmc::bench;
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  const std::uint64_t seed = seed_arg(argc, argv);
   const std::vector<core::TransportKind> cluster_a_transports{
       core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib,
       core::TransportKind::toe_10ge, core::TransportKind::tcp_1ge};
@@ -23,15 +25,15 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 5: Latency of Small Messages, Mixed Set/Get (us) ===\n\n");
   latency_table("Fig 5(a) Non-Interleaved (Set 10%/Get 90%) - Cluster A",
                 core::ClusterKind::cluster_a, core::OpPattern::non_interleaved,
-                cluster_a_transports, small_sizes(), csv);
+                cluster_a_transports, small_sizes(), csv, seed);
   latency_table("Fig 5(b) Non-Interleaved (Set 10%/Get 90%) - Cluster B",
                 core::ClusterKind::cluster_b, core::OpPattern::non_interleaved,
-                cluster_b_transports, small_sizes(), csv);
+                cluster_b_transports, small_sizes(), csv, seed);
   latency_table("Fig 5(c) Interleaved (Set 50%/Get 50%) - Cluster A",
                 core::ClusterKind::cluster_a, core::OpPattern::interleaved,
-                cluster_a_transports, small_sizes(), csv);
+                cluster_a_transports, small_sizes(), csv, seed);
   latency_table("Fig 5(d) Interleaved (Set 50%/Get 50%) - Cluster B",
                 core::ClusterKind::cluster_b, core::OpPattern::interleaved,
-                cluster_b_transports, small_sizes(), csv);
+                cluster_b_transports, small_sizes(), csv, seed);
   return 0;
 }

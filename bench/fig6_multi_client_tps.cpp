@@ -7,69 +7,16 @@
 //  - Cluster B small Gets: UCR ~6x SDP, around 1.8M ops/s at 16 clients;
 //    SDP below IPoIB (the QDR SDP software issue).
 #include <cstdio>
-#include <string>
-#include <vector>
 
-#include "common/table.hpp"
-#include "core/workload.hpp"
+#include "fig_common.hpp"
 
 using namespace rmc;
-
-namespace {
-
-double tps_cell(core::ClusterKind cluster, core::TransportKind transport,
-                std::uint32_t value_size, unsigned clients) {
-  core::TestBedConfig config;
-  config.cluster = cluster;
-  config.transport = transport;
-  config.num_clients = clients;
-  core::TestBed bed(config);
-  core::WorkloadConfig workload;
-  workload.pattern = core::OpPattern::pure_get;
-  workload.value_size = value_size;
-  workload.ops_per_client = 2000;
-  const auto result = core::run_workload(bed, workload);
-  return result.tps();
-}
-
-bool g_csv = false;
-
-void tps_table(const std::string& title, core::ClusterKind cluster, std::uint32_t value_size,
-               const std::vector<core::TransportKind>& transports) {
-  if (g_csv) {
-    std::printf("# %s\nclients", title.c_str());
-    for (auto t : transports) std::printf(",%s", std::string(core::transport_name(t)).c_str());
-    std::printf("\n");
-    for (unsigned clients : {8u, 16u}) {
-      std::printf("%u", clients);
-      for (auto t : transports) {
-        std::printf(",%.1f", tps_cell(cluster, t, value_size, clients) / 1000.0);
-      }
-      std::printf("\n");
-    }
-    std::printf("\n");
-    return;
-  }
-  std::vector<std::string> columns{"clients"};
-  for (auto t : transports) columns.emplace_back(core::transport_name(t));
-  Table table(title, columns);
-  for (unsigned clients : {8u, 16u}) {
-    std::vector<std::string> row{std::to_string(clients)};
-    for (auto t : transports) {
-      row.push_back(Table::num(tps_cell(cluster, t, value_size, clients) / 1000.0, 1));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print();
-  std::printf("\n");
-}
-
-}  // namespace
+using namespace rmc::bench;
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--csv") g_csv = true;
-  }
+  const bool csv = csv_mode(argc, argv);
+  const std::uint64_t seed = seed_arg(argc, argv);
+  const std::vector<unsigned> clients{8u, 16u};
   const std::vector<core::TransportKind> cluster_a{
       core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib,
       core::TransportKind::toe_10ge};
@@ -77,14 +24,19 @@ int main(int argc, char** argv) {
       core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib};
 
   std::printf("=== Figure 6: Aggregate Get Transactions per Second (thousands) ===\n\n");
-  tps_table("Fig 6(a) 4 byte - Cluster A", core::ClusterKind::cluster_a, 4, cluster_a);
-  tps_table("Fig 6(b) 4096 byte - Cluster A", core::ClusterKind::cluster_a, 4096, cluster_a);
-  tps_table("Fig 6(c) 4 byte - Cluster B", core::ClusterKind::cluster_b, 4, cluster_b);
-  tps_table("Fig 6(d) 4096 byte - Cluster B", core::ClusterKind::cluster_b, 4096, cluster_b);
+  tps_table("Fig 6(a) 4 byte - Cluster A", core::ClusterKind::cluster_a, 4, cluster_a,
+            clients, csv, seed);
+  tps_table("Fig 6(b) 4096 byte - Cluster A", core::ClusterKind::cluster_a, 4096, cluster_a,
+            clients, csv, seed);
+  tps_table("Fig 6(c) 4 byte - Cluster B", core::ClusterKind::cluster_b, 4, cluster_b,
+            clients, csv, seed);
+  tps_table("Fig 6(d) 4096 byte - Cluster B", core::ClusterKind::cluster_b, 4096, cluster_b,
+            clients, csv, seed);
 
   const double ucr16 = tps_cell(core::ClusterKind::cluster_b,
-                                core::TransportKind::ucr_verbs, 4, 16);
-  const double sdp16 = tps_cell(core::ClusterKind::cluster_b, core::TransportKind::sdp, 4, 16);
+                                core::TransportKind::ucr_verbs, 4, 16, 2000, seed);
+  const double sdp16 =
+      tps_cell(core::ClusterKind::cluster_b, core::TransportKind::sdp, 4, 16, 2000, seed);
   std::printf("headline: Cluster B 4B/16 clients UCR=%.2fM ops/s (paper ~1.8M), "
               "UCR/SDP=%.1fx (paper ~6x)\n",
               ucr16 / 1e6, ucr16 / sdp16);

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,7 +31,7 @@ inline std::vector<std::uint32_t> large_sizes() {
 /// latency in microseconds.
 inline double latency_cell(core::ClusterKind cluster, core::TransportKind transport,
                            core::OpPattern pattern, std::uint32_t value_size,
-                           std::uint64_t ops = 300) {
+                           std::uint64_t ops = 300, std::uint64_t seed = 1) {
   core::TestBedConfig config;
   config.cluster = cluster;
   config.transport = transport;
@@ -39,6 +40,7 @@ inline double latency_cell(core::ClusterKind cluster, core::TransportKind transp
   workload.pattern = pattern;
   workload.value_size = value_size;
   workload.ops_per_client = ops;
+  workload.seed = seed;
   const auto result = core::run_workload(bed, workload);
   return result.mean_latency_us();
 }
@@ -48,7 +50,8 @@ inline double latency_cell(core::ClusterKind cluster, core::TransportKind transp
 inline void latency_table(const std::string& title, core::ClusterKind cluster,
                           core::OpPattern pattern,
                           const std::vector<core::TransportKind>& transports,
-                          const std::vector<std::uint32_t>& sizes, bool csv = false) {
+                          const std::vector<std::uint32_t>& sizes, bool csv = false,
+                          std::uint64_t seed = 1) {
   if (csv) {
     std::printf("# %s\nsize", title.c_str());
     for (auto t : transports) std::printf(",%s", std::string(core::transport_name(t)).c_str());
@@ -56,7 +59,7 @@ inline void latency_table(const std::string& title, core::ClusterKind cluster,
     for (std::uint32_t size : sizes) {
       std::printf("%u", size);
       for (auto t : transports) {
-        std::printf(",%.3f", latency_cell(cluster, t, pattern, size));
+        std::printf(",%.3f", latency_cell(cluster, t, pattern, size, 300, seed));
       }
       std::printf("\n");
     }
@@ -69,7 +72,60 @@ inline void latency_table(const std::string& title, core::ClusterKind cluster,
   for (std::uint32_t size : sizes) {
     std::vector<std::string> row{format_size_label(size)};
     for (auto t : transports) {
-      row.push_back(Table::num(latency_cell(cluster, t, pattern, size)));
+      row.push_back(Table::num(latency_cell(cluster, t, pattern, size, 300, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n");
+}
+
+/// Run one aggregate-TPS cell (Fig. 6 style: N clients, pure Get).
+inline double tps_cell(core::ClusterKind cluster, core::TransportKind transport,
+                       std::uint32_t value_size, unsigned clients,
+                       std::uint64_t ops = 2000, std::uint64_t seed = 1) {
+  core::TestBedConfig config;
+  config.cluster = cluster;
+  config.transport = transport;
+  config.num_clients = clients;
+  core::TestBed bed(config);
+  core::WorkloadConfig workload;
+  workload.pattern = core::OpPattern::pure_get;
+  workload.value_size = value_size;
+  workload.ops_per_client = ops;
+  workload.seed = seed;
+  const auto result = core::run_workload(bed, workload);
+  return result.tps();
+}
+
+/// Print one aggregate-TPS table: rows = client counts, columns =
+/// transports, cells in thousands of ops/s (the Fig. 6 layout).
+inline void tps_table(const std::string& title, core::ClusterKind cluster,
+                      std::uint32_t value_size,
+                      const std::vector<core::TransportKind>& transports,
+                      const std::vector<unsigned>& client_counts, bool csv = false,
+                      std::uint64_t seed = 1) {
+  if (csv) {
+    std::printf("# %s\nclients", title.c_str());
+    for (auto t : transports) std::printf(",%s", std::string(core::transport_name(t)).c_str());
+    std::printf("\n");
+    for (unsigned clients : client_counts) {
+      std::printf("%u", clients);
+      for (auto t : transports) {
+        std::printf(",%.1f", tps_cell(cluster, t, value_size, clients, 2000, seed) / 1000.0);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+    return;
+  }
+  std::vector<std::string> columns{"clients"};
+  for (auto t : transports) columns.emplace_back(core::transport_name(t));
+  Table table(title, columns);
+  for (unsigned clients : client_counts) {
+    std::vector<std::string> row{std::to_string(clients)};
+    for (auto t : transports) {
+      row.push_back(Table::num(tps_cell(cluster, t, value_size, clients, 2000, seed) / 1000.0, 1));
     }
     table.add_row(std::move(row));
   }
@@ -91,6 +147,13 @@ inline std::string arg_value(int argc, char** argv, std::string_view flag) {
     if (std::string_view(argv[i]) == flag) return argv[i + 1];
   }
   return {};
+}
+
+/// `--seed <n>` on the command line, defaulting to the canonical seed 1
+/// (the figure tables are reproduced bit-identically under the default).
+inline std::uint64_t seed_arg(int argc, char** argv) {
+  const std::string v = arg_value(argc, argv, "--seed");
+  return v.empty() ? 1 : std::strtoull(v.c_str(), nullptr, 10);
 }
 
 /// Write the accumulated metrics registry as JSON to `--metrics-json

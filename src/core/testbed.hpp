@@ -15,6 +15,7 @@
 
 #include "memcached/client.hpp"
 #include "memcached/server.hpp"
+#include "onesided/publisher.hpp"
 #include "simnet/netparams.hpp"
 #include "ucr/runtime.hpp"
 
@@ -52,6 +53,10 @@ struct TestBedConfig {
   mc::ServerConfig server{};
   mc::ClientBehavior client{};
   ucr::UcrConfig ucr{};  ///< eager threshold / CQ mode ablations
+  /// One-sided GET: publish the server's remote index and have clients
+  /// serve GETs with RDMA Reads (UCR transports only). Off by default.
+  bool onesided = false;
+  onesided::PublisherConfig onesided_cfg{};
 };
 
 class TestBed {
@@ -67,6 +72,8 @@ class TestBed {
 
   std::size_t client_count() const { return clients_.size(); }
   mc::Client& client(std::size_t i) { return *clients_.at(i); }
+  /// Null unless config.onesided on a UCR transport.
+  onesided::Publisher* publisher() { return publisher_.get(); }
   /// Null on socket transports.
   verbs::Hca* server_hca() { return server_hca_.get(); }
   sim::Host& client_host(std::size_t i) { return *client_hosts_.at(i); }
@@ -97,6 +104,7 @@ class TestBed {
   std::vector<std::unique_ptr<sock::NetStack>> client_stacks_;
 
   std::unique_ptr<mc::Server> server_;
+  std::unique_ptr<onesided::Publisher> publisher_;  ///< non-null iff onesided
   std::vector<std::unique_ptr<mc::Client>> clients_;
 };
 

@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "common/slotmap.hpp"
 #include "obs/metrics.hpp"
+#include "onesided/remote_getter.hpp"
 
 namespace rmc::mc {
 
@@ -477,6 +478,16 @@ class UcrConn final : public ServerConn {
     ep_ = *r;
     ep_->set_user_data(this);
     runtime_->register_region(arena_);
+    if (behavior_.onesided_get && !behavior_.unreliable_ucr) {
+      // Bootstrap the one-sided index descriptor (one RPC). Failure only
+      // degrades this connection to RPC GETs; the connect itself succeeded.
+      if (!getter_) {
+        getter_ = std::make_unique<onesided::RemoteGetter>(
+            *runtime_, onesided::GetterConfig{.max_torn_retries = behavior_.onesided_torn_retries,
+                                              .read_timeout = behavior_.op_timeout});
+      }
+      (void)co_await getter_->bootstrap(*ep_, behavior_.op_timeout);
+    }
     co_return Status{};
   }
 
@@ -485,6 +496,21 @@ class UcrConn final : public ServerConn {
   sim::Task<Result<proto::Value>> get(std::string_view key, bool with_cas) override {
     if (!alive()) co_return Errc::disconnected;
     co_await host_->cpu().consume(behavior_.format_ns);
+    if (getter_ && getter_->ready()) {
+      auto hit = co_await getter_->try_get(*ep_, key);
+      if (hit.ok()) {
+        proto::Value value;
+        value.key.assign(key.data(), key.size());
+        value.flags = hit->flags;
+        value.cas = hit->cas;
+        value.data.assign(hit->value.begin(), hit->value.end());
+        co_await host_->cpu().consume(static_cast<sim::Time>(
+            static_cast<double>(value.data.size()) * behavior_.result_copy_ns_per_byte));
+        co_return value;
+      }
+      // Fallback ladder: anything short of a verified hit goes to RPC.
+      if (!alive()) co_return Errc::disconnected;
+    }
     auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {});
     if (!issued.ok()) co_return issued.error();
     co_return co_await finish_get(*issued, key);
@@ -521,6 +547,21 @@ class UcrConn final : public ServerConn {
     // bytes directly in `dest`, so no arena slot, no Value, no copy-out.
     if (!alive()) co_return Errc::disconnected;
     co_await host_->cpu().consume(behavior_.format_ns);
+    if (getter_ && getter_->ready()) {
+      auto hit = co_await getter_->try_get(*ep_, key);
+      if (hit.ok()) {
+        if (hit->value.size() > dest.size()) co_return Errc::too_large;
+        std::memcpy(dest.data(), hit->value.data(), hit->value.size());
+        co_await host_->cpu().consume(static_cast<sim::Time>(
+            static_cast<double>(hit->value.size()) * behavior_.result_copy_ns_per_byte));
+        GetIntoResult out;
+        out.value_len = static_cast<std::uint32_t>(hit->value.size());
+        out.flags = hit->flags;
+        out.cas = hit->cas;
+        co_return out;
+      }
+      if (!alive()) co_return Errc::disconnected;
+    }
     auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {}, dest);
     if (!issued.ok()) co_return issued.error();
     auto pending = co_await await_reply(*issued);
@@ -770,6 +811,7 @@ class UcrConn final : public ServerConn {
   std::uint16_t port_;
   ucr::Endpoint* ep_ = nullptr;
   std::uint64_t down_handler_ = 0;
+  std::unique_ptr<onesided::RemoteGetter> getter_;  ///< non-null iff onesided_get
 
   SlotMap<Pending> pending_;
 

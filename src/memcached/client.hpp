@@ -51,6 +51,13 @@ struct ClientBehavior {
   /// Speak the memcached binary protocol on socket servers (auto-detected
   /// server side, like memcached 1.4).
   bool binary_protocol = false;
+  /// One-sided GET: serve reads with RDMA Reads against the server's
+  /// published index (reliable UCR endpoints only), falling back to the
+  /// RPC GET on miss, torn read, oversize, or endpoint failure. Off by
+  /// default: the RPC-only request stream is byte-identical.
+  bool onesided_get = false;
+  /// Torn-observation re-reads before a one-sided GET falls back to RPC.
+  std::uint32_t onesided_torn_retries = 2;
 
   // ---- failure recovery (all off by default: a client with the default
   // behavior is byte-identical to the pre-fault-tolerance one) ----

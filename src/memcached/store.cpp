@@ -93,6 +93,7 @@ Result<ItemHeader*> ItemStore::allocate_raw(std::string_view key, std::uint32_t 
 
 void ItemStore::unlink(ItemHeader* item) {
   if (!item->linked) return;
+  if (listener_) listener_->on_item_unlinked(item);
   table_.remove(item, hash_of(item->key()));
   item->linked = false;
   lru_remove(item);
@@ -285,6 +286,7 @@ Result<std::uint64_t> ItemStore::arith(std::string_view key, std::uint64_t delta
     item->value_len = static_cast<std::uint32_t>(text.size());
     item->cas = next_cas_++;
     stats_.bytes += ItemHeader::wire_size(item->key_len, item->value_len);
+    if (listener_) listener_->on_item_linked(item);  // in-place rewrite
   } else {
     // The textual value no longer fits this chunk: replace the item. The
     // old exptime is already absolute, so set it directly afterwards
@@ -305,10 +307,14 @@ bool ItemStore::touch(std::string_view key, std::uint32_t exptime) {
   ItemHeader* item = get(key);
   if (!item) return false;
   item->exptime = absolute_exptime(exptime);
+  if (listener_) listener_->on_item_linked(item);  // republish new expiry
   return true;
 }
 
-void ItemStore::flush_all() { flush_seq_ = next_seq_; }
+void ItemStore::flush_all() {
+  flush_seq_ = next_seq_;
+  if (listener_) listener_->on_store_flushed();
+}
 
 // ---------------------------------------------------- two-phase (§V-B)
 
@@ -333,6 +339,7 @@ void ItemStore::commit_item(ItemHeader* item) {
   item->stored_seq = next_seq_++;
   table_.insert(item, hash_of(item->key()));
   lru_insert(item);
+  if (listener_) listener_->on_item_linked(item);
   ++stats_.total_items;
   ++stats_.curr_items;
   stats_.bytes += ItemHeader::wire_size(item->key_len, item->value_len);

@@ -47,6 +47,19 @@ struct StoreStats {
 /// Storage verbs of the text protocol.
 enum class SetMode : std::uint8_t { set, add, replace, append, prepend, cas };
 
+/// Observer of item lifetime transitions, invoked synchronously from the
+/// mutation paths. This is the publish/retract hook the one-sided remote
+/// index builds on: linked covers both fresh links and in-place rewrites
+/// (arith, touch), unlinked covers delete/evict/expiry/replace, flushed
+/// covers the lazy flush_all epoch bump (items stay linked but are dead).
+class StoreListener {
+ public:
+  virtual ~StoreListener() = default;
+  virtual void on_item_linked(const ItemHeader* item) = 0;
+  virtual void on_item_unlinked(const ItemHeader* item) = 0;
+  virtual void on_store_flushed() = 0;
+};
+
 class ItemStore {
  public:
   explicit ItemStore(StoreConfig config = {});
@@ -97,6 +110,11 @@ class ItemStore {
   void abandon_item(ItemHeader* item);
 
   // -------------------------------------------------------------- misc
+  /// Install (or clear, with nullptr) the mutation observer. At most one;
+  /// the default nullptr keeps every mutation path branch-identical to a
+  /// listener-free store.
+  void set_listener(StoreListener* listener) { listener_ = listener; }
+
   const StoreStats& stats() const { return stats_; }
   const SlabAllocator& slabs() const { return slabs_; }
   SlabAllocator& slabs() { return slabs_; }
@@ -126,6 +144,7 @@ class ItemStore {
   ItemHeader* peek(std::string_view key);
 
   StoreConfig config_;
+  StoreListener* listener_ = nullptr;
   SlabAllocator slabs_;
   HashTable table_;
   std::vector<LruList> lru_;

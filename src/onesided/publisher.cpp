@@ -1,0 +1,208 @@
+#include "onesided/publisher.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "simnet/fabric.hpp"
+
+namespace rmc::onesided {
+
+namespace {
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Publisher::Publisher(ucr::Runtime& runtime, sim::Host& host, mc::ItemStore& store,
+                     PublisherConfig config)
+    : runtime_(&runtime), host_(&host), store_(&store), config_(config),
+      publishes_metric_(&obs::registry().counter("mc.oneside.publishes")),
+      retracts_metric_(&obs::registry().counter("mc.oneside.retracts")) {
+  config_.bucket_count = round_up_pow2(std::max(1u, config_.bucket_count));
+  config_.ways = std::max(1u, config_.ways);
+  config_.slot_size = std::max<std::uint32_t>(
+      config_.slot_size, static_cast<std::uint32_t>(RecordHeader::framed_size(1, 0)));
+
+  const std::size_t slot_count =
+      static_cast<std::size_t>(config_.bucket_count) * config_.ways;
+  index_.assign(slot_count * sizeof(BucketEntry), std::byte{0});
+  arena_.assign(slot_count * config_.slot_size, std::byte{0});
+  slots_.resize(slot_count);
+  victim_rr_.assign(config_.bucket_count, 0);
+
+  const auto index_window = runtime_->expose_memory(index_);
+  const auto arena_window = runtime_->expose_memory(arena_);
+  descriptor_.index = {index_window.addr, index_window.rkey, index_window.length};
+  descriptor_.arena = {arena_window.addr, arena_window.rkey, arena_window.length};
+  descriptor_.bucket_count = config_.bucket_count;
+  descriptor_.ways = config_.ways;
+  descriptor_.slot_size = config_.slot_size;
+
+  // Bootstrap RPC: one eager AM round trip handing the descriptor out.
+  runtime_->register_handler(
+      kMsgBootstrap,
+      {.on_header = {},
+       .on_complete = [this](ucr::Endpoint& ep, std::span<const std::byte> header,
+                             std::span<std::byte>) {
+        if (header.size() < BootstrapRequest::kSize) return;
+        const auto req = BootstrapRequest::decode(header.data());
+        IndexDescriptor resp = descriptor_;
+        resp.cookie = req.cookie;
+        std::byte out[IndexDescriptor::kSize];
+        resp.encode(out);
+        (void)runtime_->send_message(ep, kMsgBootstrapResp, out, {}, nullptr,
+                                     ucr::CounterRef{req.reply_counter}, nullptr);
+      }});
+
+  store_->set_listener(this);
+}
+
+Publisher::~Publisher() { store_->set_listener(nullptr); }
+
+std::uint32_t Publisher::bucket_of(std::string_view key) const {
+  return hash_one_at_a_time(key) & (config_.bucket_count - 1);
+}
+
+BucketEntry* Publisher::entry_at(std::uint32_t slot) {
+  return reinterpret_cast<BucketEntry*>(index_.data() + slot * sizeof(BucketEntry));
+}
+
+std::byte* Publisher::record_at(std::uint32_t slot) {
+  return arena_.data() + static_cast<std::size_t>(slot) * config_.slot_size;
+}
+
+std::uint32_t Publisher::pick_slot(std::uint32_t bucket, std::string_view key) {
+  const std::uint32_t base = bucket * config_.ways;
+  std::uint32_t free_way = config_.ways;
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    const SlotState& s = slots_[base + way];
+    if (s.key == key) return base + way;
+    if (s.key.empty() && free_way == config_.ways) free_way = way;
+  }
+  if (free_way != config_.ways) return base + free_way;
+  // Bucket full: evict a way round-robin. The displaced key simply loses
+  // its published entry — its RPC path still serves it.
+  const std::uint32_t victim = victim_rr_[bucket]++ % config_.ways;
+  return base + victim;
+}
+
+void Publisher::on_item_linked(const mc::ItemHeader* item) {
+  const std::uint32_t bucket = bucket_of(item->key());
+  const std::size_t framed = RecordHeader::framed_size(item->key_len, item->value_len);
+  if (framed > config_.slot_size) {
+    // Oversized values are never published; retract any stale entry for
+    // this key so readers fall back instead of seeing the old value.
+    ++skipped_oversize_;
+    on_item_unlinked(item);
+    return;
+  }
+  const std::uint32_t slot = pick_slot(bucket, item->key());
+  if (!slots_[slot].key.empty() && slots_[slot].key != item->key()) retract(slot);
+  publish(slot, item);
+}
+
+void Publisher::on_item_unlinked(const mc::ItemHeader* item) {
+  const std::uint32_t base = bucket_of(item->key()) * config_.ways;
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    if (slots_[base + way].key == item->key()) {
+      retract(base + way);
+      return;
+    }
+  }
+}
+
+void Publisher::on_store_flushed() {
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (!slots_[slot].key.empty()) retract(slot);
+  }
+}
+
+void Publisher::publish(std::uint32_t slot, const mc::ItemHeader* item) {
+  SlotState& state = slots_[slot];
+  // Fresh even epoch strictly above every version a reader may still hold
+  // for this slot. (In a threaded implementation the odd intermediate
+  // would be written first; the simulator executes this block atomically,
+  // so the observable race is a reader spanning two publishes — caught by
+  // the version pair + checksum either way.)
+  const std::uint32_t version = (state.version | 1u) + 1u;
+  state.version = version;
+  state.key.assign(item->key());
+
+  std::byte* rec = record_at(slot);
+  RecordHeader hdr;
+  hdr.version_front = version;
+  hdr.key_len = item->key_len;
+  hdr.value_len = item->value_len;
+  hdr.flags = item->flags;
+  hdr.cas = item->cas;
+  hdr.exptime = item->exptime;
+  hdr.checksum = hdr.expected_checksum(item->key(), item->value());
+  std::memcpy(rec, &hdr, sizeof(hdr));
+  std::memcpy(rec + sizeof(hdr), item->key_data(), item->key_len);
+  std::memcpy(rec + sizeof(hdr) + item->key_len, item->value_data(), item->value_len);
+  const std::uint32_t back = version;
+  std::memcpy(rec + sizeof(hdr) + item->key_len + item->value_len, &back, sizeof(back));
+
+  BucketEntry entry;
+  entry.tag = BucketEntry::make_tag(hash_one_at_a_time(item->key()), item->key_len);
+  entry.version = version;
+  entry.arena_offset = slot * config_.slot_size;
+  entry.record_len =
+      static_cast<std::uint32_t>(RecordHeader::framed_size(item->key_len, item->value_len));
+  entry.seal();
+  std::memcpy(entry_at(slot), &entry, sizeof(entry));
+
+  ++published_;
+  publishes_metric_->inc();
+  charge(sizeof(RecordHeader) + item->key_len + item->value_len);
+}
+
+void Publisher::retract(std::uint32_t slot) {
+  SlotState& state = slots_[slot];
+  // Odd epoch: readers holding the old bucket line see a version mismatch
+  // on the record and fall back instead of serving the dead value.
+  state.version |= 1u;
+  state.key.clear();
+  std::byte* rec = record_at(slot);
+  std::uint32_t front;
+  std::memcpy(&front, rec, sizeof(front));
+  front = state.version;
+  std::memcpy(rec, &front, sizeof(front));
+  BucketEntry cleared;  // tag 0 = unoccupied; check of a zero entry differs too
+  std::memcpy(entry_at(slot), &cleared, sizeof(cleared));
+
+  ++retracted_;
+  retracts_metric_->inc();
+  charge(sizeof(BucketEntry));
+}
+
+void Publisher::charge(std::size_t bytes) {
+  pending_cost_ += config_.publish_base_ns +
+                   static_cast<sim::Time>(static_cast<double>(bytes) *
+                                          config_.publish_ns_per_byte);
+  if (!charge_armed_) {
+    charge_armed_ = true;
+    runtime_->scheduler().spawn(charge_loop());
+  }
+}
+
+sim::Task<> Publisher::charge_loop() {
+  // Drain the accumulated publish cost on the server CPU. Listener hooks
+  // run synchronously inside store mutations (not coroutines), so the
+  // cost is billed here, contending with the workers like the real memcpy
+  // would.
+  while (pending_cost_ != 0) {
+    const sim::Time cost = pending_cost_;
+    pending_cost_ = 0;
+    co_await host_->cpu().consume(cost);
+  }
+  charge_armed_ = false;
+}
+
+}  // namespace rmc::onesided

@@ -4,6 +4,8 @@
 Measures (in a Release tree):
   * micro_sim_components  — scheduler/coroutine/counter micro-benchmarks
   * micro_kv_components   — parser/store/encode micro-benchmarks
+  * fig_onesided_get      — RPC vs one-sided GET latency cells (sim-time,
+                            deterministic, so also gateable in --quick)
   * fig3 / fig6 binaries  — end-to-end wall-clock (sanity, not a gate)
 
 The snapshot keeps two sections:
@@ -12,16 +14,20 @@ The snapshot keeps two sections:
   * "current"  — what this run measured.
 
 Headline gauges (the ones CI gates on):
-  * sim_events_per_sec — BM_SchedulerEventDispatch items/sec (higher better)
-  * kv_parse_get_ns    — BM_ParseGetRequest real ns/op      (lower better)
+  * sim_events_per_sec      — BM_SchedulerEventDispatch items/sec (higher better)
+  * kv_parse_get_ns         — BM_ParseGetRequest real ns/op       (lower better)
+  * onesided_get_us_qdr_64  — one-sided 64 B GET, QDR, sim µs     (lower better)
+  * rpc_get_us_qdr_64       — RPC 64 B GET, QDR, sim µs           (lower better)
 
 Usage:
-  tools/run_benches.py [--build-dir build-rel] [--out BENCH_2.json] [--quick]
-  tools/run_benches.py --check BENCH_2.json [--build-dir ...] [--quick]
+  tools/run_benches.py [--build-dir build-rel] [--out BENCH_4.json] [--quick]
+  tools/run_benches.py --check BENCH_4.json [--build-dir ...] [--quick]
 
---check re-measures and fails (exit 1) if sim_events_per_sec regressed more
-than --tolerance (default 20%) against the checked-in snapshot's "current"
-section. No files are written in check mode.
+--check re-measures and fails (exit 1) if sim_events_per_sec or either GET
+latency regressed more than --tolerance (default 20%) against the checked-in
+snapshot's "current" section. Latency keys missing from an older snapshot
+are skipped, so --check still works against BENCH_2.json. No files are
+written in check mode.
 """
 
 import argparse
@@ -34,10 +40,15 @@ import time
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 MICRO_TARGETS = ["micro_sim_components", "micro_kv_components"]
+ONESIDED_TARGET = "fig_onesided_get"
 WALLCLOCK_TARGETS = {
     "fig3": "fig3_latency_cluster_a",
     "fig6": "fig6_multi_client_tps",
 }
+# Latency headlines gated in --check mode (lower is better). Sim-time, so
+# deterministic across machines — the tolerance only absorbs intentional
+# model changes that forgot to refresh the snapshot.
+LATENCY_HEADLINES = ["onesided_get_us_qdr_64", "rpc_get_us_qdr_64"]
 
 
 def run(cmd, **kw):
@@ -91,6 +102,14 @@ def run_micro(build_dir, target, quick):
     return results
 
 
+def run_onesided(build_dir):
+    out = os.path.join(build_dir, "fig_onesided_get.json")
+    run([find_binary(build_dir, ONESIDED_TARGET), "--json", out],
+        stdout=subprocess.DEVNULL)
+    with open(out) as f:
+        return json.load(f)
+
+
 def run_wallclock(build_dir):
     timings = {}
     for key, target in WALLCLOCK_TARGETS.items():
@@ -102,11 +121,14 @@ def run_wallclock(build_dir):
 
 
 def measure(build_dir, quick):
-    targets = MICRO_TARGETS + ([] if quick else list(WALLCLOCK_TARGETS.values()))
+    targets = MICRO_TARGETS + [ONESIDED_TARGET] + (
+        [] if quick else list(WALLCLOCK_TARGETS.values()))
     ensure_build(build_dir, targets)
     current = {"quick": quick, "benchmarks": {}}
     for target in MICRO_TARGETS:
         current["benchmarks"][target] = run_micro(build_dir, target, quick)
+    onesided = run_onesided(build_dir)
+    current["onesided"] = {"ddr": onesided["ddr"], "qdr": onesided["qdr"]}
     if not quick:
         current["wallclock_sec"] = run_wallclock(build_dir)
     sim = current["benchmarks"]["micro_sim_components"]
@@ -115,13 +137,14 @@ def measure(build_dir, quick):
         "sim_events_per_sec": sim["BM_SchedulerEventDispatch"]["items_per_second"],
         "kv_parse_get_ns": kv["BM_ParseGetRequest"]["real_time_ns"],
     }
+    current["headline"].update(onesided["headline"])
     return current
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO, "build-rel"))
-    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_2.json"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_4.json"))
     ap.add_argument("--quick", action="store_true",
                     help="short benchmark repetitions, skip wall-clock figs")
     ap.add_argument("--check", metavar="SNAPSHOT",
@@ -142,14 +165,33 @@ def main():
         print(f"wrote {check_out}")
         with open(args.check) as f:
             snapshot = json.load(f)
-        ref = snapshot["current"]["headline"]["sim_events_per_sec"]
+        ref_head = snapshot["current"]["headline"]
+        failures = []
+
+        ref = ref_head["sim_events_per_sec"]
         got = current["headline"]["sim_events_per_sec"]
         floor = ref * (1.0 - args.tolerance)
         print(f"scheduler events/sec: reference {ref:,.0f}  measured {got:,.0f}  "
               f"floor {floor:,.0f}")
         if got < floor:
-            print("FAIL: scheduler dispatch throughput regressed beyond "
-                  f"{args.tolerance:.0%}", file=sys.stderr)
+            failures.append("scheduler dispatch throughput regressed beyond "
+                            f"{args.tolerance:.0%}")
+
+        for key in LATENCY_HEADLINES:
+            if key not in ref_head:
+                print(f"{key}: not in snapshot, skipped")
+                continue
+            ref = ref_head[key]
+            got = current["headline"][key]
+            ceiling = ref * (1.0 + args.tolerance)
+            print(f"{key}: reference {ref:.3f}us  measured {got:.3f}us  "
+                  f"ceiling {ceiling:.3f}us")
+            if got > ceiling:
+                failures.append(f"{key} regressed beyond {args.tolerance:.0%}")
+
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        if failures:
             sys.exit(1)
         print("OK: within tolerance")
         return
