@@ -56,19 +56,19 @@ double mget_latency_us(int servers, bool use_ucr) {
   constexpr int kKeys = 64;
   constexpr int kRounds = 100;
   sim::Time total = 0;
-  sched.spawn([](sim::Scheduler& sched, mc::Client& client, sim::Time& total) -> sim::Task<> {
-    (void)co_await client.connect_all();
+  sched.spawn([](sim::Scheduler& sch, mc::Client& cli, sim::Time& total2) -> sim::Task<> {
+    (void)co_await cli.connect_all();
     std::vector<std::string> keys;
     for (int k = 0; k < kKeys; ++k) {
       keys.push_back("page:object:" + std::to_string(k));
-      (void)co_await client.set(keys.back(), val("fragment"));
+      (void)co_await cli.set(keys.back(), val("fragment"));
     }
-    const sim::Time start = sched.now();
+    const sim::Time start = sch.now();
     for (int r = 0; r < kRounds; ++r) {
-      auto result = co_await client.mget(keys);
+      auto result = co_await cli.mget(keys);
       (void)result;
     }
-    total = sched.now() - start;
+    total2 = sch.now() - start;
   }(sched, client, total));
   sched.run();
   return to_us(total) / kRounds;

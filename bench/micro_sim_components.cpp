@@ -35,16 +35,16 @@ void BM_CoroutinePingPong(benchmark::State& state) {
     Scheduler sched;
     Channel<int> a(sched), b(sched);
     constexpr int kRounds = 5000;
-    sched.spawn([](Channel<int>& a, Channel<int>& b) -> Task<> {
+    sched.spawn([](Channel<int>& a2, Channel<int>& b2) -> Task<> {
       for (int i = 0; i < kRounds; ++i) {
-        a.send(i);
-        (void)co_await b.recv();
+        a2.send(i);
+        (void)co_await b2.recv();
       }
     }(a, b));
-    sched.spawn([](Channel<int>& a, Channel<int>& b) -> Task<> {
+    sched.spawn([](Channel<int>& a2, Channel<int>& b2) -> Task<> {
       for (int i = 0; i < kRounds; ++i) {
-        (void)co_await a.recv();
-        b.send(i);
+        (void)co_await a2.recv();
+        b2.send(i);
       }
     }(a, b));
     sched.run();

@@ -35,26 +35,26 @@ double verbs_one_way_us(sim::LinkParams link, verbs::VerbsCosts costs, std::size
   auto& mr_b = hb.reg_mr(buf_b);
 
   sim::Time total = 0;
-  sched.spawn([](sim::Scheduler& sched, verbs::QueuePair& qa, verbs::QueuePair& qb,
-                 verbs::CompletionQueue& cq_a, verbs::CompletionQueue& cq_b,
-                 std::vector<std::byte>& buf_a, std::vector<std::byte>& buf_b,
-                 verbs::MemoryRegion& mr_a, verbs::MemoryRegion& mr_b, int iters,
-                 sim::Time& total) -> sim::Task<> {
-    const sim::Time start = sched.now();
-    for (int i = 0; i < iters; ++i) {
-      (void)qb.post_recv({.wr_id = 1, .buffer = buf_b, .lkey = mr_b.lkey()});
-      (void)qa.post_send(
-          {.wr_id = 2, .opcode = verbs::Opcode::send, .local = buf_a, .lkey = mr_a.lkey()});
-      while ((co_await cq_b.next()).opcode != verbs::Opcode::recv) {
+  sched.spawn([](sim::Scheduler& sch, verbs::QueuePair& qa2, verbs::QueuePair& qb2,
+                 verbs::CompletionQueue& cq_a2, verbs::CompletionQueue& cq_b2,
+                 std::vector<std::byte>& buf_a2, std::vector<std::byte>& buf_b2,
+                 verbs::MemoryRegion& mr_a2, verbs::MemoryRegion& mr_b2, int iters2,
+                 sim::Time& total2) -> sim::Task<> {
+    const sim::Time start = sch.now();
+    for (int i = 0; i < iters2; ++i) {
+      (void)qb2.post_recv({.wr_id = 1, .buffer = buf_b2, .lkey = mr_b2.lkey()});
+      (void)qa2.post_send(
+          {.wr_id = 2, .opcode = verbs::Opcode::send, .local = buf_a2, .lkey = mr_a2.lkey()});
+      while ((co_await cq_b2.next()).opcode != verbs::Opcode::recv) {
       }
       // pong
-      (void)qa.post_recv({.wr_id = 3, .buffer = buf_a, .lkey = mr_a.lkey()});
-      (void)qb.post_send(
-          {.wr_id = 4, .opcode = verbs::Opcode::send, .local = buf_b, .lkey = mr_b.lkey()});
-      while ((co_await cq_a.next()).opcode != verbs::Opcode::recv) {
+      (void)qa2.post_recv({.wr_id = 3, .buffer = buf_a2, .lkey = mr_a2.lkey()});
+      (void)qb2.post_send(
+          {.wr_id = 4, .opcode = verbs::Opcode::send, .local = buf_b2, .lkey = mr_b2.lkey()});
+      while ((co_await cq_a2.next()).opcode != verbs::Opcode::recv) {
       }
     }
-    total = sched.now() - start;
+    total2 = sch.now() - start;
   }(sched, qa, qb, *cq_a, *cq_b, buf_a, buf_b, mr_a, mr_b, iters, total));
   sched.run();
   return to_us(total) / (2.0 * iters);
@@ -68,9 +68,9 @@ double socket_one_way_us(sim::LinkParams link, sock::StackCosts costs, std::size
   sim::Host a(sched, 0, "a", 8), b(sched, 1, "b", 8);
   sock::NetStack sa(sched, fabric, a, costs), sb(sched, fabric, b, costs);
   sock::Listener& listener = sb.listen(1);
-  sched.spawn([](sock::Listener& l, std::size_t size) -> sim::Task<> {
+  sched.spawn([](sock::Listener& l, std::size_t size2) -> sim::Task<> {
     sock::Socket* s = co_await l.accept();
-    std::vector<std::byte> buf(size);
+    std::vector<std::byte> buf(size2);
     while (true) {
       auto st = co_await s->recv_exact(buf);
       if (!st.ok()) co_return;
@@ -79,17 +79,17 @@ double socket_one_way_us(sim::LinkParams link, sock::StackCosts costs, std::size
   }(listener, size));
 
   sim::Time total = 0;
-  sched.spawn([](sim::Scheduler& sched, sock::NetStack& sa, sock::NetStack& sb,
-                 std::size_t size, int iters, sim::Time& total) -> sim::Task<> {
-    auto r = co_await sa.connect(sb.addr(), 1);
+  sched.spawn([](sim::Scheduler& sch, sock::NetStack& sa2, sock::NetStack& sb2,
+                 std::size_t size2, int iters2, sim::Time& total2) -> sim::Task<> {
+    auto r = co_await sa2.connect(sb2.addr(), 1);
     sock::Socket* s = *r;
-    std::vector<std::byte> buf(size);
-    const sim::Time start = sched.now();
-    for (int i = 0; i < iters; ++i) {
+    std::vector<std::byte> buf(size2);
+    const sim::Time start = sch.now();
+    for (int i = 0; i < iters2; ++i) {
       (void)co_await s->send(buf);
       (void)co_await s->recv_exact(buf);
     }
-    total = sched.now() - start;
+    total2 = sch.now() - start;
     s->close();
   }(sched, sa, sb, size, iters, total));
   sched.run();

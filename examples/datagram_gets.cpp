@@ -56,8 +56,8 @@ int main() {
     sim::Time total = 0;
   } stats;
 
-  sched.spawn([](sim::Scheduler& sched, mc::Client& client, Stats& stats) -> sim::Task<> {
-    auto st = co_await client.connect_all();
+  sched.spawn([](sim::Scheduler& sch, mc::Client& cli, Stats& stats2) -> sim::Task<> {
+    auto st = co_await cli.connect_all();
     if (!st.ok()) {
       std::printf("handshake lost (that's UD life) — rerun with another seed\n");
       co_return;
@@ -65,19 +65,19 @@ int main() {
     // Seed the cache (retry sets that the fabric eats).
     for (int i = 0; i < 64; ++i) {
       const std::string key = "profile:" + std::to_string(i);
-      while (!(co_await client.set(key, val("user-profile-blob"))).ok()) {
+      while (!(co_await cli.set(key, val("user-profile-blob"))).ok()) {
       }
     }
     // The read-heavy phase: 2000 datagram Gets.
     for (int i = 0; i < 2000; ++i) {
       const std::string key = "profile:" + std::to_string(i % 64);
-      const sim::Time begin = sched.now();
-      auto got = co_await client.get(key);
-      stats.total += sched.now() - begin;
+      const sim::Time begin = sch.now();
+      auto got = co_await cli.get(key);
+      stats2.total += sch.now() - begin;
       if (got.ok()) {
-        ++stats.hits;
+        ++stats2.hits;
       } else {
-        ++stats.timeouts;  // treated as a miss; the DB would serve it
+        ++stats2.timeouts;  // treated as a miss; the DB would serve it
       }
     }
   }(sched, client, stats));

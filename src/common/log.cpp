@@ -45,6 +45,7 @@ void log_write(LogLevel level, const char* fmt, ...) {
   std::fwrite(prefix.data(), 1, prefix.size(), stderr);
   va_list args;
   va_start(args, fmt);
+  // rmclint:allow(io-hygiene): this IS the logger's designated sink; all RMC_LOG_* funnels here
   std::vfprintf(stderr, fmt, args);
   va_end(args);
   std::fputc('\n', stderr);

@@ -113,18 +113,18 @@ WorkloadResult run_workload(TestBed& bed, const WorkloadConfig& config) {
   sim::Event start(sched);
   sim::Time start_time = 0;
 
-  sched.spawn([](TestBed& bed, sim::Event& connected, sim::Counter& ready, sim::Event& start,
-                 std::size_t n, sim::Time& start_time) -> sim::Task<> {
-    auto st = co_await bed.connect_all();
+  sched.spawn([](TestBed& tb, sim::Event& conn_ev, sim::Counter& ready_ctr, sim::Event& start_ev,
+                 std::size_t clients, sim::Time& t0) -> sim::Task<> {
+    auto st = co_await tb.connect_all();
     if (!st.ok()) {
       RMC_LOG_ERROR("workload: connect failed: %s",
                     std::string(to_string(st.error())).c_str());
       co_return;
     }
-    connected.set();
-    co_await ready.wait_geq(n);
-    start_time = bed.scheduler().now();
-    start.set();
+    conn_ev.set();
+    co_await ready_ctr.wait_geq(clients);
+    t0 = tb.scheduler().now();
+    start_ev.set();
   }(bed, connected, ready, start, n, start_time));
 
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,5 +1,6 @@
 #include "memcached/binary.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace rmc::mc::bproto {
@@ -42,16 +43,20 @@ struct Header {
 };
 
 void encode_header(std::byte* out, const Header& h) {
-  std::memset(out, 0, kHeaderSize);
-  out[0] = static_cast<std::byte>(h.magic);
-  out[1] = static_cast<std::byte>(h.opcode);
-  put_u16(out + 2, h.key_len);
-  out[4] = static_cast<std::byte>(h.extras_len);
-  out[5] = std::byte{0};  // data type: raw
-  put_u16(out + 6, h.status_or_vbucket);
-  put_u32(out + 8, h.body_len);
-  put_u32(out + 12, h.opaque);
-  put_u64(out + 16, h.cas);
+  // Build in a fixed-size stack buffer, then copy: writing through the raw
+  // vector pointer makes GCC 12 hallucinate a zero-length destination for
+  // the memset once this inlines into encode_request/encode_response.
+  std::array<std::byte, kHeaderSize> buf{};
+  buf[0] = static_cast<std::byte>(h.magic);
+  buf[1] = static_cast<std::byte>(h.opcode);
+  put_u16(buf.data() + 2, h.key_len);
+  buf[4] = static_cast<std::byte>(h.extras_len);
+  buf[5] = std::byte{0};  // data type: raw
+  put_u16(buf.data() + 6, h.status_or_vbucket);
+  put_u32(buf.data() + 8, h.body_len);
+  put_u32(buf.data() + 12, h.opaque);
+  put_u64(buf.data() + 16, h.cas);
+  std::memcpy(out, buf.data(), kHeaderSize);
 }
 
 Header decode_header(const std::byte* in) {

@@ -1062,15 +1062,15 @@ sim::Task<Result<std::vector<std::optional<proto::Value>>>> Client::mget(
     // coroutine stays suspended on `finished` until all of them are done.
     sched_->spawn([](ServerConn& conn, const std::vector<std::string>& group,
                      const std::vector<std::size_t>& pos,
-                     std::vector<std::optional<proto::Value>>& out, Errc& first_error,
-                     sim::Counter& finished) -> sim::Task<> {
+                     std::vector<std::optional<proto::Value>>& results, Errc& err,
+                     sim::Counter& done) -> sim::Task<> {
       auto r = co_await conn.mget(group, false);
       if (r.ok()) {
-        for (std::size_t j = 0; j < pos.size(); ++j) out[pos[j]] = std::move((*r)[j]);
-      } else if (first_error == Errc::ok) {
-        first_error = r.error();
+        for (std::size_t j = 0; j < pos.size(); ++j) results[pos[j]] = std::move((*r)[j]);
+      } else if (err == Errc::ok) {
+        err = r.error();
       }
-      finished.add();
+      done.add();
     }(*conns_[server], grouped[server], positions[server], out, first_error, finished));
   }
   co_await finished.wait_geq(groups);

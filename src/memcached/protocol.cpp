@@ -1,3 +1,4 @@
+// rmclint:hotpath — request fast path; zero-alloc rule enforced here
 #include "memcached/protocol.hpp"
 
 #include <algorithm>
@@ -45,6 +46,7 @@ bool parse_number(std::string_view token, T& out) {
 
 void append_str(std::vector<std::byte>& out, std::string_view s) {
   const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  // rmclint:allow(zeroalloc): socket-transport codec — the measured-overhead baseline, off the PR 2 UCR budget
   out.insert(out.end(), p, p + s.size());
 }
 
@@ -236,6 +238,7 @@ Result<std::optional<Request>> RequestParser::next() {
 
 std::vector<std::byte> encode_request(const Request& request) {
   std::vector<std::byte> out;
+  // rmclint:allow(zeroalloc): socket-transport codec — the measured-overhead baseline, off the PR 2 UCR budget
   out.reserve(64 + request.data.size());
   append_str(out, command_name(request.command));
 
@@ -254,6 +257,7 @@ std::vector<std::byte> encode_request(const Request& request) {
     }
     if (request.noreply) append_str(out, " noreply");
     append_crlf(out);
+    // rmclint:allow(zeroalloc): socket-transport codec — the measured-overhead baseline, off the PR 2 UCR budget
     out.insert(out.end(), request.data.begin(), request.data.end());
     append_crlf(out);
     return out;
@@ -344,6 +348,7 @@ void encode_response_into(const Response& response, bool with_cas,
           append_number(out, v.cas);
         }
         append_crlf(out);
+        // rmclint:allow(zeroalloc): socket-transport codec — the measured-overhead baseline, off the PR 2 UCR budget
         out.insert(out.end(), v.data.begin(), v.data.end());
         append_crlf(out);
       }
@@ -399,6 +404,7 @@ Result<std::optional<Response>> ResponseParser::next(Expect expect) {
       if (avail < data_start + bytes + 2) return std::optional<Response>{};
       const auto* data = buffer_.data() + consumed_ + data_start;
       v.data.assign(data, data + bytes);
+      // rmclint:allow(zeroalloc): socket-transport response parse (client side) — baseline path, off the PR 2 UCR budget
       values.push_back(std::move(v));
       cursor = data_start + bytes + 2;
     }

@@ -11,6 +11,7 @@
 // arena (no per-key std::string), and the parsers consume their buffers by
 // offset instead of erasing the front per request, so the steady-state GET
 // path performs no heap allocation inside the codec.
+// rmclint:hotpath — request fast path; zero-alloc rule enforced here
 #pragma once
 
 #include <array>
@@ -113,6 +114,7 @@ struct Request {
     if (key_count_ < kInlineKeys) {
       spans_[key_count_] = span;
     } else {
+      // rmclint:allow(zeroalloc): spill beyond the inline key arena; metered via mc.alloc.key_spills
       spill_spans_.push_back(span);
     }
     ++key_count_;

@@ -35,6 +35,7 @@ class CpuResource {
       Time cost;
       bool await_ready() const noexcept { return cost == 0; }
       void await_suspend(std::coroutine_handle<> h) {
+        // rmclint:allow(zeroalloc): CpuResource::reserve books simulated time; it is not container growth
         const Time done = cpu.reserve(cost);
         cpu.sched_->resume_at(done, h);
       }

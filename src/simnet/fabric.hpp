@@ -126,6 +126,7 @@ class Fabric {
   /// Attach a new NIC to `host`; its address is its index in this fabric.
   Nic& add_nic(Host& host) {
     auto addr = static_cast<NicAddr>(nics_.size());
+    // rmclint:allow(zeroalloc): topology construction happens once at setup, never per-op
     nics_.push_back(std::make_unique<Nic>(*sched_, *this, addr, host));
     return *nics_.back();
   }
@@ -148,6 +149,7 @@ class Fabric {
   /// that never call this pay nothing on the transmit path beyond one
   /// null-pointer check.
   FaultInjector& faults() {
+    // rmclint:allow(zeroalloc): fault-injection control plane, created lazily once, not a request path
     if (!faults_) faults_ = std::make_unique<FaultInjector>(*sched_);
     return *faults_;
   }

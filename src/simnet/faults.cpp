@@ -68,6 +68,7 @@ void FaultInjector::set_link_delay(NicAddr a, NicAddr b, Time extra) {
 
 void FaultInjector::set_node_down(NicAddr n, bool down) {
   if (down) {
+    // rmclint:allow(zeroalloc): fault-injection control plane, invoked by scripted plans, not per-op
     dead_nodes_.insert(n);
   } else {
     dead_nodes_.erase(n);
@@ -76,6 +77,7 @@ void FaultInjector::set_node_down(NicAddr n, bool down) {
 
 void FaultInjector::partition(std::vector<NicAddr> group) {
   partition_group_.clear();
+  // rmclint:allow(zeroalloc): fault-injection control plane, invoked by scripted plans, not per-op
   partition_group_.insert(group.begin(), group.end());
   partitioned_ = true;
 }

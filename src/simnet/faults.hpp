@@ -61,7 +61,7 @@ struct Fault {
   Time extra_delay = 0;
   /// One side of a Kind::partition cut; every NIC not listed is on the
   /// other side. Ignored for other kinds.
-  std::vector<NicAddr> group;
+  std::vector<NicAddr> group = {};
 };
 
 /// One scheduled fault activation.

@@ -68,12 +68,14 @@ struct Central {
       unpooled[t] = &reg.counter(base + ".unpooled");
     }
     cached_bytes = &reg.gauge("sim.pool.cached_bytes");
+    // rmclint:allow(zeroalloc): one-time pool construction (function-local static)
     for (auto& fl : free_lists) fl.reserve(64);
   }
 };
 
 inline Central& central() {
-  static Central* c = new Central();  // leaky: outlives all pooled objects
+  // rmclint:allow(zeroalloc): one-time leaky singleton; outlives all pooled objects
+  static Central* c = new Central();
   return *c;
 }
 
@@ -113,6 +115,7 @@ inline void pooled_free(void* p, std::size_t n, PoolTag tag) {
     return;
   }
   const unsigned cls = pool_detail::class_of(n);
+  // rmclint:allow(zeroalloc): returns a block to the freelist; list capacity reaches steady state at warmup
   c.free_lists[cls].push_back(p);
   c.cached_bytes->add(static_cast<std::int64_t>(pool_detail::class_bytes(cls)));
   (void)tag;

@@ -74,6 +74,7 @@ class [[nodiscard]] Task {
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
     }
+    // rmclint:allow(zeroalloc): optional::emplace constructs in the promise frame, no heap
     void return_value(T v) { value.emplace(std::move(v)); }
     void unhandled_exception() {
       if (this->detached) std::terminate();

@@ -26,6 +26,7 @@ class UniqueFunction {
       new (storage_) Fn(std::forward<F>(f));
       vtable_ = &inline_vtable<Fn>;
     } else {
+      // rmclint:allow(zeroalloc): heap fallback for oversized callables; hot-path closures fit kInlineSize
       new (storage_) Fn*(new Fn(std::forward<F>(f)));
       vtable_ = &heap_vtable<Fn>;
     }

@@ -81,6 +81,7 @@ class Runtime {
   // ------------------------------------------------------------ counters
   /// Create a counter bound to this runtime's scheduler.
   std::unique_ptr<sim::Counter> make_counter() {
+    // rmclint:allow(zeroalloc): completion-counter factory used at op setup by rendezvous/one-sided paths
     return std::make_unique<sim::Counter>(scheduler());
   }
   /// Make `counter` nameable by remote peers (for target_counter fields).
@@ -257,12 +258,17 @@ class Runtime {
   std::unordered_map<std::uint32_t, Endpoint*> ep_by_ud_id_;  ///< local ep id -> UD endpoint
   verbs::QueuePair* ud_qp_ = nullptr;  ///< one shared datagram QP (lazy)
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::unordered_map<std::uint64_t, PendingOrigin> pending_origin_;
-  std::unordered_map<std::uint64_t, PendingTargetRead> pending_reads_;
-  std::unordered_map<std::uint64_t, PendingOneSided> pending_one_sided_;
-  std::map<std::uint64_t, Region> regions_;
+  // The pending-op and handler maps are *iterated* when an endpoint fails
+  // (fail_waiters wake order, handler invocation order) — that order is
+  // sim-visible, so these are ordered maps over monotonic ids: iteration
+  // equals registration order, deterministically. Lookup-only routing maps
+  // (handlers_, ep_by_qpn_, ...) stay unordered.
+  std::map<std::uint64_t, PendingOrigin> pending_origin_;
+  std::map<std::uint64_t, PendingTargetRead> pending_reads_;
+  std::map<std::uint64_t, PendingOneSided> pending_one_sided_;
+  std::map<std::uint64_t, Region> region_cache_;
 
-  std::unordered_map<std::uint64_t, EndpointDownHandler> down_handlers_;
+  std::map<std::uint64_t, EndpointDownHandler> down_handlers_;
   std::uint64_t next_down_handler_ = 1;
   bool reap_armed_ = false;
 

@@ -204,7 +204,7 @@ struct BinaryBed {
 TEST(BinaryEndToEnd, FullCommandMatrix) {
   BinaryBed bed;
   bool done = false;
-  bed.run([](Client& client, bool& done) -> Task<> {
+  bed.run([](Client& client, bool& fin) -> Task<> {
     EXPECT_TRUE((co_await client.connect_all()).ok());
 
     EXPECT_TRUE((co_await client.set("bk", val("binary value"), 7)).ok());
@@ -244,7 +244,7 @@ TEST(BinaryEndToEnd, FullCommandMatrix) {
 
     EXPECT_TRUE((co_await client.flush_all()).ok());
     EXPECT_EQ((co_await client.get("bk")).error(), Errc::not_found);
-    done = true;
+    fin = true;
   }(bed.client, done));
   EXPECT_TRUE(done);
 }
@@ -252,7 +252,7 @@ TEST(BinaryEndToEnd, FullCommandMatrix) {
 TEST(BinaryEndToEnd, QuietMultigetPipelines) {
   BinaryBed bed;
   bool done = false;
-  bed.run([](Client& client, bool& done) -> Task<> {
+  bed.run([](Client& client, bool& fin) -> Task<> {
     EXPECT_TRUE((co_await client.connect_all()).ok());
     std::vector<std::string> keys;
     for (int i = 0; i < 20; ++i) {
@@ -271,7 +271,7 @@ TEST(BinaryEndToEnd, QuietMultigetPipelines) {
         EXPECT_EQ(str((*result)[i]->data), "v" + std::to_string(i));
       }
     }
-    done = true;
+    fin = true;
   }(bed.client, done));
   EXPECT_TRUE(done);
 }
@@ -281,8 +281,8 @@ TEST(BinaryEndToEnd, IncrWithInitialSeedsCounter) {
   // missing key with a non-0xffffffff expiration seeds `initial`.
   BinaryBed bed;
   bool done = false;
-  bed.run([](BinaryBed& bed, bool& done) -> Task<> {
-    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+  bed.run([](BinaryBed& tb, bool& fin) -> Task<> {
+    auto r = co_await tb.client_sock.connect(tb.server_sock.addr(), 11211);
     EXPECT_TRUE(r.ok());
     sock::Socket* s = *r;
 
@@ -321,7 +321,7 @@ TEST(BinaryEndToEnd, IncrWithInitialSeedsCounter) {
       if (!n.ok() || *n == 0) break;
       parser.feed(std::span<const std::byte>(chunk.data(), *n));
     }
-    done = true;
+    fin = true;
   }(bed, done));
   EXPECT_TRUE(done);
 }
@@ -335,7 +335,7 @@ TEST(BinaryEndToEnd, TextAndBinaryClientsShareOnePort) {
   text_client.add_server_socket(bed.client_sock, bed.server_sock.addr(),
                                 bed.server.config().port);
   bool done = false;
-  bed.run([](Client& binary, Client& text, bool& done) -> Task<> {
+  bed.run([](Client& binary, Client& text, bool& fin) -> Task<> {
     EXPECT_TRUE((co_await binary.connect_all()).ok());
     EXPECT_TRUE((co_await text.connect_all()).ok());
     EXPECT_TRUE((co_await binary.set("via-binary", val("01"))).ok());
@@ -346,7 +346,7 @@ TEST(BinaryEndToEnd, TextAndBinaryClientsShareOnePort) {
     auto got2 = co_await binary.get("via-text");
     EXPECT_TRUE(got2.ok());
     EXPECT_EQ(str(got2->data), "02");
-    done = true;
+    fin = true;
   }(bed.client, text_client, done));
   EXPECT_TRUE(done);
 }
@@ -370,11 +370,11 @@ TEST(BinaryEndToEnd, BinaryBeatsTextOnParseCost) {
     client.add_server_socket(client_sock, server_sock.addr(), server.config().port);
     (void)bed_ptr;
 
-    sched.spawn([](Client& client) -> Task<> {
-      EXPECT_TRUE((co_await client.connect_all()).ok());
-      EXPECT_TRUE((co_await client.set("key-with-a-longish-name", val("value"))).ok());
+    sched.spawn([](Client& cli) -> Task<> {
+      EXPECT_TRUE((co_await cli.connect_all()).ok());
+      EXPECT_TRUE((co_await cli.set("key-with-a-longish-name", val("value"))).ok());
       for (int i = 0; i < 200; ++i) {
-        (void)co_await client.get("key-with-a-longish-name");
+        (void)co_await cli.get("key-with-a-longish-name");
       }
     }(client));
     sched.run();

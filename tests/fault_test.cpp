@@ -61,8 +61,8 @@ struct World {
 
   void establish(std::uint16_t port = 7000) {
     server.listen(port, [this](ucr::Endpoint& ep) { server_ep = &ep; });
-    sched.spawn([](World& w, std::uint16_t port) -> Task<> {
-      auto r = co_await w.client.connect(w.server.addr(), port);
+    sched.spawn([](World& w, std::uint16_t port2) -> Task<> {
+      auto r = co_await w.client.connect(w.server.addr(), port2);
       EXPECT_TRUE(r.ok());
       if (r.ok()) w.client_ep = *r;
     }(*this, port));
@@ -163,9 +163,9 @@ TEST(RcReliability, RetryExhaustionFailsTheEndpointInsteadOfHanging) {
   sim::Counter completion(w.sched);
   bool woke = false, ok = true;
   ASSERT_TRUE(w.send_data("doomed", &completion).ok());
-  w.sched.spawn([](sim::Counter& c, bool& woke, bool& ok) -> Task<> {
-    ok = co_await c.wait_geq(1);  // no timeout: only failure can wake us
-    woke = true;
+  w.sched.spawn([](sim::Counter& c, bool& woke2, bool& ok2) -> Task<> {
+    ok2 = co_await c.wait_geq(1);  // no timeout: only failure can wake us
+    woke2 = true;
   }(completion, woke, ok));
 
   w.sched.run();  // drains: retries exhaust, endpoint fails, waiter wakes
@@ -193,11 +193,11 @@ TEST(EndpointFailure, FailEndpointWakesAllPendingWaitersImmediately) {
   const sim::Time failed_at = w.sched.now() + 50_us;
   bool woke = false, ok = true;
   sim::Time woke_at = 0;
-  w.sched.spawn([](World& w, sim::Counter& c, bool& woke, bool& ok,
-                   sim::Time& woke_at) -> Task<> {
-    ok = co_await c.wait_geq(1, 1_s);
-    woke = true;
-    woke_at = w.sched.now();
+  w.sched.spawn([](World& wk, sim::Counter& c, bool& woke2, bool& ok2,
+                   sim::Time& woke_at2) -> Task<> {
+    ok2 = co_await c.wait_geq(1, 1_s);
+    woke2 = true;
+    woke_at2 = wk.sched.now();
   }(w, completion, woke, ok, woke_at));
   w.sched.call_at(failed_at, [&w] { w.client.fail_endpoint(*w.client_ep); });
 
@@ -250,8 +250,8 @@ TEST(EndpointChurn, ClosedEndpointsAreReclaimedOnBothSides) {
   constexpr int kCycles = 10;
   for (int i = 0; i < kCycles; ++i) {
     ucr::Endpoint* ep = nullptr;
-    w.sched.spawn([](World& w, ucr::Endpoint*& out) -> Task<> {
-      auto r = co_await w.client.connect(w.server.addr(), 7000);
+    w.sched.spawn([](World& wk, ucr::Endpoint*& out) -> Task<> {
+      auto r = co_await wk.client.connect(wk.server.addr(), 7000);
       EXPECT_TRUE(r.ok());
       if (r.ok()) out = *r;
     }(w, ep));
@@ -304,9 +304,9 @@ struct McPool {
   /// would never return).
   void drive(Task<> task, sim::Time horizon = 3_s) {
     bool done = false;
-    sched.spawn([](Task<> inner, bool& done) -> Task<> {
+    sched.spawn([](Task<> inner, bool& fin) -> Task<> {
       co_await std::move(inner);
-      done = true;
+      fin = true;
     }(std::move(task), done));
     const sim::Time deadline = sched.now() + horizon;
     while (!done && sched.now() < deadline) {
@@ -333,8 +333,8 @@ TEST(McRecovery, NodeCrashEjectsHostAndSurvivorsKeepServing) {
   const std::uint64_t ejected_before = metric("mc.pool.ejected");
   constexpr int kKeys = 60;
 
-  pool.drive([](McPool& pool) -> Task<> {
-    mc::Client& client = *pool.client;
+  pool.drive([](McPool& pool2) -> Task<> {
+    mc::Client& client = *pool2.client;
     EXPECT_TRUE((co_await client.connect_all()).ok());
     std::vector<std::size_t> owner(kKeys);  // pre-crash ownership
     for (int i = 0; i < kKeys; ++i) {
@@ -343,7 +343,7 @@ TEST(McRecovery, NodeCrashEjectsHostAndSurvivorsKeepServing) {
       EXPECT_TRUE((co_await client.set(key, bytes_view("v" + std::to_string(i)))).ok());
     }
 
-    pool.fabric.faults().set_node_down(pool.runtimes[1]->addr(), true);
+    pool2.fabric.faults().set_node_down(pool2.runtimes[1]->addr(), true);
 
     // Every read resolves — as a hit, or as a bounded miss for keys whose
     // owner died and got re-routed — within the retry budget. No hangs,
@@ -351,9 +351,9 @@ TEST(McRecovery, NodeCrashEjectsHostAndSurvivorsKeepServing) {
     int errors = 0;
     sim::Time slowest = 0;
     for (int i = 0; i < kKeys; ++i) {
-      const sim::Time begin = pool.sched.now();
+      const sim::Time begin = pool2.sched.now();
       auto got = co_await client.get("k" + std::to_string(i));
-      slowest = std::max(slowest, pool.sched.now() - begin);
+      slowest = std::max(slowest, pool2.sched.now() - begin);
       if (!got.ok() && got.error() != Errc::not_found) ++errors;
     }
     EXPECT_EQ(errors, 0);
@@ -377,20 +377,20 @@ TEST(McRecovery, PartitionHealsAndClientReconnects) {
   McPool pool(1, behavior);
   const std::uint64_t reconnects_before = metric("mc.client.reconnects");
 
-  pool.drive([](McPool& pool) -> Task<> {
-    mc::Client& client = *pool.client;
+  pool.drive([](McPool& pool2) -> Task<> {
+    mc::Client& client = *pool2.client;
     EXPECT_TRUE((co_await client.connect_all()).ok());
     EXPECT_TRUE((co_await client.set("island", bytes_view("castaway"))).ok());
 
     // Cut the client off from everything.
-    pool.fabric.faults().partition({pool.client_ucr->addr()});
+    pool2.fabric.faults().partition({pool2.client_ucr->addr()});
     auto lost = co_await client.get("island");
     EXPECT_FALSE(lost.ok());  // bounded failure, not a hang
 
     // Give the keepalive prober time to declare the endpoint dead.
-    co_await pool.sched.delay(1_ms);
+    co_await pool2.sched.delay(1_ms);
 
-    pool.fabric.faults().heal();
+    pool2.fabric.faults().heal();
     // The retry path reconnects and the data is still there: only the
     // network died, not the server.
     auto back = co_await client.get("island");

@@ -157,7 +157,7 @@ TEST(EndToEnd, BothFrontendsShareOneStore) {
   auto ucr_client = bed.make_ucr_client();
   auto sock_client = bed.make_sock_client();
   bool done = false;
-  bed.run([](Client& ucr, Client& sock, bool& done) -> Task<> {
+  bed.run([](Client& ucr, Client& sock, bool& fin) -> Task<> {
     EXPECT_TRUE((co_await ucr.connect_all()).ok());
     EXPECT_TRUE((co_await sock.connect_all()).ok());
     // Write over sockets, read over UCR (and vice versa).
@@ -169,7 +169,7 @@ TEST(EndToEnd, BothFrontendsShareOneStore) {
     auto got2 = co_await sock.get("via-ucr");
     EXPECT_TRUE(got2.ok());
     EXPECT_EQ(str(got2->data), "rdma-path");
-    done = true;
+    fin = true;
   }(*ucr_client, *sock_client, done));
   EXPECT_TRUE(done);
 }
@@ -180,24 +180,24 @@ TEST(EndToEnd, LargeValuesTakeRendezvousBothWays) {
   TestBed bed;
   auto client = bed.make_ucr_client();
   bool done = false;
-  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
+  bed.run([](TestBed& tb, Client& cli, bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
     Rng rng(42);
     std::vector<std::byte> value(300_KiB);
     for (auto& b : value) b = static_cast<std::byte>(rng() & 0xff);
-    bed.client_ucr.register_region(value);
+    tb.client_ucr.register_region(value);
 
-    const auto rendezvous_before = bed.client_ucr.rendezvous_sent();
-    EXPECT_TRUE((co_await client.set("big", value)).ok());
-    EXPECT_GT(bed.client_ucr.rendezvous_sent(), rendezvous_before);
+    const auto rendezvous_before = tb.client_ucr.rendezvous_sent();
+    EXPECT_TRUE((co_await cli.set("big", value)).ok());
+    EXPECT_GT(tb.client_ucr.rendezvous_sent(), rendezvous_before);
 
-    auto got = co_await client.get("big");
+    auto got = co_await cli.get("big");
     EXPECT_TRUE(got.ok());
     EXPECT_EQ(got->data.size(), value.size());
     EXPECT_TRUE(std::equal(value.begin(), value.end(), got->data.begin()));
     // The response came back via the server's rendezvous path.
-    EXPECT_GT(bed.server_ucr.rendezvous_sent(), 0u);
-    done = true;
+    EXPECT_GT(tb.server_ucr.rendezvous_sent(), 0u);
+    fin = true;
   }(bed, *client, done));
   EXPECT_TRUE(done);
 }
@@ -208,16 +208,16 @@ TEST(EndToEnd, UcrSetIsZeroCopyIntoSlab) {
   TestBed bed;
   auto client = bed.make_ucr_client();
   bool done = false;
-  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
+  bed.run([](TestBed& tb, Client& cli, bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
     std::vector<std::byte> value(64_KiB, std::byte{0x5a});
-    bed.client_ucr.register_region(value);
-    EXPECT_TRUE((co_await client.set("zerocopy", value)).ok());
-    ItemHeader* item = bed.server.store().get("zerocopy");
+    tb.client_ucr.register_region(value);
+    EXPECT_TRUE((co_await cli.set("zerocopy", value)).ok());
+    ItemHeader* item = tb.server.store().get("zerocopy");
     EXPECT_NE(item, nullptr);
     EXPECT_EQ(item->value().size(), 64_KiB);
     EXPECT_EQ(item->value()[1000], std::byte{0x5a});
-    done = true;
+    fin = true;
   }(bed, *client, done));
   EXPECT_TRUE(done);
 }
@@ -226,21 +226,21 @@ TEST(EndToEnd, PipelinedMgetOverUcr) {
   TestBed bed;
   auto client = bed.make_ucr_client();
   bool done = false;
-  bed.run([](Client& client, bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
+  bed.run([](Client& cli, bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
     std::vector<std::string> keys;
     for (int i = 0; i < 32; ++i) {
       const std::string key = "k" + std::to_string(i);
       keys.push_back(key);
-      EXPECT_TRUE((co_await client.set(key, val("value-" + std::to_string(i)))).ok());
+      EXPECT_TRUE((co_await cli.set(key, val("value-" + std::to_string(i)))).ok());
     }
-    auto result = co_await client.mget(keys);
+    auto result = co_await cli.mget(keys);
     EXPECT_TRUE(result.ok());
     for (int i = 0; i < 32; ++i) {
       EXPECT_TRUE((*result)[i].has_value());
       EXPECT_EQ(str((*result)[i]->data), "value-" + std::to_string(i));
     }
-    done = true;
+    fin = true;
   }(*client, done));
   EXPECT_TRUE(done);
 }
@@ -249,14 +249,14 @@ TEST(EndToEnd, ExpirationVisibleThroughClient) {
   TestBed bed;
   auto client = bed.make_ucr_client();
   bool done = false;
-  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
-    EXPECT_TRUE((co_await client.set("ttl", val("v"), 0, 2)).ok());  // 2 s TTL
-    auto got = co_await client.get("ttl");
+  bed.run([](TestBed& tb, Client& cli, bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
+    EXPECT_TRUE((co_await cli.set("ttl", val("v"), 0, 2)).ok());  // 2 s TTL
+    auto got = co_await cli.get("ttl");
     EXPECT_TRUE(got.ok());
-    co_await bed.sched.delay(3_s);
-    EXPECT_EQ((co_await client.get("ttl")).error(), Errc::not_found);
-    done = true;
+    co_await tb.sched.delay(3_s);
+    EXPECT_EQ((co_await cli.get("ttl")).error(), Errc::not_found);
+    fin = true;
   }(bed, *client, done));
   EXPECT_TRUE(done);
 }
@@ -285,26 +285,26 @@ TEST(EndToEnd, MultiServerPoolRoutesByKeyHash) {
   }
 
   bool done = false;
-  sched.spawn([](Client& client, std::vector<std::unique_ptr<Server>>& servers,
-                 bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
+  sched.spawn([](Client& cli, std::vector<std::unique_ptr<Server>>& servers2,
+                 bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
     for (int i = 0; i < 60; ++i) {
       const std::string key = "user:" + std::to_string(i);
-      EXPECT_TRUE((co_await client.set(key, val("v" + std::to_string(i)))).ok());
+      EXPECT_TRUE((co_await cli.set(key, val("v" + std::to_string(i)))).ok());
     }
     // Every key readable; items distributed across all three stores.
     for (int i = 0; i < 60; ++i) {
       const std::string key = "user:" + std::to_string(i);
-      auto got = co_await client.get(key);
+      auto got = co_await cli.get(key);
       EXPECT_TRUE(got.ok());
       EXPECT_EQ(str(got->data), "v" + std::to_string(i));
     }
     int populated = 0;
-    for (auto& server : servers) {
+    for (auto& server : servers2) {
       if (server->store().item_count() > 0) ++populated;
     }
     EXPECT_EQ(populated, 3);
-    done = true;
+    fin = true;
   }(client, servers, done));
   sched.run();
   EXPECT_TRUE(done);
@@ -340,29 +340,29 @@ TEST(EndToEnd, ServerFailureIsIsolatedAndTimesOut) {
   client.add_server_ucr(client_ucr, rt1.addr(), 11211);
 
   bool done = false;
-  sched.spawn([](Scheduler& sched, Client& client, ucr::Runtime& rt0, bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
+  sched.spawn([](Scheduler& sch, Client& cli, ucr::Runtime& rt02, bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
     // Find keys for each server.
     std::string key0, key1;
     for (int i = 0; key0.empty() || key1.empty(); ++i) {
       const std::string key = "k" + std::to_string(i);
-      (client.server_index(key) == 0 ? key0 : key1) = key;
+      (cli.server_index(key) == 0 ? key0 : key1) = key;
     }
-    EXPECT_TRUE((co_await client.set(key0, val("a"))).ok());
-    EXPECT_TRUE((co_await client.set(key1, val("b"))).ok());
+    EXPECT_TRUE((co_await cli.set(key0, val("a"))).ok());
+    EXPECT_TRUE((co_await cli.set(key1, val("b"))).ok());
 
     // Server 0's runtime stops answering: unregister its request handler.
-    rt0.register_handler(ucrp::kMsgRequest, {});
-    const sim::Time before = sched.now();
-    auto dead = co_await client.get(key0);
+    rt02.register_handler(ucrp::kMsgRequest, {});
+    const sim::Time before = sch.now();
+    auto dead = co_await cli.get(key0);
     EXPECT_EQ(dead.error(), Errc::timed_out);
-    EXPECT_GE(sched.now() - before, 200_us);
+    EXPECT_GE(sch.now() - before, 200_us);
 
     // Survivor unaffected.
-    auto alive = co_await client.get(key1);
+    auto alive = co_await cli.get(key1);
     EXPECT_TRUE(alive.ok());
     EXPECT_EQ(str(alive->data), "b");
-    done = true;
+    fin = true;
   }(sched, client, rt0, done));
   sched.run();
   EXPECT_TRUE(done);
@@ -373,8 +373,8 @@ TEST(EndToEnd, SocketClientSurvivesServerStats) {
   // reply paths end to end.
   TestBed bed;
   bool done = false;
-  bed.run([](TestBed& bed, bool& done) -> Task<> {
-    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+  bed.run([](TestBed& tb, bool& fin) -> Task<> {
+    auto r = co_await tb.client_sock.connect(tb.server_sock.addr(), 11211);
     EXPECT_TRUE(r.ok());
     sock::Socket* s = *r;
     const std::string cmd = "stats\r\n";
@@ -389,7 +389,7 @@ TEST(EndToEnd, SocketClientSurvivesServerStats) {
     }
     EXPECT_NE(text.find("STAT cmd_get"), std::string::npos);
     EXPECT_NE(text.find("STAT threads 4"), std::string::npos);
-    done = true;
+    fin = true;
   }(bed, done));
   EXPECT_TRUE(done);
 }
@@ -405,26 +405,26 @@ TEST(EndToEnd, MemcachedOverUnreliableDatagrams) {
   client.add_server_ucr(bed.client_ucr, bed.server_ucr.addr(), bed.server.config().port);
 
   bool done = false;
-  bed.run([](Client& client, bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
-    EXPECT_TRUE((co_await client.set("udp-key", val("datagram value"))).ok());
-    auto got = co_await client.get("udp-key");
+  bed.run([](Client& cli, bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
+    EXPECT_TRUE((co_await cli.set("udp-key", val("datagram value"))).ok());
+    auto got = co_await cli.get("udp-key");
     EXPECT_TRUE(got.ok());
     EXPECT_EQ(str(got->data), "datagram value");
 
-    EXPECT_TRUE((co_await client.del("udp-key")).ok());
-    EXPECT_EQ((co_await client.get("udp-key")).error(), Errc::not_found);
+    EXPECT_TRUE((co_await cli.del("udp-key")).ok());
+    EXPECT_EQ((co_await cli.get("udp-key")).error(), Errc::not_found);
 
     // incr/decr over datagrams.
-    EXPECT_TRUE((co_await client.set("n", val("41"))).ok());
-    auto n = co_await client.incr("n", 1);
+    EXPECT_TRUE((co_await cli.set("n", val("41"))).ok());
+    auto n = co_await cli.incr("n", 1);
     EXPECT_TRUE(n.ok());
     EXPECT_EQ(*n, 42u);
 
-    // Too big for a datagram: rejected at the client, not a hang.
+    // Too big for a datagram: rejected at the cli, not a hang.
     std::vector<std::byte> big(8_KiB);
-    EXPECT_EQ((co_await client.set("big", big)).error(), Errc::invalid_argument);
-    done = true;
+    EXPECT_EQ((co_await cli.set("big", big)).error(), Errc::invalid_argument);
+    fin = true;
   }(client, done));
   EXPECT_TRUE(done);
 }
@@ -442,19 +442,19 @@ TEST(EndToEnd, UdGetOfLargeValueFailsCleanly) {
   ud_client.add_server_ucr(bed.client_ucr, bed.server_ucr.addr(), bed.server.config().port);
 
   bool done = false;
-  bed.run([](TestBed& bed, Client& rc, Client& ud, bool& done) -> Task<> {
+  bed.run([](TestBed& tb, Client& rc, Client& ud, bool& fin) -> Task<> {
     EXPECT_TRUE((co_await rc.connect_all()).ok());
     EXPECT_TRUE((co_await ud.connect_all()).ok());
     std::vector<std::byte> big(32_KiB, std::byte{1});
-    bed.client_ucr.register_region(big);
+    tb.client_ucr.register_region(big);
     EXPECT_TRUE((co_await rc.set("big", big)).ok());
 
-    const sim::Time before = bed.sched.now();
+    const sim::Time before = tb.sched.now();
     auto got = co_await ud.get("big");
     EXPECT_FALSE(got.ok());
     EXPECT_EQ(got.error(), Errc::no_resources);          // server_error
-    EXPECT_LT(bed.sched.now() - before, 100_us);          // no timeout wait
-    done = true;
+    EXPECT_LT(tb.sched.now() - before, 100_us);          // no timeout wait
+    fin = true;
   }(bed, *rc_client, ud_client, done));
   EXPECT_TRUE(done);
 }
@@ -466,17 +466,17 @@ TEST(Robustness, OversizedUcrSetGetsErrorNotTimeout) {
   TestBed bed;
   auto client = bed.make_ucr_client();
   bool done = false;
-  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
-    EXPECT_TRUE((co_await client.connect_all()).ok());
+  bed.run([](TestBed& tb, Client& cli, bool& fin) -> Task<> {
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
     std::vector<std::byte> huge(2 * 1024 * 1024);
-    bed.client_ucr.register_region(huge);
-    const sim::Time before = bed.sched.now();
-    auto st = co_await client.set("monster", huge);
+    tb.client_ucr.register_region(huge);
+    const sim::Time before = tb.sched.now();
+    auto st = co_await cli.set("monster", huge);
     EXPECT_FALSE(st.ok());
-    EXPECT_LT(bed.sched.now() - before, 10_ms);  // an answer, not a timeout
+    EXPECT_LT(tb.sched.now() - before, 10_ms);  // an answer, not a timeout
     // The connection is still healthy afterwards.
-    EXPECT_TRUE((co_await client.set("ok", val("fine"))).ok());
-    done = true;
+    EXPECT_TRUE((co_await cli.set("ok", val("fine"))).ok());
+    fin = true;
   }(bed, *client, done));
   EXPECT_TRUE(done);
 }
@@ -484,8 +484,8 @@ TEST(Robustness, OversizedUcrSetGetsErrorNotTimeout) {
 TEST(Robustness, GarbageOnTextPortAnswersErrorAndCloses) {
   TestBed bed;
   bool done = false;
-  bed.run([](TestBed& bed, bool& done) -> Task<> {
-    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+  bed.run([](TestBed& tb, bool& fin) -> Task<> {
+    auto r = co_await tb.client_sock.connect(tb.server_sock.addr(), 11211);
     sock::Socket* s = *r;
     (void)co_await s->send(val("utter nonsense command\r\n"));
     std::vector<std::byte> buf(256);
@@ -496,7 +496,7 @@ TEST(Robustness, GarbageOnTextPortAnswersErrorAndCloses) {
     n = co_await s->recv(buf);
     EXPECT_TRUE(n.ok());
     EXPECT_EQ(*n, 0u);
-    done = true;
+    fin = true;
   }(bed, done));
   EXPECT_TRUE(done);
 }
@@ -505,21 +505,21 @@ TEST(Robustness, AbruptClientCloseMidCommandLeavesServerServing) {
   TestBed bed;
   auto client = bed.make_sock_client();
   bool done = false;
-  bed.run([](TestBed& bed, Client& client, bool& done) -> Task<> {
+  bed.run([](TestBed& tb, Client& cli, bool& fin) -> Task<> {
     // A rogue connection sends half a set command and vanishes.
-    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+    auto r = co_await tb.client_sock.connect(tb.server_sock.addr(), 11211);
     (void)co_await (*r)->send(val("set half-done 0 0 100\r\nonly-some-bytes"));
     (*r)->close();
-    co_await bed.sched.delay(1_ms);
+    co_await tb.sched.delay(1_ms);
 
-    // A well-behaved client is unaffected.
-    EXPECT_TRUE((co_await client.connect_all()).ok());
-    EXPECT_TRUE((co_await client.set("fine", val("value"))).ok());
-    auto got = co_await client.get("fine");
+    // A well-behaved cli is unaffected.
+    EXPECT_TRUE((co_await cli.connect_all()).ok());
+    EXPECT_TRUE((co_await cli.set("fine", val("value"))).ok());
+    auto got = co_await cli.get("fine");
     EXPECT_TRUE(got.ok());
     // The half-written key never materialized.
-    EXPECT_EQ((co_await client.get("half-done")).error(), Errc::not_found);
-    done = true;
+    EXPECT_EQ((co_await cli.get("half-done")).error(), Errc::not_found);
+    fin = true;
   }(bed, *client, done));
   EXPECT_TRUE(done);
 }
@@ -530,8 +530,8 @@ TEST(Robustness, PipelinedTextRequestsAnswerInOrder) {
   // request order or the stream is garbage.
   TestBed bed;
   bool done = false;
-  bed.run([](TestBed& bed, bool& done) -> Task<> {
-    auto r = co_await bed.client_sock.connect(bed.server_sock.addr(), 11211);
+  bed.run([](TestBed& tb, bool& fin) -> Task<> {
+    auto r = co_await tb.client_sock.connect(tb.server_sock.addr(), 11211);
     sock::Socket* s = *r;
     std::string burst;
     for (int i = 0; i < 20; ++i) {
@@ -556,7 +556,7 @@ TEST(Robustness, PipelinedTextRequestsAnswerInOrder) {
       text.append(reinterpret_cast<const char*>(buf.data()), *n);
     }
     EXPECT_EQ(text, expected);
-    done = true;
+    fin = true;
   }(bed, done));
   EXPECT_TRUE(done);
 }
@@ -570,21 +570,21 @@ TEST(Robustness, ServerEvictsUnderMemoryPressureViaClient) {
   Server tiny{bed.sched, bed.server_host, small};
   tiny.attach_ucr_frontend(bed.server_ucr);
   bool done = false;
-  bed.run([](TestBed& bed, Server& tiny, bool& done) -> Task<> {
-    Client client{bed.sched, bed.client_host};
-    client.add_server_ucr(bed.client_ucr, bed.server_ucr.addr(), tiny.config().port);
+  bed.run([](TestBed& tb, Server& tiny2, bool& fin) -> Task<> {
+    Client client{tb.sched, tb.client_host};
+    client.add_server_ucr(tb.client_ucr, tb.server_ucr.addr(), tiny2.config().port);
     EXPECT_TRUE((co_await client.connect_all()).ok());
     std::vector<std::byte> value(10 * 1024, std::byte{9});
-    bed.client_ucr.register_region(value);
+    tb.client_ucr.register_region(value);
     for (int i = 0; i < 400; ++i) {  // 4 MB into a 2 MB cache
       EXPECT_TRUE((co_await client.set("bulk:" + std::to_string(i), value)).ok());
     }
-    EXPECT_GT(tiny.store().stats().evictions, 0u);
-    EXPECT_LE(tiny.store().slabs().memory_allocated(), std::size_t{2 * 1024 * 1024});
+    EXPECT_GT(tiny2.store().stats().evictions, 0u);
+    EXPECT_LE(tiny2.store().slabs().memory_allocated(), std::size_t{2 * 1024 * 1024});
     // Newest keys survived; a get on them works.
     auto got = co_await client.get("bulk:399");
     EXPECT_TRUE(got.ok());
-    done = true;
+    fin = true;
   }(bed, tiny, done));
   EXPECT_TRUE(done);
 }
@@ -671,13 +671,13 @@ TEST(Stress, ManyConcurrentClientsConvergeToReferenceState) {
   std::vector<ClientModel> models(8);
 
   for (std::size_t c = 0; c < 8; ++c) {
-    bed.scheduler().spawn([](core::TestBed& bed, std::size_t c, ClientModel& model) -> Task<> {
-      Client& client = bed.client(c);
+    bed.scheduler().spawn([](core::TestBed& tb, std::size_t cc, ClientModel& model) -> Task<> {
+      Client& client = tb.client(cc);
       EXPECT_TRUE((co_await client.connect_all()).ok());
-      Rng rng(7000 + c);
+      Rng rng(7000 + cc);
       for (int i = 0; i < 400; ++i) {
         const std::string key =
-            "c" + std::to_string(c) + ":k" + std::to_string(rng.below(30));
+            "c" + std::to_string(cc) + ":k" + std::to_string(rng.below(30));
         switch (rng.below(4)) {
           case 0: {
             const std::string value = rng.alnum(rng.between(1, 900));
@@ -692,7 +692,9 @@ TEST(Stress, ManyConcurrentClientsConvergeToReferenceState) {
               EXPECT_FALSE(got.ok()) << key;
             } else {
               EXPECT_TRUE(got.ok()) << key;
-              if (got.ok()) EXPECT_EQ(str(got->data), it->second);
+              if (got.ok()) {
+                EXPECT_EQ(str(got->data), it->second);
+              }
             }
             break;
           }
@@ -717,7 +719,9 @@ TEST(Stress, ManyConcurrentClientsConvergeToReferenceState) {
       for (const auto& [key, value] : model.kv) {
         auto got = co_await client.get(key);
         EXPECT_TRUE(got.ok()) << key;
-        if (got.ok()) EXPECT_EQ(str(got->data), value);
+        if (got.ok()) {
+          EXPECT_EQ(str(got->data), value);
+        }
       }
       model.ok = true;
     }(bed, c, models[c]));
@@ -742,42 +746,42 @@ TEST(EndToEnd, RandomizedWorkloadBothTransportsAgree) {
     auto client = use_ucr ? bed.make_ucr_client() : bed.make_sock_client();
     auto log = std::make_unique<Run>();
     bool done = false;
-    bed.run([](Client& client, Run& run, bool& done) -> Task<> {
-      EXPECT_TRUE((co_await client.connect_all()).ok());
+    bed.run([](Client& cli, Run& run, bool& fin) -> Task<> {
+      EXPECT_TRUE((co_await cli.connect_all()).ok());
       Rng rng(1234);  // same seed for both transports
       for (int i = 0; i < 300; ++i) {
         const std::string key = "k" + std::to_string(rng.below(40));
         switch (rng.below(5)) {
           case 0: {
             const std::string value = rng.alnum(rng.between(1, 200));
-            auto st = co_await client.set(key, val(value));
+            auto st = co_await cli.set(key, val(value));
             run.log.push_back("set:" + std::string(to_string(st.error())));
             break;
           }
           case 1: {
-            auto got = co_await client.get(key);
+            auto got = co_await cli.get(key);
             run.log.push_back(got.ok() ? "get:" + str(got->data)
                                        : "get:" + std::string(to_string(got.error())));
             break;
           }
           case 2: {
-            auto st = co_await client.del(key);
+            auto st = co_await cli.del(key);
             run.log.push_back("del:" + std::string(to_string(st.error())));
             break;
           }
           case 3: {
-            auto st = co_await client.add(key, val("A"));
+            auto st = co_await cli.add(key, val("A"));
             run.log.push_back("add:" + std::string(to_string(st.error())));
             break;
           }
           case 4: {
-            auto st = co_await client.append(key, val("+"));
+            auto st = co_await cli.append(key, val("+"));
             run.log.push_back("app:" + std::string(to_string(st.error())));
             break;
           }
         }
       }
-      done = true;
+      fin = true;
     }(*client, *log, done));
     EXPECT_TRUE(done);
     return std::move(log->log);

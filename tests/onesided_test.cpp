@@ -72,9 +72,9 @@ struct OneSidedWorld {
   /// Run one coroutine to completion under a horizon.
   void drive(Task<> task, sim::Time horizon = 5_s) {
     bool done = false;
-    sched.spawn([](Task<> inner, bool& done) -> Task<> {
+    sched.spawn([](Task<> inner, bool& fin) -> Task<> {
       co_await std::move(inner);
-      done = true;
+      fin = true;
     }(std::move(task), done));
     const sim::Time deadline = sched.now() + horizon;
     while (!done && sched.now() < deadline) {
@@ -93,13 +93,13 @@ TEST(OneSided, HitBypassesServerAndFallsBackOnMissAndDelete) {
   const std::uint64_t reads0 = metric("mc.oneside.reads");
   const std::uint64_t falls0 = metric("mc.oneside.fallbacks");
 
-  w.drive([](OneSidedWorld& w) -> Task<> {
-    EXPECT_TRUE((co_await w.writer->connect_all()).ok());
-    EXPECT_TRUE((co_await w.reader->connect_all()).ok());
-    EXPECT_TRUE((co_await w.writer->set("alpha", bytes_view("value-one"), 7)).ok());
+  w.drive([](OneSidedWorld& wk) -> Task<> {
+    EXPECT_TRUE((co_await wk.writer->connect_all()).ok());
+    EXPECT_TRUE((co_await wk.reader->connect_all()).ok());
+    EXPECT_TRUE((co_await wk.writer->set("alpha", bytes_view("value-one"), 7)).ok());
 
-    const auto gets_before = w.server.store().stats().cmd_get;
-    auto hit = co_await w.reader->get("alpha");
+    const auto gets_before = wk.server.store().stats().cmd_get;
+    auto hit = co_await wk.reader->get("alpha");
     EXPECT_TRUE(hit.ok());
     if (hit.ok()) {
       EXPECT_EQ(std::string(reinterpret_cast<const char*>(hit->data.data()),
@@ -108,15 +108,15 @@ TEST(OneSided, HitBypassesServerAndFallsBackOnMissAndDelete) {
       EXPECT_EQ(hit->flags, 7u);
     }
     // The whole point: the server's GET path never ran.
-    EXPECT_EQ(w.server.store().stats().cmd_get, gets_before);
+    EXPECT_EQ(wk.server.store().stats().cmd_get, gets_before);
 
     // Miss: not published, so the fallback RPC answers authoritatively.
-    auto miss = co_await w.reader->get("never-stored");
+    auto miss = co_await wk.reader->get("never-stored");
     EXPECT_EQ(miss.error(), Errc::not_found);
 
     // Delete retracts: the one-sided path must not serve the dead value.
-    EXPECT_TRUE((co_await w.writer->del("alpha")).ok());
-    auto gone = co_await w.reader->get("alpha");
+    EXPECT_TRUE((co_await wk.writer->del("alpha")).ok());
+    auto gone = co_await wk.reader->get("alpha");
     EXPECT_EQ(gone.error(), Errc::not_found);
   }(w));
 
@@ -128,14 +128,14 @@ TEST(OneSided, HitBypassesServerAndFallsBackOnMissAndDelete) {
 
 TEST(OneSided, GetIntoLandsInCallerBuffer) {
   OneSidedWorld w;
-  w.drive([](OneSidedWorld& w) -> Task<> {
-    EXPECT_TRUE((co_await w.writer->connect_all()).ok());
-    EXPECT_TRUE((co_await w.reader->connect_all()).ok());
+  w.drive([](OneSidedWorld& wk) -> Task<> {
+    EXPECT_TRUE((co_await wk.writer->connect_all()).ok());
+    EXPECT_TRUE((co_await wk.reader->connect_all()).ok());
     const std::string value(600, 'x');
-    EXPECT_TRUE((co_await w.writer->set("blob", bytes_view(value))).ok());
+    EXPECT_TRUE((co_await wk.writer->set("blob", bytes_view(value))).ok());
 
     std::vector<std::byte> dest(4096);
-    auto r = co_await w.reader->get_into("blob", dest);
+    auto r = co_await wk.reader->get_into("blob", dest);
     EXPECT_TRUE(r.ok());
     if (r.ok()) {
       EXPECT_EQ(r->value_len, value.size());
@@ -149,26 +149,26 @@ TEST(OneSided, OversizeValuesSkipPublishAndFlushRetracts) {
   cfg.slot_size = 256;  // values near/over 256 B can't be published
   OneSidedWorld w(cfg);
 
-  w.drive([](OneSidedWorld& w) -> Task<> {
-    EXPECT_TRUE((co_await w.writer->connect_all()).ok());
-    EXPECT_TRUE((co_await w.reader->connect_all()).ok());
+  w.drive([](OneSidedWorld& wk) -> Task<> {
+    EXPECT_TRUE((co_await wk.writer->connect_all()).ok());
+    EXPECT_TRUE((co_await wk.reader->connect_all()).ok());
 
     const std::string big(1000, 'b');
-    EXPECT_TRUE((co_await w.writer->set("big", bytes_view(big))).ok());
-    EXPECT_GE(w.publisher->skipped_oversize(), 1u);
+    EXPECT_TRUE((co_await wk.writer->set("big", bytes_view(big))).ok());
+    EXPECT_GE(wk.publisher->skipped_oversize(), 1u);
 
     // Served correctly anyway — by the RPC fallback.
-    auto r = co_await w.reader->get("big");
+    auto r = co_await wk.reader->get("big");
     EXPECT_TRUE(r.ok());
     if (r.ok()) {
       EXPECT_EQ(r->data.size(), big.size());
     }
 
     // flush_all retracts every published entry.
-    EXPECT_TRUE((co_await w.writer->set("small", bytes_view("tiny"))).ok());
-    EXPECT_TRUE((co_await w.reader->get("small")).ok());
-    EXPECT_TRUE((co_await w.writer->flush_all()).ok());
-    auto flushed = co_await w.reader->get("small");
+    EXPECT_TRUE((co_await wk.writer->set("small", bytes_view("tiny"))).ok());
+    EXPECT_TRUE((co_await wk.reader->get("small")).ok());
+    EXPECT_TRUE((co_await wk.writer->flush_all()).ok());
+    auto flushed = co_await wk.reader->get("small");
     EXPECT_EQ(flushed.error(), Errc::not_found);
   }(w));
 }
@@ -181,19 +181,19 @@ TEST(OneSided, BucketDisplacementFallsBackInsteadOfMisreading) {
   cfg.ways = 1;
   OneSidedWorld w(cfg);
 
-  w.drive([](OneSidedWorld& w) -> Task<> {
-    EXPECT_TRUE((co_await w.writer->connect_all()).ok());
-    EXPECT_TRUE((co_await w.reader->connect_all()).ok());
-    EXPECT_TRUE((co_await w.writer->set("first", bytes_view("v-first"))).ok());
-    EXPECT_TRUE((co_await w.writer->set("second", bytes_view("v-second"))).ok());
+  w.drive([](OneSidedWorld& wk) -> Task<> {
+    EXPECT_TRUE((co_await wk.writer->connect_all()).ok());
+    EXPECT_TRUE((co_await wk.reader->connect_all()).ok());
+    EXPECT_TRUE((co_await wk.writer->set("first", bytes_view("v-first"))).ok());
+    EXPECT_TRUE((co_await wk.writer->set("second", bytes_view("v-second"))).ok());
 
-    auto a = co_await w.reader->get("first");
+    auto a = co_await wk.reader->get("first");
     EXPECT_TRUE(a.ok());
     if (a.ok()) {
       EXPECT_EQ(std::string(reinterpret_cast<const char*>(a->data.data()), a->data.size()),
                 "v-first");
     }
-    auto b = co_await w.reader->get("second");
+    auto b = co_await wk.reader->get("second");
     EXPECT_TRUE(b.ok());
     if (b.ok()) {
       EXPECT_EQ(std::string(reinterpret_cast<const char*>(b->data.data()), b->data.size()),
@@ -247,46 +247,46 @@ TEST(OneSided, NeverServesTornValuesUnderWritersAndLinkLoss) {
   int hits = 0, misses = 0, transport_errors = 0, torn = 0;
   bool writer_done = false;
 
-  w.drive([](OneSidedWorld& w, int& hits, int& misses, int& transport_errors, int& torn,
-             bool& writer_done) -> Task<> {
-    EXPECT_TRUE((co_await w.writer->connect_all()).ok());
-    EXPECT_TRUE((co_await w.reader->connect_all()).ok());
+  w.drive([](OneSidedWorld& wk2, int& hits2, int& misses2, int& transport_errors2, int& torn2,
+             bool& writer_done22) -> Task<> {
+    EXPECT_TRUE((co_await wk2.writer->connect_all()).ok());
+    EXPECT_TRUE((co_await wk2.reader->connect_all()).ok());
     for (int k = 0; k < kKeys; ++k) {
       EXPECT_TRUE(
-          (co_await w.writer->set("key" + std::to_string(k), bytes_view(gen_value(0, k, kLen))))
+          (co_await wk2.writer->set("key" + std::to_string(k), bytes_view(gen_value(0, k, kLen))))
               .ok());
     }
 
     // Writer: republish every key, generation after generation.
-    w.sched.spawn([](OneSidedWorld& w, bool& writer_done) -> Task<> {
+    wk2.sched.spawn([](OneSidedWorld& wk, bool& writer_done2) -> Task<> {
       for (int gen = 1; gen <= kGens; ++gen) {
         for (int k = 0; k < kKeys; ++k) {
-          (void)co_await w.writer->set("key" + std::to_string(k),
+          (void)co_await wk.writer->set("key" + std::to_string(k),
                                        bytes_view(gen_value(gen, k, kLen)));
         }
       }
-      writer_done = true;
-    }(w, writer_done));
+      writer_done2 = true;
+    }(wk2, writer_done22));
 
     // Reader: hammer GETs across the keys while the writer churns and the
     // link drops packets. Every result must verify or fall back — tally
-    // anything inconsistent as torn.
+    // anything inconsistent as torn2.
     Rng rng(42);
     for (int i = 0; i < 600; ++i) {
       const int k = static_cast<int>(rng.below(kKeys));
-      auto r = co_await w.reader->get("key" + std::to_string(k));
+      auto r = co_await wk2.reader->get("key" + std::to_string(k));
       if (r.ok()) {
         const std::string v(reinterpret_cast<const char*>(r->data.data()), r->data.size());
         if (value_consistent(v, k, kLen)) {
-          ++hits;
+          ++hits2;
         } else {
-          ++torn;
+          ++torn2;
           ADD_FAILURE() << "torn value for key" << k << ": " << v.substr(0, 32);
         }
       } else if (r.error() == Errc::not_found) {
-        ++misses;
+        ++misses2;
       } else {
-        ++transport_errors;  // lossy window: bounded failures are fine
+        ++transport_errors2;  // lossy window: bounded failures are fine
       }
     }
   }(w, hits, misses, transport_errors, torn, writer_done));

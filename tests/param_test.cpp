@@ -107,21 +107,21 @@ TEST_P(ValueSizeIntegrity, RoundTripsExactBytesOverUcrAndSockets) {
   sock_client.add_server_socket(client_sock, server_sock.addr(), 11211);
 
   bool done = false;
-  sched.spawn([](sim::Scheduler& sched, ucr::Runtime& client_ucr, mc::Client& ucr_client,
-                 mc::Client& sock_client, std::uint32_t size, bool& done) -> sim::Task<> {
-    (void)sched;
-    EXPECT_TRUE((co_await ucr_client.connect_all()).ok());
-    EXPECT_TRUE((co_await sock_client.connect_all()).ok());
+  sched.spawn([](sim::Scheduler& sch, ucr::Runtime& client_ucr2, mc::Client& ucr_client2,
+                 mc::Client& sock_client2, std::uint32_t size, bool& fin) -> sim::Task<> {
+    (void)sch;
+    EXPECT_TRUE((co_await ucr_client2.connect_all()).ok());
+    EXPECT_TRUE((co_await sock_client2.connect_all()).ok());
 
     std::vector<std::byte> payload(size);
     Rng rng(size);
     for (auto& b : payload) b = static_cast<std::byte>(rng() & 0xff);
-    client_ucr.register_region(payload);
+    client_ucr2.register_region(payload);
 
     // Write over UCR, read back over both transports, byte-compare.
-    EXPECT_TRUE((co_await ucr_client.set("blob", payload)).ok());
-    auto via_ucr = co_await ucr_client.get("blob");
-    auto via_sock = co_await sock_client.get("blob");
+    EXPECT_TRUE((co_await ucr_client2.set("blob", payload)).ok());
+    auto via_ucr = co_await ucr_client2.get("blob");
+    auto via_sock = co_await sock_client2.get("blob");
     EXPECT_TRUE(via_ucr.ok());
     EXPECT_TRUE(via_sock.ok());
     if (via_ucr.ok() && via_sock.ok()) {
@@ -130,7 +130,7 @@ TEST_P(ValueSizeIntegrity, RoundTripsExactBytesOverUcrAndSockets) {
       EXPECT_EQ(via_ucr->data.size(), size);
       EXPECT_EQ(via_sock->data.size(), size);
     }
-    done = true;
+    fin = true;
   }(sched, client_ucr, ucr_client, sock_client, param.size, done));
   sched.run();
   EXPECT_TRUE(done);
@@ -142,8 +142,8 @@ INSTANTIATE_TEST_SUITE_P(
                       // straddling the 8 KiB eager threshold (48B AM + header)
                       SizeParam{8100, false}, SizeParam{8192, true}, SizeParam{8292, false},
                       SizeParam{65536, true}, SizeParam{500000, false}),
-    [](const auto& info) {
-      return std::to_string(info.param.size) + (info.param.binary ? "_binary" : "_ascii");
+    [](const auto& info2) {
+      return std::to_string(info2.param.size) + (info2.param.binary ? "_binary" : "_ascii");
     });
 
 // ------------------------------------------------ ordering at every size ----

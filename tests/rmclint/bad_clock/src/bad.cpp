@@ -1,0 +1,9 @@
+#include <chrono>
+#include <ctime>
+
+namespace fx {
+long stamp() {
+  auto wall = std::chrono::system_clock::now().time_since_epoch().count();
+  return wall + time(nullptr);
+}
+}  // namespace fx

@@ -1,0 +1,9 @@
+#include <cstdlib>
+#include <string>
+
+namespace fx {
+bool verbose() {
+  const char* v = std::getenv("FX_VERBOSE");
+  return v != nullptr && std::string(v) == "1";
+}
+}  // namespace fx

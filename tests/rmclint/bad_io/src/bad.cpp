@@ -1,0 +1,9 @@
+#include <cstdio>
+#include <iostream>
+
+namespace fx {
+void report(int code) {
+  std::printf("code=%d\n", code);
+  std::cerr << "also here\n";
+}
+}  // namespace fx

@@ -1,0 +1,6 @@
+namespace fx {
+struct Registry {
+  void counter(const char* name);
+};
+void init(Registry& reg) { reg.counter("sim.fx.requests"); }
+}  // namespace fx

@@ -1,0 +1,9 @@
+namespace fx {
+struct Registry {
+  void counter(const char* name);
+};
+void init(Registry& reg) {
+  reg.counter("sim.fx.requests");
+  reg.counter("sim.fx.orphaned_metric");
+}
+}  // namespace fx

@@ -1,0 +1,8 @@
+#include <map>
+
+namespace fx {
+struct Endpoint;
+struct Registry {
+  std::map<Endpoint*, int> by_ep_;  // ordered by allocation address
+};
+}  // namespace fx

@@ -1,0 +1,9 @@
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+int roll() {
+  std::random_device rd;  // nondeterministic seed source
+  return static_cast<int>(rd() % 6u) + rand() % 6;
+}
+}  // namespace fx

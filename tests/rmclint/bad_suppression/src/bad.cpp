@@ -1,0 +1,10 @@
+#include <cstdio>
+
+namespace fx {
+void dump_table() {
+  std::printf("table\n");  // rmclint:allow(io-hygiene)
+}
+void dump_more() {
+  std::printf("more\n");  // rmclint:allow(no-such-rule): justification text here
+}
+}  // namespace fx

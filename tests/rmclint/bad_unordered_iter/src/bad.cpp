@@ -1,0 +1,14 @@
+#include <cstdint>
+#include <unordered_map>
+
+namespace fx {
+struct Waiters {
+  std::unordered_map<std::uint64_t, int> waiters_;
+
+  int wake_all() {
+    int woken = 0;
+    for (auto& [id, w] : waiters_) woken += w;  // order is sim-visible
+    return woken;
+  }
+};
+}  // namespace fx

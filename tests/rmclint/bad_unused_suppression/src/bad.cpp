@@ -1,0 +1,6 @@
+namespace fx {
+int add(int a, int b) {
+  // rmclint:allow(zeroalloc): stale annotation left behind after a refactor
+  return a + b;
+}
+}  // namespace fx

@@ -1,0 +1,15 @@
+// rmclint:hotpath — fixture fast path
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fx {
+struct Handler {
+  std::vector<std::byte> out_;
+
+  void on_request(const std::byte* p, std::size_t n) {
+    out_.insert(out_.end(), p, p + n);     // grows per request
+    auto copy = std::make_unique<std::byte[]>(n);
+  }
+};
+}  // namespace fx

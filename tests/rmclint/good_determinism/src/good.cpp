@@ -1,0 +1,35 @@
+// Deterministic idioms: seeded RNG, virtual time, ordered iteration,
+// unordered lookups without iteration.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace fx {
+
+struct Rng {
+  std::uint64_t next();
+};
+
+struct Scheduler {
+  std::uint64_t now() const;
+};
+
+struct Sim {
+  Rng rng;                                         // seeded, explicit
+  Scheduler sched;
+  std::map<std::uint64_t, int> pending;            // iteration == insertion order
+  std::unordered_map<std::uint64_t, int> routing;  // lookup-only: fine
+
+  int route(std::uint64_t id) {
+    auto it = routing.find(id);                    // point lookup, no iteration
+    return it == routing.end() ? -1 : it->second;
+  }
+
+  std::uint64_t tick() {
+    std::uint64_t sum = sched.now() + rng.next();
+    for (auto& [id, v] : pending) sum += static_cast<std::uint64_t>(v);
+    return sum;
+  }
+};
+
+}  // namespace fx

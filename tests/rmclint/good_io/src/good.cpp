@@ -1,0 +1,5 @@
+namespace fx {
+void log_line(const char* fmt, ...);  // routed through the logging layer
+
+void report(int code) { log_line("code=%d", code); }
+}  // namespace fx

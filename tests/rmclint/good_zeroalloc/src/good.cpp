@@ -1,0 +1,24 @@
+// rmclint:hotpath — fixture fast path
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace fx {
+struct Codec {
+  std::array<std::byte, 256> inline_buf{};
+  std::size_t used = 0;
+
+  void append(const std::byte* p, std::size_t n) {
+    std::memcpy(inline_buf.data() + used, p, n);  // fixed arena, no growth
+    used += n;
+  }
+
+  std::vector<std::byte> spill_;
+
+  void cold_grow(std::size_t n) {
+    // rmclint:allow(zeroalloc): one-time warmup reservation, never grows after
+    spill_.reserve(n);
+  }
+};
+}  // namespace fx

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Drive the rmclint fixture mini-repos.
+
+Usage: run_fixtures.py <repo_root>
+
+Each subdirectory of tests/rmclint/ holding a src/ tree is one case:
+  good_*  must exit 0 (clean),
+  bad_*   must exit 1 and report the rule id listed in <case>/expect.txt.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_case(repo_root: Path, case: Path) -> list[str]:
+    errors: list[str] = []
+    proc = subprocess.run(
+        [sys.executable, str(repo_root / "tools" / "rmclint"), "--root", str(case)],
+        capture_output=True,
+        text=True,
+    )
+    out = proc.stdout + proc.stderr
+    if case.name.startswith("good_"):
+        if proc.returncode != 0:
+            errors.append(f"{case.name}: expected clean, exit {proc.returncode}:\n{out}")
+    else:
+        expect = (case / "expect.txt").read_text().split()
+        if proc.returncode != 1:
+            errors.append(f"{case.name}: expected exit 1, got {proc.returncode}:\n{out}")
+        for rule in expect:
+            if f"[{rule}]" not in out:
+                errors.append(f"{case.name}: expected a [{rule}] finding, got:\n{out}")
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    fixture_dir = repo_root / "tests" / "rmclint"
+    cases = sorted(d for d in fixture_dir.iterdir() if (d / "src").is_dir())
+    if not cases:
+        print("no fixture cases found", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    for case in cases:
+        errs = run_case(repo_root, case)
+        status = "ok" if not errs else "FAIL"
+        print(f"  {case.name:<32} {status}")
+        failures.extend(errs)
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"\n{len(failures)} fixture failure(s)", file=sys.stderr)
+        return 1
+    print(f"all {len(cases)} fixture cases behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

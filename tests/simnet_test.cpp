@@ -178,8 +178,8 @@ TEST(Counter, WaitGeqFiresWhenThresholdReached) {
   Scheduler sched;
   Counter c(sched);
   Time fired_at = 0;
-  sched.spawn([](Scheduler& s, Counter& c, Time& t) -> Task<> {
-    const bool ok = co_await c.wait_geq(3);
+  sched.spawn([](Scheduler& s, Counter& cc, Time& t) -> Task<> {
+    const bool ok = co_await cc.wait_geq(3);
     EXPECT_TRUE(ok);
     t = s.now();
   }(sched, c, fired_at));
@@ -196,8 +196,8 @@ TEST(Counter, AlreadySatisfiedWaitIsImmediate) {
   Counter c(sched);
   c.add(5);
   bool ok = false;
-  sched.spawn([](Counter& c, bool& out) -> Task<> {
-    out = co_await c.wait_geq(5);
+  sched.spawn([](Counter& cc, bool& out) -> Task<> {
+    out = co_await cc.wait_geq(5);
   }(c, ok));
   sched.run();
   EXPECT_TRUE(ok);
@@ -208,8 +208,8 @@ TEST(Counter, TimeoutFiresWhenCounterStalls) {
   Counter c(sched);
   bool ok = true;
   Time fired_at = 0;
-  sched.spawn([](Scheduler& s, Counter& c, bool& out, Time& t) -> Task<> {
-    out = co_await c.wait_geq(1, 500);
+  sched.spawn([](Scheduler& s, Counter& cc, bool& out, Time& t) -> Task<> {
+    out = co_await cc.wait_geq(1, 500);
     t = s.now();
   }(sched, c, ok, fired_at));
   sched.run();
@@ -221,8 +221,8 @@ TEST(Counter, CounterBeatsTimeout) {
   Scheduler sched;
   Counter c(sched);
   bool ok = false;
-  sched.spawn([](Counter& c, bool& out) -> Task<> {
-    out = co_await c.wait_geq(1, 500);
+  sched.spawn([](Counter& cc, bool& out) -> Task<> {
+    out = co_await cc.wait_geq(1, 500);
   }(c, ok));
   sched.call_at(100, [&] { c.add(); });
   sched.run();  // the stale timeout at t=500 must be a no-op
@@ -238,8 +238,8 @@ TEST(Counter, SimultaneousAddAndTimeoutIsDeterministic) {
   Scheduler sched;
   Counter c(sched);
   bool ok = false;
-  sched.spawn([](Counter& c, bool& out) -> Task<> {
-    out = co_await c.wait_geq(1, 500);
+  sched.spawn([](Counter& cc, bool& out) -> Task<> {
+    out = co_await cc.wait_geq(1, 500);
   }(c, ok));
   sched.call_at(500, [&] { c.add(); });
   sched.run();
@@ -251,8 +251,8 @@ TEST(Counter, MultipleWaitersDifferentThresholds) {
   Counter c(sched);
   std::vector<int> order;
   for (int threshold : {3, 1, 2}) {
-    sched.spawn([](Counter& c, std::vector<int>& ord, int th) -> Task<> {
-      co_await c.wait_geq(static_cast<std::uint64_t>(th));
+    sched.spawn([](Counter& cc, std::vector<int>& ord, int th) -> Task<> {
+      co_await cc.wait_geq(static_cast<std::uint64_t>(th));
       ord.push_back(th);
     }(c, order, threshold));
   }
@@ -268,8 +268,8 @@ TEST(Counter, BatchAddWakesAllEligible) {
   Counter c(sched);
   int woken = 0;
   for (int th = 1; th <= 5; ++th) {
-    sched.spawn([](Counter& c, int& w, int th) -> Task<> {
-      co_await c.wait_geq(static_cast<std::uint64_t>(th));
+    sched.spawn([](Counter& cc, int& w, int th2) -> Task<> {
+      co_await cc.wait_geq(static_cast<std::uint64_t>(th2));
       ++w;
     }(c, woken, th));
   }

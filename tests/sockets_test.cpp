@@ -49,8 +49,8 @@ TEST(Handshake, ConnectAcceptEstablishes) {
   t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
     out = co_await l.accept();
   }(listener, server));
-  t.sched.spawn([](TwoHosts& t, Socket*& out) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 11211);
+  t.sched.spawn([](TwoHosts& tv, Socket*& out) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 11211);
     EXPECT_TRUE(r.ok());
     out = *r;
   }(t, client));
@@ -65,9 +65,9 @@ TEST(Handshake, ConnectAcceptEstablishes) {
 TEST(Handshake, ConnectRefusedWithoutListener) {
   TwoHosts t;
   Errc err = Errc::ok;
-  t.sched.spawn([](TwoHosts& t, Errc& err) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 4242);
-    err = r.error();
+  t.sched.spawn([](TwoHosts& tv, Errc& ec) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 4242);
+    ec = r.error();
   }(t, err));
   t.sched.run();
   EXPECT_EQ(err, Errc::refused);
@@ -84,8 +84,8 @@ TEST(Handshake, MultipleClientsAccepted) {
     }
   }(listener, accepted));
   for (int i = 0; i < 3; ++i) {
-    t.sched.spawn([](TwoHosts& t) -> Task<> {
-      auto r = co_await t.stack_a.connect(t.stack_b.addr(), 11211);
+    t.sched.spawn([](TwoHosts& tv) -> Task<> {
+      auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 11211);
       EXPECT_TRUE(r.ok());
     }(t));
   }
@@ -112,15 +112,15 @@ TEST(Stream, RoundTripSmallMessage) {
   t.sched.spawn(echo_server(listener));
 
   std::string got;
-  t.sched.spawn([](TwoHosts& t, std::string& got) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv, std::string& res_out) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     Socket* s = *r;
     auto msg = bytes_of("hello, socket");
     (void)co_await s->send(msg);
     std::vector<std::byte> buf(64);
     auto st = co_await s->recv_exact(std::span(buf.data(), msg.size()));
     EXPECT_TRUE(st.ok());
-    got = string_of(std::span<const std::byte>(buf.data(), msg.size()));
+    res_out = string_of(std::span<const std::byte>(buf.data(), msg.size()));
   }(t, got));
   t.sched.run();
   EXPECT_EQ(got, "hello, socket");
@@ -133,8 +133,8 @@ TEST(Stream, LargeTransferCrossesManySegments) {
   t.sched.spawn(echo_server(listener));
 
   bool verified = false;
-  t.sched.spawn([](TwoHosts& t, bool& verified) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv, bool& verified2) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     Socket* s = *r;
     std::vector<std::byte> out(512_KiB);
     Rng rng(11);
@@ -143,7 +143,7 @@ TEST(Stream, LargeTransferCrossesManySegments) {
     std::vector<std::byte> in(out.size());
     auto st = co_await s->recv_exact(in);
     EXPECT_TRUE(st.ok());
-    verified = std::equal(out.begin(), out.end(), in.begin());
+    verified2 = std::equal(out.begin(), out.end(), in.begin());
   }(t, verified));
   t.sched.run();
   EXPECT_TRUE(verified);
@@ -160,8 +160,8 @@ TEST(Stream, ByteStreamHasNoMessageBoundaries) {
     out = co_await l.accept();
   }(listener, server));
 
-  t.sched.spawn([](TwoHosts& t) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     (void)co_await (*r)->send(bytes_of("abc"));
     (void)co_await (*r)->send(bytes_of("def"));
   }(t));
@@ -171,10 +171,10 @@ TEST(Stream, ByteStreamHasNoMessageBoundaries) {
   EXPECT_EQ(server->rx_available(), 6u);
   std::vector<std::byte> buf(6);
   bool done = false;
-  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, bool& done) -> Task<> {
-    auto st = co_await s.recv_exact(buf);
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf2, bool& fin) -> Task<> {
+    auto st = co_await s.recv_exact(buf2);
     EXPECT_TRUE(st.ok());
-    done = true;
+    fin = true;
   }(*server, buf, done));
   t.sched.run();
   EXPECT_TRUE(done);
@@ -188,17 +188,17 @@ TEST(Stream, PartialRecvReturnsAvailableBytes) {
   t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
     out = co_await l.accept();
   }(listener, server));
-  t.sched.spawn([](TwoHosts& t) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     (void)co_await (*r)->send(bytes_of("xyz"));
   }(t));
   t.sched.run_until(1_ms);
 
   std::size_t got = 0;
   std::vector<std::byte> buf(100);
-  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, std::size_t& got) -> Task<> {
-    auto n = co_await s.recv(buf);
-    got = n.value_or(0);
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf2, std::size_t& res_out) -> Task<> {
+    auto n = co_await s.recv(buf2);
+    res_out = n.value_or(0);
   }(*server, buf, got));
   t.sched.run();
   EXPECT_EQ(got, 3u);  // returns what is there, not the full 100
@@ -213,8 +213,8 @@ TEST(Lifecycle, CloseDeliversEofToPeer) {
   t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
     out = co_await l.accept();
   }(listener, server));
-  t.sched.spawn([](TwoHosts& t) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     (*r)->close();
   }(t));
   t.sched.run_until(1_ms);
@@ -222,9 +222,9 @@ TEST(Lifecycle, CloseDeliversEofToPeer) {
   ASSERT_NE(server, nullptr);
   std::size_t n = 99;
   std::vector<std::byte> buf(8);
-  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, std::size_t& n) -> Task<> {
-    auto r = co_await s.recv(buf);
-    n = r.value_or(99);
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf2, std::size_t& n2) -> Task<> {
+    auto r = co_await s.recv(buf2);
+    n2 = r.value_or(99);
   }(*server, buf, n));
   t.sched.run();
   EXPECT_EQ(n, 0u);  // orderly EOF
@@ -235,12 +235,12 @@ TEST(Lifecycle, SendAfterCloseFails) {
   Listener& listener = t.stack_b.listen(1);
   t.sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(listener));
   Errc err = Errc::ok;
-  t.sched.spawn([](TwoHosts& t, Errc& err) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv, Errc& ec) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     (*r)->close();
     auto msg = bytes_of("late");
     auto res = co_await (*r)->send(msg);
-    err = res.error();
+    ec = res.error();
   }(t, err));
   t.sched.run();
   EXPECT_EQ(err, Errc::disconnected);
@@ -251,13 +251,13 @@ TEST(Lifecycle, CloseWakesBlockedReader) {
   Listener& listener = t.stack_b.listen(1);
   t.sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(listener));
   Errc err = Errc::ok;
-  t.sched.spawn([](TwoHosts& t, Errc& err) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv, Errc& ec) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     Socket* s = *r;
-    t.sched.call_at(t.sched.now() + 10_us, [s] { s->close(); });
+    tv.sched.call_at(tv.sched.now() + 10_us, [s] { s->close(); });
     std::vector<std::byte> buf(8);
     auto res = co_await s->recv(buf);
-    err = res.ok() ? Errc::ok : res.error();
+    ec = res.ok() ? Errc::ok : res.error();
   }(t, err));
   t.sched.run();
   EXPECT_EQ(err, Errc::disconnected);
@@ -270,8 +270,8 @@ TEST(Lifecycle, EofMidRecvExactIsProtocolError) {
   t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
     out = co_await l.accept();
   }(listener, server));
-  t.sched.spawn([](TwoHosts& t) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     (void)co_await (*r)->send(bytes_of("ab"));  // only 2 of the 4 expected
     (*r)->close();
   }(t));
@@ -279,9 +279,9 @@ TEST(Lifecycle, EofMidRecvExactIsProtocolError) {
 
   Errc err = Errc::ok;
   std::vector<std::byte> buf(4);
-  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf, Errc& err) -> Task<> {
-    auto st = co_await s.recv_exact(buf);
-    err = st.error();
+  t.sched.spawn([](Socket& s, std::vector<std::byte>& buf2, Errc& ec) -> Task<> {
+    auto st = co_await s.recv_exact(buf2);
+    ec = st.error();
   }(*server, buf, err));
   t.sched.run();
   EXPECT_EQ(err, Errc::protocol_error);
@@ -295,8 +295,8 @@ TEST(Lifecycle, SimultaneousCloseBothEnds) {
   t.sched.spawn([](Listener& l, Socket*& out) -> Task<> {
     out = co_await l.accept();
   }(listener, server));
-  t.sched.spawn([](TwoHosts& t, Socket*& out) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv, Socket*& out) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     out = *r;
   }(t, client));
   t.sched.run();
@@ -311,10 +311,10 @@ TEST(Lifecycle, SimultaneousCloseBothEnds) {
   EXPECT_EQ(server->state(), SockState::closed);
   // Reads on either side report the local close, not a hang.
   Errc err = Errc::ok;
-  t.sched.spawn([](Socket& s, Errc& err) -> Task<> {
+  t.sched.spawn([](Socket& s, Errc& ec) -> Task<> {
     std::vector<std::byte> buf(8);
     auto r = co_await s.recv(buf);
-    err = r.ok() ? Errc::ok : r.error();
+    ec = r.ok() ? Errc::ok : r.error();
   }(*client, err));
   t.sched.run();
   EXPECT_EQ(err, Errc::disconnected);
@@ -326,8 +326,8 @@ TEST(Costs, SendChargesCpu) {
   TwoHosts t;
   Listener& listener = t.stack_b.listen(1);
   t.sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(listener));
-  t.sched.spawn([](TwoHosts& t) -> Task<> {
-    auto r = co_await t.stack_a.connect(t.stack_b.addr(), 1);
+  t.sched.spawn([](TwoHosts& tv) -> Task<> {
+    auto r = co_await tv.stack_a.connect(tv.stack_b.addr(), 1);
     std::vector<std::byte> msg(64_KiB);
     (void)co_await (*r)->send(msg);
   }(t));
@@ -346,9 +346,9 @@ TEST(Costs, ToeOffloadsSegmentationCpu) {
     sim::Host a(sched, 0, "a", 8), b(sched, 1, "b", 8);
     NetStack sa(sched, fabric, a, costs), sb(sched, fabric, b, costs);
     Listener& l = sb.listen(1);
-    sched.spawn([](Listener& l) -> Task<> { (void)co_await l.accept(); }(l));
-    sched.spawn([](NetStack& sa, NetStack& sb) -> Task<> {
-      auto r = co_await sa.connect(sb.addr(), 1);
+    sched.spawn([](Listener& l2) -> Task<> { (void)co_await l2.accept(); }(l));
+    sched.spawn([](NetStack& sa2, NetStack& sb2) -> Task<> {
+      auto r = co_await sa2.connect(sb2.addr(), 1);
       std::vector<std::byte> msg(256_KiB);
       (void)co_await (*r)->send(msg);
     }(sa, sb));
@@ -378,7 +378,7 @@ TEST(Jitter, StreamNeverReordersUnderNoise) {
   Listener& listener = sb.listen(1);
 
   bool verified = false;
-  sched.spawn([](Listener& l, bool& verified) -> Task<> {
+  sched.spawn([](Listener& l, bool& verified2) -> Task<> {
     Socket* s = co_await l.accept();
     std::vector<std::byte> buf(256_KiB);
     auto st = co_await s->recv_exact(buf);
@@ -387,11 +387,11 @@ TEST(Jitter, StreamNeverReordersUnderNoise) {
     for (std::size_t i = 0; i < buf.size(); ++i) {
       ordered &= buf[i] == static_cast<std::byte>(i & 0xff);
     }
-    verified = ordered;
+    verified2 = ordered;
   }(listener, verified));
 
-  sched.spawn([](NetStack& sa, NetStack& sb) -> Task<> {
-    auto r = co_await sa.connect(sb.addr(), 1);
+  sched.spawn([](NetStack& sa2, NetStack& sb2) -> Task<> {
+    auto r = co_await sa2.connect(sb2.addr(), 1);
     std::vector<std::byte> out(256_KiB);
     for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<std::byte>(i & 0xff);
     // Send in awkward chunk sizes to shuffle segment boundaries.
@@ -422,15 +422,15 @@ sim::Time ping_pong_time(const sim::LinkParams& link, const StackCosts& costs) {
   Listener& l = sb.listen(1);
   sched.spawn(echo_server(l));
   sim::Time done = 0;
-  sched.spawn([](Scheduler& sched, NetStack& sa, NetStack& sb, sim::Time& done) -> Task<> {
-    auto r = co_await sa.connect(sb.addr(), 1);
+  sched.spawn([](Scheduler& sch, NetStack& sa2, NetStack& sb2, sim::Time& fin) -> Task<> {
+    auto r = co_await sa2.connect(sb2.addr(), 1);
     Socket* s = *r;
     std::vector<std::byte> msg(64);
-    const sim::Time start = sched.now();
+    const sim::Time start = sch.now();
     (void)co_await s->send(msg);
     auto st = co_await s->recv_exact(msg);
     EXPECT_TRUE(st.ok());
-    done = sched.now() - start;
+    fin = sch.now() - start;
   }(sched, sa, sb, done));
   sched.run();
   return done;

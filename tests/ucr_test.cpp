@@ -42,8 +42,8 @@ struct World {
 
   void establish(std::uint16_t port = 7000) {
     server.listen(port, [this](Endpoint& ep) { server_ep = &ep; });
-    sched.spawn([](World& w, std::uint16_t port) -> Task<> {
-      auto r = co_await w.client.connect(w.server.addr(), port);
+    sched.spawn([](World& w, std::uint16_t port2) -> Task<> {
+      auto r = co_await w.client.connect(w.server.addr(), port2);
       EXPECT_TRUE(r.ok());
       w.client_ep = *r;
     }(*this, port));
@@ -68,10 +68,10 @@ TEST(Connection, EndpointEstablished) {
 /// Establish an unreliable (UD) endpoint pair on a World.
 void establish_ud(World& w, std::uint16_t port = 7100) {
   w.server.listen(port, [&w](Endpoint& ep) { w.server_ep = &ep; });
-  w.sched.spawn([](World& w, std::uint16_t port) -> Task<> {
-    auto r = co_await w.client.connect(w.server.addr(), port, EpType::unreliable);
+  w.sched.spawn([](World& wk, std::uint16_t port2) -> Task<> {
+    auto r = co_await wk.client.connect(wk.server.addr(), port2, EpType::unreliable);
     EXPECT_TRUE(r.ok());
-    if (r.ok()) w.client_ep = *r;
+    if (r.ok()) wk.client_ep = *r;
   }(w, port));
   w.sched.run();
 }
@@ -129,11 +129,11 @@ TEST(Unreliable, CountersWorkOverDatagrams) {
 
   auto completion = w.client.make_counter();
   bool done = false;
-  w.sched.spawn([](World& w, CounterRef ref, sim::Counter& completion, bool& done) -> Task<> {
+  w.sched.spawn([](World& wk, CounterRef ref, sim::Counter& completion2, bool& fin) -> Task<> {
     EXPECT_TRUE(
-        w.client.send_message(*w.client_ep, kMsgPing, {}, {}, nullptr, ref, &completion)
+        wk.client.send_message(*wk.client_ep, kMsgPing, {}, {}, nullptr, ref, &completion2)
             .ok());
-    done = co_await completion.wait_geq(1, 1_ms);
+    fin = co_await completion2.wait_geq(1, 1_ms);
   }(w, target_ref, *completion, done));
   w.sched.run();
   EXPECT_TRUE(done);
@@ -178,8 +178,8 @@ TEST(Unreliable, SharedUdQpAcrossEndpoints) {
     hosts.push_back(std::make_unique<sim::Host>(sched, i + 1, "c", 8));
     hcas.push_back(std::make_unique<verbs::Hca>(sched, fabric, *hosts.back()));
     runtimes.push_back(std::make_unique<Runtime>(*hcas.back()));
-    sched.spawn([](Runtime& rt, Runtime& server) -> Task<> {
-      auto r = co_await rt.connect(server.addr(), 7100, EpType::unreliable);
+    sched.spawn([](Runtime& rt, Runtime& srv) -> Task<> {
+      auto r = co_await rt.connect(srv.addr(), 7100, EpType::unreliable);
       EXPECT_TRUE(r.ok());
       if (r.ok()) {
         EXPECT_TRUE(rt.send_message(**r, kMsgPing, {}, {}, nullptr, {}, nullptr).ok());
@@ -209,16 +209,16 @@ TEST(Unreliable, FabricLossIsSilentAndTimedOut) {
   server.listen(7100, nullptr);
 
   int delivered = 0, lost = 0;
-  sched.spawn([](sim::Scheduler& sched, Runtime& client, Runtime& server, CounterRef ref,
-                 sim::Counter& target, int& delivered, int& lost) -> Task<> {
-    auto r = co_await client.connect(server.addr(), 7100, EpType::unreliable);
-    if (!r.ok()) co_return;  // even the handshake can be lost; that's UD life
+  sched.spawn([](sim::Scheduler& sch, Runtime& cli, Runtime& srv, CounterRef ref2,
+                 sim::Counter& target2, int& delivered2, int& lost2) -> Task<> {
+    auto r = co_await cli.connect(srv.addr(), 7100, EpType::unreliable);
+    if (!r.ok()) co_return;  // even the handshake can be lost2; that's UD life
     for (int i = 0; i < 50; ++i) {
-      const std::uint64_t before = target.value();
-      (void)client.send_message(**r, kMsgPing, {}, {}, nullptr, ref, nullptr);
-      const bool ok = co_await target.wait_geq(before + 1, 50_us);
-      (ok ? delivered : lost)++;
-      (void)sched;
+      const std::uint64_t before = target2.value();
+      (void)cli.send_message(**r, kMsgPing, {}, {}, nullptr, ref2, nullptr);
+      const bool ok = co_await target2.wait_geq(before + 1, 50_us);
+      (ok ? delivered2 : lost2)++;
+      (void)sch;
     }
   }(sched, client, server, ref, *target, delivered, lost));
   sched.run();
@@ -231,9 +231,9 @@ TEST(Unreliable, FabricLossIsSilentAndTimedOut) {
 TEST(Connection, ConnectTimesOutAgainstDeadPort) {
   World w;
   Errc err = Errc::ok;
-  w.sched.spawn([](World& w, Errc& err) -> Task<> {
-    auto r = co_await w.client.connect(w.server.addr(), 9090);
-    err = r.error();
+  w.sched.spawn([](World& wk, Errc& ec) -> Task<> {
+    auto r = co_await wk.client.connect(wk.server.addr(), 9090);
+    ec = r.error();
   }(w, err));
   w.sched.run();
   EXPECT_EQ(err, Errc::refused);
@@ -306,11 +306,11 @@ TEST(Eager, CompletionCounterFiresAtOrigin) {
   w.establish();
   auto completion = w.client.make_counter();
   bool reached = false;
-  w.sched.spawn([](World& w, sim::Counter& completion, bool& reached) -> Task<> {
-    EXPECT_TRUE(w.client
-                    .send_message(*w.client_ep, kMsgPing, {}, {}, nullptr, {}, &completion)
+  w.sched.spawn([](World& wk, sim::Counter& completion2, bool& reached2) -> Task<> {
+    EXPECT_TRUE(wk.client
+                    .send_message(*wk.client_ep, kMsgPing, {}, {}, nullptr, {}, &completion2)
                     .ok());
-    reached = co_await completion.wait_geq(1, 1_ms);
+    reached2 = co_await completion2.wait_geq(1, 1_ms);
   }(w, *completion, reached));
   w.sched.run();
   EXPECT_TRUE(reached);
@@ -339,15 +339,15 @@ TEST(Eager, RoundTripRequestResponse) {
 
   bool done = false;
   sim::Time latency = 0;
-  w.sched.spawn([](World& w, CounterRef ref, sim::Counter& counter, bool& done,
-                   sim::Time& latency) -> Task<> {
+  w.sched.spawn([](World& wk, CounterRef ref, sim::Counter& counter, bool& fin,
+                   sim::Time& latency2) -> Task<> {
     std::vector<std::byte> header(sizeof(ref.id));
     std::memcpy(header.data(), &ref.id, sizeof(ref.id));
-    const sim::Time start = w.sched.now();
+    const sim::Time start = wk.sched.now();
     EXPECT_TRUE(
-        w.client.send_message(*w.client_ep, kMsgPing, header, {}, nullptr, {}, nullptr).ok());
-    done = co_await counter.wait_geq(1, 1_ms);
-    latency = w.sched.now() - start;
+        wk.client.send_message(*wk.client_ep, kMsgPing, header, {}, nullptr, {}, nullptr).ok());
+    fin = co_await counter.wait_geq(1, 1_ms);
+    latency2 = wk.sched.now() - start;
   }(w, reply_ref, *reply_counter, done, latency));
   w.sched.run();
   EXPECT_TRUE(done);
@@ -450,15 +450,15 @@ TEST(Rendezvous, AllThreeCountersFire) {
   auto origin = w.client.make_counter();
   auto completion = w.client.make_counter();
   bool both = false;
-  w.sched.spawn([](World& w, std::vector<std::byte>& payload, sim::Counter& origin,
-                   sim::Counter& completion, CounterRef target_ref, bool& both) -> Task<> {
-    EXPECT_TRUE(w.client
-                    .send_message(*w.client_ep, kMsgData, {}, payload, &origin, target_ref,
-                                  &completion)
+  w.sched.spawn([](World& wk, std::vector<std::byte>& pl, sim::Counter& org,
+                   sim::Counter& completion2, CounterRef target_ref2, bool& both2) -> Task<> {
+    EXPECT_TRUE(wk.client
+                    .send_message(*wk.client_ep, kMsgData, {}, pl, &org, target_ref2,
+                                  &completion2)
                     .ok());
-    const bool o = co_await origin.wait_geq(1, 1_ms);
-    const bool c = co_await completion.wait_geq(1, 1_ms);
-    both = o && c;
+    const bool o = co_await org.wait_geq(1, 1_ms);
+    const bool c = co_await completion2.wait_geq(1, 1_ms);
+    both2 = o && c;
   }(w, payload, *origin, *completion, target_ref, both));
   w.sched.run();
   EXPECT_TRUE(both);
@@ -474,12 +474,12 @@ TEST(Rendezvous, DroppedPayloadStillReleasesOrigin) {
   w.client.register_region(payload);
   auto origin = w.client.make_counter();
   bool released = false;
-  w.sched.spawn([](World& w, std::vector<std::byte>& payload, sim::Counter& origin,
-                   bool& released) -> Task<> {
-    EXPECT_TRUE(w.client
-                    .send_message(*w.client_ep, kMsgData, {}, payload, &origin, {}, nullptr)
+  w.sched.spawn([](World& wk, std::vector<std::byte>& pl, sim::Counter& org,
+                   bool& released2) -> Task<> {
+    EXPECT_TRUE(wk.client
+                    .send_message(*wk.client_ep, kMsgData, {}, pl, &org, {}, nullptr)
                     .ok());
-    released = co_await origin.wait_geq(1, 1_ms);
+    released2 = co_await org.wait_geq(1, 1_ms);
   }(w, payload, *origin, released));
   w.sched.run();
   EXPECT_TRUE(released);
@@ -576,14 +576,14 @@ TEST(Faults, WaitWithTimeoutDetectsUnresponsivePeer) {
 
   bool timed_out = false;
   sim::Time woke_at = 0;
-  w.sched.spawn([](World& w, CounterRef ref, sim::Counter& reply, bool& timed_out,
-                   sim::Time& woke_at) -> Task<> {
+  w.sched.spawn([](World& wk, CounterRef ref, sim::Counter& reply2, bool& timed_out2,
+                   sim::Time& woke_at2) -> Task<> {
     std::vector<std::byte> header(sizeof(ref.id));
     std::memcpy(header.data(), &ref.id, sizeof(ref.id));
-    (void)w.client.send_message(*w.client_ep, kMsgPing, header, {}, nullptr, {}, nullptr);
-    const bool ok = co_await reply.wait_geq(1, 100_us);
-    timed_out = !ok;
-    woke_at = w.sched.now();
+    (void)wk.client.send_message(*wk.client_ep, kMsgPing, header, {}, nullptr, {}, nullptr);
+    const bool ok = co_await reply2.wait_geq(1, 100_us);
+    timed_out2 = !ok;
+    woke_at2 = wk.sched.now();
   }(w, reply_ref, *reply, timed_out, woke_at));
   w.sched.run();
   EXPECT_TRUE(timed_out);
@@ -611,12 +611,12 @@ TEST(Faults, OneEndpointFailureDoesNotAffectOthers) {
 
   Endpoint* ep1 = nullptr;
   Endpoint* ep2 = nullptr;
-  sched.spawn([](Runtime& rt, Runtime& server, Endpoint*& out) -> Task<> {
-    auto r = co_await rt.connect(server.addr(), 7000);
+  sched.spawn([](Runtime& rt, Runtime& srv, Endpoint*& out) -> Task<> {
+    auto r = co_await rt.connect(srv.addr(), 7000);
     out = *r;
   }(c1, server, ep1));
-  sched.spawn([](Runtime& rt, Runtime& server, Endpoint*& out) -> Task<> {
-    auto r = co_await rt.connect(server.addr(), 7000);
+  sched.spawn([](Runtime& rt, Runtime& srv, Endpoint*& out) -> Task<> {
+    auto r = co_await rt.connect(srv.addr(), 7000);
     out = *r;
   }(c2, server, ep2));
   sched.run();
@@ -654,11 +654,11 @@ TEST(OneSided, PutPlacesBytesWithoutRemoteCpu) {
   const auto server_cpu_before = w.host_server.cpu().busy_ns();
 
   bool done = false;
-  w.sched.spawn([](World& w, Runtime::RemoteMemory remote, std::vector<std::byte>& src,
-                   bool& done) -> Task<> {
-    auto counter = w.client.make_counter();
-    EXPECT_TRUE(w.client.put(*w.client_ep, src, remote, 256, counter.get()).ok());
-    done = co_await counter->wait_geq(1, 1_ms);
+  w.sched.spawn([](World& wk, Runtime::RemoteMemory remote2, std::vector<std::byte>& src2,
+                   bool& fin) -> Task<> {
+    auto counter = wk.client.make_counter();
+    EXPECT_TRUE(wk.client.put(*wk.client_ep, src2, remote2, 256, counter.get()).ok());
+    fin = co_await counter->wait_geq(1, 1_ms);
   }(w, remote, src, done));
   w.sched.run();
   EXPECT_TRUE(done);
@@ -676,11 +676,11 @@ TEST(OneSided, GetPullsBytes) {
   const auto remote = w.server.expose_memory(window);
   std::vector<std::byte> dst(512);
   bool done = false;
-  w.sched.spawn([](World& w, Runtime::RemoteMemory remote, std::vector<std::byte>& dst,
-                   bool& done) -> Task<> {
-    auto counter = w.client.make_counter();
-    EXPECT_TRUE(w.client.get(*w.client_ep, dst, remote, 1024, counter.get()).ok());
-    done = co_await counter->wait_geq(1, 1_ms);
+  w.sched.spawn([](World& wk, Runtime::RemoteMemory remote2, std::vector<std::byte>& dst2,
+                   bool& fin) -> Task<> {
+    auto counter = wk.client.make_counter();
+    EXPECT_TRUE(wk.client.get(*wk.client_ep, dst2, remote2, 1024, counter.get()).ok());
+    fin = co_await counter->wait_geq(1, 1_ms);
   }(w, remote, dst, done));
   w.sched.run();
   EXPECT_TRUE(done);
@@ -732,20 +732,20 @@ TEST(RegistrationCache, RepeatSendsReuseTheRegion) {
   std::vector<std::byte> payload(64_KiB);
   const std::size_t regions_before = w.hca_client.pd().region_count();
   auto origin = w.client.make_counter();
-  w.sched.spawn([](World& w, std::vector<std::byte>& payload, sim::Counter& origin) -> Task<> {
+  w.sched.spawn([](World& wk, std::vector<std::byte>& pl, sim::Counter& org) -> Task<> {
     for (int i = 0; i < 10; ++i) {
-      EXPECT_TRUE(w.client
-                      .send_message(*w.client_ep, kMsgData, {}, payload, &origin, {}, nullptr)
+      EXPECT_TRUE(wk.client
+                      .send_message(*wk.client_ep, kMsgData, {}, pl, &org, {}, nullptr)
                       .ok());
-      (void)co_await origin.wait_geq(static_cast<std::uint64_t>(i + 1), 10_ms);
+      (void)co_await org.wait_geq(static_cast<std::uint64_t>(i + 1), 10_ms);
     }
     // A sub-span of the registered buffer must also hit the cache.
-    EXPECT_TRUE(w.client
-                    .send_message(*w.client_ep, kMsgData, {},
-                                  std::span<const std::byte>(payload.data() + 100, 32_KiB),
-                                  &origin, {}, nullptr)
+    EXPECT_TRUE(wk.client
+                    .send_message(*wk.client_ep, kMsgData, {},
+                                  std::span<const std::byte>(pl.data() + 100, 32_KiB),
+                                  &org, {}, nullptr)
                     .ok());
-    (void)co_await origin.wait_geq(11, 10_ms);
+    (void)co_await org.wait_geq(11, 10_ms);
   }(w, payload, *origin));
   w.sched.run();
   // Exactly one new region for the payload, despite 11 sends.
@@ -765,16 +765,16 @@ TEST(RegistrationCache, CpuCostPaidOnceNotPerSend) {
   std::vector<std::byte> payload(256_KiB);
   auto origin = w.client.make_counter();
   std::uint64_t first_send_cpu = 0, later_send_cpu = 0;
-  w.sched.spawn([](World& w, std::vector<std::byte>& payload, sim::Counter& origin,
+  w.sched.spawn([](World& wk, std::vector<std::byte>& pl, sim::Counter& org,
                    std::uint64_t& first, std::uint64_t& later) -> Task<> {
-    std::uint64_t before = w.host_client.cpu().busy_ns();
-    (void)w.client.send_message(*w.client_ep, kMsgData, {}, payload, &origin, {}, nullptr);
-    first = w.host_client.cpu().busy_ns() - before;
-    (void)co_await origin.wait_geq(1, 10_ms);
-    before = w.host_client.cpu().busy_ns();
-    (void)w.client.send_message(*w.client_ep, kMsgData, {}, payload, &origin, {}, nullptr);
-    later = w.host_client.cpu().busy_ns() - before;
-    (void)co_await origin.wait_geq(2, 10_ms);
+    std::uint64_t before = wk.host_client.cpu().busy_ns();
+    (void)wk.client.send_message(*wk.client_ep, kMsgData, {}, pl, &org, {}, nullptr);
+    first = wk.host_client.cpu().busy_ns() - before;
+    (void)co_await org.wait_geq(1, 10_ms);
+    before = wk.host_client.cpu().busy_ns();
+    (void)wk.client.send_message(*wk.client_ep, kMsgData, {}, pl, &org, {}, nullptr);
+    later = wk.host_client.cpu().busy_ns() - before;
+    (void)co_await org.wait_geq(2, 10_ms);
   }(w, payload, *origin, first_send_cpu, later_send_cpu));
   w.sched.run();
   // First send pays registration (pin per page); later sends do not.
@@ -806,20 +806,20 @@ TEST(Stress, ThousandMixedMessagesAllComplete) {
   w.client.register_region(payload);
   std::uint64_t sent_bytes = 0;
   auto origin = w.client.make_counter();
-  w.sched.spawn([](World& w, std::vector<std::byte>& payload, sim::Counter& origin,
-                   std::uint64_t& sent_bytes) -> Task<> {
+  w.sched.spawn([](World& wk, std::vector<std::byte>& pl, sim::Counter& org,
+                   std::uint64_t& sent_bytes2) -> Task<> {
     Rng rng(5);
     for (int i = 0; i < 1000; ++i) {
       const std::size_t size = 1 + rng.below(48_KiB);
-      sent_bytes += size;
-      EXPECT_EQ(w.client
-                    .send_message(*w.client_ep, kMsgData, {},
-                                  std::span<const std::byte>(payload.data(), size), &origin,
+      sent_bytes2 += size;
+      EXPECT_EQ(wk.client
+                    .send_message(*wk.client_ep, kMsgData, {},
+                                  std::span<const std::byte>(pl.data(), size), &org,
                                   {}, nullptr)
                     .error(),
                 Errc::ok);
-      // Wait for origin release so the payload buffer can be reused.
-      const bool ok = co_await origin.wait_geq(static_cast<std::uint64_t>(i + 1), 10_ms);
+      // Wait for org release so the pl buffer can be reused.
+      const bool ok = co_await org.wait_geq(static_cast<std::uint64_t>(i + 1), 10_ms);
       EXPECT_TRUE(ok);
     }
   }(w, payload, *origin, sent_bytes));

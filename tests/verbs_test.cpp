@@ -105,14 +105,14 @@ TEST(SendRecv, DeliversPayloadAndImmediate) {
                   .ok());
 
   bool recv_done = false, send_done = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& done, std::vector<std::byte>& dst) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& done, std::vector<std::byte>& dst2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::success);
     EXPECT_EQ(wc.opcode, Opcode::recv);
     EXPECT_EQ(wc.wr_id, 7u);
     EXPECT_EQ(wc.byte_len, 256u);
     EXPECT_EQ(wc.imm_data, 0xabcdu);
-    EXPECT_EQ(dst[255], static_cast<std::byte>(255));
+    EXPECT_EQ(dst2[255], static_cast<std::byte>(255));
     done = true;
   }(*p.cq_b, recv_done, dst));
   p.sched.spawn([](CompletionQueue& cq, bool& done) -> Task<> {
@@ -137,10 +137,10 @@ TEST(SendRecv, RnrWhenNoReceivePosted) {
       p.qp_a->post_send({.wr_id = 9, .opcode = Opcode::send, .local = src, .lkey = mr.lkey()})
           .ok());
   bool saw = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& saw) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& saw2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::receiver_not_ready);
-    saw = true;
+    saw2 = true;
   }(*p.cq_a, saw));
   p.sched.run();
   EXPECT_TRUE(saw);
@@ -158,15 +158,15 @@ TEST(SendRecv, OversizedPayloadErrorsBothSides) {
           ->post_send({.wr_id = 3, .opcode = Opcode::send, .local = src, .lkey = mr_src.lkey()})
           .ok());
   int errors = 0;
-  p.sched.spawn([](CompletionQueue& cq, int& errors) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, int& errors2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::local_protection_error);
-    ++errors;
+    ++errors2;
   }(*p.cq_b, errors));
-  p.sched.spawn([](CompletionQueue& cq, int& errors) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, int& errors2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::remote_access_error);
-    ++errors;
+    ++errors2;
   }(*p.cq_a, errors));
   p.sched.run();
   EXPECT_EQ(errors, 2);
@@ -217,11 +217,11 @@ TEST(SendRecv, ManyMessagesArriveInOrder) {
                     .ok());
   }
   std::vector<std::uint32_t> order;
-  p.sched.spawn([](CompletionQueue& cq, std::vector<std::uint32_t>& order) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, std::vector<std::uint32_t>& order2) -> Task<> {
     for (int i = 0; i < kCount; ++i) {
       auto wc = co_await cq.next();
       EXPECT_EQ(wc.status, WcStatus::success);
-      order.push_back(wc.imm_data);
+      order2.push_back(wc.imm_data);
     }
   }(*p.cq_b, order));
   p.sched.run();
@@ -249,13 +249,13 @@ TEST(Rdma, ReadPullsRemoteBytes) {
                                .rkey = mr_remote.rkey()})
                   .ok());
   bool done = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& done, std::vector<std::byte>& local) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& fin, std::vector<std::byte>& local2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::success);
     EXPECT_EQ(wc.opcode, Opcode::rdma_read);
     EXPECT_EQ(wc.byte_len, 1024u);
-    EXPECT_EQ(local[100], static_cast<std::byte>(300 & 0xff));
-    done = true;
+    EXPECT_EQ(local2[100], static_cast<std::byte>(300 & 0xff));
+    fin = true;
   }(*p.cq_a, done, local));
   p.sched.run();
   EXPECT_TRUE(done);
@@ -305,11 +305,11 @@ TEST(Rdma, WritePushesLocalBytes) {
                                .rkey = mr_remote.rkey()})
                   .ok());
   bool done = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& done, std::vector<std::byte>& remote) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& fin, std::vector<std::byte>& remote2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::success);
-    EXPECT_EQ(remote[127], std::byte{7});
-    done = true;
+    EXPECT_EQ(remote2[127], std::byte{7});
+    fin = true;
   }(*p.cq_a, done, remote));
   p.sched.run();
   EXPECT_TRUE(done);
@@ -329,10 +329,10 @@ TEST(Rdma, BadRkeyYieldsRemoteAccessError) {
                                .rkey = 0xbeef})
                   .ok());
   bool done = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& done) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& fin) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::remote_access_error);
-    done = true;
+    fin = true;
   }(*p.cq_a, done));
   p.sched.run();
   EXPECT_TRUE(done);
@@ -354,10 +354,10 @@ TEST(Rdma, OutOfBoundsReadRejected) {
                                .rkey = mr_remote.rkey()})
                   .ok());
   bool done = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& done) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& fin) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::remote_access_error);
-    done = true;
+    fin = true;
   }(*p.cq_a, done));
   p.sched.run();
   EXPECT_TRUE(done);
@@ -418,10 +418,10 @@ TEST(Srq, SharedAcrossQps) {
           .ok());
 
   int got = 0;
-  auto drain = [](CompletionQueue& cq, int& got) -> Task<> {
+  auto drain = [](CompletionQueue& cq, int& res_out) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::success);
-    ++got;
+    ++res_out;
   };
   p.sched.spawn(drain(*p.cq_b, got));
   p.sched.spawn(drain(*cq_b2, got));
@@ -449,8 +449,8 @@ TEST(Cm, ConnectEstablishesBothSides) {
                         .on_established = [&](QueuePair& qp) { server_qp = &qp; }});
 
   QueuePair* client_qp = nullptr;
-  p.sched.spawn([](Pair& p, QueuePair*& out) -> Task<> {
-    auto result = co_await p.hca_a.connect(p.hca_b.addr(), 4711, *p.cq_a, *p.cq_a);
+  p.sched.spawn([](Pair& pb, QueuePair*& out) -> Task<> {
+    auto result = co_await pb.hca_a.connect(pb.hca_b.addr(), 4711, *pb.cq_a, *pb.cq_a);
     EXPECT_TRUE(result.ok());
     out = *result;
   }(p, client_qp));
@@ -467,9 +467,9 @@ TEST(Cm, ConnectEstablishesBothSides) {
 TEST(Cm, ConnectToClosedPortIsRefused) {
   Pair p;
   Errc err = Errc::ok;
-  p.sched.spawn([](Pair& p, Errc& err) -> Task<> {
-    auto result = co_await p.hca_a.connect(p.hca_b.addr(), 9999, *p.cq_a, *p.cq_a);
-    err = result.error();
+  p.sched.spawn([](Pair& pb, Errc& ec) -> Task<> {
+    auto result = co_await pb.hca_a.connect(pb.hca_b.addr(), 9999, *pb.cq_a, *pb.cq_a);
+    ec = result.error();
   }(p, err));
   p.sched.run();
   EXPECT_EQ(err, Errc::refused);
@@ -489,24 +489,24 @@ TEST(Cm, DataFlowsAfterCmHandshake) {
   std::vector<std::byte> src(32, std::byte{9});
   auto& mr_src = p.hca_a.reg_mr(src);
   bool done = false;
-  p.sched.spawn([](Pair& p, std::vector<std::byte>& src, MemoryRegion& mr, bool& done) -> Task<> {
-    auto result = co_await p.hca_a.connect(p.hca_b.addr(), 80, *p.cq_a, *p.cq_a);
+  p.sched.spawn([](Pair& pb, std::vector<std::byte>& src2, MemoryRegion& mr, bool& fin) -> Task<> {
+    auto result = co_await pb.hca_a.connect(pb.hca_b.addr(), 80, *pb.cq_a, *pb.cq_a);
     EXPECT_TRUE(result.ok());
     QueuePair* qp = *result;
     EXPECT_TRUE(
-        qp->post_send({.wr_id = 2, .opcode = Opcode::send, .local = src, .lkey = mr.lkey()})
+        qp->post_send({.wr_id = 2, .opcode = Opcode::send, .local = src2, .lkey = mr.lkey()})
             .ok());
-    auto wc = co_await p.cq_a->next();
+    auto wc = co_await pb.cq_a->next();
     EXPECT_EQ(wc.status, WcStatus::success);
-    done = true;
+    fin = true;
   }(p, src, mr_src, done));
 
   bool got = false;
-  p.sched.spawn([](CompletionQueue& cq, std::vector<std::byte>& dst, bool& got) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, std::vector<std::byte>& dst2, bool& res_out) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::success);
-    EXPECT_EQ(dst[0], std::byte{9});
-    got = true;
+    EXPECT_EQ(dst2[0], std::byte{9});
+    res_out = true;
   }(*p.cq_b, dst, got));
 
   p.sched.run();
@@ -524,11 +524,11 @@ TEST(Cm, DisconnectFlushesPeer) {
 
   p.hca_a.disconnect(*p.qp_a);
   bool flushed = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& flushed) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& flushed2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::flushed);
     EXPECT_EQ(wc.wr_id, 77u);
-    flushed = true;
+    flushed2 = true;
   }(*p.cq_b, flushed));
   p.sched.run();
   EXPECT_TRUE(flushed);
@@ -570,14 +570,14 @@ TEST(Ud, DatagramDeliveredWithSourceAddressing) {
                             .ud_remote_qpn = qb.qp_num()})
                   .ok());
   bool got = false;
-  p.sched.spawn([](Pair& p, QueuePair& qa, bool& got, std::vector<std::byte>& dst) -> Task<> {
-    auto wc = co_await p.cq_b->next();
+  p.sched.spawn([](Pair& pb, QueuePair& qa2, bool& res_out, std::vector<std::byte>& dst2) -> Task<> {
+    auto wc = co_await pb.cq_b->next();
     EXPECT_EQ(wc.status, WcStatus::success);
     EXPECT_EQ(wc.byte_len, 128u);
-    EXPECT_EQ(wc.src_qp, qa.qp_num());
-    EXPECT_EQ(wc.src_nic, p.hca_a.addr());
-    EXPECT_EQ(dst[0], std::byte{3});
-    got = true;
+    EXPECT_EQ(wc.src_qp, qa2.qp_num());
+    EXPECT_EQ(wc.src_nic, pb.hca_a.addr());
+    EXPECT_EQ(dst2[0], std::byte{3});
+    res_out = true;
   }(p, qa, got, dst));
   p.sched.run();
   EXPECT_TRUE(got);
@@ -651,11 +651,11 @@ TEST(Ud, TruncatingDatagramBurnsReceive) {
                             .ud_remote_qpn = qb.qp_num()})
                   .ok());
   bool saw = false;
-  p.sched.spawn([](CompletionQueue& cq, bool& saw) -> Task<> {
+  p.sched.spawn([](CompletionQueue& cq, bool& saw2) -> Task<> {
     auto wc = co_await cq.next();
     EXPECT_EQ(wc.status, WcStatus::local_protection_error);
     EXPECT_EQ(wc.wr_id, 9u);
-    saw = true;
+    saw2 = true;
   }(*p.cq_b, saw));
   p.sched.run();
   EXPECT_TRUE(saw);
@@ -700,15 +700,15 @@ TEST(Timing, SmallSendLatencyIsAFewMicroseconds) {
   auto& mr_dst = p.hca_b.reg_mr(dst);
   ASSERT_TRUE(p.qp_b->post_recv({.wr_id = 1, .buffer = dst, .lkey = mr_dst.lkey()}).ok());
   sim::Time done_at = 0;
-  p.sched.spawn([](Pair& p, std::vector<std::byte>& src, MemoryRegion& mr,
-                   sim::Time& done_at) -> Task<> {
-    EXPECT_TRUE(p.qp_a
+  p.sched.spawn([](Pair& pb, std::vector<std::byte>& src2, MemoryRegion& mr,
+                   sim::Time& done_at2) -> Task<> {
+    EXPECT_TRUE(pb.qp_a
                     ->post_send(
-                        {.wr_id = 2, .opcode = Opcode::send, .local = src, .lkey = mr.lkey()})
+                        {.wr_id = 2, .opcode = Opcode::send, .local = src2, .lkey = mr.lkey()})
                     .ok());
-    auto wc = co_await p.cq_b->next();
+    auto wc = co_await pb.cq_b->next();
     EXPECT_EQ(wc.status, WcStatus::success);
-    done_at = p.sched.now();
+    done_at2 = pb.sched.now();
   }(p, src, mr_src, done_at));
   p.sched.run();
   EXPECT_GT(done_at, 500u);     // can't beat the wire

@@ -80,12 +80,12 @@ TEST(ZeroAlloc, SteadyStateUcrGetAllocatesNothing) {
   long long delta = -1;
   long long failures = 0;
 
-  sched.spawn([](Client& client, bool& done, long long& delta,
-                 long long& failures) -> Task<> {
+  sched.spawn([](Client& cli, bool& fin, long long& delta2,
+                 long long& failures2) -> Task<> {
     // ASSERT_* expands to `return;`, ill-formed in a coroutine — check by hand.
-    if (!(co_await client.connect_all()).ok()) { ADD_FAILURE() << "connect"; co_return; }
+    if (!(co_await cli.connect_all()).ok()) { ADD_FAILURE() << "connect"; co_return; }
     const std::string value(64, 'v');
-    if (!(co_await client.set("hot-key", val(value), 7)).ok()) {
+    if (!(co_await cli.set("hot-key", val(value), 7)).ok()) {
       ADD_FAILURE() << "set";
       co_return;
     }
@@ -94,7 +94,7 @@ TEST(ZeroAlloc, SteadyStateUcrGetAllocatesNothing) {
     // Warm-up: fill every pool and free list (scheduler heap, packet and
     // frame pools, staging slots, slot maps, worker queues, metrics).
     for (int i = 0; i < 2000; ++i) {
-      auto r = co_await client.get_into("hot-key", dest);
+      auto r = co_await cli.get_into("hot-key", dest);
       if (!r.ok() || r->value_len != 64) { ADD_FAILURE() << "warm-up get"; co_return; }
     }
 
@@ -102,11 +102,11 @@ TEST(ZeroAlloc, SteadyStateUcrGetAllocatesNothing) {
     // loop — even their success paths are not audited for allocation.
     const long long before = g_news;
     for (int i = 0; i < 10000; ++i) {
-      auto r = co_await client.get_into("hot-key", dest);
-      if (!r.ok() || r->value_len != 64 || r->flags != 7) ++failures;
+      auto r = co_await cli.get_into("hot-key", dest);
+      if (!r.ok() || r->value_len != 64 || r->flags != 7) ++failures2;
     }
-    delta = g_news - before;
-    done = true;
+    delta2 = g_news - before;
+    fin = true;
   }(client, done, delta, failures));
   sched.run();
 

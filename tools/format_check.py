@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Changed-files clang-format gate.
+
+Formats (or checks) only the C++ files that differ from a base ref, so a
+big formatting debt elsewhere never blocks an unrelated PR:
+
+    python3 tools/format_check.py                # check files changed vs origin/main
+    python3 tools/format_check.py --base HEAD~1  # ... vs another ref
+    python3 tools/format_check.py --fix          # rewrite instead of checking
+    python3 tools/format_check.py --all          # whole tree (CI weekly / cleanup)
+
+Exits 0 when everything is formatted, 1 when files need formatting, and 0
+with a notice when clang-format is not installed (local machines without
+LLVM should not fail the build; CI installs it and the gate is real there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".hh")
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+
+
+def repo_root() -> Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"], capture_output=True, text=True, check=True
+    )
+    return Path(out.stdout.strip())
+
+
+def changed_files(root: Path, base: str) -> list[Path]:
+    merge_base = subprocess.run(
+        ["git", "merge-base", base, "HEAD"], cwd=root, capture_output=True, text=True
+    )
+    ref = merge_base.stdout.strip() if merge_base.returncode == 0 else base
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=ACMR", ref, "--"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    files = []
+    for rel in diff.stdout.splitlines():
+        p = root / rel
+        if p.suffix in CXX_SUFFIXES and rel.startswith(SCAN_DIRS) and p.exists():
+            files.append(p)
+    return files
+
+
+def all_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(sorted(p for p in base.rglob("*") if p.suffix in CXX_SUFFIXES))
+    return files
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description="clang-format gate over changed files")
+    ap.add_argument("--base", default="origin/main", help="diff base ref (default origin/main)")
+    ap.add_argument("--fix", action="store_true", help="reformat in place instead of checking")
+    ap.add_argument("--all", action="store_true", help="run over the whole tree, not the diff")
+    args = ap.parse_args()
+
+    clang_format = shutil.which("clang-format")
+    if clang_format is None:
+        print("format_check: clang-format not installed; skipping (CI enforces this)")
+        return 0
+
+    root = repo_root()
+    files = all_files(root) if args.all else changed_files(root, args.base)
+    if not files:
+        print("format_check: no changed C++ files")
+        return 0
+
+    # --dry-run --Werror makes unformatted files an error without rewriting.
+    cmd = [clang_format, "-i"] if args.fix else [clang_format, "--dry-run", "--Werror"]
+    bad = 0
+    for f in files:
+        proc = subprocess.run(cmd + [str(f)], capture_output=True, text=True)
+        if proc.returncode != 0:
+            bad += 1
+            sys.stderr.write(proc.stderr)
+    mode = "reformatted" if args.fix else "checked"
+    print(f"format_check: {mode} {len(files)} file(s), {bad} needing changes")
+    return 1 if (bad and not args.fix) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

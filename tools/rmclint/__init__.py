@@ -1,0 +1,8 @@
+"""rmclint: repo-specific static analysis for the rdma-memcached reproduction.
+
+Mechanically enforces the invariants every figure in this repo rests on:
+determinism (bit-identical runs), the zero-allocation hot-path budget, the
+metrics-registry name contract, and logging/IO hygiene. See
+tools/rmclint/README.md and the "Mechanically enforced invariants" section
+of DESIGN.md.
+"""

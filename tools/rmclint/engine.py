@@ -1,0 +1,270 @@
+"""Source model for rmclint: lexing, suppressions, findings.
+
+The linter is deliberately lexical, not semantic: it tokenizes each
+translation unit just enough to separate code, comments and string
+literals, then lets rules pattern-match on the code channel (so a banned
+token inside a comment or a log message never fires) while the comment
+channel carries the suppression protocol.
+
+Suppression protocol (enforced, not advisory):
+
+    // rmclint:allow(<rule-id>): <justification>
+
+on the same line as the finding, or on a comment-only line immediately
+above it. The justification is mandatory and must be a real sentence
+(>= 10 characters); an allow() that matches no finding is itself an
+error (`unused-suppression`), so stale annotations cannot accumulate.
+Markdown files may use the HTML-comment form
+`<!-- rmclint:allow(<rule-id>): ... -->`.
+
+A file opts into the zero-allocation budget with a `// rmclint:hotpath`
+tag anywhere in the file (directories listed in rules.HOT_DIRS are
+tagged implicitly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+
+ALLOW_RE = re.compile(
+    r"rmclint:allow\(([a-z0-9-]+)\)(?::\s*(.*?))?\s*(?:\*/|-->|$)"
+)
+HOTPATH_TAG_RE = re.compile(r"rmclint:hotpath\b")
+MIN_JUSTIFICATION = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Suppression:
+    rule: str
+    justification: str
+    comment_line: int  # where the annotation itself lives
+    target_line: int  # the code line it suppresses
+    used: bool = False
+
+
+class SourceFile:
+    """One lexed source file: code/comment/string channels plus suppressions."""
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.raw_lines = text.splitlines()
+        # code_lines: source with comments removed and string/char literal
+        # *contents* blanked (quotes kept so grammar stays recognizable).
+        # comment_lines: only the comment text, per line.
+        # strings: (line_no, literal_contents) for every string literal.
+        self.code_lines: list[str] = []
+        self.comment_lines: list[str] = []
+        self.strings: list[tuple[int, str]] = []
+        self._lex()
+        self.hotpath_tag = any(HOTPATH_TAG_RE.search(c) for c in self.comment_lines)
+        self.suppressions: list[Suppression] = []
+        self.bad_suppressions: list[Finding] = []
+        self._collect_suppressions()
+
+    # ------------------------------------------------------------------ lexing
+
+    def _lex(self) -> None:
+        code: list[list[str]] = [[] for _ in self.raw_lines]
+        comment: list[list[str]] = [[] for _ in self.raw_lines]
+        text = self.text
+        i, n = 0, len(text)
+        line = 0
+        state = "code"  # code | line_comment | block_comment | string | char | raw_string
+        raw_delim = ""
+        str_start_line = 0
+        str_buf: list[str] = []
+
+        def emit(channel: list[list[str]], ch: str) -> None:
+            if ch != "\n":
+                channel[line].append(ch)
+
+        while i < n:
+            ch = text[i]
+            nxt = text[i + 1] if i + 1 < n else ""
+            if state == "code":
+                if ch == "/" and nxt == "/":
+                    state = "line_comment"
+                    i += 2
+                    continue
+                if ch == "/" and nxt == "*":
+                    state = "block_comment"
+                    i += 2
+                    continue
+                if ch == '"':
+                    m = re.match(r'R"([^()\\ ]{0,16})\(', text[i:]) if text[i - 1 : i] == "R" else None
+                    if m:
+                        raw_delim = ")" + m.group(1) + '"'
+                        state = "raw_string"
+                        str_start_line = line
+                        str_buf = []
+                        emit(code, '"')
+                        i += m.end()
+                        continue
+                    state = "string"
+                    str_start_line = line
+                    str_buf = []
+                    emit(code, '"')
+                    i += 1
+                    continue
+                if ch == "'":
+                    # Char literal or digit separator (1'000). Digit separators
+                    # sit between alnums; treat those as plain code.
+                    prev = text[i - 1] if i > 0 else ""
+                    if prev.isalnum() and nxt.isalnum() and not (prev == "u" and False):
+                        emit(code, ch)
+                        i += 1
+                        continue
+                    state = "char"
+                    emit(code, ch)
+                    i += 1
+                    continue
+                emit(code, ch)
+            elif state == "line_comment":
+                if ch == "\n":
+                    state = "code"
+                else:
+                    emit(comment, ch)
+            elif state == "block_comment":
+                if ch == "*" and nxt == "/":
+                    state = "code"
+                    i += 2
+                    continue
+                emit(comment, ch)
+            elif state == "string":
+                if ch == "\\":
+                    str_buf.append(text[i : i + 2])
+                    i += 2
+                    continue
+                if ch == '"':
+                    self.strings.append((str_start_line + 1, "".join(str_buf)))
+                    emit(code, '"')
+                    state = "code"
+                else:
+                    str_buf.append(ch)
+            elif state == "raw_string":
+                if text.startswith(raw_delim, i):
+                    self.strings.append((str_start_line + 1, "".join(str_buf)))
+                    emit(code, '"')
+                    state = "code"
+                    i += len(raw_delim)
+                    continue
+                str_buf.append(ch)
+            elif state == "char":
+                if ch == "\\":
+                    i += 2
+                    continue
+                if ch == "'":
+                    emit(code, ch)
+                    state = "code"
+            if ch == "\n":
+                line += 1
+            i += 1
+
+        self.code_lines = ["".join(parts) for parts in code]
+        self.comment_lines = ["".join(parts) for parts in comment]
+
+    # ---------------------------------------------------------- suppressions
+
+    def _collect_suppressions(self) -> None:
+        for idx, comment in enumerate(self.comment_lines):
+            if "rmclint:allow" not in comment:
+                continue
+            m = ALLOW_RE.search(comment)
+            lineno = idx + 1
+            if not m:
+                self.bad_suppressions.append(
+                    Finding(
+                        "bad-suppression",
+                        self.rel,
+                        lineno,
+                        "malformed rmclint:allow annotation "
+                        "(expected `rmclint:allow(<rule>): <justification>`)",
+                    )
+                )
+                continue
+            rule, justification = m.group(1), (m.group(2) or "").strip()
+            if len(justification) < MIN_JUSTIFICATION:
+                self.bad_suppressions.append(
+                    Finding(
+                        "bad-suppression",
+                        self.rel,
+                        lineno,
+                        f"rmclint:allow({rule}) needs a justification "
+                        f"(>= {MIN_JUSTIFICATION} chars explaining why the rule "
+                        "does not apply here)",
+                    )
+                )
+                continue
+            # Same-line annotation suppresses its own line; a comment-only
+            # line suppresses the next line that has code on it.
+            target = lineno
+            if not self.code_lines[idx].strip():
+                target = lineno + 1
+                while target <= len(self.code_lines) and not self.code_lines[target - 1].strip():
+                    target += 1
+            self.suppressions.append(Suppression(rule, justification, lineno, target))
+
+    def suppression_for(self, rule: str, line: int) -> Suppression | None:
+        for s in self.suppressions:
+            if s.rule == rule and s.target_line == line:
+                return s
+        return None
+
+
+class Project:
+    """All lexed files plus shared lookups rules need."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self.files: list[SourceFile] = []
+
+    def add(self, path: Path) -> SourceFile:
+        rel = str(path.relative_to(self.root)) if path.is_relative_to(self.root) else str(path)
+        sf = SourceFile(path, rel, path.read_text(encoding="utf-8", errors="replace"))
+        self.files.append(sf)
+        return sf
+
+
+def apply_suppressions(project: Project, findings: list[Finding]) -> list[Finding]:
+    """Filter findings through allow() annotations; flag bad/unused ones."""
+    by_rel: dict[str, SourceFile] = {f.rel: f for f in project.files}
+    kept: list[Finding] = []
+    for finding in findings:
+        sf = by_rel.get(finding.path)
+        if sf is None:
+            kept.append(finding)
+            continue
+        supp = sf.suppression_for(finding.rule, finding.line)
+        if supp is not None:
+            supp.used = True
+        else:
+            kept.append(finding)
+    for sf in project.files:
+        kept.extend(sf.bad_suppressions)
+        for s in sf.suppressions:
+            if not s.used:
+                kept.append(
+                    Finding(
+                        "unused-suppression",
+                        sf.rel,
+                        s.comment_line,
+                        f"rmclint:allow({s.rule}) suppresses nothing "
+                        "(stale annotation — delete it or move it next to the finding)",
+                    )
+                )
+    return kept

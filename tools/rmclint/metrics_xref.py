@@ -1,0 +1,202 @@
+"""Metrics-registry cross-check.
+
+Every `sim.*` / `ucr.*` / `mc.*` / `verbs.*` / `sock.*` metric lives in two
+worlds: the string literal passed to `obs::registry()` in code, and the
+name quoted in DESIGN.md, EXPERIMENTS.md, tests/ and tools/run_benches.py.
+Nothing ties the two together, so a rename in either direction silently
+produces dashboards, gates and docs that read zeros. This check fails on
+dangling references in *both* directions:
+
+  - a doc/test/tool reference with no matching literal in code, and
+  - a code literal never referenced by any doc, test or the bench runner
+    (undocumented metrics rot fastest — document them or delete them).
+
+Grammar: a metric name is `<layer>.<seg>.<seg>[...]` with at least three
+dot-separated lowercase segments and a known layer prefix — two-segment
+tokens like `ucr.get` are method calls in prose, not metrics. A literal
+ending in `.` (e.g. "sim.pool.") declares a *dynamic prefix*: names are
+composed at runtime, and any reference under that prefix resolves to it.
+References may also use the derived suffixes the registry synthesizes
+(`.hwm` for gauges, `.count`/`.mean_ns` for timers) and the documentation
+wildcard `<prefix>.*`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .engine import Finding, Project
+
+LAYERS = ("sim", "ucr", "mc", "verbs", "sock", "obs")
+
+# At least three segments: layer '.' seg ('.' seg)+
+METRIC_RE = re.compile(
+    r"\b(?:" + "|".join(LAYERS) + r")\.[a-z0-9_]+(?:\.[a-z0-9_]+)+\b"
+)
+PREFIX_LITERAL_RE = re.compile(
+    r"^(?:" + "|".join(LAYERS) + r")\.(?:[a-z0-9_]+\.)+$"
+)
+WILDCARD_RE = re.compile(
+    r"\b((?:" + "|".join(LAYERS) + r")\.[a-z0-9_]+(?:\.[a-z0-9_]+)*)\.\*"
+)
+PY_STRING_RE = re.compile(r"""(?P<q>["'])(?P<s>[^"'\n]*)(?P=q)""")
+
+# Suffixes Registry::for_each_stat / to_json synthesize from a base name.
+DERIVED_SUFFIXES = (".hwm", ".count", ".mean_ns")
+
+REF_DOCS = ("DESIGN.md", "EXPERIMENTS.md")
+REF_TOOLS = ("tools/run_benches.py",)
+
+
+def _strip_derived(name: str) -> str:
+    for suffix in DERIVED_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class MetricsXref:
+    def __init__(self, project: Project, root: Path):
+        self.project = project
+        self.root = root
+        # name -> first (rel, line) that defines it
+        self.defs: dict[str, tuple[str, int]] = {}
+        self.prefixes: dict[str, tuple[str, int]] = {}
+        # name -> list of (rel, line) that reference it
+        self.refs: dict[str, list[tuple[str, int]]] = {}
+        self._doc_lines: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------ collection
+
+    def collect_defs(self) -> None:
+        """Metric literals in C++ code (src/ defines; bench/examples literals
+        are treated as references — they *read* the registry)."""
+        for sf in self.project.files:
+            if not sf.rel.startswith("src/"):
+                continue
+            for line_no, lit in sf.strings:
+                if PREFIX_LITERAL_RE.fullmatch(lit):
+                    self.prefixes.setdefault(lit, (sf.rel, line_no))
+                elif METRIC_RE.fullmatch(lit):
+                    self.defs.setdefault(lit, (sf.rel, line_no))
+
+    def _add_ref(self, name: str, rel: str, line: int) -> None:
+        self.refs.setdefault(name, []).append((rel, line))
+
+    def collect_refs(self) -> None:
+        # C++ references outside src/: bench, examples, tests.
+        for sf in self.project.files:
+            if sf.rel.startswith("src/"):
+                continue
+            for line_no, lit in sf.strings:
+                for m in METRIC_RE.finditer(lit):
+                    self._add_ref(m.group(0), sf.rel, line_no)
+        # Markdown docs and the bench runner: scan text tokens (prose and
+        # quoted strings alike — anything matching the grammar is a name).
+        for rel in REF_DOCS + REF_TOOLS:
+            path = self.root / rel
+            if not path.exists():
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            lines = text.splitlines()
+            self._doc_lines[rel] = lines
+            for idx, line in enumerate(lines, start=1):
+                for m in METRIC_RE.finditer(line):
+                    self._add_ref(m.group(0), rel, idx)
+                for m in WILDCARD_RE.finditer(line):
+                    self._add_ref(m.group(1) + ".", rel, idx)
+
+    # ------------------------------------------------------------ resolution
+
+    def _resolves(self, ref: str) -> bool:
+        if ref.endswith("."):  # wildcard reference -> needs a dynamic prefix
+            return any(p.startswith(ref) or ref.startswith(p) for p in self.prefixes)
+        base = _strip_derived(ref)
+        if ref in self.defs or base in self.defs:
+            return True
+        return any(ref.startswith(p) or base.startswith(p) for p in self.prefixes)
+
+    def _referenced(self, name: str) -> bool:
+        if name.endswith("."):
+            # A dynamic prefix is documented by a wildcard (`sim.pool.*`) or
+            # by any concrete reference underneath it.
+            return any(
+                ref == name or (not ref.endswith(".") and ref.startswith(name))
+                for ref in self.refs
+            )
+        if name in self.refs:
+            return True
+        # A derived form (name.count) in the refs also documents the base.
+        for ref in self.refs:
+            if not ref.endswith(".") and _strip_derived(ref) == name:
+                return True
+            if ref.endswith(".") and name.startswith(ref):
+                return True
+        return False
+
+    def _doc_suppressed(self, rel: str, line: int) -> bool:
+        """Markdown/Python reference files carry suppressions as
+        `<!-- rmclint:allow(metrics-registry): why -->` (or a `#` comment)
+        on the offending line or the line above."""
+        lines = self._doc_lines.get(rel)
+        if lines is None:
+            return False
+        for idx in (line - 1, line - 2):
+            if 0 <= idx < len(lines) and re.search(
+                r"rmclint:allow\(metrics-registry\):\s*\S{4,}", lines[idx]
+            ):
+                return True
+        return False
+
+    def run(self) -> list[Finding]:
+        self.collect_defs()
+        self.collect_refs()
+        findings: list[Finding] = []
+        for ref, sites in sorted(self.refs.items()):
+            if self._resolves(ref):
+                continue
+            rel, line = sites[0]
+            if self._doc_suppressed(rel, line):
+                continue
+            findings.append(
+                Finding(
+                    "metrics-registry",
+                    rel,
+                    line,
+                    f"reference to metric `{ref}` with no matching "
+                    "obs::registry() literal in src/ — renamed or deleted? "
+                    "(docs, tests and the bench gate would silently read zeros)",
+                )
+            )
+        for name, (rel, line) in sorted(self.defs.items()):
+            if self._referenced(name):
+                continue
+            findings.append(
+                Finding(
+                    "metrics-registry",
+                    rel,
+                    line,
+                    f"metric `{name}` is defined in code but never referenced "
+                    "in DESIGN.md, EXPERIMENTS.md, tests/ or "
+                    "tools/run_benches.py — add it to the DESIGN.md metrics "
+                    "inventory (or delete it)",
+                )
+            )
+        for prefix, (rel, line) in sorted(self.prefixes.items()):
+            if not self._referenced(prefix):
+                findings.append(
+                    Finding(
+                        "metrics-registry",
+                        rel,
+                        line,
+                        f"dynamic metric prefix `{prefix}*` is never referenced "
+                        "in DESIGN.md, EXPERIMENTS.md, tests/ or "
+                        "tools/run_benches.py — document the family",
+                    )
+                )
+        return findings
+
+
+def check_metrics(project: Project, root: Path) -> list[Finding]:
+    return MetricsXref(project, root).run()

@@ -1,0 +1,222 @@
+"""rmclint rule implementations (everything except the metrics cross-check).
+
+Every rule is lexical and repo-specific. The point is not to be a general
+C++ analyzer — clang-tidy covers that — but to mechanically pin the three
+invariants this reproduction's results rest on:
+
+  determinism-*   the simulator must be bit-identical across runs
+  zeroalloc       the request hot path must not allocate (PR 2 budget)
+  io-hygiene      library code logs through common/log.hpp, never stdout
+
+Scopes: determinism + io-hygiene apply to src/ (library code);
+zeroalloc applies to hot-path-tagged files (src/simnet/, src/ucr/ by
+directory, plus any file carrying a `// rmclint:hotpath` tag).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .engine import Finding, Project, SourceFile
+
+HOT_DIRS = ("src/simnet/", "src/ucr/")
+
+CXX_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+
+def _in_src(sf: SourceFile) -> bool:
+    return sf.rel.startswith("src/")
+
+
+def _is_hotpath(sf: SourceFile) -> bool:
+    return sf.rel.startswith(HOT_DIRS) or sf.hotpath_tag
+
+
+# --------------------------------------------------------------- determinism
+
+RAND_RE = re.compile(r"\brandom_device\b|\bs?rand\s*\(|\bdrand48\b|\blrand48\b")
+CLOCK_RE = re.compile(
+    r"\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+GETENV_RE = re.compile(r"\b(?:secure_)?getenv\s*\(")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*&?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:[;={(,)]|$)"
+)
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset)\s*<\s*[^,<>]*\*\s*[,>]"
+)
+
+
+def _unordered_names(project: Project) -> set[str]:
+    """Names of every variable/member declared as an unordered container
+    anywhere in src/ (cross-file: members declared in headers are iterated
+    from .cpp files)."""
+    names: set[str] = set()
+    for sf in project.files:
+        if not _in_src(sf):
+            continue
+        # Join continuation lines so multi-line template declarations parse.
+        joined = " ".join(line.strip() for line in sf.code_lines)
+        for m in UNORDERED_DECL_RE.finditer(joined):
+            names.add(m.group("name"))
+    # Drop names too generic to mean anything ("map", single letters).
+    return {n for n in names if len(n) > 1 and n not in {"it", "kv"}}
+
+
+def check_determinism(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    unordered = _unordered_names(project)
+    iter_res = [
+        # range-for over an unordered container (by name)
+        re.compile(r"for\s*\([^;()]*:\s*&?\s*(?:\w+(?:\.|->))*(" + "|".join(map(re.escape, sorted(unordered))) + r")\s*\)")
+        if unordered
+        else None,
+        # explicit iterator walk / algorithm over .begin()
+        re.compile(r"\b(" + "|".join(map(re.escape, sorted(unordered))) + r")\s*(?:\.|->)\s*c?begin\s*\(")
+        if unordered
+        else None,
+        # iterating an unnamed/temporary unordered container
+        re.compile(r"for\s*\([^;()]*:\s*[^)]*\bunordered_(?:map|set)\b"),
+    ]
+    for sf in project.files:
+        if not _in_src(sf) or not sf.rel.endswith(CXX_SUFFIXES):
+            continue
+        for idx, line in enumerate(sf.code_lines, start=1):
+            if RAND_RE.search(line):
+                findings.append(
+                    Finding(
+                        "determinism-rand",
+                        sf.rel,
+                        idx,
+                        "nondeterministic randomness source in src/ — use the "
+                        "seeded rmc::Rng (common/rng.hpp) so runs stay bit-identical",
+                    )
+                )
+            if CLOCK_RE.search(line):
+                findings.append(
+                    Finding(
+                        "determinism-clock",
+                        sf.rel,
+                        idx,
+                        "wall-clock read in src/ — simulated components must take "
+                        "time from sim::Scheduler::now() (virtual time) only",
+                    )
+                )
+            if GETENV_RE.search(line):
+                findings.append(
+                    Finding(
+                        "determinism-getenv",
+                        sf.rel,
+                        idx,
+                        "environment-dependent control flow in src/ — thread "
+                        "configuration through explicit config structs instead",
+                    )
+                )
+            for rx in iter_res:
+                if rx is not None and rx.search(line):
+                    findings.append(
+                        Finding(
+                            "determinism-unordered-iter",
+                            sf.rel,
+                            idx,
+                            "iteration over an unordered container in src/ — "
+                            "iteration order is implementation-defined and "
+                            "sim-visible; use std::map (monotonic keys preserve "
+                            "insertion order), a sorted snapshot, or a vector",
+                        )
+                    )
+                    break
+            if POINTER_KEY_RE.search(line):
+                findings.append(
+                    Finding(
+                        "determinism-pointer-key",
+                        sf.rel,
+                        idx,
+                        "pointer-keyed ordered container in src/ — iteration "
+                        "order follows allocation addresses, which differ run to "
+                        "run; key by a stable id instead",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------- zeroalloc
+
+ALLOC_RES: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"(?<!::)\bnew\s+(?!\()"), "new-expression"),
+    (re.compile(r"\b(?:malloc|calloc|realloc|strdup)\s*\("), "libc allocation"),
+    (re.compile(r"\bmake_(?:unique|shared)\s*<"), "make_unique/make_shared"),
+    (
+        re.compile(r"\.\s*(?:push_back|emplace_back|resize|reserve|insert|emplace)\s*\("),
+        "container growth",
+    ),
+    (re.compile(r"\bstd::to_string\s*\("), "std::to_string (allocates)"),
+]
+
+
+def check_zeroalloc(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in project.files:
+        if not _is_hotpath(sf) or not sf.rel.endswith(CXX_SUFFIXES):
+            continue
+        for idx, line in enumerate(sf.code_lines, start=1):
+            for rx, what in ALLOC_RES:
+                if rx.search(line):
+                    findings.append(
+                        Finding(
+                            "zeroalloc",
+                            sf.rel,
+                            idx,
+                            f"{what} in a hot-path file — the steady-state "
+                            "request path must not allocate (PR 2 budget); move "
+                            "the allocation to setup, use the simnet pools, or "
+                            "annotate why this site is off the hot path",
+                        )
+                    )
+                    break
+    return findings
+
+
+# ---------------------------------------------------------------- io-hygiene
+
+IO_RE = re.compile(
+    r"\bstd::cout\b|\bstd::cerr\b|\bstd::clog\b"
+    r"|(?<![\w:])(?:std::)?(?:printf|puts|putchar|v?fprintf)\s*\("
+)
+
+
+def check_io_hygiene(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in project.files:
+        if not _in_src(sf) or not sf.rel.endswith(CXX_SUFFIXES):
+            continue
+        for idx, line in enumerate(sf.code_lines, start=1):
+            if IO_RE.search(line):
+                findings.append(
+                    Finding(
+                        "io-hygiene",
+                        sf.rel,
+                        idx,
+                        "direct stdout/stderr I/O in library code — route "
+                        "diagnostics through common/log.hpp (RMC_LOG_*); only "
+                        "designated dump sinks may print, with an annotation",
+                    )
+                )
+    return findings
+
+
+ALL_RULES = {
+    "determinism-rand": "ban rand()/random_device/drand48 in src/",
+    "determinism-clock": "ban wall-clock reads in src/",
+    "determinism-getenv": "ban getenv-dependent control flow in src/",
+    "determinism-unordered-iter": "ban iteration over unordered containers in src/",
+    "determinism-pointer-key": "ban pointer-keyed ordered containers in src/",
+    "zeroalloc": "ban allocation in hot-path-tagged files",
+    "io-hygiene": "ban direct stdout/stderr I/O in src/",
+    "metrics-registry": "cross-check metric names between code and docs/tests/tools",
+    "bad-suppression": "allow() annotations must name a rule and justify",
+    "unused-suppression": "allow() annotations must suppress a real finding",
+}
