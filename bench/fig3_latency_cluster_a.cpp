@@ -16,6 +16,10 @@ using namespace rmc::bench;
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  // --profile <file>: wall-clock attribution across every cell below.
+  // Default off; the tables are byte-identical either way (the profiler
+  // never touches sim time).
+  const std::string profile_file = profile_path(argc, argv);
   const std::vector<core::TransportKind> transports{
       core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib,
       core::TransportKind::toe_10ge};
@@ -56,5 +60,8 @@ int main(int argc, char** argv) {
 
   // --metrics-json <file>: registry accumulated across every cell above.
   dump_metrics_if_requested(argc, argv);
+  // --latency-json <file>: per-op stage spans (mc.latency.*) as JSON.
+  dump_latency_if_requested(argc, argv);
+  write_profile(profile_file);
   return 0;
 }

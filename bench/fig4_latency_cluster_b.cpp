@@ -16,6 +16,7 @@ using namespace rmc::bench;
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  const std::string profile_file = profile_path(argc, argv);
   const std::vector<core::TransportKind> transports{
       core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib};
 
@@ -37,5 +38,20 @@ int main(int argc, char** argv) {
                                       core::OpPattern::pure_get, 4096);
   std::printf("headline: 4KB Get UCR(QDR)=%.1f us (paper ~12), IPoIB/UCR=%.1fx (paper 4-10x)\n",
               ucr4k, ipoib4k / ucr4k);
+
+  // --trace <file>: one representative traced cell (UCR 4 KB Get on QDR),
+  // kept separate from the table cells so the artifact stays small.
+  const std::string trace_file = arg_value(argc, argv, "--trace");
+  if (!trace_file.empty()) {
+    obs::tracer().enable();
+    const double traced_us = latency_cell(core::ClusterKind::cluster_b,
+                                          core::TransportKind::ucr_verbs,
+                                          core::OpPattern::pure_get, 4096, 50);
+    std::printf("traced cell: 4KB Get UCR mean=%.1f us\n", traced_us);
+    write_trace(trace_file);
+  }
+  dump_metrics_if_requested(argc, argv);
+  dump_latency_if_requested(argc, argv);
+  write_profile(profile_file);
   return 0;
 }

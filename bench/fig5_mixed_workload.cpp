@@ -15,6 +15,7 @@ using namespace rmc::bench;
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  const std::string profile_file = profile_path(argc, argv);
   const std::uint64_t seed = seed_arg(argc, argv);
   const std::vector<core::TransportKind> cluster_a_transports{
       core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib,
@@ -35,5 +36,20 @@ int main(int argc, char** argv) {
   latency_table("Fig 5(d) Interleaved (Set 50%/Get 50%) - Cluster B",
                 core::ClusterKind::cluster_b, core::OpPattern::interleaved,
                 cluster_b_transports, small_sizes(), csv, seed);
+
+  // --trace <file>: one representative traced cell (UCR 4 KB interleaved
+  // on Cluster A), separate from the table cells above.
+  const std::string trace_file = arg_value(argc, argv, "--trace");
+  if (!trace_file.empty()) {
+    obs::tracer().enable();
+    const double traced_us = latency_cell(core::ClusterKind::cluster_a,
+                                          core::TransportKind::ucr_verbs,
+                                          core::OpPattern::interleaved, 4096, 50, seed);
+    std::printf("traced cell: 4KB interleaved UCR mean=%.1f us\n", traced_us);
+    write_trace(trace_file);
+  }
+  dump_metrics_if_requested(argc, argv);
+  dump_latency_if_requested(argc, argv);
+  write_profile(profile_file);
   return 0;
 }

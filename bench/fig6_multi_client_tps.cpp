@@ -15,6 +15,7 @@ using namespace rmc::bench;
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  const std::string profile_file = profile_path(argc, argv);
   const std::uint64_t seed = seed_arg(argc, argv);
   const std::vector<unsigned> clients{8u, 16u};
   const std::vector<core::TransportKind> cluster_a{
@@ -40,5 +41,19 @@ int main(int argc, char** argv) {
   std::printf("headline: Cluster B 4B/16 clients UCR=%.2fM ops/s (paper ~1.8M), "
               "UCR/SDP=%.1fx (paper ~6x)\n",
               ucr16 / 1e6, ucr16 / sdp16);
+
+  // --trace <file>: one representative traced cell (UCR 4 B, 8 clients on
+  // Cluster B) with a reduced op count to keep the artifact small.
+  const std::string trace_file = arg_value(argc, argv, "--trace");
+  if (!trace_file.empty()) {
+    obs::tracer().enable();
+    const double traced_tps =
+        tps_cell(core::ClusterKind::cluster_b, core::TransportKind::ucr_verbs, 4, 8, 200, seed);
+    std::printf("traced cell: 4B/8 clients UCR=%.2fM ops/s\n", traced_tps / 1e6);
+    write_trace(trace_file);
+  }
+  dump_metrics_if_requested(argc, argv);
+  dump_latency_if_requested(argc, argv);
+  write_profile(profile_file);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "core/workload.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace rmc::bench {
@@ -171,6 +172,78 @@ inline void dump_metrics_if_requested(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+}
+
+/// Enable the attribution profiler when `--profile <file>` is given;
+/// returns the path ("" when profiling is off — the default, keeping the
+/// figure tables byte-identical). The caller runs its scenario and then
+/// calls write_profile().
+inline std::string profile_path(int argc, char** argv) {
+  const std::string path = arg_value(argc, argv, "--profile");
+  if (!path.empty()) obs::profiler().enable();
+  return path;
+}
+
+/// Write the profiler dump: `<path>` gets the rmc-prof/1 JSON report and
+/// `<path>.folded` the collapsed stacks (flamegraph.pl-compatible).
+inline void write_profile(const std::string& path) {
+  if (path.empty()) return;
+  obs::profiler().disable();
+  const std::string json = obs::profiler().to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write profile to %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  const std::string folded_path = path + ".folded";
+  const std::string folded = obs::profiler().to_collapsed();
+  if (std::FILE* ff = std::fopen(folded_path.c_str(), "w")) {
+    std::fwrite(folded.data(), 1, folded.size(), ff);
+    std::fclose(ff);
+  }
+  std::fprintf(stderr, "profile written to %s (+%s)\n", path.c_str(), folded_path.c_str());
+}
+
+/// Write the per-op latency span histograms (mc.latency.*) as JSON to
+/// `--latency-json <file>` if given. Only timers that actually recorded
+/// samples appear; stages a transport never exercises are absent.
+inline void dump_latency_if_requested(int argc, char** argv) {
+  const std::string path = arg_value(argc, argv, "--latency-json");
+  if (path.empty()) return;
+  static constexpr const char* kOps[] = {"get", "set", "mget"};
+  static constexpr const char* kStages[] = {"build", "wait", "complete", "total"};
+  std::string out = "{\"schema\":\"rmc-latency/1\"";
+  for (const char* op : kOps) {
+    for (const char* stage : kStages) {
+      const std::string name = std::string("mc.latency.") + op + "." + stage;
+      const obs::Timer* t = obs::registry().find_timer(name);
+      if (t == nullptr || t->hist().count() == 0) continue;
+      const LatencyHistogram& h = t->hist();
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"%s\":{\"count\":%llu,\"mean_ns\":%llu,\"p50_ns\":%llu,"
+                    "\"p95_ns\":%llu,\"p99_ns\":%llu,\"p999_ns\":%llu,\"max_ns\":%llu}",
+                    name.c_str(), static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.mean()),
+                    static_cast<unsigned long long>(h.percentile(0.50)),
+                    static_cast<unsigned long long>(h.percentile(0.95)),
+                    static_cast<unsigned long long>(h.percentile(0.99)),
+                    static_cast<unsigned long long>(h.percentile(0.999)),
+                    static_cast<unsigned long long>(h.max()));
+      out += buf;
+    }
+  }
+  out += "}";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write latency spans to %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "latency spans written to %s\n", path.c_str());
 }
 
 /// Enable the sim-time tracer when `--trace <file>` is given; returns the

@@ -80,6 +80,7 @@ std::vector<Cell> sweep(core::ClusterKind cluster, const std::vector<std::uint32
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  const std::string profile_file = profile_path(argc, argv);
   const std::uint64_t seed = seed_arg(argc, argv);
   const std::vector<std::uint32_t> sizes{4, 64, 256, 1024, 4096};
 
@@ -124,5 +125,18 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::fprintf(stderr, "json written to %s\n", json_path.c_str());
   }
+
+  // --trace <file>: one representative traced cell (one-sided 64 B GETs
+  // on QDR) with a reduced op count to keep the artifact small.
+  const std::string trace_file = arg_value(argc, argv, "--trace");
+  if (!trace_file.empty()) {
+    obs::tracer().enable();
+    const Cell traced = run_cell(core::ClusterKind::cluster_b, 64, seed);
+    std::printf("traced cell: QDR 64B one-sided=%.3fus\n", traced.one_us);
+    write_trace(trace_file);
+  }
+  dump_metrics_if_requested(argc, argv);
+  dump_latency_if_requested(argc, argv);
+  write_profile(profile_file);
   return 0;
 }

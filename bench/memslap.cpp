@@ -18,6 +18,7 @@
 
 #include "common/table.hpp"
 #include "core/workload.hpp"
+#include "obs/metrics.hpp"
 
 using namespace rmc;
 
@@ -99,6 +100,9 @@ void run_and_report(const Options& opt) {
                 std::string(core::cluster_name(opt.cluster)).c_str());
     return;
   }
+  // The span registry is process-global; zero it so each report's stage
+  // percentiles reflect this run only (the sweep calls this repeatedly).
+  obs::registry().reset();
   core::TestBedConfig config;
   config.cluster = opt.cluster;
   config.transport = opt.transport;
@@ -126,8 +130,28 @@ void run_and_report(const Options& opt) {
                 result.get_latency.mean() / 1e3);
   }
   std::printf("\n");
-  std::printf("  p50 / p99:       %.2f / %.2f us\n", to_us(result.all_latency.percentile(0.5)),
+  std::printf("  p50 / p95 / p99: %.2f / %.2f / %.2f us\n",
+              to_us(result.all_latency.percentile(0.5)),
+              to_us(result.all_latency.percentile(0.95)),
               to_us(result.all_latency.percentile(0.99)));
+  // Stage decomposition from the client-side span registry: where a GET's
+  // total went (request build, fabric + server turnaround, completion).
+  static constexpr const char* kStageNames[] = {"build", "wait", "complete", "total"};
+  static constexpr const char* kStageKeys[] = {"mc.latency.get.build", "mc.latency.get.wait",
+                                               "mc.latency.get.complete",
+                                               "mc.latency.get.total"};
+  bool have_spans = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const obs::Timer* t = obs::registry().find_timer(kStageKeys[i]);
+    if (t == nullptr || t->hist().count() == 0) continue;
+    if (!have_spans) {
+      std::printf("  get stage p50/p99 us:");
+      have_spans = true;
+    }
+    std::printf("  %s %.2f/%.2f", kStageNames[i], to_us(t->hist().percentile(0.5)),
+                to_us(t->hist().percentile(0.99)));
+  }
+  if (have_spans) std::printf("\n");
   std::printf("  aggregate rate:  %.1f K ops/s\n\n", result.tps() / 1000.0);
 }
 

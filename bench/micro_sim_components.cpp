@@ -5,7 +5,12 @@
 // can run.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include "core/workload.hpp"
+#include "obs/profiler.hpp"
 #include "simnet/channel.hpp"
 #include "simnet/event.hpp"
 #include "simnet/scheduler.hpp"
@@ -96,4 +101,43 @@ BENCHMARK(BM_EndToEndSimulatedOps);
 }  // namespace
 }  // namespace rmc::sim
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips `--profile <file>`
+// (enable the attribution profiler across every benchmark, then dump the
+// rmc-prof/1 JSON plus <file>.folded collapsed stacks) before handing the
+// rest of argv to google-benchmark.
+int main(int argc, char** argv) {
+  std::string profile_file;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_file = argv[i + 1];
+      ++i;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  if (!profile_file.empty()) rmc::obs::profiler().enable();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!profile_file.empty()) {
+    rmc::obs::profiler().disable();
+    const std::string json = rmc::obs::profiler().to_json();
+    if (std::FILE* f = std::fopen(profile_file.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "profile written to %s\n", profile_file.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write profile to %s\n", profile_file.c_str());
+    }
+    const std::string folded = rmc::obs::profiler().to_collapsed();
+    const std::string folded_path = profile_file + ".folded";
+    if (std::FILE* f = std::fopen(folded_path.c_str(), "w")) {
+      std::fwrite(folded.data(), 1, folded.size(), f);
+      std::fclose(f);
+    }
+  }
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/profiler.hpp"
+
 namespace rmc::core {
 
 std::string_view transport_name(TransportKind kind) {
@@ -32,6 +34,9 @@ bool transport_available(ClusterKind cluster, TransportKind transport) {
 }
 
 namespace {
+
+const std::uint16_t kProfSetup =
+    obs::profiler().register_scope("prof.sim.testbed.setup", obs::ScopeKind::engine);
 
 sim::LinkParams ib_link(ClusterKind cluster) {
   return cluster == ClusterKind::cluster_a ? sim::ib_ddr_link() : sim::ib_qdr_link();
@@ -79,6 +84,7 @@ sock::StackCosts degrade_sdp_on_qdr(sock::StackCosts costs) {
 }  // namespace
 
 TestBed::TestBed(TestBedConfig config) : config_(config) {
+  obs::ProfScope prof{kProfSetup};
   assert(transport_available(config.cluster, config.transport) &&
          "this transport did not exist on this cluster in the paper");
   sched_ = std::make_unique<sim::Scheduler>();

@@ -9,11 +9,17 @@
 #include "common/log.hpp"
 #include "common/slotmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "onesided/remote_getter.hpp"
 
 namespace rmc::mc {
 
 namespace {
+
+/// Request assembly on the client is payload work (header encode, key
+/// pack, send_message staging) as opposed to simulator engine overhead.
+const std::uint16_t kProfClientBuild =
+    obs::profiler().register_scope("prof.mc.client.build", obs::ScopeKind::payload);
 
 proto::Command storage_command(SetMode mode) {
   switch (mode) {
@@ -53,6 +59,43 @@ Status status_from(proto::Response::Type type) {
     case Type::client_error: return Errc::invalid_argument;
     default: return Errc::protocol_error;
   }
+}
+
+/// Sim-time spans decomposing one client operation into the paper's
+/// stages: build (request format + issue), wait (fabric + server turn-
+/// around), complete (reply decode + result copy). Stamps are adjacent,
+/// so build + wait + complete == total exactly. Recorded on completed
+/// RPC round trips; the one-sided GET path keeps its own metrics.
+/// Always on: recording is two array writes, sim behavior is untouched.
+struct LatencySpans {
+  obs::Timer* build;
+  obs::Timer* wait;
+  obs::Timer* complete;
+  obs::Timer* total;
+};
+
+const LatencySpans& get_spans() {
+  static const LatencySpans s{&obs::registry().timer("mc.latency.get.build"),
+                              &obs::registry().timer("mc.latency.get.wait"),
+                              &obs::registry().timer("mc.latency.get.complete"),
+                              &obs::registry().timer("mc.latency.get.total")};
+  return s;
+}
+
+const LatencySpans& set_spans() {
+  static const LatencySpans s{&obs::registry().timer("mc.latency.set.build"),
+                              &obs::registry().timer("mc.latency.set.wait"),
+                              &obs::registry().timer("mc.latency.set.complete"),
+                              &obs::registry().timer("mc.latency.set.total")};
+  return s;
+}
+
+const LatencySpans& mget_spans() {
+  static const LatencySpans s{&obs::registry().timer("mc.latency.mget.build"),
+                              &obs::registry().timer("mc.latency.mget.wait"),
+                              &obs::registry().timer("mc.latency.mget.complete"),
+                              &obs::registry().timer("mc.latency.mget.total")};
+  return s;
 }
 
 Status status_from(ucrp::RStatus status) {
@@ -111,10 +154,14 @@ class TextConn final : public ServerConn {
   }
 
   sim::Task<Result<proto::Value>> get(std::string_view key, bool with_cas) override {
+    // Stream conns have no build/wait boundary (one buffered round trip),
+    // so only the end-to-end span is recorded.
+    const sim::Time t0 = sched_->now();
     std::vector<std::string> keys{std::string(key)};
     auto r = co_await mget(keys, with_cas);
     if (!r.ok()) co_return r.error();
     if (!(*r)[0].has_value()) co_return Errc::not_found;
+    get_spans().total->record(sched_->now() - t0);
     co_return std::move(*(*r)[0]);
   }
 
@@ -156,8 +203,10 @@ class TextConn final : public ServerConn {
     req.exptime = exptime;
     req.cas_unique = cas;
     req.data.assign(value.begin(), value.end());
+    const sim::Time t0 = sched_->now();
     auto resp = co_await round_trip(req, proto::ResponseParser::Expect::simple);
     if (!resp.ok()) co_return resp.error();
+    set_spans().total->record(sched_->now() - t0);
     co_return status_from(resp->type);
   }
 
@@ -260,6 +309,7 @@ class BinaryConn final : public ServerConn {
 
   sim::Task<Result<proto::Value>> get(std::string_view key, bool /*with_cas*/) override {
     if (!alive()) co_return Errc::disconnected;
+    const sim::Time t0 = sched_->now();
     bproto::Request req;
     req.opcode = bproto::Opcode::get;
     req.key = std::string(key);
@@ -273,6 +323,7 @@ class BinaryConn final : public ServerConn {
     value.data = std::move(resp->value);
     co_await host_->cpu().consume(static_cast<sim::Time>(
         static_cast<double>(value.data.size()) * behavior_.result_copy_ns_per_byte));
+    get_spans().total->record(sched_->now() - t0);
     co_return value;
   }
 
@@ -344,9 +395,13 @@ class BinaryConn final : public ServerConn {
     req.flags = flags;
     req.exptime = exptime;
     req.value.assign(value.begin(), value.end());
+    const sim::Time t0 = sched_->now();
     auto resp = co_await round_trip(req);
     if (!resp.ok()) co_return resp.error();
-    if (resp->status == bproto::BStatus::ok) co_return Status{};
+    if (resp->status == bproto::BStatus::ok) {
+      set_spans().total->record(sched_->now() - t0);
+      co_return Status{};
+    }
     // Map the binary statuses back onto the text-protocol error space so
     // both transports look identical to callers.
     if (mode == SetMode::add && resp->status == bproto::BStatus::key_exists) {
@@ -495,6 +550,7 @@ class UcrConn final : public ServerConn {
 
   sim::Task<Result<proto::Value>> get(std::string_view key, bool with_cas) override {
     if (!alive()) co_return Errc::disconnected;
+    const sim::Time t0 = sched_->now();
     co_await host_->cpu().consume(behavior_.format_ns);
     if (getter_ && getter_->ready()) {
       auto hit = co_await getter_->try_get(*ep_, key);
@@ -513,12 +569,23 @@ class UcrConn final : public ServerConn {
     }
     auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {});
     if (!issued.ok()) co_return issued.error();
-    co_return co_await finish_get(*issued, key);
+    const sim::Time t1 = sched_->now();
+    sim::Time t2 = t1;
+    auto value = co_await finish_get(*issued, key, &t2);
+    if (!value.ok()) co_return value.error();
+    const sim::Time t3 = sched_->now();
+    const LatencySpans& spans = get_spans();
+    spans.build->record(t1 - t0);
+    spans.wait->record(t2 - t1);
+    spans.complete->record(t3 - t2);
+    spans.total->record(t3 - t0);
+    co_return std::move(*value);
   }
 
   sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
       std::span<const std::string> keys, bool with_cas) override {
     if (!alive()) co_return Errc::disconnected;
+    const sim::Time t0 = sched_->now();
     co_await host_->cpu().consume(behavior_.format_ns);
     // Pipeline: fire all requests, then collect in order (§V: mget built
     // from the same principles as get).
@@ -529,15 +596,25 @@ class UcrConn final : public ServerConn {
       if (!issued.ok()) co_return issued.error();
       ids.push_back(*issued);
     }
+    const sim::Time t1 = sched_->now();
+    // The collect loop interleaves reply waits with per-value copy-out, so
+    // the wait stage of a multiget runs through the *last* reply landing.
+    sim::Time t2 = t1;
     std::vector<std::optional<proto::Value>> out(keys.size());
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      auto value = co_await finish_get(ids[i], keys[i]);
+      auto value = co_await finish_get(ids[i], keys[i], &t2);
       if (value.ok()) {
         out[i] = std::move(*value);
       } else if (value.error() != Errc::not_found) {
         co_return value.error();
       }
     }
+    const sim::Time t3 = sched_->now();
+    const LatencySpans& spans = mget_spans();
+    spans.build->record(t1 - t0);
+    spans.wait->record(t2 - t1);
+    spans.complete->record(t3 - t2);
+    spans.total->record(t3 - t0);
     co_return out;
   }
 
@@ -546,6 +623,7 @@ class UcrConn final : public ServerConn {
     // The zero-allocation GET: the reply header handler lands the value
     // bytes directly in `dest`, so no arena slot, no Value, no copy-out.
     if (!alive()) co_return Errc::disconnected;
+    const sim::Time t0 = sched_->now();
     co_await host_->cpu().consume(behavior_.format_ns);
     if (getter_ && getter_->ready()) {
       auto hit = co_await getter_->try_get(*ep_, key);
@@ -564,7 +642,9 @@ class UcrConn final : public ServerConn {
     }
     auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {}, dest);
     if (!issued.ok()) co_return issued.error();
+    const sim::Time t1 = sched_->now();
     auto pending = co_await await_reply(*issued);
+    const sim::Time t2 = sched_->now();
     if (!pending.ok()) co_return pending.error();
     maybe_reset_arena();
     if (pending->response.status != ucrp::RStatus::value) {
@@ -576,6 +656,12 @@ class UcrConn final : public ServerConn {
     out.value_len = pending->value_len;
     out.flags = pending->response.flags;
     out.cas = pending->response.cas;
+    const sim::Time t3 = sched_->now();
+    const LatencySpans& spans = get_spans();
+    spans.build->record(t1 - t0);
+    spans.wait->record(t2 - t1);
+    spans.complete->record(t3 - t2);
+    spans.total->record(t3 - t0);
     co_return out;
   }
 
@@ -583,6 +669,7 @@ class UcrConn final : public ServerConn {
                           std::span<const std::byte> value, std::uint32_t flags,
                           std::uint32_t exptime, std::uint64_t cas) override {
     if (!alive()) co_return Errc::disconnected;
+    const sim::Time t0 = sched_->now();
     co_await host_->cpu().consume(behavior_.format_ns);
     ucrp::RequestHeader extra;
     extra.flags = flags;
@@ -590,8 +677,16 @@ class UcrConn final : public ServerConn {
     extra.cas = cas;
     auto issued = issue(storage_op(mode), key, value, extra);
     if (!issued.ok()) co_return issued.error();
-    auto resp = co_await finish(*issued);
+    const sim::Time t1 = sched_->now();
+    sim::Time t2 = t1;
+    auto resp = co_await finish(*issued, &t2);
     if (!resp.ok()) co_return resp.error();
+    const sim::Time t3 = sched_->now();
+    const LatencySpans& spans = set_spans();
+    spans.build->record(t1 - t0);
+    spans.wait->record(t2 - t1);
+    spans.complete->record(t3 - t2);
+    spans.total->record(t3 - t0);
     co_return status_from(resp->status);
   }
 
@@ -648,6 +743,7 @@ class UcrConn final : public ServerConn {
                               const ucrp::RequestHeader& extra,
                               std::span<std::byte> user_dest = {}) {
     if (key.size() > proto::Request::kMaxKeyLen) return Errc::invalid_argument;
+    obs::ProfScope prof{kProfClientBuild};
     auto [counter, ref, slot] = acquire_counter();
 
     Pending pending;
@@ -706,15 +802,19 @@ class UcrConn final : public ServerConn {
     co_return pending;
   }
 
-  sim::Task<Result<ucrp::ResponseHeader>> finish(std::uint64_t req_id) {
+  sim::Task<Result<ucrp::ResponseHeader>> finish(std::uint64_t req_id,
+                                                 sim::Time* wait_end = nullptr) {
     auto pending = co_await await_reply(req_id);
+    if (wait_end != nullptr) *wait_end = sched_->now();
     if (!pending.ok()) co_return pending.error();
     maybe_reset_arena();
     co_return pending->response;
   }
 
-  sim::Task<Result<proto::Value>> finish_get(std::uint64_t req_id, std::string_view key) {
+  sim::Task<Result<proto::Value>> finish_get(std::uint64_t req_id, std::string_view key,
+                                             sim::Time* wait_end = nullptr) {
     auto pending = co_await await_reply(req_id);
+    if (wait_end != nullptr) *wait_end = sched_->now();
     if (!pending.ok()) co_return pending.error();
 
     if (pending->response.status != ucrp::RStatus::value) {

@@ -8,10 +8,25 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "ucr/wire.hpp"
 
 namespace rmc::mc {
+
+namespace {
+/// Payload-stage scopes: wall-clock spent doing the cache's actual work
+/// (parsing requests, store operations, formatting replies), as opposed
+/// to the engine overhead charged to the prof.sim.* / prof.ucr.* scopes.
+/// Each wraps only the straight-line section between cpu() awaits — a
+/// ProfScope must never span a co_await.
+const std::uint16_t kProfParse =
+    obs::profiler().register_scope("prof.mc.server.parse", obs::ScopeKind::payload);
+const std::uint16_t kProfExecute =
+    obs::profiler().register_scope("prof.mc.server.execute", obs::ScopeKind::payload);
+const std::uint16_t kProfFormat =
+    obs::profiler().register_scope("prof.mc.server.format", obs::ScopeKind::payload);
+}  // namespace
 
 /// Per-UCR-connection state hung off the endpoint's user_data: items
 /// allocated by SET header handlers, waiting for their value to arrive.
@@ -116,7 +131,10 @@ sim::Task<> Server::text_loop(sock::Socket& socket, std::size_t worker,
     // libevent fired for this connection: dispatch cost.
     co_await host_->cpu().consume(config_.costs.event_dispatch_ns);
     while (true) {
-      auto parsed = parser.next();
+      auto parsed = [&] {
+        obs::ProfScope prof{kProfParse};
+        return parser.next();
+      }();
       if (!parsed.ok()) {
         // Garbage on the stream: memcached answers ERROR and closes.
         proto::Response error_resp;
@@ -163,7 +181,10 @@ sim::Task<> Server::binary_loop(sock::Socket& socket, std::size_t worker,
     first_pass = false;
     co_await host_->cpu().consume(config_.costs.event_dispatch_ns);
     while (true) {
-      auto parsed = parser.next();
+      auto parsed = [&] {
+        obs::ProfScope prof{kProfParse};
+        return parser.next();
+      }();
       if (!parsed.ok()) {
         socket.close();  // framing is broken; nothing sane to answer
         co_return;
@@ -340,14 +361,17 @@ sim::Task<> Server::process_socket(Work& work, WorkerScratch& scratch) {
     const sim::Time exec_start = sched_->now();
     co_await host_->cpu().consume(config_.costs.op_base_ns);
     advance_clock();
-    scratch.items.clear();
     std::size_t value_bytes = 0;
-    for (std::size_t i = 0; i < request.key_count(); ++i) {
-      ItemHeader* item = store_.get_pinned(request.key_at(i));
-      if (!item) continue;
-      // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
-      scratch.items.push_back(item);
-      value_bytes += item->value().size();
+    {
+      obs::ProfScope prof{kProfExecute};
+      scratch.items.clear();
+      for (std::size_t i = 0; i < request.key_count(); ++i) {
+        ItemHeader* item = store_.get_pinned(request.key_at(i));
+        if (!item) continue;
+        // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
+        scratch.items.push_back(item);
+        value_bytes += item->value().size();
+      }
     }
     stage_execute_->record(sched_->now() - exec_start);
 
@@ -357,26 +381,29 @@ sim::Task<> Server::process_socket(Work& work, WorkerScratch& scratch) {
         static_cast<sim::Time>(static_cast<double>(value_bytes) *
                                config_.costs.value_copy_ns_per_byte));
     const bool with_cas = request.command == proto::Command::gets;
-    scratch.out.clear();
-    for (ItemHeader* item : scratch.items) {
-      proto::append_bytes(scratch.out, "VALUE ");
-      proto::append_bytes(scratch.out, item->key());
-      proto::append_bytes(scratch.out, " ");
-      proto::append_u64(scratch.out, item->flags);
-      proto::append_bytes(scratch.out, " ");
-      proto::append_u64(scratch.out, item->value().size());
-      if (with_cas) {
+    {
+      obs::ProfScope prof{kProfFormat};
+      scratch.out.clear();
+      for (ItemHeader* item : scratch.items) {
+        proto::append_bytes(scratch.out, "VALUE ");
+        proto::append_bytes(scratch.out, item->key());
         proto::append_bytes(scratch.out, " ");
-        proto::append_u64(scratch.out, item->cas);
+        proto::append_u64(scratch.out, item->flags);
+        proto::append_bytes(scratch.out, " ");
+        proto::append_u64(scratch.out, item->value().size());
+        if (with_cas) {
+          proto::append_bytes(scratch.out, " ");
+          proto::append_u64(scratch.out, item->cas);
+        }
+        proto::append_bytes(scratch.out, "\r\n");
+        // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
+        scratch.out.insert(scratch.out.end(), item->value().begin(), item->value().end());
+        proto::append_bytes(scratch.out, "\r\n");
       }
-      proto::append_bytes(scratch.out, "\r\n");
-      // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
-      scratch.out.insert(scratch.out.end(), item->value().begin(), item->value().end());
-      proto::append_bytes(scratch.out, "\r\n");
+      proto::append_bytes(scratch.out, "END\r\n");
+      for (ItemHeader* item : scratch.items) store_.release(item);
+      scratch.items.clear();
     }
-    proto::append_bytes(scratch.out, "END\r\n");
-    for (ItemHeader* item : scratch.items) store_.release(item);
-    scratch.items.clear();
     stage_format_->record(sched_->now() - format_start);
     bytes_written_ += scratch.out.size();
     (void)co_await work.socket->send(scratch.out);
@@ -388,7 +415,11 @@ sim::Task<> Server::process_socket(Work& work, WorkerScratch& scratch) {
       config_.costs.op_base_ns +
       static_cast<sim::Time>(static_cast<double>(request.data.size()) *
                              config_.costs.value_copy_ns_per_byte));
-  proto::Response resp = execute(request);
+  proto::Response resp;
+  {
+    obs::ProfScope prof{kProfExecute};
+    resp = execute(request);
+  }
   stage_execute_->record(sched_->now() - exec_start);
 
   if (request.command == proto::Command::quit) {
@@ -406,8 +437,11 @@ sim::Task<> Server::process_socket(Work& work, WorkerScratch& scratch) {
                              config_.costs.value_copy_ns_per_byte));
 
   const bool with_cas = request.command == proto::Command::gets;
-  scratch.out.clear();
-  proto::encode_response_into(resp, with_cas, scratch.out);
+  {
+    obs::ProfScope prof{kProfFormat};
+    scratch.out.clear();
+    proto::encode_response_into(resp, with_cas, scratch.out);
+  }
   stage_format_->record(sched_->now() - format_start);
   bytes_written_ += scratch.out.size();
   (void)co_await work.socket->send(scratch.out);
@@ -430,6 +464,8 @@ sim::Task<> Server::process_binary(Work& work) {
   resp.opaque = req.opaque;
   bool reply = true;
 
+  {
+  obs::ProfScope exec_prof{kProfExecute};
   switch (req.opcode) {
     case Opcode::get:
     case Opcode::getq:
@@ -552,12 +588,16 @@ sim::Task<> Server::process_binary(Work& work) {
       resp.status = BStatus::unknown_command;
       break;
   }
+  }
 
   stage_execute_->record(sched_->now() - exec_start);
   if (!reply) co_return;
   const sim::Time format_start = sched_->now();
   co_await host_->cpu().consume(config_.costs.format_base_ns / 2);
-  const auto bytes = bproto::encode_response(resp);
+  const auto bytes = [&] {
+    obs::ProfScope prof{kProfFormat};
+    return bproto::encode_response(resp);
+  }();
   stage_format_->record(sched_->now() - format_start);
   bytes_written_ += bytes.size();
   (void)co_await work.socket->send(bytes);
@@ -730,6 +770,8 @@ sim::Task<> Server::process_ucr(Work& work) {
   resp.req_id = req.req_id;
   ItemHeader* pinned = nullptr;
 
+  {
+  obs::ProfScope exec_prof{kProfExecute};
   switch (req.op) {
     case ucrp::Op::get:
     case ucrp::Op::gets: {
@@ -818,10 +860,14 @@ sim::Task<> Server::process_ucr(Work& work) {
       resp.status = ucrp::RStatus::ok;
       break;
   }
+  }
 
   stage_execute_->record(sched_->now() - exec_start);
   const sim::Time format_start = sched_->now();
-  ucr_reply(*work.ep, resp, pinned, req.reply_counter);
+  {
+    obs::ProfScope prof{kProfFormat};
+    ucr_reply(*work.ep, resp, pinned, req.reply_counter);
+  }
   stage_format_->record(sched_->now() - format_start);
   co_return;
 }

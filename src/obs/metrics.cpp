@@ -71,6 +71,11 @@ Timer& Registry::timer(std::string_view name) {
   return *it->second;
 }
 
+const Timer* Registry::find_timer(std::string_view name) const {
+  auto it = timers_.find(name);
+  return it == timers_.end() ? nullptr : it->second.get();
+}
+
 void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
@@ -121,6 +126,8 @@ std::string Registry::to_json() const {
     append_u64(out, h.percentile(0.95));
     out += ",\"p99_ns\":";
     append_u64(out, h.percentile(0.99));
+    out += ",\"p999_ns\":";
+    append_u64(out, h.percentile(0.999));
     out += '}';
   }
   out += "}}";

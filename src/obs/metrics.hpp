@@ -74,6 +74,11 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
 
+  /// Non-creating lookup: nullptr when no timer of that name has been
+  /// recorded yet. For report writers (bench --latency-json, memslap)
+  /// that must not invent empty instruments.
+  const Timer* find_timer(std::string_view name) const;
+
   /// Zero every instrument but keep all entries registered (cached
   /// pointers in the instrumented layers survive a reset).
   void reset();
@@ -84,14 +89,15 @@ class Registry {
 
   /// {"counters":{...},"gauges":{name:{"value":v,"hwm":h}},
   ///  "timers":{name:{"count","sum_ns","mean_ns","min_ns","max_ns",
-  ///                  "p50_ns","p95_ns","p99_ns"}}} — keys sorted.
+  ///                  "p50_ns","p95_ns","p99_ns","p999_ns"}}} — keys sorted.
   std::string to_json() const;
 
   /// Human-readable dump (one table per instrument kind) to stdout.
   void print_table() const;
 
   /// Visit every instrument as (name, rendered value) in sorted name
-  /// order; timers expand to <name>.count and <name>.mean_ns. Used by
+  /// order; timers expand to <name>.count, <name>.mean_ns and the
+  /// <name>.p50_ns/.p95_ns/.p99_ns/.p999_ns tail percentiles. Used by
   /// Server::render_stats to surface the registry over the text protocol.
   template <typename Fn>
   void for_each_stat(Fn&& fn) const {
@@ -103,6 +109,10 @@ class Registry {
     for (const auto& [name, t] : timers_) {
       fn(name + ".count", std::to_string(t->hist().count()));
       fn(name + ".mean_ns", std::to_string(static_cast<std::uint64_t>(t->hist().mean())));
+      fn(name + ".p50_ns", std::to_string(t->hist().percentile(0.50)));
+      fn(name + ".p95_ns", std::to_string(t->hist().percentile(0.95)));
+      fn(name + ".p99_ns", std::to_string(t->hist().percentile(0.99)));
+      fn(name + ".p999_ns", std::to_string(t->hist().percentile(0.999)));
     }
   }
 

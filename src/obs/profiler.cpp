@@ -1,0 +1,254 @@
+#include "obs/profiler.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace rmc::obs {
+
+namespace {
+
+/// The one sanctioned wall-time read in src/: profiler samples measure real
+/// elapsed time by design and never feed back into simulated behavior.
+std::uint64_t real_monotonic_ns(void*) {
+  // rmclint:allow(determinism-clock): the profiler measures host wall time by design; samples never influence sim results
+  const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch).count());
+}
+
+std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint16_t Profiler::register_scope(const char* name, ScopeKind kind) {
+  for (std::size_t i = 0; i < scope_count_; ++i) {
+    if (std::strcmp(scopes_[i].name, name) == 0) return static_cast<std::uint16_t>(i);
+  }
+  if (scope_count_ == kMaxScopes) {
+    ++dropped_;
+    return kNone;
+  }
+  scopes_[scope_count_] = Scope{name, kind};
+  return static_cast<std::uint16_t>(scope_count_++);
+}
+
+void Profiler::enable() {
+  if (enabled_) return;
+  enabled_ = true;
+  window_start_wall_ = wall_now();
+  window_start_sim_ = sim_now();
+  mark_wall_ = window_start_wall_;
+  mark_sim_ = window_start_sim_;
+}
+
+void Profiler::disable() {
+  if (!enabled_) return;
+  window_wall_ += saturating_sub(wall_now(), window_start_wall_);
+  window_sim_ += saturating_sub(sim_now(), window_start_sim_);
+  enabled_ = false;
+  depth_ = 0;  // open scopes at disable are abandoned (their dtors no-op via pop guard)
+}
+
+void Profiler::reset() {
+  const bool was_enabled = enabled_;
+  enabled_ = false;
+  node_count_ = 0;
+  depth_ = 0;
+  samples_ = 0;
+  dropped_ = 0;
+  window_wall_ = 0;
+  window_sim_ = 0;
+  top_level_ = kNone;
+  nodes_.fill(Node{});
+  if (was_enabled) enable();
+}
+
+void Profiler::set_wall_clock(ClockFn fn, void* ctx) {
+  wall_fn_ = fn;
+  wall_ctx_ = ctx;
+}
+
+void Profiler::set_sim_clock(ClockFn fn, void* ctx) {
+  sim_fn_ = fn;
+  sim_ctx_ = ctx;
+}
+
+std::uint64_t Profiler::wall_now() const {
+  return wall_fn_ ? wall_fn_(wall_ctx_) : real_monotonic_ns(nullptr);
+}
+
+std::uint64_t Profiler::sim_now() const { return sim_fn_ ? sim_fn_(sim_ctx_) : 0; }
+
+void Profiler::charge(std::uint64_t wall, std::uint64_t sim) {
+  if (depth_ > 0) {
+    Node& n = nodes_[stack_[depth_ - 1]];
+    n.wall_self_ns += saturating_sub(wall, mark_wall_);
+    n.sim_self_ns += saturating_sub(sim, mark_sim_);
+  }
+  mark_wall_ = wall;
+  mark_sim_ = sim;
+}
+
+std::uint16_t Profiler::find_or_make(std::uint16_t parent, std::uint16_t scope_id) {
+  std::uint16_t* head = parent == kNone ? &top_level_ : &nodes_[parent].first_child;
+  for (std::uint16_t n = *head; n != kNone; n = nodes_[n].next_sibling) {
+    if (nodes_[n].scope == scope_id) return n;
+  }
+  if (node_count_ == kMaxNodes) return kNone;
+  const auto idx = static_cast<std::uint16_t>(node_count_++);
+  Node& n = nodes_[idx];
+  n.scope = scope_id;
+  n.parent = parent;
+  // Append at the tail so sibling order is deterministic first-seen order.
+  while (*head != kNone) head = &nodes_[*head].next_sibling;
+  *head = idx;
+  return idx;
+}
+
+bool Profiler::push(std::uint16_t scope_id) {
+  if (depth_ == kMaxDepth || scope_id >= scope_count_) {
+    ++dropped_;
+    return false;
+  }
+  const std::uint64_t wall = wall_now();
+  const std::uint64_t sim = sim_now();
+  charge(wall, sim);
+  const std::uint16_t parent = depth_ > 0 ? stack_[depth_ - 1] : kNone;
+  const std::uint16_t node = find_or_make(parent, scope_id);
+  if (node == kNone) {
+    ++dropped_;
+    return false;
+  }
+  ++nodes_[node].count;
+  ++samples_;
+  stack_[depth_++] = node;
+  return true;
+}
+
+void Profiler::pop() {
+  if (depth_ == 0) return;  // scope outlived a disable(); nothing to charge
+  charge(wall_now(), sim_now());
+  --depth_;
+}
+
+std::uint64_t Profiler::window_wall_ns() const {
+  std::uint64_t total = window_wall_;
+  if (enabled_) total += saturating_sub(wall_now(), window_start_wall_);
+  return total;
+}
+
+std::uint64_t Profiler::attributed_wall_ns() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < node_count_; ++i) total += nodes_[i].wall_self_ns;
+  return total;
+}
+
+std::uint64_t Profiler::attributed_sim_ns() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < node_count_; ++i) total += nodes_[i].sim_self_ns;
+  return total;
+}
+
+void Profiler::append_stack(std::string& out, std::uint16_t node) const {
+  if (nodes_[node].parent != kNone) {
+    append_stack(out, nodes_[node].parent);
+    out += ';';
+  }
+  out += scopes_[nodes_[node].scope].name;
+}
+
+void Profiler::emit_nodes_dfs(std::string& out, std::uint16_t node, bool& first) const {
+  for (std::uint16_t n = node; n != kNone; n = nodes_[n].next_sibling) {
+    const Node& nd = nodes_[n];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stack\":\"";
+    append_stack(out, n);
+    out += "\",\"name\":\"";
+    out += scopes_[nd.scope].name;
+    out += "\",\"kind\":\"";
+    out += scopes_[nd.scope].kind == ScopeKind::engine ? "engine" : "payload";
+    out += "\",\"count\":";
+    append_u64(out, nd.count);
+    out += ",\"wall_self_ns\":";
+    append_u64(out, nd.wall_self_ns);
+    out += ",\"sim_self_ns\":";
+    append_u64(out, nd.sim_self_ns);
+    out += '}';
+    if (nd.first_child != kNone) emit_nodes_dfs(out, nd.first_child, first);
+  }
+}
+
+std::string Profiler::to_json() const {
+  std::uint64_t engine_wall = 0, engine_sim = 0, payload_wall = 0, payload_sim = 0;
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const Node& n = nodes_[i];
+    if (scopes_[n.scope].kind == ScopeKind::engine) {
+      engine_wall += n.wall_self_ns;
+      engine_sim += n.sim_self_ns;
+    } else {
+      payload_wall += n.wall_self_ns;
+      payload_sim += n.sim_self_ns;
+    }
+  }
+  std::uint64_t window_sim = window_sim_;
+  if (enabled_) window_sim += saturating_sub(sim_now(), window_start_sim_);
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"rmc-prof/1\",\"window\":{\"wall_ns\":";
+  append_u64(out, window_wall_ns());
+  out += ",\"sim_ns\":";
+  append_u64(out, window_sim);
+  out += "},\"attributed\":{\"wall_ns\":";
+  append_u64(out, attributed_wall_ns());
+  out += ",\"sim_ns\":";
+  append_u64(out, attributed_sim_ns());
+  out += "},\"engine\":{\"wall_ns\":";
+  append_u64(out, engine_wall);
+  out += ",\"sim_ns\":";
+  append_u64(out, engine_sim);
+  out += "},\"payload\":{\"wall_ns\":";
+  append_u64(out, payload_wall);
+  out += ",\"sim_ns\":";
+  append_u64(out, payload_sim);
+  out += "},\"samples\":";
+  append_u64(out, samples_);
+  out += ",\"dropped\":";
+  append_u64(out, dropped_);
+  out += ",\"nodes\":[";
+  bool first = true;
+  if (top_level_ != kNone) emit_nodes_dfs(out, top_level_, first);
+  out += "]}";
+  return out;
+}
+
+std::string Profiler::to_collapsed() const {
+  std::string out;
+  out.reserve(2048);
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    if (nodes_[i].count == 0) continue;
+    append_stack(out, static_cast<std::uint16_t>(i));
+    out += ' ';
+    append_u64(out, nodes_[i].wall_self_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+Profiler& profiler() {
+  static Profiler instance;
+  return instance;
+}
+
+}  // namespace rmc::obs

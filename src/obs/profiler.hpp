@@ -1,0 +1,167 @@
+// Zero-allocation attribution profiler: scoped annotations charge wall-clock
+// and sim-time to a static registry of named scopes, nested into a fixed-size
+// path trie so output renders as collapsed stacks (flamegraph-compatible) or
+// JSON. Complements the always-on metrics registry (counts and sim-time
+// distributions) by answering the question metrics cannot: where does the
+// *wall* time of a simulation run go — engine overhead (scheduler heap, pool
+// churn, CQ drains) versus payload work (parse/execute/format)?
+//
+// Design rules:
+//  * Disabled by default; a disabled ProfScope is one branch. Enabling never
+//    changes simulation behavior — clocks are only read, so figure tables
+//    stay byte-identical with profiling on.
+//  * No allocation after construction: scopes, trie nodes and the scope
+//    stack are fixed arrays; overflow is counted, never grown.
+//  * A ProfScope must NOT span a co_await: the profiler tracks one
+//    synchronous call stack, and a suspension would interleave other events
+//    into the open scope. Wrap only straight-line sections (the scheduler's
+//    event dispatch is the canonical root scope).
+//  * Self-time semantics: each sample charges the interval since the last
+//    push/pop to the innermost open scope, so a parent's self time excludes
+//    its children and the sum over all nodes never double-counts.
+//
+// Determinism: sim-time attributions are bit-identical across runs of the
+// same seed. Wall-clock reads come from an injectable clock (tests inject a
+// fake; the default reads the real monotonic clock, which is the one
+// sanctioned wall-time consumer in src/ — results never feed back into the
+// simulation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rmc::obs {
+
+enum class ScopeKind : std::uint8_t {
+  engine,   ///< simulator machinery: heap ops, pool churn, CQ drains, fabric
+  payload,  ///< modeled application work: parse, execute, format, marshalling
+};
+
+class Profiler {
+ public:
+  static constexpr std::size_t kMaxScopes = 64;
+  static constexpr std::size_t kMaxNodes = 512;
+  static constexpr std::size_t kMaxDepth = 32;
+  static constexpr std::uint16_t kNone = 0xffff;
+
+  /// Injectable nanosecond clock (wall or sim). `ctx` is opaque.
+  using ClockFn = std::uint64_t (*)(void*);
+
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Find-or-create a scope id for `name` (a `prof.<layer>.<...>` literal
+  /// with static storage duration; the profiler keeps the pointer). Called
+  /// once per instrumentation site at static-init time.
+  std::uint16_t register_scope(const char* name, ScopeKind kind);
+
+  bool enabled() const { return enabled_; }
+  /// Start a profiling window (timestamps it in both clocks).
+  void enable();
+  /// Close the window: accumulate its duration and stop sampling.
+  void disable();
+  /// Drop all samples and window time; scope registrations survive.
+  void reset();
+
+  /// Replace the wall clock (nullptr restores the real monotonic clock).
+  void set_wall_clock(ClockFn fn, void* ctx);
+  /// Replace the sim clock (nullptr reads as a constant 0). The scheduler
+  /// installs itself here on construction, mirroring attach_log_clock.
+  void set_sim_clock(ClockFn fn, void* ctx);
+  const void* sim_clock_ctx() const { return sim_ctx_; }
+
+  // ---- hot path (via ProfScope) ----
+  /// Open a scope; returns false (and counts a drop) on depth/trie
+  /// overflow so the matching pop can be skipped.
+  bool push(std::uint16_t scope_id);
+  void pop();
+
+  // ---- inspection ----
+  std::uint64_t sample_count() const { return samples_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t node_count() const { return node_count_; }
+  std::uint64_t window_wall_ns() const;
+  std::uint64_t attributed_wall_ns() const;
+  std::uint64_t attributed_sim_ns() const;
+
+  /// {"schema":"rmc-prof/1","window":{...},"attributed":{...},
+  ///  "engine":{...},"payload":{...},"dropped":N,
+  ///  "nodes":[{"stack":"a;b","name":"b","kind":"engine","count":N,
+  ///            "wall_self_ns":N,"sim_self_ns":N},...]} — nodes in
+  /// deterministic first-seen DFS order.
+  std::string to_json() const;
+
+  /// Folded-stack lines ("a;b;c <wall_self_ns>"), one per sampled node —
+  /// feed directly to flamegraph.pl / speedscope.
+  std::string to_collapsed() const;
+
+ private:
+  struct Scope {
+    const char* name = nullptr;
+    ScopeKind kind = ScopeKind::engine;
+  };
+  struct Node {
+    std::uint16_t scope = kNone;
+    std::uint16_t parent = kNone;        ///< node index, kNone = top level
+    std::uint16_t first_child = kNone;
+    std::uint16_t next_sibling = kNone;
+    std::uint64_t count = 0;
+    std::uint64_t wall_self_ns = 0;
+    std::uint64_t sim_self_ns = 0;
+  };
+
+  std::uint64_t wall_now() const;
+  std::uint64_t sim_now() const;
+  /// Charge the interval since the last mark to the innermost open scope.
+  void charge(std::uint64_t wall, std::uint64_t sim);
+  std::uint16_t find_or_make(std::uint16_t parent, std::uint16_t scope_id);
+  void append_stack(std::string& out, std::uint16_t node) const;
+  void emit_nodes_dfs(std::string& out, std::uint16_t node, bool& first) const;
+
+  bool enabled_ = false;
+  std::size_t scope_count_ = 0;
+  std::size_t node_count_ = 0;
+  std::size_t depth_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t mark_wall_ = 0;
+  std::uint64_t mark_sim_ = 0;
+  std::uint64_t window_start_wall_ = 0;
+  std::uint64_t window_start_sim_ = 0;
+  std::uint64_t window_wall_ = 0;  ///< accumulated closed windows
+  std::uint64_t window_sim_ = 0;
+  ClockFn wall_fn_ = nullptr;  ///< nullptr = real monotonic clock
+  void* wall_ctx_ = nullptr;
+  ClockFn sim_fn_ = nullptr;  ///< nullptr = constant 0
+  void* sim_ctx_ = nullptr;
+  std::array<Scope, kMaxScopes> scopes_{};
+  std::array<Node, kMaxNodes> nodes_{};
+  std::array<std::uint16_t, kMaxDepth> stack_{};
+  /// Top-level (parentless) nodes, linked through next_sibling.
+  std::uint16_t top_level_ = kNone;
+};
+
+/// The process-wide profiler every ProfScope records into.
+Profiler& profiler();
+
+/// RAII scope annotation. Construct with a registered scope id; when the
+/// profiler is disabled this is a single branch.
+class ProfScope {
+ public:
+  explicit ProfScope(std::uint16_t scope_id) {
+    Profiler& p = profiler();
+    active_ = p.enabled() && p.push(scope_id);
+  }
+  ~ProfScope() {
+    if (active_) profiler().pop();
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace rmc::obs

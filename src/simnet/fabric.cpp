@@ -4,11 +4,15 @@
 #include <cassert>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace rmc::sim {
 
 namespace {
+
+const std::uint16_t kProfTransmit =
+    obs::profiler().register_scope("prof.sim.fabric.transmit", obs::ScopeKind::engine);
 
 /// Trace one on-the-wire occupancy span on a per-link track.
 void trace_hop(Nic& src, Nic& dst, const Packet& p, Time start, Time end) {
@@ -31,6 +35,7 @@ Fabric::Fabric(Scheduler& sched, LinkParams params)
 
 void Fabric::transmit(PacketPtr packet) {
   assert(packet);
+  obs::ProfScope prof{kProfTransmit};
   Nic& src = nic(packet->src);
   Nic& dst = nic(packet->dst);
 

@@ -27,12 +27,20 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace rmc::sim {
 
 enum class PoolTag : unsigned { kBuffer = 0, kPacket = 1, kFrame = 2 };
 
 namespace pool_detail {
+
+/// Pool churn is engine overhead the attribution profiler separates from
+/// payload work (registered once; ids shared by every inline call site).
+inline const std::uint16_t kProfPoolAlloc =
+    obs::profiler().register_scope("prof.sim.pool.alloc", obs::ScopeKind::engine);
+inline const std::uint16_t kProfPoolFree =
+    obs::profiler().register_scope("prof.sim.pool.free", obs::ScopeKind::engine);
 
 inline constexpr std::size_t kMinClassBytes = 64;
 inline constexpr std::size_t kMaxClassBytes = std::size_t{1} << 20;
@@ -88,6 +96,7 @@ inline std::size_t pooled_capacity(std::size_t n) {
 }
 
 inline void* pooled_alloc(std::size_t n, PoolTag tag) {
+  obs::ProfScope prof{pool_detail::kProfPoolAlloc};
   auto& c = pool_detail::central();
   const auto t = static_cast<unsigned>(tag);
   if (n > pool_detail::kMaxClassBytes) {
@@ -109,6 +118,7 @@ inline void* pooled_alloc(std::size_t n, PoolTag tag) {
 
 inline void pooled_free(void* p, std::size_t n, PoolTag tag) {
   if (p == nullptr) return;
+  obs::ProfScope prof{pool_detail::kProfPoolFree};
   auto& c = pool_detail::central();
   if (n > pool_detail::kMaxClassBytes) {
     ::operator delete(p);

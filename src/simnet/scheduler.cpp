@@ -6,17 +6,29 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace rmc::sim {
+
+namespace {
+/// Root profiler scope: every event callback dispatched by the scheduler.
+const std::uint16_t kProfDispatch =
+    obs::profiler().register_scope("prof.sim.sched.dispatch", obs::ScopeKind::engine);
+}  // namespace
 
 Scheduler::Scheduler()
     : events_metric_(&obs::registry().counter("sim.sched.events")),
       queue_depth_metric_(&obs::registry().gauge("sim.sched.queue_depth")) {
   // rmclint:allow(zeroalloc): one-time construction reservation
   heap_.reserve(1024);
+  // The most recent scheduler provides the profiler's sim clock (testbeds
+  // are sequential in one process; mirrors attach_log_clock).
+  obs::profiler().set_sim_clock(
+      [](void* ctx) -> std::uint64_t { return static_cast<Scheduler*>(ctx)->now(); }, this);
 }
 
 Scheduler::~Scheduler() {
+  if (obs::profiler().sim_clock_ctx() == this) obs::profiler().set_sim_clock(nullptr, nullptr);
   // Destroy roots that never finished (blocked servers, dispatch loops).
   // The queue may still reference frames being destroyed here; it is
   // dropped without resuming anything, so no stale handle is ever resumed.
@@ -106,6 +118,7 @@ Time Scheduler::run_until(Time deadline) {
     UniqueFunction fn = std::move(slots_[entry.slot]);
     // rmclint:allow(zeroalloc): returns a slot index to the freelist; capacity reached at warmup
     free_slots_.push_back(entry.slot);
+    obs::ProfScope prof{kProfDispatch};
     fn();
   }
   return now_;

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace rmc::sock {
@@ -16,6 +17,11 @@ obs::Gauge& rx_buffered_gauge() {
   static obs::Gauge& g = obs::registry().gauge("sock.rx.buffered_bytes");
   return g;
 }
+
+const std::uint16_t kProfTxStream =
+    obs::profiler().register_scope("prof.sock.tx.stream", obs::ScopeKind::engine);
+const std::uint16_t kProfRxDeliver =
+    obs::profiler().register_scope("prof.sock.rx.deliver", obs::ScopeKind::engine);
 }  // namespace
 
 // ---------------------------------------------------------------- Socket
@@ -94,6 +100,7 @@ void Socket::close() {
 }
 
 void Socket::deliver(sim::PooledBytes chunk) {
+  obs::ProfScope prof{kProfRxDeliver};
   rx_bytes_ += chunk.size();
   rx_buffered_gauge().add(static_cast<std::int64_t>(chunk.size()));
   rx_chunks_.push_back(std::move(chunk));
@@ -162,6 +169,7 @@ sim::Task<Result<Socket*>> NetStack::connect(sim::NicAddr dst, std::uint16_t por
 }
 
 void NetStack::transmit_stream(Socket& socket, std::span<const std::byte> data) {
+  obs::ProfScope prof{kProfTxStream};
   std::size_t offset = 0;
   while (offset < data.size()) {
     const std::size_t len = std::min<std::size_t>(costs_.mss, data.size() - offset);

@@ -7,11 +7,21 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace rmc::ucr {
 
 namespace {
+
+const std::uint16_t kProfSendMessage =
+    obs::profiler().register_scope("prof.ucr.send.message", obs::ScopeKind::engine);
+const std::uint16_t kProfSendComplete =
+    obs::profiler().register_scope("prof.ucr.send.complete", obs::ScopeKind::engine);
+const std::uint16_t kProfRecvRoute =
+    obs::profiler().register_scope("prof.ucr.recv.route", obs::ScopeKind::engine);
+const std::uint16_t kProfAmDispatch =
+    obs::profiler().register_scope("prof.ucr.am.dispatch", obs::ScopeKind::engine);
 
 // wr_id tagging so one send CQ can carry both staging-send and RDMA-read
 // completions.
@@ -36,9 +46,9 @@ Runtime::Runtime(verbs::Hca& hca, UcrConfig config) : hca_(&hca), config_(config
   send_cq_ = hca.create_cq(cq_mode);
   recv_cq_ = hca.create_cq(cq_mode);
 
-  // rmclint:allow(zeroalloc): constructor-time arena sizing; never grows after setup
-  recv_arena_.resize(static_cast<std::size_t>(config_.recv_buffers) * config_.eager_limit);
-  recv_mr_ = &hca.reg_mr(recv_arena_);
+  const std::size_t recv_bytes = static_cast<std::size_t>(config_.recv_buffers) * config_.eager_limit;
+  recv_arena_ = std::make_unique_for_overwrite<std::byte[]>(recv_bytes);
+  recv_mr_ = &hca.reg_mr({recv_arena_.get(), recv_bytes});
   for (std::uint32_t slot = 0; slot < config_.recv_buffers; ++slot) {
     repost_recv_slot(slot);
   }
@@ -46,9 +56,9 @@ Runtime::Runtime(verbs::Hca& hca, UcrConfig config) : hca_(&hca), config_(config
   // Staging arena sized to the credit window times a generous endpoint
   // count; grows never — exhaustion backpressures through acquire_slot.
   const std::uint32_t slots = config_.recv_buffers;
-  // rmclint:allow(zeroalloc): constructor-time arena sizing; never grows after setup
-  send_arena_.resize(static_cast<std::size_t>(slots) * config_.eager_limit);
-  send_mr_ = &hca.reg_mr(send_arena_);
+  const std::size_t send_bytes = static_cast<std::size_t>(slots) * config_.eager_limit;
+  send_arena_ = std::make_unique_for_overwrite<std::byte[]>(send_bytes);
+  send_mr_ = &hca.reg_mr({send_arena_.get(), send_bytes});
   // rmclint:allow(zeroalloc): constructor-time freelist reservation
   free_slots_.reserve(slots);
   // rmclint:allow(zeroalloc): constructor-time freelist fill within the reservation above
@@ -101,13 +111,13 @@ std::uint32_t Runtime::acquire_slot() {
 void Runtime::release_slot(std::uint32_t slot) { free_slots_.push_back(slot); }
 
 std::span<std::byte> Runtime::slot_span(std::uint32_t slot) {
-  return {send_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
+  return {send_arena_.get() + static_cast<std::size_t>(slot) * config_.eager_limit,
           config_.eager_limit};
 }
 
 void Runtime::repost_recv_slot(std::uint32_t slot) {
   std::span<std::byte> buf{
-      recv_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
+      recv_arena_.get() + static_cast<std::size_t>(slot) * config_.eager_limit,
       config_.eager_limit};
   srq_.post({.wr_id = slot, .buffer = buf, .lkey = recv_mr_->lkey()});
 }
@@ -353,6 +363,7 @@ Status Runtime::send_message(Endpoint& ep, std::uint16_t msg_id,
                              CounterRef target_counter, sim::Counter* completion_counter) {
   if (ep.state_ != EpState::ready) return Errc::disconnected;
   if (header.size() > std::uint16_t(-1)) return Errc::invalid_argument;
+  obs::ProfScope prof{kProfSendMessage};
 
   const std::size_t eager_total = wire::AmWire::kSize + header.size() + data.size();
   const bool eager = eager_total <= config_.eager_limit;
@@ -554,6 +565,7 @@ sim::Task<> Runtime::send_progress() {
       const std::uint64_t tag = wc.wr_id & kTagMask;
       const std::uint64_t value = wc.wr_id & ~kTagMask;
       if (tag == kTagSend) {
+        obs::ProfScope prof{kProfSendComplete};
         release_slot(static_cast<std::uint32_t>(value));
         if (wc.status != verbs::WcStatus::success) {
           auto it = ep_by_qpn_.find(wc.qp_num);
@@ -595,17 +607,22 @@ sim::Task<> Runtime::recv_progress() {
         ++messages_received_;
         obs::registry().counter("ucr.msgs.received").inc();
         std::span<std::byte> buf{
-            recv_arena_.data() + static_cast<std::size_t>(slot) * config_.eager_limit,
+            recv_arena_.get() + static_cast<std::size_t>(slot) * config_.eager_limit,
             config_.eager_limit};
         Endpoint* ep = nullptr;
-        if (ud_qp_ && wc.qp_num == ud_qp_->qp_num()) {
-          // Datagram: route by the endpoint id stamped into the AM header.
-          const wire::AmWire am = wire::AmWire::decode(buf.data());
-          auto it = ep_by_ud_id_.find(am.dst_ep);
-          if (it != ep_by_ud_id_.end()) ep = it->second;
-        } else {
-          auto it = ep_by_qpn_.find(wc.qp_num);
-          if (it != ep_by_qpn_.end()) ep = it->second;
+        {
+          // Sync routing prologue only: handle_message below may suspend,
+          // and a ProfScope must never span a co_await.
+          obs::ProfScope prof{kProfRecvRoute};
+          if (ud_qp_ && wc.qp_num == ud_qp_->qp_num()) {
+            // Datagram: route by the endpoint id stamped into the AM header.
+            const wire::AmWire am = wire::AmWire::decode(buf.data());
+            auto it = ep_by_ud_id_.find(am.dst_ep);
+            if (it != ep_by_ud_id_.end()) ep = it->second;
+          } else {
+            auto it = ep_by_qpn_.find(wc.qp_num);
+            if (it != ep_by_qpn_.end()) ep = it->second;
+          }
         }
         if (ep) co_await handle_message(*ep, buf, wc.byte_len);
       }
@@ -661,6 +678,9 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
       co_await hca_->host().cpu().consume(
           config_.am_dispatch_ns +
           static_cast<sim::Time>(am.data_len * config_.memcpy_ns_per_byte));
+      // Post-consume dispatch is straight-line code: handler lookup, the
+      // payload landing memcpy, counter fire and credit return.
+      obs::ProfScope prof_dispatch{kProfAmDispatch};
       auto handler_it = handlers_.find(am.msg_id);
       if (handler_it == handlers_.end()) {
         RMC_LOG_WARN("ucr: no handler for msg_id %u", am.msg_id);

@@ -244,11 +244,15 @@ class Runtime {
   verbs::SharedReceiveQueue srq_;
 
   // Receive arena: recv_buffers slots of eager_limit bytes, registered.
-  std::vector<std::byte> recv_arena_;
+  // Allocated uninitialized (make_unique_for_overwrite): slots are written
+  // by arriving data before any read, and skipping the multi-MB zeroing
+  // keeps testbed construction off the benchmark's critical path.
+  std::unique_ptr<std::byte[]> recv_arena_;
   verbs::MemoryRegion* recv_mr_ = nullptr;
 
-  // Send-staging arena with a freelist of slots.
-  std::vector<std::byte> send_arena_;
+  // Send-staging arena with a freelist of slots; same uninitialized
+  // allocation — a slot is memcpy'd full before the wire reads it.
+  std::unique_ptr<std::byte[]> send_arena_;
   verbs::MemoryRegion* send_mr_ = nullptr;
   std::vector<std::uint32_t> free_slots_;
 

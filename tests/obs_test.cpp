@@ -14,6 +14,7 @@
 #include "core/testbed.hpp"
 #include "core/workload.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "simnet/scheduler.hpp"
 
@@ -307,6 +308,175 @@ TEST(LogPrefix, AttachedSchedulerAddsSimTime) {
   EXPECT_EQ(log_prefix(LogLevel::debug), "[DEBUG] [t=1500ns] ");
   sim::attach_log_clock(nullptr);
   EXPECT_EQ(log_prefix(LogLevel::info), "[INFO ] ");
+}
+
+// ----------------------------------------------------------- profiler ----
+
+// Deterministic fake wall clock: every read advances 10 ns, so each
+// push/pop/enable/disable lands on a known tick and self-time arithmetic
+// is checkable exactly.
+std::uint64_t fake_tick(void* ctx) {
+  auto* t = static_cast<std::uint64_t*>(ctx);
+  *t += 10;
+  return *t;
+}
+
+TEST(Profiler, NestedScopesChargeSelfTimeOnly) {
+  obs::Profiler prof;
+  std::uint64_t wall = 0;
+  prof.set_wall_clock(&fake_tick, &wall);
+  const std::uint16_t outer = prof.register_scope("outer.scope.a", obs::ScopeKind::engine);
+  const std::uint16_t inner = prof.register_scope("outer.scope.b", obs::ScopeKind::payload);
+  prof.enable();                    // wall = 10
+  ASSERT_TRUE(prof.push(outer));    // 20: opens outer
+  ASSERT_TRUE(prof.push(inner));    // 30: charges 10 to outer
+  prof.pop();                       // 40: charges 10 to inner
+  prof.pop();                       // 50: charges 10 to outer
+  prof.disable();                   // 60: window = 60 - 10
+  EXPECT_EQ(prof.sample_count(), 2u);
+  EXPECT_EQ(prof.node_count(), 2u);
+  EXPECT_EQ(prof.attributed_wall_ns(), 30u);  // parent self excludes child
+  EXPECT_EQ(prof.window_wall_ns(), 50u);
+  const std::string json = prof.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"schema\":\"rmc-prof/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"stack\":\"outer.scope.a;outer.scope.b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine\":{\"wall_ns\":20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"payload\":{\"wall_ns\":10"), std::string::npos) << json;
+  const std::string folded = prof.to_collapsed();
+  EXPECT_NE(folded.find("outer.scope.a 20\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("outer.scope.a;outer.scope.b 10\n"), std::string::npos) << folded;
+}
+
+TEST(Profiler, ReentrantScopeNestsAsDistinctPathNodes) {
+  obs::Profiler prof;
+  std::uint64_t wall = 0;
+  prof.set_wall_clock(&fake_tick, &wall);
+  const std::uint16_t s = prof.register_scope("re.entrant.scope", obs::ScopeKind::engine);
+  // register_scope is find-or-create: same literal, same id.
+  EXPECT_EQ(prof.register_scope("re.entrant.scope", obs::ScopeKind::engine), s);
+  prof.enable();
+  ASSERT_TRUE(prof.push(s));
+  ASSERT_TRUE(prof.push(s));  // re-entry: same scope, deeper trie node
+  prof.pop();
+  ASSERT_TRUE(prof.push(s));  // second re-entry reuses that node
+  prof.pop();
+  prof.pop();
+  prof.disable();
+  EXPECT_EQ(prof.node_count(), 2u);
+  EXPECT_EQ(prof.sample_count(), 3u);
+  EXPECT_EQ(prof.dropped(), 0u);
+  const std::string folded = prof.to_collapsed();
+  EXPECT_NE(folded.find("re.entrant.scope;re.entrant.scope "), std::string::npos) << folded;
+}
+
+TEST(Profiler, DepthOverflowIsDroppedNotGrown) {
+  obs::Profiler prof;
+  std::uint64_t wall = 0;
+  prof.set_wall_clock(&fake_tick, &wall);
+  const std::uint16_t s = prof.register_scope("deep.stack.scope", obs::ScopeKind::engine);
+  prof.enable();
+  std::size_t pushed = 0;
+  for (std::size_t i = 0; i < obs::Profiler::kMaxDepth + 5; ++i) {
+    if (prof.push(s)) ++pushed;
+  }
+  EXPECT_EQ(pushed, obs::Profiler::kMaxDepth);
+  EXPECT_EQ(prof.dropped(), 5u);
+  for (std::size_t i = 0; i < pushed; ++i) prof.pop();
+  // An unregistered id (a failed register_scope returns kNone) stays inert.
+  EXPECT_FALSE(prof.push(obs::Profiler::kNone));
+  prof.disable();
+}
+
+TEST(Profiler, DisabledProfScopeRecordsNothing) {
+  obs::Profiler& p = obs::profiler();
+  p.disable();
+  const std::uint64_t before = p.sample_count();
+  { obs::ProfScope scope{0}; }
+  EXPECT_EQ(p.sample_count(), before);
+}
+
+// The acceptance property behind `--profile`: two identical runs produce
+// byte-identical dumps (fake wall clock ticks once per sample, sim stamps
+// are deterministic by construction), and the instrumented layers show up.
+TEST(Profiler, WorkloadAttributionIsDeterministic) {
+  obs::Profiler& p = obs::profiler();
+  auto run_once = [&]() -> std::string {
+    std::uint64_t wall = 0;
+    p.set_wall_clock(&fake_tick, &wall);
+    p.reset();
+    p.enable();
+    core::TestBedConfig config;
+    config.cluster = core::ClusterKind::cluster_b;
+    config.transport = core::TransportKind::ucr_verbs;
+    core::TestBed bed(config);
+    core::WorkloadConfig workload;
+    workload.pattern = core::OpPattern::pure_get;
+    workload.value_size = 64;
+    workload.ops_per_client = 50;
+    (void)core::run_workload(bed, workload);
+    p.disable();
+    const std::string json = p.to_json();
+    p.set_wall_clock(nullptr, nullptr);
+    return json;
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_TRUE(JsonChecker(first).valid());
+  EXPECT_EQ(first, second);
+  // The drive-loop root, the scheduler dispatch under it, and payload work.
+  EXPECT_NE(first.find("prof.mc.workload.run"), std::string::npos) << first.substr(0, 2000);
+  EXPECT_NE(first.find("prof.sim.sched.dispatch"), std::string::npos);
+  EXPECT_NE(first.find("prof.mc.server.execute"), std::string::npos);
+  EXPECT_EQ(first.find("\"samples\":0,"), std::string::npos);  // some samples landed
+  p.reset();
+}
+
+// ------------------------------------------------------- latency spans ----
+
+// The client decomposes every RPC op into build -> wait -> complete using
+// adjacent sim-time stamps, so the stage sums reconstruct the total
+// *exactly* (the histograms keep exact running sums; only the final double
+// division rounds).
+TEST(LatencySpans, StageSumMatchesTotalExactly) {
+  obs::registry().reset();
+  core::TestBedConfig config;
+  config.cluster = core::ClusterKind::cluster_b;
+  config.transport = core::TransportKind::ucr_verbs;
+  core::TestBed bed(config);
+  core::WorkloadConfig workload;
+  workload.pattern = core::OpPattern::non_interleaved;  // sets then gets
+  workload.value_size = 64;
+  workload.ops_per_client = 100;
+  const auto result = core::run_workload(bed, workload);
+  ASSERT_GT(result.all_latency.count(), 0u);
+
+  struct OpSpans {
+    const char* build;
+    const char* wait;
+    const char* complete;
+    const char* total;
+  };
+  const OpSpans ops[] = {
+      {"mc.latency.get.build", "mc.latency.get.wait", "mc.latency.get.complete",
+       "mc.latency.get.total"},
+      {"mc.latency.set.build", "mc.latency.set.wait", "mc.latency.set.complete",
+       "mc.latency.set.total"},
+  };
+  for (const OpSpans& op : ops) {
+    const auto& b = obs::registry().timer(op.build).hist();
+    const auto& w = obs::registry().timer(op.wait).hist();
+    const auto& c = obs::registry().timer(op.complete).hist();
+    const auto& t = obs::registry().timer(op.total).hist();
+    ASSERT_GT(t.count(), 0u) << op.total;
+    EXPECT_EQ(b.count(), t.count()) << op.build;
+    EXPECT_EQ(w.count(), t.count()) << op.wait;
+    EXPECT_EQ(c.count(), t.count()) << op.complete;
+    EXPECT_NEAR(b.mean() + w.mean() + c.mean(), t.mean(), 1e-9 * t.mean() + 1e-9)
+        << op.total;
+    // The wait stage (wire + server turnaround) dominates a remote op.
+    EXPECT_GT(w.mean(), b.mean()) << op.wait;
+  }
 }
 
 // ------------------------------------- end-to-end: the acceptance path ----

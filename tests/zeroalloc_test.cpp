@@ -16,6 +16,7 @@
 #include "core/testbed.hpp"
 #include "memcached/client.hpp"
 #include "memcached/server.hpp"
+#include "obs/profiler.hpp"
 #include "simnet/netparams.hpp"
 
 namespace {
@@ -113,6 +114,67 @@ TEST(ZeroAlloc, SteadyStateUcrGetAllocatesNothing) {
   EXPECT_TRUE(done);
   EXPECT_EQ(failures, 0);
   EXPECT_EQ(delta, 0) << "heap allocations on the steady-state GET path";
+}
+
+// Same property with the attribution profiler ON: ProfScope push/pop and
+// the latency-span timers are fixed-array / pre-registered writes, so
+// profiling a run must not reintroduce per-request allocations — otherwise
+// the profiler would distort the very hot path it measures.
+TEST(ZeroAlloc, SteadyStateUcrGetWithProfilingAllocatesNothing) {
+  Scheduler sched;
+  sim::Fabric ib{sched, sim::ib_qdr_link()};
+  sim::Host server_host{sched, 0, "server", 8};
+  sim::Host client_host{sched, 1, "client", 8};
+  verbs::Hca server_hca{sched, ib, server_host};
+  verbs::Hca client_hca{sched, ib, client_host};
+  ucr::Runtime server_ucr{server_hca};
+  ucr::Runtime client_ucr{client_hca};
+  Server server{sched, server_host, {}};
+  server.attach_ucr_frontend(server_ucr);
+
+  ClientBehavior behavior;
+  behavior.op_timeout = sim::kNoTimeout;
+  Client client{sched, client_host, behavior};
+  client.add_server_ucr(client_ucr, server_ucr.addr(), server.config().port);
+
+  obs::profiler().reset();
+  obs::profiler().enable();
+
+  bool done = false;
+  long long delta = -1;
+  long long failures = 0;
+
+  sched.spawn([](Client& cli, bool& fin, long long& delta2,
+                 long long& failures2) -> Task<> {
+    if (!(co_await cli.connect_all()).ok()) { ADD_FAILURE() << "connect"; co_return; }
+    const std::string value(64, 'v');
+    if (!(co_await cli.set("hot-key", val(value), 7)).ok()) {
+      ADD_FAILURE() << "set";
+      co_return;
+    }
+
+    std::array<std::byte, 256> dest;
+    for (int i = 0; i < 2000; ++i) {
+      auto r = co_await cli.get_into("hot-key", dest);
+      if (!r.ok() || r->value_len != 64) { ADD_FAILURE() << "warm-up get"; co_return; }
+    }
+
+    const long long before = g_news;
+    for (int i = 0; i < 10000; ++i) {
+      auto r = co_await cli.get_into("hot-key", dest);
+      if (!r.ok() || r->value_len != 64 || r->flags != 7) ++failures2;
+    }
+    delta2 = g_news - before;
+    fin = true;
+  }(client, done, delta, failures));
+  sched.run();
+
+  obs::profiler().disable();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(delta, 0) << "profiling reintroduced allocations on the GET path";
+  EXPECT_GT(obs::profiler().sample_count(), 0u) << "profiler saw no scopes";
+  obs::profiler().reset();
 }
 
 }  // namespace

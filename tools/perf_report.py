@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Where did the time go? — ranked reports over profiler dumps and bench
+snapshots.
+
+Three modes, detected from the input files' `schema` fields:
+
+  perf_report.py PROF.json            attribution report for one rmc-prof/1
+                                      dump: ranked self-time table, engine
+                                      vs payload split, attribution ratio
+  perf_report.py OLD.json NEW.json    diff two rmc-prof/1 dumps: ranked
+                                      per-scope wall-time deltas
+  perf_report.py OLD.json NEW.json    diff two rmc-bench-snapshot/1 files
+                                      (run_benches.py --out): ranked
+                                      benchmark + headline regressions
+
+A profiler dump comes from any fig bench's `--profile <file>` flag or from
+`micro_sim_components --profile <file>`; snapshots come from
+`tools/run_benches.py --out <file>`. Exit code is always 0 — this is a
+report, not a gate (tools/run_benches.py --check is the gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def die(msg: str) -> None:
+    print(f"perf_report: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+        raise AssertionError  # unreachable
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole > 0 else "    -"
+
+
+# --------------------------------------------------------------- prof mode
+
+
+def prof_report(prof: dict) -> None:
+    window = prof.get("window", {})
+    attributed = prof.get("attributed", {})
+    window_wall = window.get("wall_ns", 0)
+    attr_wall = attributed.get("wall_ns", 0)
+    nodes = prof.get("nodes", [])
+
+    print("=== profiler attribution report ===")
+    print(f"window:     {fmt_ns(window_wall)} wall, {prof.get('samples', 0)} samples"
+          f" ({prof.get('dropped', 0)} dropped)")
+    print(f"attributed: {fmt_ns(attr_wall)} wall ({pct(attr_wall, window_wall).strip()}"
+          " of the window)")
+    eng = prof.get("engine", {}).get("wall_ns", 0)
+    pay = prof.get("payload", {}).get("wall_ns", 0)
+    print(f"split:      engine {fmt_ns(eng)} ({pct(eng, attr_wall).strip()}) / "
+          f"payload {fmt_ns(pay)} ({pct(pay, attr_wall).strip()})")
+    print()
+
+    # Rank by self wall time, aggregated per scope name (a scope can appear
+    # in several stacks).
+    by_name: dict[str, dict] = {}
+    for n in nodes:
+        agg = by_name.setdefault(
+            n["name"], {"kind": n["kind"], "count": 0, "wall": 0, "sim": 0})
+        agg["count"] += n["count"]
+        agg["wall"] += n["wall_self_ns"]
+        agg["sim"] += n["sim_self_ns"]
+
+    print(f"{'scope':<32} {'kind':<8} {'count':>12} {'wall self':>10} "
+          f"{'% attr':>7} {'sim self':>10}")
+    for name, agg in sorted(by_name.items(), key=lambda kv: -kv[1]["wall"]):
+        print(f"{name:<32} {agg['kind']:<8} {agg['count']:>12} "
+              f"{fmt_ns(agg['wall']):>10} {pct(agg['wall'], attr_wall):>7} "
+              f"{fmt_ns(agg['sim']):>10}")
+    print()
+
+    # Deepest-stack view: the top collapsed stacks by self time.
+    ranked = sorted(nodes, key=lambda n: -n["wall_self_ns"])[:10]
+    print("top stacks (self wall time):")
+    for n in ranked:
+        print(f"  {fmt_ns(n['wall_self_ns']):>10}  {n['stack']}")
+
+
+def prof_diff(old: dict, new: dict, old_path: str, new_path: str) -> None:
+    def per_name(prof: dict) -> dict[str, dict]:
+        out: dict[str, dict] = {}
+        for n in prof.get("nodes", []):
+            agg = out.setdefault(n["name"], {"count": 0, "wall": 0})
+            agg["count"] += n["count"]
+            agg["wall"] += n["wall_self_ns"]
+        return out
+
+    a, b = per_name(old), per_name(new)
+    wa = old.get("window", {}).get("wall_ns", 0)
+    wb = new.get("window", {}).get("wall_ns", 0)
+    print("=== profiler diff ===")
+    print(f"old: {old_path} ({fmt_ns(wa)} window)")
+    print(f"new: {new_path} ({fmt_ns(wb)} window)")
+    print()
+    rows = []
+    for name in sorted(set(a) | set(b)):
+        ow = a.get(name, {}).get("wall", 0)
+        nw = b.get(name, {}).get("wall", 0)
+        oc = a.get(name, {}).get("count", 0)
+        nc = b.get(name, {}).get("count", 0)
+        rows.append((nw - ow, name, ow, nw, oc, nc))
+    rows.sort(key=lambda r: -abs(r[0]))
+    print(f"{'scope':<32} {'old wall':>10} {'new wall':>10} {'delta':>10} "
+          f"{'old n':>10} {'new n':>10}")
+    for delta, name, ow, nw, oc, nc in rows:
+        sign = "+" if delta >= 0 else "-"
+        print(f"{name:<32} {fmt_ns(ow):>10} {fmt_ns(nw):>10} "
+              f"{sign}{fmt_ns(abs(delta)):>9} {oc:>10} {nc:>10}")
+
+
+# ----------------------------------------------------------- snapshot mode
+
+
+def snapshot_diff(old: dict, new: dict, old_path: str, new_path: str) -> None:
+    def flatten(snap: dict) -> dict[str, float]:
+        """One metric namespace: headline keys plus every benchmark's
+        real_time_ns, taken from the snapshot's `current` half."""
+        cur = snap.get("current", snap)
+        out: dict[str, float] = {}
+        for k, v in cur.get("headline", {}).items():
+            out[f"headline.{k}"] = float(v)
+        for suite, benches in cur.get("benchmarks", {}).items():
+            for bench, fields in benches.items():
+                rt = fields.get("real_time_ns")
+                if rt is not None:
+                    out[f"{suite}/{bench}"] = float(rt)
+        return out
+
+    a, b = flatten(old), flatten(new)
+    print("=== bench snapshot diff (current vs current) ===")
+    print(f"old: {old_path}")
+    print(f"new: {new_path}")
+    print()
+    rows = []
+    for name in sorted(set(a) & set(b)):
+        ov, nv = a[name], b[name]
+        if ov == 0:
+            continue
+        rows.append(((nv - ov) / ov, name, ov, nv))
+    rows.sort(key=lambda r: -abs(r[0]))
+    print(f"{'metric':<56} {'old':>14} {'new':>14} {'change':>8}")
+    for rel, name, ov, nv in rows:
+        print(f"{name:<56} {ov:>14.2f} {nv:>14.2f} {100 * rel:>+7.1f}%")
+    only_old = sorted(set(a) - set(b))
+    only_new = sorted(set(b) - set(a))
+    if only_old:
+        print(f"\nonly in old: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in new: {', '.join(only_new)}")
+
+
+# ----------------------------------------------------------------- driver
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    first = load(argv[1])
+    schema = first.get("schema", "")
+    if len(argv) == 2:
+        if schema != "rmc-prof/1":
+            die(f"{argv[1]}: expected a rmc-prof/1 dump, got schema={schema!r}")
+        prof_report(first)
+        return 0
+    second = load(argv[2])
+    if schema != second.get("schema", ""):
+        die(f"schema mismatch: {argv[1]} is {schema!r}, "
+            f"{argv[2]} is {second.get('schema')!r}")
+    if schema == "rmc-prof/1":
+        prof_diff(first, second, argv[1], argv[2])
+    elif schema == "rmc-bench-snapshot/1":
+        snapshot_diff(first, second, argv[1], argv[2])
+    else:
+        die(f"unrecognized schema {schema!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main(sys.argv))
+    except BrokenPipeError:
+        # Piped into `head` and the reader closed early — not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

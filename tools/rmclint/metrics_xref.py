@@ -1,8 +1,10 @@
 """Metrics-registry cross-check.
 
-Every `sim.*` / `ucr.*` / `mc.*` / `verbs.*` / `sock.*` metric lives in two
-worlds: the string literal passed to `obs::registry()` in code, and the
-name quoted in DESIGN.md, EXPERIMENTS.md, tests/ and tools/run_benches.py.
+Every `sim.*` / `ucr.*` / `mc.*` / `verbs.*` / `sock.*` metric — and every
+`prof.*` profiler scope, registered the same way by name — lives in two
+worlds: the string literal passed to `obs::registry()` (or
+`obs::profiler().register_scope()`) in code, and the name quoted in
+DESIGN.md, EXPERIMENTS.md, tests/ and tools/run_benches.py.
 Nothing ties the two together, so a rename in either direction silently
 produces dashboards, gates and docs that read zeros. This check fails on
 dangling references in *both* directions:
@@ -28,7 +30,7 @@ from pathlib import Path
 
 from .engine import Finding, Project
 
-LAYERS = ("sim", "ucr", "mc", "verbs", "sock", "obs")
+LAYERS = ("sim", "ucr", "mc", "verbs", "sock", "obs", "prof")
 
 # At least three segments: layer '.' seg ('.' seg)+
 METRIC_RE = re.compile(
@@ -43,7 +45,7 @@ WILDCARD_RE = re.compile(
 PY_STRING_RE = re.compile(r"""(?P<q>["'])(?P<s>[^"'\n]*)(?P=q)""")
 
 # Suffixes Registry::for_each_stat / to_json synthesize from a base name.
-DERIVED_SUFFIXES = (".hwm", ".count", ".mean_ns")
+DERIVED_SUFFIXES = (".hwm", ".count", ".mean_ns", ".p50_ns", ".p95_ns", ".p99_ns", ".p999_ns")
 
 REF_DOCS = ("DESIGN.md", "EXPERIMENTS.md")
 REF_TOOLS = ("tools/run_benches.py",)

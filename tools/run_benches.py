@@ -14,14 +14,15 @@ The snapshot keeps two sections:
   * "current"  — what this run measured.
 
 Headline gauges (the ones CI gates on):
-  * sim_events_per_sec      — BM_SchedulerEventDispatch items/sec (higher better)
-  * kv_parse_get_ns         — BM_ParseGetRequest real ns/op       (lower better)
-  * onesided_get_us_qdr_64  — one-sided 64 B GET, QDR, sim µs     (lower better)
-  * rpc_get_us_qdr_64       — RPC 64 B GET, QDR, sim µs           (lower better)
+  * sim_events_per_sec         — BM_SchedulerEventDispatch items/sec (higher better)
+  * end_to_end_sim_ops_per_sec — BM_EndToEndSimulatedOps items/sec   (higher better)
+  * kv_parse_get_ns            — BM_ParseGetRequest real ns/op       (lower better)
+  * onesided_get_us_qdr_64     — one-sided 64 B GET, QDR, sim µs     (lower better)
+  * rpc_get_us_qdr_64          — RPC 64 B GET, QDR, sim µs           (lower better)
 
 Usage:
-  tools/run_benches.py [--build-dir build-rel] [--out BENCH_4.json] [--quick]
-  tools/run_benches.py --check BENCH_4.json [--build-dir ...] [--quick]
+  tools/run_benches.py [--build-dir build-rel] [--out BENCH_6.json] [--quick]
+  tools/run_benches.py --check BENCH_6.json [--build-dir ...] [--quick]
 
 --check re-measures and fails (exit 1) if sim_events_per_sec or either GET
 latency regressed more than --tolerance (default 20%) against the checked-in
@@ -49,6 +50,9 @@ WALLCLOCK_TARGETS = {
 # deterministic across machines — the tolerance only absorbs intentional
 # model changes that forgot to refresh the snapshot.
 LATENCY_HEADLINES = ["onesided_get_us_qdr_64", "rpc_get_us_qdr_64"]
+# Throughput headlines gated in --check mode (higher is better). Keys
+# missing from an older snapshot are skipped, like the latency ones.
+THROUGHPUT_HEADLINES = ["sim_events_per_sec", "end_to_end_sim_ops_per_sec"]
 
 
 def run(cmd, **kw):
@@ -135,6 +139,8 @@ def measure(build_dir, quick):
     kv = current["benchmarks"]["micro_kv_components"]
     current["headline"] = {
         "sim_events_per_sec": sim["BM_SchedulerEventDispatch"]["items_per_second"],
+        "end_to_end_sim_ops_per_sec":
+            sim["BM_EndToEndSimulatedOps"]["items_per_second"],
         "kv_parse_get_ns": kv["BM_ParseGetRequest"]["real_time_ns"],
     }
     current["headline"].update(onesided["headline"])
@@ -144,7 +150,7 @@ def measure(build_dir, quick):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO, "build-rel"))
-    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_4.json"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_6.json"))
     ap.add_argument("--quick", action="store_true",
                     help="short benchmark repetitions, skip wall-clock figs")
     ap.add_argument("--check", metavar="SNAPSHOT",
@@ -168,14 +174,17 @@ def main():
         ref_head = snapshot["current"]["headline"]
         failures = []
 
-        ref = ref_head["sim_events_per_sec"]
-        got = current["headline"]["sim_events_per_sec"]
-        floor = ref * (1.0 - args.tolerance)
-        print(f"scheduler events/sec: reference {ref:,.0f}  measured {got:,.0f}  "
-              f"floor {floor:,.0f}")
-        if got < floor:
-            failures.append("scheduler dispatch throughput regressed beyond "
-                            f"{args.tolerance:.0%}")
+        for key in THROUGHPUT_HEADLINES:
+            if key not in ref_head:
+                print(f"{key}: not in snapshot, skipped")
+                continue
+            ref = ref_head[key]
+            got = current["headline"][key]
+            floor = ref * (1.0 - args.tolerance)
+            print(f"{key}: reference {ref:,.0f}/s  measured {got:,.0f}/s  "
+                  f"floor {floor:,.0f}/s")
+            if got < floor:
+                failures.append(f"{key} regressed beyond {args.tolerance:.0%}")
 
         for key in LATENCY_HEADLINES:
             if key not in ref_head:
@@ -210,7 +219,12 @@ def main():
         b = doc["baseline"]["headline"]
         ev = h["sim_events_per_sec"] / b["sim_events_per_sec"] - 1.0
         pg = b["kv_parse_get_ns"] / h["kv_parse_get_ns"] - 1.0
-        print(f"vs baseline: scheduler dispatch {ev:+.1%}, GET parse {pg:+.1%}")
+        line = f"vs baseline: scheduler dispatch {ev:+.1%}, GET parse {pg:+.1%}"
+        if "end_to_end_sim_ops_per_sec" in b:
+            e2e = (h["end_to_end_sim_ops_per_sec"]
+                   / b["end_to_end_sim_ops_per_sec"] - 1.0)
+            line += f", end-to-end sim ops {e2e:+.1%}"
+        print(line)
 
 
 if __name__ == "__main__":
