@@ -1,15 +1,27 @@
-// The "multiget hole" (the paper's reference [2], Facebook): fetching N
-// keys spread over S servers costs one round trip per server, so adding
-// servers stops helping a multiget-heavy workload — each request still
-// touches almost every server. This bench fetches 64 keys through one
-// client as the pool grows, over UCR (pipelined AMs) and over SDP sockets
-// (one pipelined text mget per server).
+// Multiget batching ablation. Two questions:
+//
+//  1. Width sweep (headline): what does true server-side multiget buy over
+//     N sequential GETs on one QDR server? One request AM carries the whole
+//     key block, the server answers in scatter-gather chunks under one
+//     doorbell, and the client wakes once per batch-drained reply instead
+//     of once per key. The headline `multiget_64key_us` (tracked in
+//     BENCH_7.json) is the batched 64-key latency; acceptance is >= 1.5x
+//     over the sequential baseline.
+//
+//  2. The "multiget hole" (the paper's reference [2], Facebook): fetching
+//     64 keys spread over S servers costs one round trip per server, so
+//     adding servers stops helping a multiget-heavy workload. UCR's cheap
+//     per-server round trip pushes the turn much further out than SDP.
+//
+// `--json <file>` records the sweep + headline for tools/run_benches.py;
+// `--profile <file>` dumps the sim-time attribution of the 64-key cell.
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "fig_common.hpp"
 #include "memcached/client.hpp"
 #include "memcached/server.hpp"
 #include "simnet/netparams.hpp"
@@ -22,6 +34,55 @@ namespace {
 std::span<const std::byte> val(const std::string& s) {
   return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
 }
+
+// ------------------------------------------------- width sweep (1 server)
+
+/// Mean latency (us) of fetching `width` keys from one QDR UCR server:
+/// batched = one mget_into round; sequential = `width` dependent GETs.
+double width_cell(int width, bool batched) {
+  sim::Scheduler sched;
+  sim::Fabric fabric{sched, sim::ib_qdr_link()};
+  sim::Host client_host{sched, 100, "web", 8};
+  verbs::Hca client_hca{sched, fabric, client_host};
+  ucr::Runtime client_ucr{client_hca};
+  mc::Client client{sched, client_host};
+
+  sim::Host server_host{sched, 1, "mc", 8};
+  verbs::Hca server_hca{sched, fabric, server_host};
+  ucr::Runtime server_ucr{server_hca};
+  mc::Server server{sched, server_host, mc::ServerConfig{}};
+  server.attach_ucr_frontend(server_ucr);
+  client.add_server_ucr(client_ucr, server_ucr.addr(), 11211);
+
+  constexpr int kRounds = 100;
+  sim::Time total = 0;
+  sched.spawn([](sim::Scheduler& sch, mc::Client& cli, int w, bool batch,
+                 sim::Time& out) -> sim::Task<> {
+    (void)co_await cli.connect_all();
+    std::vector<std::string> keys;
+    for (int k = 0; k < w; ++k) {
+      keys.push_back("page:object:" + std::to_string(k));
+      (void)co_await cli.set(keys.back(), val("value-fragment-of-64-bytes-padding-"
+                                              "padding-padding-padd:" +
+                                              std::to_string(k)));
+    }
+    std::vector<std::string_view> views(keys.begin(), keys.end());
+    std::vector<mc::MgetSlot> slots(keys.size());
+    const sim::Time start = sch.now();
+    for (int r = 0; r < kRounds; ++r) {
+      if (batch) {
+        (void)co_await cli.mget_into(views, slots);
+      } else {
+        for (const auto& key : views) (void)co_await cli.get(key);
+      }
+    }
+    out = sch.now() - start;
+  }(sched, client, width, batched, total));
+  sched.run();
+  return to_us(total) / kRounds;
+}
+
+// --------------------------------------------- pool growth (64-key mget)
 
 double mget_latency_us(int servers, bool use_ucr) {
   sim::Scheduler sched;
@@ -76,7 +137,30 @@ double mget_latency_us(int servers, bool use_ucr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::printf("=== Multiget batching (QDR) ===\n\n");
+
+  const std::vector<int> widths{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  std::vector<double> batched_us;
+  std::vector<double> sequential_us;
+  Table sweep("mget width sweep, 1 server (us)",
+              {"keys", "batched mget", "sequential gets", "speedup"});
+  for (int w : widths) {
+    batched_us.push_back(width_cell(w, true));
+    sequential_us.push_back(width_cell(w, false));
+    sweep.add_row({std::to_string(w), Table::num(batched_us.back()),
+                   Table::num(sequential_us.back()),
+                   Table::num(sequential_us.back() / batched_us.back(), 2) + "x"});
+  }
+  sweep.print();
+
+  // Headline cell: 64 keys (index 6). The whole point of the batching
+  // design is that this is >= 1.5x the sequential baseline.
+  const double head_batched = batched_us[6];
+  const double head_sequential = sequential_us[6];
+  std::printf("\nheadline: QDR 64-key mget batched=%.3fus sequential=%.3fus (%.2fx)\n\n",
+              head_batched, head_sequential, head_sequential / head_batched);
+
   std::printf("=== Multiget across a growing pool (64 keys per request) ===\n\n");
   Table t("mget latency (us) vs pool size", {"servers", "UCR-IB", "SDP"});
   for (int servers : {1, 2, 4, 8, 16}) {
@@ -84,12 +168,45 @@ int main() {
                Table::num(mget_latency_us(servers, false))});
   }
   t.print();
-  std::printf("\nreading: spreading 64 keys over a few servers helps (smaller\n"
-              "per-server batches, fetched in parallel), but past that every\n"
-              "request touches nearly every server and the per-server fixed cost\n"
-              "takes over — the curve flattens and turns upward. More machines no\n"
-              "longer buy capacity for multiget-heavy traffic: Facebook's\n"
-              "'multiget hole' [2]. UCR's cheap per-server round trip pushes the\n"
-              "turn much further out than the sockets stack.\n");
+  std::printf("\nreading: one request AM now carries the whole key block and the\n"
+              "server answers in scatter-gather chunks, so the single-server case\n"
+              "no longer pays a per-key round trip at all. Spreading 64 keys over\n"
+              "a few servers still helps SDP (smaller per-server batches fetched\n"
+              "in parallel), but past that every request touches nearly every\n"
+              "server and the per-server fixed cost takes over — Facebook's\n"
+              "'multiget hole' [2]. UCR's batched round trip pushes the turn much\n"
+              "further out than the sockets stack.\n");
+
+  const std::string json_path = rmc::bench::arg_value(argc, argv, "--json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"sweep\": {");
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%d\": {\"batched_us\": %.3f, \"sequential_us\": %.3f}",
+                   i ? "," : "", widths[i], batched_us[i], sequential_us[i]);
+    }
+    std::fprintf(f,
+                 "\n  },\n  \"headline\": {\"multiget_64key_us\": %.3f, "
+                 "\"multiget_64key_sequential_us\": %.3f}\n}\n",
+                 head_batched, head_sequential);
+    std::fclose(f);
+    std::fprintf(stderr, "json written to %s\n", json_path.c_str());
+  }
+
+  // --profile <file>: sim-time attribution of one batched 64-key cell
+  // (where do the 64-key microseconds go once batching is on?).
+  const std::string prof = rmc::bench::profile_path(argc, argv);
+  if (!prof.empty()) {
+    (void)width_cell(64, true);
+    rmc::bench::write_profile(prof);
+  }
+  // --metrics-json <file>: the batching layers' own metrics across every
+  // cell above (mc.mget.batch_size, verbs.doorbell.batched_wrs,
+  // ucr.cq.drain_batch).
+  rmc::bench::dump_metrics_if_requested(argc, argv);
   return 0;
 }

@@ -50,22 +50,29 @@ unsigned host_cores(ClusterKind) {
 /// PCIe 1.1 bus and processes messages more slowly than the QDR/PCIe-Gen2
 /// part on Cluster B.
 verbs::VerbsCosts verbs_costs(ClusterKind cluster, TransportKind transport) {
+  // doorbell_ns is the share of post_wr_ns a batched chain pays only once
+  // (PCIe MMIO posted write — roughly a third of the post on every part
+  // here); single posts still cost exactly post_wr_ns.
   verbs::VerbsCosts costs;
   if (transport == TransportKind::ucr_roce) {
     costs.post_wr_ns = 350;
+    costs.doorbell_ns = 100;
     costs.hca_process_ns = 550;  // first-generation RoCE engines
     return costs;
   }
   if (transport == TransportKind::ucr_iwarp) {
     costs.post_wr_ns = 400;
+    costs.doorbell_ns = 120;
     costs.hca_process_ns = 900;  // TCP termination inside the RNIC
     return costs;
   }
   if (cluster == ClusterKind::cluster_a) {
     costs.post_wr_ns = 350;
+    costs.doorbell_ns = 100;
     costs.hca_process_ns = 350;
   } else {
     costs.post_wr_ns = 250;
+    costs.doorbell_ns = 80;
     costs.hca_process_ns = 250;
   }
   return costs;

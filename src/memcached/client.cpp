@@ -3,10 +3,12 @@
 #include "memcached/binary.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 
 #include "common/log.hpp"
+#include "ucr/wire.hpp"
 #include "common/slotmap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -131,6 +133,33 @@ sim::Task<Result<GetIntoResult>> ServerConn::get_into(std::string_view key,
   out.flags = r->flags;
   out.cas = r->cas;
   co_return out;
+}
+
+sim::Task<Status> ServerConn::mget_into(std::span<const std::string_view> keys,
+                                        std::span<MgetSlot> slots, bool with_cas) {
+  // Generic fallback: one get() per key. Values land only when the caller
+  // provided a `dest` large enough — this transport has no stable internal
+  // storage to point `value` at once the per-key Value dies.
+  if (keys.size() > slots.size()) co_return Errc::invalid_argument;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    MgetSlot& slot = slots[i];
+    slot.hit = false;
+    slot.value = {};
+    auto r = co_await get(keys[i], with_cas);
+    if (!r.ok()) {
+      if (r.error() == Errc::not_found) continue;
+      co_return r.error();
+    }
+    slot.value_len = static_cast<std::uint32_t>(r->data.size());
+    slot.flags = r->flags;
+    slot.cas = r->cas;
+    slot.hit = true;
+    if (r->data.size() <= slot.dest.size()) {
+      std::memcpy(slot.dest.data(), r->data.data(), r->data.size());
+      slot.value = std::span<const std::byte>(slot.dest.data(), r->data.size());
+    }
+  }
+  co_return Status{};
 }
 
 // ---------------------------------------------------------------- text --
@@ -584,38 +613,123 @@ class UcrConn final : public ServerConn {
 
   sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
       std::span<const std::string> keys, bool with_cas) override {
-    if (!alive()) co_return Errc::disconnected;
-    const sim::Time t0 = sched_->now();
-    co_await host_->cpu().consume(behavior_.format_ns);
-    // Pipeline: fire all requests, then collect in order (§V: mget built
-    // from the same principles as get).
-    std::vector<std::uint64_t> ids;
-    ids.reserve(keys.size());
-    for (const auto& key : keys) {
-      auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {});
-      if (!issued.ok()) co_return issued.error();
-      ids.push_back(*issued);
-    }
-    const sim::Time t1 = sched_->now();
-    // The collect loop interleaves reply waits with per-value copy-out, so
-    // the wait stage of a multiget runs through the *last* reply landing.
-    sim::Time t2 = t1;
+    // Thin wrapper over the batched path: the server answers the whole key
+    // list in one pass (§V: mget built from the same principles as get).
+    std::vector<std::string_view> views(keys.begin(), keys.end());
+    std::vector<MgetSlot> slots(keys.size());
+    auto st = co_await mget_into(views, slots, with_cas);
+    if (!st.ok()) co_return st.error();
     std::vector<std::optional<proto::Value>> out(keys.size());
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      auto value = co_await finish_get(ids[i], keys[i], &t2);
-      if (value.ok()) {
-        out[i] = std::move(*value);
-      } else if (value.error() != Errc::not_found) {
-        co_return value.error();
-      }
+      if (!slots[i].hit) continue;
+      proto::Value value;
+      value.key = keys[i];
+      value.flags = slots[i].flags;
+      value.cas = slots[i].cas;
+      value.data.assign(slots[i].value.begin(), slots[i].value.end());
+      out[i] = std::move(value);
     }
+    co_return out;
+  }
+
+  sim::Task<Status> mget_into(std::span<const std::string_view> keys,
+                              std::span<MgetSlot> slots, bool with_cas) override {
+    // True server-side multiget (the tentpole of the batching design): the
+    // key list packs into as few request AMs as fit the eager frame, each
+    // sub-request issued under one doorbell (begin/end_send_batch), and
+    // the server scatters all answers back in chunked scatter-gather
+    // replies. Steady state allocates nothing: key block and wave state
+    // live on this frame, reply values land in the arena.
+    (void)with_cas;  // records always carry the CAS id
+    if (!alive()) co_return Errc::disconnected;
+    if (keys.size() > slots.size()) co_return Errc::invalid_argument;
+    for (const auto& key : keys) {
+      if (key.size() > proto::Request::kMaxKeyLen) co_return Errc::invalid_argument;
+    }
+    if (keys.empty()) co_return Status{};
+    // Reset the arena up front (values of the *previous* op die at the next
+    // op, per the MgetSlot contract) so back-to-back mgets reuse it instead
+    // of marching the bump pointer to the overflow path.
+    maybe_reset_arena();
+    const sim::Time t0 = sched_->now();
+    co_await host_->cpu().consume(behavior_.format_ns);
+
+    // Key-block budget per sub-request: one eager frame (UD: one MTU)
+    // minus AM wire + request header overhead.
+    std::size_t frame = runtime_->config().eager_limit;
+    if (behavior_.unreliable_ucr) {
+      frame = std::min<std::size_t>(frame, runtime_->hca().costs().ud_mtu);
+    }
+    const std::size_t budget =
+        std::min(ucrp::kMaxMgetKeyBlock,
+                 frame - ucr::wire::AmWire::kSize - ucrp::RequestHeader::kSize);
+
+    struct Sub {
+      MgetPending ctx;
+      std::uint64_t req_id = 0;
+    };
+    static constexpr std::size_t kWave = 16;  // < credits_per_ep: no backlog
+    std::array<Sub, kWave> subs;
+    sim::Time t1 = t0;
+    sim::Time t2 = t0;
+    std::size_t next = 0;
+    bool first_wave = true;
+    while (next < keys.size()) {
+      // Issue a wave of sub-requests under a single doorbell.
+      std::size_t nsubs = 0;
+      runtime_->begin_send_batch();
+      while (next < keys.size() && nsubs < kWave) {
+        const std::size_t start = next;
+        std::size_t bytes = 0;
+        while (next < keys.size()) {
+          const std::size_t need = ucrp::mget_entry_size(keys[next]);
+          if (bytes != 0 && bytes + need > budget) break;
+          bytes += need;
+          ++next;
+        }
+        Sub& sub = subs[nsubs];
+        sub.ctx = MgetPending{};
+        sub.ctx.slots = slots.subspan(start, next - start);
+        auto issued = issue_mget(keys.subspan(start, next - start), sub.ctx);
+        if (!issued.ok()) {
+          runtime_->end_send_batch();
+          for (std::size_t i = 0; i < nsubs; ++i) drop_mget(subs[i].req_id);
+          co_return issued.error();
+        }
+        sub.req_id = *issued;
+        ++nsubs;
+      }
+      runtime_->end_send_batch();
+      if (first_wave) {
+        t1 = sched_->now();
+        first_wave = false;
+      }
+      for (std::size_t i = 0; i < nsubs; ++i) {
+        auto st = co_await await_mget(subs[i].req_id, subs[i].ctx);
+        if (!st.ok()) {
+          // Sibling sub-requests still reference this frame's MgetPending
+          // contexts through their Pendings: drop them before unwinding so
+          // a late chunk cannot dereference a dead frame.
+          for (std::size_t j = i + 1; j < nsubs; ++j) drop_mget(subs[j].req_id);
+          co_return st;
+        }
+      }
+      t2 = sched_->now();
+    }
+
+    std::uint64_t copied = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (slots[i].hit) copied += slots[i].value.size();
+    }
+    co_await host_->cpu().consume(static_cast<sim::Time>(
+        static_cast<double>(copied) * behavior_.result_copy_ns_per_byte));
     const sim::Time t3 = sched_->now();
     const LatencySpans& spans = mget_spans();
     spans.build->record(t1 - t0);
     spans.wait->record(t2 - t1);
     spans.complete->record(t3 - t2);
     spans.total->record(t3 - t0);
-    co_return out;
+    co_return Status{};
   }
 
   sim::Task<Result<GetIntoResult>> get_into(std::string_view key, std::span<std::byte> dest,
@@ -722,10 +836,22 @@ class UcrConn final : public ServerConn {
  private:
   static constexpr std::size_t kArenaSize = 8 * 1024 * 1024;
 
+  /// Shared state of one multiget sub-request, owned by the mget_into
+  /// coroutine frame; response chunks scatter into it as they land. A
+  /// sub-request abandoned early (sibling failure) must be drop_mget()ed
+  /// so late chunks cannot chase this pointer into a dead frame.
+  struct MgetPending {
+    std::span<MgetSlot> slots{};     ///< answers keys[start..start+n) of the request
+    std::uint32_t total_chunks = 0;  ///< learned from the first chunk to land
+    std::uint32_t chunks_seen = 0;
+    bool error = false;  ///< server answered with a bare error header
+  };
+
   struct Pending {
     ucrp::ResponseHeader response{};
     std::span<std::byte> dest{};
     std::span<std::byte> user_dest{};  ///< get_into: land the value here
+    MgetPending* mget = nullptr;       ///< multiget: scatter target
     std::uint32_t value_len = 0;
     bool done = false;
     bool failed = false;  ///< endpoint died while this op was in flight
@@ -776,6 +902,93 @@ class UcrConn final : public ServerConn {
       return sent.error();
     }
     return req_id;
+  }
+
+  /// Issue one multiget sub-request carrying all of `keys` as a packed key
+  /// block. The caller guarantees the block fits the eager frame.
+  Result<std::uint64_t> issue_mget(std::span<const std::string_view> keys, MgetPending& ctx) {
+    obs::ProfScope prof{kProfClientBuild};
+    auto [counter, ref, slot] = acquire_counter();
+
+    Pending pending;
+    pending.counter = counter;
+    pending.wait_target = counter->value() + 1;
+    pending.counter_slot = slot;
+    pending.mget = &ctx;
+    const std::uint64_t req_id = pending_.emplace(pending);
+
+    std::byte packed[ucrp::RequestHeader::kSize + ucrp::kMaxMgetKeyBlock];
+    std::size_t block = 0;
+    for (const auto& key : keys) {
+      block += ucrp::pack_mget_key(packed + ucrp::RequestHeader::kSize + block, key);
+    }
+    ucrp::RequestHeader header;
+    header.op = ucrp::Op::mget;
+    header.key_len = static_cast<std::uint16_t>(block);
+    header.delta = keys.size();
+    header.req_id = req_id;
+    header.reply_counter = ref.id;
+    header.encode(packed);
+
+    const Status sent = runtime_->send_message(
+        *ep_, ucrp::kMsgRequest,
+        std::span<const std::byte>(packed, ucrp::RequestHeader::kSize + block), {}, nullptr,
+        {}, nullptr);
+    if (!sent.ok()) {
+      release_counter(slot);
+      pending_.erase(req_id);
+      return sent.error();
+    }
+    return req_id;
+  }
+
+  /// Wait out all response chunks of one multiget sub-request. At most two
+  /// suspensions regardless of chunk count: one until the first chunk
+  /// reveals total_chunks, one until the counter reaches the full target
+  /// (a batch-drained reply coalesces both into a single wake-up).
+  sim::Task<Status> await_mget(std::uint64_t req_id, MgetPending& ctx) {
+    Pending* p = pending_.get(req_id);
+    assert(p != nullptr);
+    bool ok = true;
+    sim::Counter* counter = p->counter;
+    const std::uint64_t base = p->wait_target;
+    if (!p->failed) {
+      ok = co_await counter->wait_geq(base, behavior_.op_timeout);
+      p = pending_.get(req_id);  // slots may have moved while suspended
+      if (p == nullptr) co_return Errc::protocol_error;
+    }
+    if (ok && !p->failed && !p->done && !ctx.error && ctx.total_chunks > 1) {
+      ok = co_await counter->wait_geq(base - 1 + ctx.total_chunks, behavior_.op_timeout);
+      p = pending_.get(req_id);
+      if (p == nullptr) co_return Errc::protocol_error;
+    }
+    const bool failed = p->failed;
+    const bool done = p->done;
+    const ucrp::RStatus status = p->response.status;
+    const std::size_t counter_slot = p->counter_slot;
+    pending_.erase(req_id);
+    release_counter(counter_slot);
+    if (failed) co_return Errc::disconnected;
+    if (!ok) {
+      obs::registry().counter("mc.client.timeouts").inc();
+      co_return Errc::timed_out;
+    }
+    if (ctx.error) {
+      const Status st = status_from(status);
+      co_return st.ok() ? Errc::protocol_error : st;
+    }
+    if (!done) co_return Errc::protocol_error;
+    co_return Status{};
+  }
+
+  /// Abandon an issued multiget sub-request: unlink its Pending (late
+  /// chunks then drop on the floor in on_response_header) and recycle the
+  /// counter. Monotonic counters make the recycle safe.
+  void drop_mget(std::uint64_t req_id) {
+    Pending* p = pending_.get(req_id);
+    if (p == nullptr) return;
+    release_counter(p->counter_slot);
+    pending_.erase(req_id);
   }
 
   /// Wait out the reply for `req_id` and pop its Pending. Error means the
@@ -850,6 +1063,11 @@ class UcrConn final : public ServerConn {
     const auto resp = ucrp::ResponseHeader::decode(header.data());
     Pending* p = pending_.get(resp.req_id);
     if (p == nullptr) return {};
+    if (p->mget != nullptr) {
+      // Multiget chunk: the gathered hit values land in the arena and the
+      // slots keep pointing there (valid until the next op, per contract).
+      return arena_alloc(data_len);
+    }
     // The item length is known only now (§V-C): land directly in the
     // caller's get_into buffer when it fits, else allocate from the pool.
     if (!p->user_dest.empty() && data_len <= p->user_dest.size()) {
@@ -861,13 +1079,62 @@ class UcrConn final : public ServerConn {
     return p->dest;
   }
 
-  void on_response_complete(std::span<const std::byte> header) {
+  void on_response_complete(std::span<const std::byte> header, std::span<std::byte> data) {
     const auto resp = ucrp::ResponseHeader::decode(header.data());
     Pending* p = pending_.get(resp.req_id);
     if (p == nullptr) return;
+    if (p->mget != nullptr) {
+      on_mget_chunk(*p, resp, header, data);
+      return;
+    }
     p->response = resp;
     p->done = true;
     // The UCR target counter (counter C) fires right after this handler.
+  }
+
+  /// Scatter one multiget response chunk into the sub-request's slots.
+  void on_mget_chunk(Pending& p, const ucrp::ResponseHeader& resp,
+                     std::span<const std::byte> header, std::span<std::byte> data) {
+    MgetPending& ctx = *p.mget;
+    if (header.size() < ucrp::ResponseHeader::kSize + ucrp::MgetChunkHeader::kSize) {
+      // Bare ResponseHeader: the server failed the whole sub-request.
+      p.response = resp;
+      ctx.error = true;
+      p.done = true;
+      return;
+    }
+    const auto chunk =
+        ucrp::MgetChunkHeader::decode(header.data() + ucrp::ResponseHeader::kSize);
+    ctx.total_chunks = chunk.total_chunks;
+    const std::byte* rec_at =
+        header.data() + ucrp::ResponseHeader::kSize + ucrp::MgetChunkHeader::kSize;
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < chunk.record_count; ++i) {
+      const auto rec = ucrp::MgetRecord::decode(rec_at + i * ucrp::MgetRecord::kSize);
+      const std::size_t index = chunk.start_index + i;
+      if (index >= ctx.slots.size()) break;  // malformed chunk; drop the tail
+      MgetSlot& slot = ctx.slots[index];
+      if (rec.status != ucrp::RStatus::value) {
+        slot.hit = false;
+        slot.value = {};
+        continue;
+      }
+      slot.hit = true;
+      slot.flags = rec.flags;
+      slot.cas = rec.cas;
+      slot.value_len = rec.value_len;
+      if (off + rec.value_len > data.size()) break;  // malformed chunk
+      std::span<std::byte> bytes = data.subspan(off, rec.value_len);
+      off += rec.value_len;
+      if (rec.value_len <= slot.dest.size()) {
+        std::memcpy(slot.dest.data(), bytes.data(), bytes.size());
+        slot.value = std::span<const std::byte>(slot.dest.data(), bytes.size());
+      } else {
+        slot.value = bytes;
+      }
+    }
+    ++ctx.chunks_seen;
+    if (ctx.chunks_seen >= ctx.total_chunks) p.done = true;
   }
 
   // ---- local buffer pool (bump arena, reset when quiescent) ----
@@ -935,9 +1202,9 @@ void UcrConn::ensure_handler(ucr::Runtime& runtime) {
              return conn->on_response_header(header, data_len);
            },
        .on_complete =
-           [](ucr::Endpoint& ep, std::span<const std::byte> header, std::span<std::byte>) {
+           [](ucr::Endpoint& ep, std::span<const std::byte> header, std::span<std::byte> data) {
              auto* conn = static_cast<UcrConn*>(ep.user_data());
-             if (conn) conn->on_response_complete(header);
+             if (conn) conn->on_response_complete(header, data);
            }});
 }
 
@@ -1176,6 +1443,40 @@ sim::Task<Result<std::vector<std::optional<proto::Value>>>> Client::mget(
   co_await finished.wait_geq(groups);
   if (first_error != Errc::ok) co_return first_error;
   co_return out;
+}
+
+sim::Task<Status> Client::mget_into(std::span<const std::string_view> keys,
+                                    std::span<MgetSlot> slots) {
+  if (keys.size() > slots.size()) co_return Errc::invalid_argument;
+  if (keys.empty()) co_return Status{};
+  // Single-server pool: zero-alloc pass-through to the batched transport
+  // path (the common benchmark/zero-alloc configuration).
+  if (conns_.size() == 1) co_return co_await conns_[0]->mget_into(keys, slots, false);
+
+  // Multi-server pool: group per server first (allocates), run the
+  // per-server batches sequentially, and copy the answers back into the
+  // caller's positional slots.
+  std::vector<std::vector<std::string_view>> grouped(conns_.size());
+  std::vector<std::vector<std::size_t>> positions(conns_.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t server = server_index(keys[i]);
+    grouped[server].push_back(keys[i]);
+    positions[server].push_back(i);
+  }
+  std::vector<MgetSlot> scratch;
+  for (std::size_t server = 0; server < conns_.size(); ++server) {
+    if (grouped[server].empty()) continue;
+    scratch.assign(grouped[server].size(), MgetSlot{});
+    for (std::size_t j = 0; j < positions[server].size(); ++j) {
+      scratch[j].dest = slots[positions[server][j]].dest;
+    }
+    auto st = co_await conns_[server]->mget_into(grouped[server], scratch, false);
+    if (!st.ok()) co_return st;
+    for (std::size_t j = 0; j < positions[server].size(); ++j) {
+      slots[positions[server][j]] = scratch[j];
+    }
+  }
+  co_return Status{};
 }
 
 sim::Task<Status> Client::del(std::string_view key) {

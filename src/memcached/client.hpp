@@ -84,6 +84,20 @@ struct GetIntoResult {
   std::uint64_t cas = 0;
 };
 
+/// Per-key slot of a batched multiget (mget_into). The caller may provide
+/// a destination buffer per key in `dest`; on return, `value` points at
+/// where the bytes actually landed — `dest` when provided and big enough,
+/// otherwise transport-internal storage that stays valid until the next
+/// operation on the same client. A miss leaves hit == false.
+struct MgetSlot {
+  std::span<std::byte> dest{};          ///< optional caller buffer (in)
+  std::span<const std::byte> value{};   ///< where the value landed (out)
+  std::uint32_t value_len = 0;          ///< full value length (out)
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+  bool hit = false;
+};
+
 /// One server connection (transport-specific).
 class ServerConn {
  public:
@@ -98,6 +112,15 @@ class ServerConn {
                                                     bool with_cas);
   virtual sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
       std::span<const std::string> keys, bool with_cas) = 0;
+  /// Batched multiget into caller-provided slots (slots.size() >=
+  /// keys.size(); slots[i] answers keys[i]). UCR overrides this with the
+  /// true server-side multiget — one request AM per key-block chunk, one
+  /// scatter-gather reply — and is allocation-free in steady state. The
+  /// base implementation loops get() per key (socket transports): correct
+  /// but allocating, and values land only when `dest` is provided and
+  /// large enough.
+  virtual sim::Task<Status> mget_into(std::span<const std::string_view> keys,
+                                      std::span<MgetSlot> slots, bool with_cas);
   virtual sim::Task<Status> store(SetMode mode, std::string_view key,
                                   std::span<const std::byte> value, std::uint32_t flags,
                                   std::uint32_t exptime, std::uint64_t cas) = 0;
@@ -157,6 +180,12 @@ class Client {
   /// Multi-get: results positionally match `keys`; miss = nullopt.
   sim::Task<Result<std::vector<std::optional<proto::Value>>>> mget(
       std::span<const std::string> keys);
+  /// Batched multiget into caller-provided slots (slots[i] answers
+  /// keys[i]). With a single-server pool this is a zero-alloc pass-through
+  /// to the connection's batched path; multi-server pools group keys per
+  /// server first (which allocates).
+  sim::Task<Status> mget_into(std::span<const std::string_view> keys,
+                              std::span<MgetSlot> slots);
   sim::Task<Status> del(std::string_view key);
   sim::Task<Result<std::uint64_t>> incr(std::string_view key, std::uint64_t delta);
   sim::Task<Result<std::uint64_t>> decr(std::string_view key, std::uint64_t delta);

@@ -47,7 +47,8 @@ Server::Server(sim::Scheduler& sched, sim::Host& host, ServerConfig config)
       stage_queue_(&obs::registry().timer("mc.server.stage.queue")),
       stage_execute_(&obs::registry().timer("mc.server.stage.execute")),
       stage_format_(&obs::registry().timer("mc.server.stage.format")),
-      queue_depth_(&obs::registry().gauge("mc.worker.queue_depth")) {
+      queue_depth_(&obs::registry().gauge("mc.worker.queue_depth")),
+      mget_batch_(&obs::registry().timer("mc.mget.batch_size")) {
   config_.workers = std::max(1u, config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i) {
     // rmclint:allow(zeroalloc): server construction — worker channels exist for the process lifetime
@@ -222,7 +223,7 @@ sim::Task<> Server::worker_loop(std::size_t index) {
     if (work->is_ucr) {
       kind = "ucr";
       ucr_requests.inc();
-      co_await process_ucr(*work);
+      co_await process_ucr(*work, scratch);
     } else if (work->is_binary) {
       kind = "binary";
       binary_requests.inc();
@@ -644,9 +645,23 @@ void Server::attach_ucr_frontend(ucr::Runtime& runtime) {
              work.is_ucr = true;
              work.ep = &ep;
              work.ucr_header = req;
-             work.set_key(std::string_view{
-                 reinterpret_cast<const char*>(header.data() + ucrp::RequestHeader::kSize),
-                 req.key_len});
+             if (req.op == ucrp::Op::mget) {
+               // Multiget: key_len is the packed key-block length. Copy it
+               // into the Work's inline carrier — the receive slot is
+               // reposted before the worker runs, so it must not alias.
+               const std::size_t block = std::min<std::size_t>(
+                   std::min<std::size_t>(req.key_len,
+                                         header.size() - ucrp::RequestHeader::kSize),
+                   work.mget_keys.size());
+               std::memcpy(work.mget_keys.data(),
+                           header.data() + ucrp::RequestHeader::kSize, block);
+               work.mget_keys_len = static_cast<std::uint16_t>(block);
+               work.mget_key_count = static_cast<std::uint32_t>(req.delta);
+             } else {
+               work.set_key(std::string_view{
+                   reinterpret_cast<const char*>(header.data() + ucrp::RequestHeader::kSize),
+                   req.key_len});
+             }
              auto* state = static_cast<UcrConnState*>(ep.user_data());
              if (state == nullptr) return;  // connection already reaped
              auto it = state->pending_sets.find(req.req_id);
@@ -755,7 +770,202 @@ void Server::ucr_reply(ucr::Endpoint& ep, const ucrp::ResponseHeader& header,
   }
 }
 
-sim::Task<> Server::process_ucr(Work& work) {
+sim::Task<> Server::process_ucr_mget(Work& work, WorkerScratch& scratch) {
+  const ucrp::RequestHeader& req = work.ucr_header;
+  ucr::Endpoint& ep = *work.ep;
+
+  // Parse: AM decode plus one scan of the packed key block.
+  const sim::Time parse_start = sched_->now();
+  co_await host_->cpu().consume(
+      config_.costs.ucr_request_ns +
+      static_cast<sim::Time>(static_cast<double>(work.mget_keys_len) *
+                             config_.costs.parse_ns_per_byte));
+  stage_parse_->record(sched_->now() - parse_start);
+
+  // Execute: ONE pass over the hashtable pinning every hit — the batch
+  // pays op_base_ns once, exactly like the socket path's multi-key GET.
+  const sim::Time exec_start = sched_->now();
+  co_await host_->cpu().consume(config_.costs.op_base_ns);
+  advance_clock();
+  {
+    obs::ProfScope prof{kProfExecute};
+    scratch.mget_items.clear();
+    ucrp::MgetKeyReader reader{work.mget_keys.data(), work.mget_keys_len};
+    std::string_view key;
+    while (reader.next(key)) {
+      // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
+      scratch.mget_items.push_back(store_.get_pinned(key));
+    }
+  }
+  const auto n = static_cast<std::uint32_t>(scratch.mget_items.size());
+  mget_batch_->record(n);
+  stage_execute_->record(sched_->now() - exec_start);
+
+  // Format: plan the chunking, then emit one scatter-gather AM per chunk.
+  // Every chunk bumps the client's reply counter by one; the chunk header
+  // carries total_chunks so the client knows when the reply is whole.
+  std::size_t frame = ucr_runtime_->config().eager_limit;
+  if (ep.type() == ucr::EpType::unreliable) {
+    // UD datagrams cannot exceed the MTU and cannot rendezvous (§VII).
+    frame = std::min<std::size_t>(frame, ucr_runtime_->hca().costs().ud_mtu);
+  }
+  constexpr std::size_t kMaxRecordsPerChunk = 256;
+  const std::size_t fixed = ucr::wire::AmWire::kSize + ucrp::ResponseHeader::kSize +
+                            ucrp::MgetChunkHeader::kSize;
+  const std::size_t budget = frame > fixed ? frame - fixed : 0;
+
+  const sim::Time format_start = sched_->now();
+  std::size_t eager_bytes = 0;  // gathered (copied) value bytes, for the CPU charge
+  {
+    obs::ProfScope prof{kProfFormat};
+    scratch.mget_chunks.clear();
+    std::uint32_t start = 0;
+    while (start < n) {
+      std::size_t used = 0;
+      std::uint32_t count = 0;
+      while (start + count < n && count < kMaxRecordsPerChunk) {
+        ItemHeader* item = scratch.mget_items[start + count];
+        const std::size_t need =
+            ucrp::MgetRecord::kSize + (item ? item->value().size() : 0);
+        if (count > 0 && used + need > budget) break;
+        used += need;
+        ++count;
+        // A value too large for an empty eager chunk becomes its own
+        // single-record chunk, answered rendezvous (zero-copy slab read).
+        if (used > budget) break;
+      }
+      if (used <= budget) {
+        eager_bytes += used - count * ucrp::MgetRecord::kSize;
+      }
+      // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
+      scratch.mget_chunks.push_back({start, count});
+      start += count;
+    }
+    if (scratch.mget_chunks.empty()) {
+      // Empty key list: still answer one (empty) chunk so the client's
+      // reply counter fires.
+      // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
+      scratch.mget_chunks.push_back({0, 0});
+    }
+  }
+  co_await host_->cpu().consume(
+      config_.costs.format_base_ns +
+      static_cast<sim::Time>(static_cast<double>(eager_bytes) *
+                             config_.costs.value_copy_ns_per_byte));
+  {
+    obs::ProfScope prof{kProfFormat};
+    const auto total = static_cast<std::uint32_t>(scratch.mget_chunks.size());
+    std::byte hdr[ucrp::ResponseHeader::kSize + ucrp::MgetChunkHeader::kSize +
+                  kMaxRecordsPerChunk * ucrp::MgetRecord::kSize];
+    bool failed = false;
+    // All chunks of one reply ride a single doorbell.
+    ucr_runtime_->begin_send_batch();
+    for (std::uint32_t ci = 0; ci < total; ++ci) {
+      const auto [start, count] = scratch.mget_chunks[ci];
+      if (failed) {
+        // A previous chunk could not be sent; just unpin the rest.
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (ItemHeader* item = scratch.mget_items[start + i]) store_.release(item);
+        }
+        continue;
+      }
+      ucrp::ResponseHeader resp;
+      resp.status = ucrp::RStatus::value;
+      resp.req_id = req.req_id;
+      resp.encode(hdr);
+      const ucrp::MgetChunkHeader chunk{start, count, total, n};
+      chunk.encode(hdr + ucrp::ResponseHeader::kSize);
+      std::size_t ho = ucrp::ResponseHeader::kSize + ucrp::MgetChunkHeader::kSize;
+      std::size_t data_bytes = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ItemHeader* item = scratch.mget_items[start + i];
+        ucrp::MgetRecord rec;
+        if (item) {
+          rec.status = ucrp::RStatus::value;
+          rec.flags = item->flags;
+          rec.cas = item->cas;
+          rec.value_len = static_cast<std::uint32_t>(item->value().size());
+          data_bytes += item->value().size();
+        }
+        rec.encode(hdr + ho);
+        ho += ucrp::MgetRecord::kSize;
+      }
+      ItemHeader* single = count == 1 ? scratch.mget_items[start] : nullptr;
+      if (ucr::wire::AmWire::kSize + ho + data_bytes > frame && single != nullptr &&
+          ep.type() != ucr::EpType::unreliable) {
+        // Oversized single value: rendezvous straight out of the slab —
+        // the client RDMA-reads it, the origin counter unpins it.
+        // rmclint:allow(zeroalloc): rendezvous chunk (value > eager frame); the eager mget budget never reaches here
+        auto counter = std::make_unique<sim::Counter>(*sched_);
+        const Status sent = ucr_runtime_->send_message(
+            ep, ucrp::kMsgResponse, std::span<const std::byte>{hdr, ho},
+            single->value(), counter.get(), ucr::CounterRef{req.reply_counter},
+            nullptr);
+        bytes_written_ += ho + single->value().size();
+        if (!sent.ok()) {
+          store_.release(single);
+          failed = true;
+          continue;
+        }
+        sched_->spawn([](ItemStore& store, ItemHeader* item,
+                         std::unique_ptr<sim::Counter> done) -> sim::Task<> {
+          co_await done->wait_geq(1);
+          store.release(item);
+        }(store_, single, std::move(counter)));
+        continue;
+      }
+      if (ucr::wire::AmWire::kSize + ho + data_bytes > frame && single != nullptr) {
+        // UD endpoint, value larger than a datagram: answer the record as
+        // a server error instead of leaving the client to time out.
+        ucrp::MgetRecord rec;
+        rec.status = ucrp::RStatus::server_error;
+        rec.encode(hdr + ucrp::ResponseHeader::kSize + ucrp::MgetChunkHeader::kSize);
+        data_bytes = 0;
+        store_.release(single);
+        scratch.mget_items[start] = nullptr;
+      }
+      // Eager chunk: gather the hit values into the worker's scratch and
+      // let send_message copy them out synchronously — the items can be
+      // unpinned as soon as it returns.
+      scratch.out.clear();
+      for (std::uint32_t i = 0; i < count && data_bytes > 0; ++i) {
+        ItemHeader* item = scratch.mget_items[start + i];
+        if (!item) continue;
+        // rmclint:allow(zeroalloc): reusable per-worker scratch; capacity reaches its high-water mark at warmup
+        scratch.out.insert(scratch.out.end(), item->value().begin(), item->value().end());
+      }
+      const Status sent = ucr_runtime_->send_message(
+          ep, ucrp::kMsgResponse, std::span<const std::byte>{hdr, ho}, scratch.out,
+          nullptr, ucr::CounterRef{req.reply_counter}, nullptr);
+      bytes_written_ += ho + scratch.out.size();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (ItemHeader* item = scratch.mget_items[start + i]) store_.release(item);
+      }
+      if (!sent.ok()) failed = true;
+    }
+    ucr_runtime_->end_send_batch();
+    if (failed) {
+      // Chunks went missing; answer a bare error header (no chunk header)
+      // so the client fails the whole request fast instead of timing out.
+      ucrp::ResponseHeader err;
+      err.status = ucrp::RStatus::server_error;
+      err.req_id = req.req_id;
+      std::byte err_hdr[ucrp::ResponseHeader::kSize];
+      err.encode(err_hdr);
+      (void)ucr_runtime_->send_message(ep, ucrp::kMsgResponse, err_hdr, {}, nullptr,
+                                       ucr::CounterRef{req.reply_counter}, nullptr);
+    }
+    scratch.mget_items.clear();
+  }
+  stage_format_->record(sched_->now() - format_start);
+  co_return;
+}
+
+sim::Task<> Server::process_ucr(Work& work, WorkerScratch& scratch) {
+  if (work.ucr_header.op == ucrp::Op::mget) {
+    co_await process_ucr_mget(work, scratch);
+    co_return;
+  }
   // Stage split: the AM-header decode is the UCR path's "parse", the store
   // operation is its "execute".
   const sim::Time parse_start = sched_->now();
@@ -858,6 +1068,10 @@ sim::Task<> Server::process_ucr(Work& work) {
       break;
     case ucrp::Op::version:
       resp.status = ucrp::RStatus::ok;
+      break;
+    case ucrp::Op::mget:
+      // Handled by process_ucr_mget before this switch is reached.
+      resp.status = ucrp::RStatus::client_error;
       break;
   }
   }

@@ -97,6 +97,12 @@ class Server {
     bool alloc_failed = false;            ///< SET: header handler could not allocate
     bool is_ucr = false;
     sim::Time enqueued_at = 0;  ///< worker-queue wait start (stage.queue timer)
+    // Multiget (Op::mget): the packed key block, copied out of the AM
+    // header before the receive slot is reposted. Inline and bounded by
+    // the eager frame, so mget requests never allocate either.
+    std::array<std::byte, ucrp::kMaxMgetKeyBlock> mget_keys{};
+    std::uint16_t mget_keys_len = 0;
+    std::uint32_t mget_key_count = 0;
 
     std::string_view key() const { return {key_buf.data(), key_len}; }
     void set_key(std::string_view k) {
@@ -111,6 +117,11 @@ class Server {
   struct WorkerScratch {
     std::vector<std::byte> out;
     std::vector<ItemHeader*> items;
+    // Multiget staging: per-key pinned item (nullptr = miss) from the
+    // single hashtable pass, and the chunk plan {start, record_count}
+    // produced before encoding. Warm after the first wide mget.
+    std::vector<ItemHeader*> mget_items;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> mget_chunks;
   };
 
   /// Push `work` onto worker `index`'s queue, stamping the queue-wait
@@ -127,7 +138,10 @@ class Server {
 
   sim::Task<> process_socket(Work& work, WorkerScratch& scratch);
   sim::Task<> process_binary(Work& work);
-  sim::Task<> process_ucr(Work& work);
+  sim::Task<> process_ucr(Work& work, WorkerScratch& scratch);
+  /// True server-side multiget (Op::mget): one hashtable pass pinning
+  /// every hit, then a chunked scatter-gather reply built in `scratch`.
+  sim::Task<> process_ucr_mget(Work& work, WorkerScratch& scratch);
   proto::Response execute(const proto::Request& request);
   void advance_clock();
   void register_new_slab_pages();
@@ -161,6 +175,7 @@ class Server {
   obs::Timer* stage_execute_;  ///< mc.server.stage.execute
   obs::Timer* stage_format_;   ///< mc.server.stage.format
   obs::Gauge* queue_depth_;    ///< mc.worker.queue_depth
+  obs::Timer* mget_batch_;     ///< mc.mget.batch_size (keys per mget request)
 };
 
 }  // namespace rmc::mc

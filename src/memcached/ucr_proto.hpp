@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <string_view>
 
 namespace rmc::mc::ucrp {
 
@@ -32,6 +33,11 @@ enum class Op : std::uint8_t {
   touch,
   flush_all,
   version,
+  /// True server-side multiget: the request carries a packed key block
+  /// (see pack_mget_key), the server answers with one or more chunked
+  /// responses (MgetChunkHeader + MgetRecords + gathered values). Records
+  /// always carry the CAS id, so there is no separate mgets variant.
+  mget,
 };
 
 inline bool is_storage(Op op) {
@@ -143,6 +149,138 @@ struct ResponseHeader {
     get(h.cas);
     get(h.number);
     get(h.req_id);
+    return h;
+  }
+};
+
+// ------------------------------------------------------------- multiget
+//
+// Request wire form (Op::mget): RequestHeader with
+//   key_len = byte length of the packed key block that follows,
+//   delta   = number of keys in the block
+// (both fields are otherwise unused by mget), then the key block itself:
+// repeated [u16 len][len key bytes], packed back to back. The whole
+// request must fit one eager AM frame; clients split longer key lists
+// into several sub-requests.
+//
+// Response wire form: one or more chunks, each a separate AM carrying
+//   ResponseHeader (status=value, req_id echoed)
+//   MgetChunkHeader
+//   record_count x MgetRecord
+// in the AM header region, with the hit values concatenated in record
+// order as AM data. Every chunk bumps the request's reply counter by
+// one; chunks carry start_index/total_chunks so scatter is order- and
+// loss-retry-independent. A bare ResponseHeader (no chunk header) is a
+// whole-request error.
+
+/// Largest mget key block a request can carry: the default 8 KiB eager
+/// frame minus the AM wire header (48 B, ucr::wire::AmWire::kSize) and
+/// the RequestHeader (43 B). Also sizes the server's inline per-request
+/// key carrier, so requests never allocate.
+inline constexpr std::size_t kMaxMgetKeyBlock = 8192 - 48 - RequestHeader::kSize;
+
+/// Bytes pack_mget_key will write for `key`.
+inline constexpr std::size_t mget_entry_size(std::string_view key) {
+  return sizeof(std::uint16_t) + key.size();
+}
+
+/// Append one [u16 len][bytes] entry at `out`; returns bytes written.
+inline std::size_t pack_mget_key(std::byte* out, std::string_view key) {
+  const auto len = static_cast<std::uint16_t>(key.size());
+  std::memcpy(out, &len, sizeof(len));
+  std::memcpy(out + sizeof(len), key.data(), key.size());
+  return sizeof(len) + key.size();
+}
+
+/// Forward iterator over a packed key block (no allocation, no copies:
+/// the yielded views alias the block).
+struct MgetKeyReader {
+  const std::byte* cur = nullptr;
+  const std::byte* end = nullptr;
+
+  MgetKeyReader(const std::byte* block, std::size_t len)
+      : cur(block), end(block + len) {}
+
+  bool next(std::string_view& out) {
+    if (end - cur < static_cast<std::ptrdiff_t>(sizeof(std::uint16_t))) return false;
+    std::uint16_t len = 0;
+    std::memcpy(&len, cur, sizeof(len));
+    cur += sizeof(len);
+    if (end - cur < static_cast<std::ptrdiff_t>(len)) return false;
+    out = std::string_view{reinterpret_cast<const char*>(cur), len};
+    cur += len;
+    return true;
+  }
+};
+
+/// Follows the ResponseHeader in each multiget response chunk.
+struct MgetChunkHeader {
+  std::uint32_t start_index = 0;   ///< request-order index of the first record
+  std::uint32_t record_count = 0;  ///< MgetRecords in this chunk
+  std::uint32_t total_chunks = 0;  ///< chunks the whole reply comprises
+  std::uint32_t total_keys = 0;    ///< keys in the request (sanity check)
+
+  static constexpr std::size_t kSize = 4 + 4 + 4 + 4;
+
+  void encode(std::byte* out) const {
+    std::size_t o = 0;
+    auto put = [&](const auto& v) {
+      std::memcpy(out + o, &v, sizeof(v));
+      o += sizeof(v);
+    };
+    put(start_index);
+    put(record_count);
+    put(total_chunks);
+    put(total_keys);
+  }
+  static MgetChunkHeader decode(const std::byte* in) {
+    MgetChunkHeader h;
+    std::size_t o = 0;
+    auto get = [&](auto& v) {
+      std::memcpy(&v, in + o, sizeof(v));
+      o += sizeof(v);
+    };
+    get(h.start_index);
+    get(h.record_count);
+    get(h.total_chunks);
+    get(h.total_keys);
+    return h;
+  }
+};
+
+/// Per-key result inside a multiget response chunk. Hits (status==value)
+/// own value_len bytes of the chunk's AM data, in record order; misses
+/// own none.
+struct MgetRecord {
+  RStatus status = RStatus::not_found;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+  std::uint32_t value_len = 0;
+
+  static constexpr std::size_t kSize = 1 + 4 + 8 + 4;
+
+  void encode(std::byte* out) const {
+    std::size_t o = 0;
+    auto put = [&](const auto& v) {
+      std::memcpy(out + o, &v, sizeof(v));
+      o += sizeof(v);
+    };
+    put(status);
+    put(flags);
+    put(cas);
+    put(value_len);
+  }
+  static MgetRecord decode(const std::byte* in) {
+    MgetRecord h;
+    std::size_t o = 0;
+    auto get = [&](auto& v) {
+      std::memcpy(&v, in + o, sizeof(v));
+      o += sizeof(v);
+    };
+    get(h.status);
+    get(h.flags);
+    get(h.cas);
+    get(h.value_len);
     return h;
   }
 };

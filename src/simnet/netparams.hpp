@@ -12,7 +12,11 @@
 // wire_latency covers propagation plus one switch hop (Silverstorm DDR /
 // Mellanox QDR / Fulcrum FocalPoint are all cut-through). Host-side costs
 // (syscalls, copies, interrupts, doorbells) are charged by the protocol
-// layers, not here. Values were calibrated against the paper's headline
+// layers, not here. In particular the doorbell (MMIO ring) is a per-post
+// HCA charge — VerbsCosts.post_wr_ns splits into a per-WR build cost and
+// a per-doorbell cost (VerbsCosts.doorbell_ns) so that doorbell-batched
+// posts (QueuePair::post_send_batch) amortize the ring over a WR chain;
+// see DESIGN.md §14. Values were calibrated against the paper's headline
 // numbers — see EXPERIMENTS.md.
 #pragma once
 

@@ -37,6 +37,13 @@ struct UcrConfig {
   /// (exposed for the ablation benchmark).
   bool event_driven_cq = false;
 
+  /// Pipelined CQ drains: exported-counter fires landing in the same
+  /// drain batch coalesce into one add(n) at end of drain, so the waiter
+  /// of a multi-chunk multiget resumes once instead of once per chunk.
+  /// Single-completion drains flush at the same sim time either way, so
+  /// sequential single-op latencies (fig 3/4) are unaffected.
+  bool coalesce_drain_fires = true;
+
   /// Keepalive probe interval for reliable endpoints. 0 (default)
   /// disables the prober entirely — note that a non-zero interval keeps a
   /// perpetual task alive, so drivers must use run_until, not run().

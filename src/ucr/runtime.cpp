@@ -471,9 +471,49 @@ void Runtime::transmit_slot(Endpoint& ep, std::uint32_t slot, std::size_t len) {
     wr.ud_remote_nic = ep.ud_remote_nic_;
     wr.ud_remote_qpn = ep.ud_remote_qpn_;
   }
+  if (send_batch_active_) {
+    // Chain the WR; end_send_batch posts the chain with one doorbell.
+    // The staging slot stays valid until its completion either way. UD
+    // WRs carry their own addressing, so one shared UD QP chains fine.
+    if ((batch_qp_ != nullptr && batch_qp_ != ep.qp_) ||
+        batch_wr_count_ == batch_wrs_.size()) {
+      flush_send_batch();
+    }
+    batch_qp_ = ep.qp_;
+    batch_ep_ = &ep;
+    batch_wrs_[batch_wr_count_++] = wr;
+    return;
+  }
   if (!ep.qp_->post_send(wr).ok()) {
     release_slot(slot);
     fail_endpoint(ep);
+  }
+}
+
+void Runtime::begin_send_batch() {
+  flush_send_batch();  // defensive: not re-entrant, flush any leftovers
+  send_batch_active_ = true;
+}
+
+void Runtime::end_send_batch() {
+  flush_send_batch();
+  send_batch_active_ = false;
+}
+
+void Runtime::flush_send_batch() {
+  if (batch_wr_count_ == 0) {
+    batch_qp_ = nullptr;
+    batch_ep_ = nullptr;
+    return;
+  }
+  verbs::QueuePair* qp = batch_qp_;
+  Endpoint* ep = batch_ep_;
+  const std::size_t n = batch_wr_count_;
+  batch_wr_count_ = 0;
+  batch_qp_ = nullptr;
+  batch_ep_ = nullptr;
+  if (!qp->post_send_batch(std::span<const verbs::SendWr>{batch_wrs_.data(), n}).ok()) {
+    if (ep != nullptr) fail_endpoint(*ep);
   }
 }
 
@@ -556,12 +596,50 @@ Status Runtime::get(Endpoint& ep, std::span<std::byte> dst, const RemoteMemory& 
 
 // ------------------------------------------------------ progress engines
 
+void Runtime::fire_exported(std::uint64_t counter_id) {
+  if (counter_id == 0) return;
+  auto it = exported_counters_.find(counter_id);
+  if (it == exported_counters_.end()) return;
+  sim::Counter* counter = it->second;
+  if (drain_depth_ == 0 || !config_.coalesce_drain_fires) {
+    counter->add();
+    return;
+  }
+  for (std::size_t i = 0; i < deferred_fire_count_; ++i) {
+    if (deferred_fires_[i].counter == counter) {
+      ++deferred_fires_[i].adds;
+      return;
+    }
+  }
+  if (deferred_fire_count_ == deferred_fires_.size()) {
+    counter->add();  // table full: fire now (correct, just unbatched)
+    return;
+  }
+  deferred_fires_[deferred_fire_count_++] = DeferredFire{counter, 1};
+}
+
+void Runtime::end_drain(std::uint32_t completions) {
+  obs::registry().timer("ucr.cq.drain_batch").record(completions);
+  assert(drain_depth_ > 0);
+  if (--drain_depth_ > 0) return;
+  // Flush coalesced fires: one add(n) — and so one wake-up — per counter,
+  // however many sibling completions the drain carried for it.
+  const std::size_t n = deferred_fire_count_;
+  deferred_fire_count_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    deferred_fires_[i].counter->add(deferred_fires_[i].adds);
+  }
+}
+
 sim::Task<> Runtime::send_progress() {
   while (true) {
     auto wc = co_await send_cq_->next();
     // Batch drain: after the awaited completion, pull any others already
     // queued (polling mode) without bouncing through the awaitable again.
+    begin_drain();
+    std::uint32_t drained = 0;
     while (true) {
+      ++drained;
       const std::uint64_t tag = wc.wr_id & kTagMask;
       const std::uint64_t value = wc.wr_id & ~kTagMask;
       if (tag == kTagSend) {
@@ -594,6 +672,7 @@ sim::Task<> Runtime::send_progress() {
       if (!more) break;
       wc = *more;
     }
+    end_drain(drained);
   }
 }
 
@@ -601,7 +680,10 @@ sim::Task<> Runtime::recv_progress() {
   while (true) {
     auto wc = co_await recv_cq_->next();
     // Batch drain queued completions (polling mode) before suspending.
+    begin_drain();
+    std::uint32_t drained = 0;
     while (true) {
+      ++drained;
       const auto slot = static_cast<std::uint32_t>(wc.wr_id);
       if (wc.status == verbs::WcStatus::success) {
         ++messages_received_;
@@ -631,6 +713,7 @@ sim::Task<> Runtime::recv_progress() {
       if (!more) break;
       wc = *more;
     }
+    end_drain(drained);
   }
 }
 
@@ -701,10 +784,7 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
       if (handler_it->second.on_complete) {
         handler_it->second.on_complete(ep, header, dest.first(placed));
       }
-      if (am.target_counter) {
-        auto cit = exported_counters_.find(am.target_counter);
-        if (cit != exported_counters_.end()) cit->second->add();
-      }
+      fire_exported(am.target_counter);
       if (am.want_flags & wire::kAckCompletion) {
         send_internal(ep, wire::Kind::internal_ack, am.token, wire::kAckCompletion);
       }
@@ -734,10 +814,7 @@ sim::Task<> Runtime::handle_message(Endpoint& ep, std::span<std::byte> buffer,
         if (handler_it != handlers_.end() && handler_it->second.on_complete) {
           handler_it->second.on_complete(ep, header, {});
         }
-        if (am.target_counter) {
-          auto cit = exported_counters_.find(am.target_counter);
-          if (cit != exported_counters_.end()) cit->second->add();
-        }
+        fire_exported(am.target_counter);
         if (am.want_flags) {
           send_internal(ep, wire::Kind::internal_ack, am.token, am.want_flags);
         }
@@ -782,10 +859,7 @@ sim::Task<> Runtime::complete_target_read(std::uint64_t token, verbs::WcStatus s
   if (handler_it != handlers_.end() && handler_it->second.on_complete) {
     handler_it->second.on_complete(*pending.ep, const_span(pending.header), pending.dest);
   }
-  if (pending.am.target_counter) {
-    auto cit = exported_counters_.find(pending.am.target_counter);
-    if (cit != exported_counters_.end()) cit->second->add();
-  }
+  fire_exported(pending.am.target_counter);
   if (pending.am.want_flags) {
     send_internal(*pending.ep, wire::Kind::internal_ack, pending.am.token,
                   pending.am.want_flags);

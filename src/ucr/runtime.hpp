@@ -27,6 +27,7 @@
 // reverse traffic or via explicit credit messages).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -143,6 +144,17 @@ class Runtime {
                       std::span<const std::byte> data, sim::Counter* origin_counter,
                       CounterRef target_counter, sim::Counter* completion_counter);
 
+  // --------------------------------------------- doorbell-batched sends
+  /// Between begin_send_batch and end_send_batch, outgoing AM posts are
+  /// chained per QP and rung with ONE doorbell at the flush
+  /// (QueuePair::post_send_batch) instead of one per message. Multiget
+  /// uses this: all sub-requests of one mget — and all response chunks of
+  /// one reply — share a single doorbell charge. The window must be
+  /// straight-line code (no co_await between begin and end); not
+  /// re-entrant.
+  void begin_send_batch();
+  void end_send_batch();
+
   // ------------------------------------------- one-sided put/get (§IV-B)
   /// RemoteMemory names a window a peer may access one-sided. Obtained at
   /// the target via expose_memory() and shipped to peers by the
@@ -236,6 +248,17 @@ class Runtime {
   sim::Task<> complete_target_read(std::uint64_t token, verbs::WcStatus status);
   void repost_recv_slot(std::uint32_t slot);
 
+  /// Fire the exported counter an AM named as its target. Inside a CQ
+  /// drain batch (and with config.coalesce_drain_fires set), sibling
+  /// fires to the same counter merge into one add(n) flushed at end of
+  /// drain — a multi-chunk multiget wakes its waiter once, not once per
+  /// chunk. ucr.cq.drain_batch records completions per drain.
+  void fire_exported(std::uint64_t counter_id);
+  void begin_drain() { ++drain_depth_; }
+  void end_drain(std::uint32_t completions);
+  /// Post the chained WRs of the current begin/end_send_batch window.
+  void flush_send_batch();
+
   verbs::Hca* hca_;
   UcrConfig config_;
 
@@ -283,6 +306,25 @@ class Runtime {
   std::uint64_t eager_sent_ = 0;
   std::uint64_t rendezvous_sent_ = 0;
   std::uint64_t messages_received_ = 0;
+
+  // Deferred exported-counter fires for the current CQ drain (fixed-size:
+  // a drain rarely touches more than a handful of distinct counters;
+  // overflow falls back to immediate, unbatched fires).
+  struct DeferredFire {
+    sim::Counter* counter = nullptr;
+    std::uint64_t adds = 0;
+  };
+  std::array<DeferredFire, 8> deferred_fires_{};
+  std::size_t deferred_fire_count_ = 0;
+  std::uint32_t drain_depth_ = 0;  ///< send+recv drains may nest via co_await
+
+  // Doorbell batching state (begin/end_send_batch): WRs chained for one
+  // QP, posted together. Fixed-size; a full chain flushes mid-window.
+  bool send_batch_active_ = false;
+  verbs::QueuePair* batch_qp_ = nullptr;
+  Endpoint* batch_ep_ = nullptr;
+  std::array<verbs::SendWr, 16> batch_wrs_{};
+  std::size_t batch_wr_count_ = 0;
 };
 
 }  // namespace rmc::ucr

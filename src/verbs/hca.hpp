@@ -144,8 +144,12 @@ class Hca {
     std::unique_ptr<sim::Counter> resolved;
   };
 
-  /// Charge the doorbell cost and inject a packet into the fabric.
+  /// Charge the full post cost (WQE build + doorbell) and inject a packet
+  /// into the fabric.
   void post_packet(std::unique_ptr<wire::IbPacket> packet);
+  /// Same, but with an explicit host-CPU charge — the doorbell-batching
+  /// path charges the WQE-build share per WR and the doorbell share once.
+  void post_packet_charged(std::unique_ptr<wire::IbPacket> packet, sim::Time post_charge);
 
   /// Emit an ack for `token` back to `dst` with the given status.
   void send_ack(sim::NicAddr dst, std::uint32_t dst_qpn, std::uint64_t token, WcStatus status);

@@ -74,6 +74,15 @@ class QueuePair {
   /// arrive on send_cq.
   Status post_send(const SendWr& wr);
 
+  /// Post a chain of send-queue WRs with ONE doorbell (ibv_post_send with
+  /// a linked wr list): every WR pays the WQE-build share of post_wr_ns,
+  /// the doorbell share is charged once, on the last WR of the chain.
+  /// Stops at the first invalid WR and returns its error — earlier WRs in
+  /// the chain are already posted, matching the bad_wr semantics of real
+  /// verbs. A WR deferred by the PSN window pays a fresh full doorbell
+  /// when the backlog later drains (it genuinely needs its own ring then).
+  Status post_send_batch(std::span<const SendWr> wrs);
+
   /// Post a receive buffer. With an SRQ attached, recvs must be posted to
   /// the SRQ instead (matching ibverbs, which errors ENOTSUP).
   Status post_recv(const RecvWr& wr);
@@ -142,9 +151,14 @@ class QueuePair {
     }
   }
 
+  /// Shared body of post_send / post_send_batch: validate, window-check,
+  /// and transmit one WR, charging `post_charge` host-CPU ns for the post
+  /// (post_wr_ns for a solo post; the WQE-build share for batched WRs).
+  Status post_send_charged(const SendWr& wr, sim::Time post_charge);
+
   /// Build and transmit one numbered SEND (registers the pending-ack
-  /// entry and advances next_psn_).
-  void transmit_send(const SendWr& wr);
+  /// entry and advances next_psn_), charging `post_charge` for the post.
+  void transmit_send(const SendWr& wr, sim::Time post_charge);
   /// Transmit backlogged SENDs while the window has room.
   void drain_tx_backlog();
 

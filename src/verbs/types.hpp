@@ -91,6 +91,12 @@ enum class CqMode : std::uint8_t { polling, event_driven };
 /// write, not a syscall.
 struct VerbsCosts {
   sim::Time post_wr_ns = 120;        ///< build WQE + doorbell (user space)
+  /// Of post_wr_ns, the share attributable to ringing the NIC doorbell
+  /// (the MMIO write that tells the adapter "descriptors are ready").
+  /// QueuePair::post_send_batch charges this once per chain instead of
+  /// once per WR; a single post still costs exactly post_wr_ns, so
+  /// non-batched timings are unchanged. Clamped to post_wr_ns.
+  sim::Time doorbell_ns = 40;
   sim::Time poll_cq_ns = 60;         ///< per-completion poll cost
   sim::Time hca_process_ns = 250;    ///< adapter packet processing, per message
   sim::Time interrupt_ns = 4000;     ///< event-mode completion wake-up

@@ -116,6 +116,74 @@ TEST(ZeroAlloc, SteadyStateUcrGetAllocatesNothing) {
   EXPECT_EQ(delta, 0) << "heap allocations on the steady-state GET path";
 }
 
+// The batched multiget inherits the property: one mget_into round — key
+// block pack, doorbell-batched sub-request issue, server-side single-pass
+// lookup + scatter-gather chunking, batch-drained reply, slot scatter —
+// allocates nothing once warm. Slots and key views live on this frame;
+// values land in the client arena.
+TEST(ZeroAlloc, SteadyStateUcrMgetAllocatesNothing) {
+  Scheduler sched;
+  sim::Fabric ib{sched, sim::ib_qdr_link()};
+  sim::Host server_host{sched, 0, "server", 8};
+  sim::Host client_host{sched, 1, "client", 8};
+  verbs::Hca server_hca{sched, ib, server_host};
+  verbs::Hca client_hca{sched, ib, client_host};
+  ucr::Runtime server_ucr{server_hca};
+  ucr::Runtime client_ucr{client_hca};
+  Server server{sched, server_host, {}};
+  server.attach_ucr_frontend(server_ucr);
+
+  ClientBehavior behavior;
+  behavior.op_timeout = sim::kNoTimeout;  // timed waits heap-allocate a WaitState
+  Client client{sched, client_host, behavior};
+  client.add_server_ucr(client_ucr, server_ucr.addr(), server.config().port);
+
+  bool done = false;
+  long long delta = -1;
+  long long failures = 0;
+
+  sched.spawn([](Client& cli, bool& fin, long long& delta2,
+                 long long& failures2) -> Task<> {
+    if (!(co_await cli.connect_all()).ok()) { ADD_FAILURE() << "connect"; co_return; }
+    constexpr std::size_t kWidth = 16;
+    std::array<std::string, kWidth> keys;
+    std::array<std::string_view, kWidth> views;
+    std::array<mc::MgetSlot, kWidth> slots;
+    const std::string value(64, 'v');
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      keys[i] = "mget-key-" + std::to_string(i);
+      views[i] = keys[i];
+      if (!(co_await cli.set(keys[i], val(value), 7)).ok()) {
+        ADD_FAILURE() << "set " << i;
+        co_return;
+      }
+    }
+
+    // Warm-up: pools, counter free list, slot maps, worker scratch, the
+    // server's chunk plan vectors, metrics and latency-span registrations.
+    for (int i = 0; i < 500; ++i) {
+      auto st = co_await cli.mget_into(views, slots);
+      if (!st.ok()) { ADD_FAILURE() << "warm-up mget"; co_return; }
+    }
+
+    const long long before = g_news;
+    for (int i = 0; i < 2000; ++i) {
+      auto st = co_await cli.mget_into(views, slots);
+      if (!st.ok()) ++failures2;
+      for (std::size_t k = 0; k < kWidth; ++k) {
+        if (!slots[k].hit || slots[k].value_len != 64 || slots[k].flags != 7) ++failures2;
+      }
+    }
+    delta2 = g_news - before;
+    fin = true;
+  }(client, done, delta, failures));
+  sched.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(delta, 0) << "heap allocations on the steady-state mget path";
+}
+
 // Same property with the attribution profiler ON: ProfScope push/pop and
 // the latency-span timers are fixed-array / pre-registered writes, so
 // profiling a run must not reintroduce per-request allocations — otherwise

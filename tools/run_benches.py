@@ -6,6 +6,8 @@ Measures (in a Release tree):
   * micro_kv_components   — parser/store/encode micro-benchmarks
   * fig_onesided_get      — RPC vs one-sided GET latency cells (sim-time,
                             deterministic, so also gateable in --quick)
+  * abl_multiget          — batched multiget width sweep (sim-time,
+                            deterministic; headline is the 64-key cell)
   * fig3 / fig6 binaries  — end-to-end wall-clock (sanity, not a gate)
 
 The snapshot keeps two sections:
@@ -19,6 +21,7 @@ Headline gauges (the ones CI gates on):
   * kv_parse_get_ns            — BM_ParseGetRequest real ns/op       (lower better)
   * onesided_get_us_qdr_64     — one-sided 64 B GET, QDR, sim µs     (lower better)
   * rpc_get_us_qdr_64          — RPC 64 B GET, QDR, sim µs           (lower better)
+  * multiget_64key_us          — batched 64-key mget, QDR, sim µs    (lower better)
 
 Usage:
   tools/run_benches.py [--build-dir build-rel] [--out BENCH_6.json] [--quick]
@@ -42,6 +45,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 MICRO_TARGETS = ["micro_sim_components", "micro_kv_components"]
 ONESIDED_TARGET = "fig_onesided_get"
+MULTIGET_TARGET = "abl_multiget"
 WALLCLOCK_TARGETS = {
     "fig3": "fig3_latency_cluster_a",
     "fig6": "fig6_multi_client_tps",
@@ -49,7 +53,8 @@ WALLCLOCK_TARGETS = {
 # Latency headlines gated in --check mode (lower is better). Sim-time, so
 # deterministic across machines — the tolerance only absorbs intentional
 # model changes that forgot to refresh the snapshot.
-LATENCY_HEADLINES = ["onesided_get_us_qdr_64", "rpc_get_us_qdr_64"]
+LATENCY_HEADLINES = ["onesided_get_us_qdr_64", "rpc_get_us_qdr_64",
+                     "multiget_64key_us"]
 # Throughput headlines gated in --check mode (higher is better). Keys
 # missing from an older snapshot are skipped, like the latency ones.
 THROUGHPUT_HEADLINES = ["sim_events_per_sec", "end_to_end_sim_ops_per_sec"]
@@ -114,6 +119,14 @@ def run_onesided(build_dir):
         return json.load(f)
 
 
+def run_multiget(build_dir):
+    out = os.path.join(build_dir, "abl_multiget.json")
+    run([find_binary(build_dir, MULTIGET_TARGET), "--json", out],
+        stdout=subprocess.DEVNULL)
+    with open(out) as f:
+        return json.load(f)
+
+
 def run_wallclock(build_dir):
     timings = {}
     for key, target in WALLCLOCK_TARGETS.items():
@@ -125,7 +138,7 @@ def run_wallclock(build_dir):
 
 
 def measure(build_dir, quick):
-    targets = MICRO_TARGETS + [ONESIDED_TARGET] + (
+    targets = MICRO_TARGETS + [ONESIDED_TARGET, MULTIGET_TARGET] + (
         [] if quick else list(WALLCLOCK_TARGETS.values()))
     ensure_build(build_dir, targets)
     current = {"quick": quick, "benchmarks": {}}
@@ -133,6 +146,8 @@ def measure(build_dir, quick):
         current["benchmarks"][target] = run_micro(build_dir, target, quick)
     onesided = run_onesided(build_dir)
     current["onesided"] = {"ddr": onesided["ddr"], "qdr": onesided["qdr"]}
+    multiget = run_multiget(build_dir)
+    current["multiget"] = {"sweep": multiget["sweep"]}
     if not quick:
         current["wallclock_sec"] = run_wallclock(build_dir)
     sim = current["benchmarks"]["micro_sim_components"]
@@ -144,13 +159,14 @@ def measure(build_dir, quick):
         "kv_parse_get_ns": kv["BM_ParseGetRequest"]["real_time_ns"],
     }
     current["headline"].update(onesided["headline"])
+    current["headline"].update(multiget["headline"])
     return current
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO, "build-rel"))
-    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_6.json"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_7.json"))
     ap.add_argument("--quick", action="store_true",
                     help="short benchmark repetitions, skip wall-clock figs")
     ap.add_argument("--check", metavar="SNAPSHOT",
