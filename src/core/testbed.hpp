@@ -69,6 +69,9 @@ class TestBed {
   sim::Scheduler& scheduler() { return *sched_; }
   const TestBedConfig& config() const { return config_; }
   mc::Server& server() { return *server_; }
+  /// The transport's fabric — exposed so scenarios and tests can script
+  /// FaultInjector plans against the testbed.
+  sim::Fabric& fabric() { return *fabric_; }
 
   std::size_t client_count() const { return clients_.size(); }
   mc::Client& client(std::size_t i) { return *clients_.at(i); }

@@ -1,11 +1,13 @@
 #include "core/workload.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
 #include "common/log.hpp"
-#include "common/rng.hpp"
+#include "core/fleetbed.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
 namespace rmc::core {
@@ -20,10 +22,21 @@ std::string_view pattern_name(OpPattern pattern) {
   return "?";
 }
 
+std::string_view key_dist_name(KeyDist dist) {
+  switch (dist) {
+    case KeyDist::uniform: return "uniform";
+    case KeyDist::zipfian: return "zipfian";
+    case KeyDist::hot_shift: return "hot-shift";
+  }
+  return "?";
+}
+
 namespace {
 
 const std::uint16_t kProfRun =
     obs::profiler().register_scope("prof.mc.workload.run", obs::ScopeKind::engine);
+const std::uint16_t kProfFleet =
+    obs::profiler().register_scope("prof.mc.workload.fleet", obs::ScopeKind::engine);
 
 /// Is operation #i of the stream a Set?
 bool is_set_op(OpPattern pattern, std::uint64_t i) {
@@ -42,15 +55,31 @@ struct ClientState {
   LatencyHistogram all_latency;
   sim::Time finished_at = 0;
   std::uint64_t ops = 0;
-  bool ok = false;
+  bool failed = false;
+};
+
+/// Shared run flags: the starter task raises connect_failed before waking
+/// the clients, so a failed connect_all drains every task instead of
+/// leaving them suspended on `connected` forever.
+struct RunFlags {
+  bool connect_failed = false;
 };
 
 sim::Task<> client_task(TestBed& bed, const WorkloadConfig& config, std::size_t index,
                         std::span<std::byte> value, sim::Event& connected,
-                        sim::Counter& ready, sim::Event& start, ClientState& state) {
+                        sim::Counter& ready, sim::Event& start, const RunFlags& flags,
+                        ClientState& state) {
   mc::Client& client = bed.client(index);
   sim::Scheduler& sched = bed.scheduler();
   co_await connected.wait();
+  if (flags.connect_failed) {
+    // connect_all failed: exit cleanly (and keep the start barrier
+    // honest) instead of waiting on a start that would never fire.
+    state.failed = true;
+    state.finished_at = sched.now();
+    ready.add();
+    co_return;
+  }
 
   // Populate this client's key set (untimed warm-up; also the warm path
   // for connection buffers and the server's slab classes).
@@ -64,6 +93,8 @@ sim::Task<> client_task(TestBed& bed, const WorkloadConfig& config, std::size_t 
     if (!st.ok()) {
       RMC_LOG_ERROR("workload: populate failed on %s: %s", key.c_str(),
                     std::string(to_string(st.error())).c_str());
+      state.failed = true;
+      state.finished_at = sched.now();
       ready.add();
       co_return;
     }
@@ -79,13 +110,21 @@ sim::Task<> client_task(TestBed& bed, const WorkloadConfig& config, std::size_t 
     const sim::Time begin = sched.now();
     if (is_set_op(config.pattern, i)) {
       auto st = co_await client.set(key, value);
-      if (!st.ok()) co_return;
+      if (!st.ok()) {
+        state.failed = true;
+        state.finished_at = sched.now();
+        co_return;
+      }
       const sim::Time lat = sched.now() - begin;
       state.set_latency.record(lat);
       state.all_latency.record(lat);
     } else {
       auto got = co_await client.get(key);
-      if (!got.ok()) co_return;
+      if (!got.ok()) {
+        state.failed = true;
+        state.finished_at = sched.now();
+        co_return;
+      }
       const sim::Time lat = sched.now() - begin;
       state.get_latency.record(lat);
       state.all_latency.record(lat);
@@ -93,7 +132,6 @@ sim::Task<> client_task(TestBed& bed, const WorkloadConfig& config, std::size_t 
     ++state.ops;
   }
   state.finished_at = sched.now();
-  state.ok = true;
 }
 
 }  // namespace
@@ -116,23 +154,27 @@ WorkloadResult run_workload(TestBed& bed, const WorkloadConfig& config) {
   sim::Counter ready(sched);
   sim::Event start(sched);
   sim::Time start_time = 0;
+  RunFlags flags;
 
   sched.spawn([](TestBed& tb, sim::Event& conn_ev, sim::Counter& ready_ctr, sim::Event& start_ev,
-                 std::size_t clients, sim::Time& t0) -> sim::Task<> {
+                 std::size_t clients, sim::Time& t0, RunFlags& fl) -> sim::Task<> {
     auto st = co_await tb.connect_all();
     if (!st.ok()) {
       RMC_LOG_ERROR("workload: connect failed: %s",
                     std::string(to_string(st.error())).c_str());
-      co_return;
+      // Wake the clients anyway: they check connect_failed and drain, so
+      // the run terminates instead of hanging inside sched.run().
+      fl.connect_failed = true;
     }
     conn_ev.set();
     co_await ready_ctr.wait_geq(clients);
     t0 = tb.scheduler().now();
     start_ev.set();
-  }(bed, connected, ready, start, n, start_time));
+  }(bed, connected, ready, start, n, start_time, flags));
 
   for (std::size_t i = 0; i < n; ++i) {
-    sched.spawn(client_task(bed, config, i, values[i], connected, ready, start, states[i]));
+    sched.spawn(
+        client_task(bed, config, i, values[i], connected, ready, start, flags, states[i]));
   }
   {
     // Root of the drive loop: every dispatched event nests under it, so
@@ -142,12 +184,17 @@ WorkloadResult run_workload(TestBed& bed, const WorkloadConfig& config) {
     sched.run();
   }
 
+  // Aggregate every client — including the ones that failed mid-run.
+  // Their partial ops and histograms stay in the totals and their finish
+  // times extend the window, so a lossy run reports the loss explicitly
+  // instead of silently inflating per-client throughput.
   WorkloadResult result;
+  result.connect_failed = flags.connect_failed;
   sim::Time last_finish = start_time;
   for (auto& state : states) {
-    if (!state.ok) {
-      RMC_LOG_WARN("workload: a client did not finish cleanly");
-      continue;
+    if (state.failed) {
+      ++result.failed_clients;
+      result.failed_client_ops += state.ops;
     }
     result.set_latency.merge(state.set_latency);
     result.get_latency.merge(state.get_latency);
@@ -155,7 +202,403 @@ WorkloadResult run_workload(TestBed& bed, const WorkloadConfig& config) {
     result.total_ops += state.ops;
     last_finish = std::max(last_finish, state.finished_at);
   }
+  if (result.failed_clients != 0) {
+    RMC_LOG_WARN("workload: %llu/%zu clients failed (%llu partial ops kept)",
+                 static_cast<unsigned long long>(result.failed_clients), states.size(),
+                 static_cast<unsigned long long>(result.failed_client_ops));
+  }
   result.elapsed = last_finish - start_time;
+  return result;
+}
+
+// ===================================================================
+// Fleet workload library
+// ===================================================================
+
+namespace {
+
+/// Riemann zeta partial sum — the normalization constant of the Zipfian
+/// CDF. O(n), computed once per generator.
+double zeta(std::uint64_t n, double s) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), s);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double s)
+    : n_(std::max<std::uint64_t>(1, n)), s_(s) {
+  // s == 1 makes the inverse-CDF exponent 1/(1-s) blow up; nudge off the
+  // pole (the distribution is indistinguishable at this resolution).
+  if (std::abs(1.0 - s_) < 1e-6) s_ = 1.0 - 1e-6;
+  zetan_ = zeta(n_, s_);
+  alpha_ = 1.0 / (1.0 - s_);
+  const double zeta2 = zeta(2, s_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - s_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfGenerator::operator()(Rng& rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, s_)) return 1;
+  const auto k = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(k, n_ - 1);
+}
+
+KeySampler::KeySampler(const FleetWorkloadConfig& config)
+    : dist_(config.dist),
+      key_space_(std::max<std::uint64_t>(1, config.key_space)),
+      hot_fraction_(config.hot_fraction),
+      hot_set_size_(std::clamp<std::uint64_t>(config.hot_set_size, 1, key_space_)),
+      hot_shift_interval_(config.hot_shift_interval),
+      seed_(config.seed),
+      zipf_(key_space_, config.zipf_s) {}
+
+std::uint64_t KeySampler::hot_base(sim::Time now) const {
+  const std::uint64_t epoch =
+      hot_shift_interval_ ? static_cast<std::uint64_t>(now / hot_shift_interval_) : 0;
+  // splitmix64-style mix of (epoch, seed): a new pseudo-random base per
+  // epoch, deterministic per seed, uncorrelated with the previous one.
+  std::uint64_t z = epoch * 0x9e3779b97f4a7c15ull + seed_ * 0xbf58476d1ce4e5b9ull +
+                    0x94d049bb133111ebull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z % key_space_;
+}
+
+std::uint64_t KeySampler::sample(Rng& rng, sim::Time now) const {
+  switch (dist_) {
+    case KeyDist::uniform:
+      return rng.below(key_space_);
+    case KeyDist::zipfian:
+      return zipf_(rng);
+    case KeyDist::hot_shift:
+      if (rng.uniform() < hot_fraction_) {
+        return (hot_base(now) + rng.below(hot_set_size_)) % key_space_;
+      }
+      return rng.below(key_space_);
+  }
+  return 0;
+}
+
+std::string fleet_key(std::uint64_t index) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string key("kxxxxxxxx");  // fixed width: no per-op length variance
+  for (int i = 0; i < 8; ++i) key[8 - i] = kHex[(index >> (4 * i)) & 0xf];
+  return key;
+}
+
+std::byte fleet_value_byte(std::uint64_t index) {
+  return static_cast<std::byte>(0x21 + (index * 131) % 0x5e);  // printable
+}
+
+namespace {
+
+/// Per-op-kind registry timers (mc.fleet.get / mc.fleet.set /
+/// mc.fleet.mget): the registry's percentile synthesis turns these into
+/// the per-op p99 the fleet report quotes.
+struct FleetTimers {
+  obs::Timer* get = &obs::registry().timer("mc.fleet.get");
+  obs::Timer* set = &obs::registry().timer("mc.fleet.set");
+  obs::Timer* mget = &obs::registry().timer("mc.fleet.mget");
+};
+
+struct FleetClientState {
+  LatencyHistogram get_latency;
+  LatencyHistogram set_latency;
+  LatencyHistogram mget_latency;
+  LatencyHistogram all_latency;
+  std::uint64_t gets = 0, sets = 0, mgets = 0, dels = 0;
+  std::uint64_t hits = 0, misses = 0, errors = 0;
+  std::uint64_t value_mismatches = 0;
+  std::uint64_t ops = 0;
+  sim::Time finished_at = 0;
+  bool failed = false;
+};
+
+/// Per-shard tallies shared by all client tasks (single-threaded sim:
+/// plain increments, no contention, deterministic sums).
+struct FleetShardTallies {
+  std::vector<std::uint64_t> ops, hits, misses;
+  explicit FleetShardTallies(std::size_t shards)
+      : ops(shards, 0), hits(shards, 0), misses(shards, 0) {}
+};
+
+struct FleetRunFlags {
+  bool connect_failed = false;
+};
+
+/// True when the value bytes match the deterministic per-key encoding —
+/// the torn/corrupt-value check of the eviction-storm scenario.
+bool value_intact(std::uint64_t index, std::span<const std::byte> data) {
+  const std::byte expect = fleet_value_byte(index);
+  for (const std::byte b : data) {
+    if (b != expect) return false;
+  }
+  return true;
+}
+
+sim::Task<> fleet_client_task(FleetBed& bed, const FleetWorkloadConfig& config,
+                              const KeySampler& sampler, FleetTimers& timers,
+                              std::size_t index, sim::Event& connected,
+                              sim::Counter& ready, sim::Event& start,
+                              const FleetRunFlags& flags, FleetShardTallies& shards,
+                              FleetClientState& state) {
+  mc::Client& client = bed.client(index);
+  sim::Scheduler& sched = bed.scheduler();
+  const std::size_t n_clients = bed.client_count();
+  co_await connected.wait();
+  if (flags.connect_failed) {
+    state.failed = true;
+    state.finished_at = sched.now();
+    ready.add();
+    co_return;
+  }
+
+  std::vector<std::byte> value(std::max<std::uint32_t>(1, config.value_size));
+  auto fill_value = [&value](std::uint64_t idx) {
+    std::fill(value.begin(), value.end(), fleet_value_byte(idx));
+  };
+
+  // Populate this client's stripe of the shared key space (untimed).
+  if (config.populate) {
+    for (std::uint64_t idx = index; idx < config.key_space; idx += n_clients) {
+      fill_value(idx);
+      auto st = co_await client.set(fleet_key(idx), value);
+      if (!st.ok() && ++state.errors >= config.abort_after_errors) {
+        state.failed = true;
+        state.finished_at = sched.now();
+        ready.add();
+        co_return;
+      }
+    }
+  }
+
+  ready.add();
+  co_await start.wait();
+
+  Rng rng(config.seed * 1000003 + index);
+  const std::uint64_t weight_total =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(config.get_weight) +
+                                     config.set_weight + config.mget_weight +
+                                     config.del_weight);
+  std::vector<std::string> mget_keys;
+  std::vector<std::size_t> mget_shards;
+
+  for (std::uint64_t i = 0; i < config.ops_per_client; ++i) {
+    const std::uint64_t pick = rng.below(weight_total);
+    const sim::Time begin = sched.now();
+    bool op_failed = false;
+
+    if (pick < config.get_weight) {
+      // ---- GET ----
+      const std::uint64_t idx = sampler.sample(rng, sched.now());
+      const std::string key = fleet_key(idx);
+      const std::size_t shard = client.server_index(key);
+      auto got = co_await client.get(key);
+      const sim::Time lat = sched.now() - begin;
+      if (got.ok()) {
+        ++state.hits;
+        ++shards.hits[shard];
+        if (!value_intact(idx, got->data)) ++state.value_mismatches;
+      } else if (got.error() == Errc::not_found) {
+        ++state.misses;
+        ++shards.misses[shard];
+      } else {
+        op_failed = true;
+      }
+      if (!op_failed) {
+        ++state.gets;
+        ++shards.ops[shard];
+        state.get_latency.record(lat);
+        state.all_latency.record(lat);
+        timers.get->record(lat);
+      }
+    } else if (pick < config.get_weight + config.set_weight) {
+      // ---- SET (optionally with a short TTL: the churn knob) ----
+      const std::uint64_t idx = sampler.sample(rng, sched.now());
+      const std::string key = fleet_key(idx);
+      const std::size_t shard = client.server_index(key);
+      const bool ttl = config.ttl_set_fraction > 0.0 && rng.chance(config.ttl_set_fraction);
+      fill_value(idx);
+      auto st = co_await client.set(key, value, 0, ttl ? config.ttl_seconds : 0);
+      const sim::Time lat = sched.now() - begin;
+      if (st.ok()) {
+        ++state.sets;
+        ++shards.ops[shard];
+        state.set_latency.record(lat);
+        state.all_latency.record(lat);
+        timers.set->record(lat);
+      } else {
+        op_failed = true;
+      }
+    } else if (pick < config.get_weight + config.set_weight + config.mget_weight) {
+      // ---- multiget fan-out: one client call, keys spread across shards ----
+      const std::uint32_t width = std::max<std::uint32_t>(1, config.mget_width);
+      mget_keys.clear();
+      mget_shards.clear();
+      for (std::uint32_t k = 0; k < width; ++k) {
+        const std::uint64_t idx = sampler.sample(rng, sched.now());
+        mget_keys.push_back(fleet_key(idx));
+        mget_shards.push_back(client.server_index(mget_keys.back()));
+      }
+      auto r = co_await client.mget(mget_keys);
+      const sim::Time lat = sched.now() - begin;
+      if (r.ok()) {
+        ++state.mgets;
+        for (std::size_t k = 0; k < mget_keys.size(); ++k) {
+          ++shards.ops[mget_shards[k]];
+          if ((*r)[k].has_value()) {
+            ++state.hits;
+            ++shards.hits[mget_shards[k]];
+          } else {
+            ++state.misses;
+            ++shards.misses[mget_shards[k]];
+          }
+        }
+        state.mget_latency.record(lat);
+        state.all_latency.record(lat);
+        timers.mget->record(lat);
+      } else {
+        op_failed = true;
+      }
+    } else {
+      // ---- DELETE ----
+      const std::uint64_t idx = sampler.sample(rng, sched.now());
+      const std::string key = fleet_key(idx);
+      const std::size_t shard = client.server_index(key);
+      auto st = co_await client.del(key);
+      const sim::Time lat = sched.now() - begin;
+      if (st.ok() || st.error() == Errc::not_found) {
+        ++state.dels;
+        ++shards.ops[shard];
+        state.all_latency.record(lat);
+      } else {
+        op_failed = true;
+      }
+    }
+
+    if (op_failed) {
+      if (++state.errors >= config.abort_after_errors) {
+        state.failed = true;
+        state.finished_at = sched.now();
+        co_return;
+      }
+    } else {
+      ++state.ops;
+    }
+
+    if (config.think_time != 0) {
+      // Jittered pacing: half-to-1.5x the nominal think time, so clients
+      // do not march in lockstep (deterministic per seed regardless).
+      co_await sched.delay(config.think_time / 2 + rng.below(config.think_time + 1));
+    }
+  }
+  state.finished_at = sched.now();
+}
+
+}  // namespace
+
+FleetResult run_fleet(FleetBed& bed, const FleetWorkloadConfig& config) {
+  sim::Scheduler& sched = bed.scheduler();
+  const std::size_t n = bed.client_count();
+  const std::size_t shards = bed.shard_count();
+
+  std::vector<FleetClientState> states(n);
+  FleetShardTallies tallies(shards);
+  FleetTimers timers;
+  KeySampler sampler(config);
+  sim::Event connected(sched);
+  sim::Counter ready(sched);
+  sim::Event start(sched);
+  sim::Time start_time = 0;
+  FleetRunFlags flags;
+
+  std::vector<std::uint64_t> evictions_before(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    evictions_before[s] = bed.shard(s).store().stats().evictions;
+  }
+
+  sched.spawn([](FleetBed& fb, sim::Event& conn_ev, sim::Counter& ready_ctr,
+                 sim::Event& start_ev, std::size_t clients, sim::Time& t0,
+                 FleetRunFlags& fl) -> sim::Task<> {
+    auto st = co_await fb.connect_all();
+    if (!st.ok()) {
+      RMC_LOG_ERROR("fleet: connect failed: %s",
+                    std::string(to_string(st.error())).c_str());
+      fl.connect_failed = true;
+    }
+    conn_ev.set();
+    co_await ready_ctr.wait_geq(clients);
+    t0 = fb.scheduler().now();
+    start_ev.set();
+  }(bed, connected, ready, start, n, start_time, flags));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sched.spawn(fleet_client_task(bed, config, sampler, timers, i, connected, ready,
+                                  start, flags, tallies, states[i]));
+  }
+  {
+    obs::ProfScope prof{kProfFleet};
+    sched.run();
+  }
+
+  FleetResult result;
+  result.connect_failed = flags.connect_failed;
+  result.shards.resize(shards);
+  sim::Time last_finish = start_time;
+  for (auto& state : states) {
+    if (state.failed) ++result.failed_clients;
+    result.get_latency.merge(state.get_latency);
+    result.set_latency.merge(state.set_latency);
+    result.mget_latency.merge(state.mget_latency);
+    result.all_latency.merge(state.all_latency);
+    result.gets += state.gets;
+    result.sets += state.sets;
+    result.mgets += state.mgets;
+    result.dels += state.dels;
+    result.hits += state.hits;
+    result.misses += state.misses;
+    result.errors += state.errors;
+    result.value_mismatches += state.value_mismatches;
+    result.total_ops += state.ops;
+    last_finish = std::max(last_finish, state.finished_at);
+  }
+  result.elapsed = last_finish - start_time;
+  if (result.failed_clients != 0) {
+    RMC_LOG_WARN("fleet: %llu/%zu clients failed",
+                 static_cast<unsigned long long>(result.failed_clients), states.size());
+  }
+
+  // Publish the run into the registry: aggregates, then the per-shard
+  // dynamic family under the "mc.fleet.shard." prefix.
+  obs::Registry& reg = obs::registry();
+  reg.counter("mc.fleet.ops").inc(result.total_ops);
+  reg.counter("mc.fleet.hits").inc(result.hits);
+  reg.counter("mc.fleet.misses").inc(result.misses);
+  reg.counter("mc.fleet.errors").inc(result.errors);
+  reg.counter("mc.fleet.failed_clients").inc(result.failed_clients);
+  reg.counter("mc.fleet.value_mismatches").inc(result.value_mismatches);
+  reg.gauge("mc.fleet.hit_ratio_ppm")
+      .set(static_cast<std::int64_t>(result.hit_ratio() * 1e6));
+  for (std::size_t s = 0; s < shards; ++s) {
+    FleetShardStats& sh = result.shards[s];
+    sh.ops = tallies.ops[s];
+    sh.hits = tallies.hits[s];
+    sh.misses = tallies.misses[s];
+    sh.evictions = bed.shard(s).store().stats().evictions - evictions_before[s];
+    const std::string prefix = "mc.fleet.shard." + std::to_string(s);
+    reg.counter(prefix + ".ops").inc(sh.ops);
+    reg.counter(prefix + ".hits").inc(sh.hits);
+    reg.counter(prefix + ".misses").inc(sh.misses);
+    reg.counter(prefix + ".evictions").inc(sh.evictions);
+  }
   return result;
 }
 

@@ -537,7 +537,7 @@ class UcrConn final : public ServerConn {
       : sched_(&sched), host_(&host), behavior_(behavior), runtime_(&runtime), addr_(addr),
         port_(port) {
     ensure_handler(runtime);
-    arena_.resize(kArenaSize);
+    arena_.resize(std::max<std::size_t>(behavior.arena_bytes, 1024));
     // Endpoint death must not leave in-flight operations to ride out their
     // timeouts: fail every pending request the moment the runtime reports
     // the endpoint down, so callers see Errc::disconnected immediately.
@@ -834,8 +834,6 @@ class UcrConn final : public ServerConn {
   }
 
  private:
-  static constexpr std::size_t kArenaSize = 8 * 1024 * 1024;
-
   /// Shared state of one multiget sub-request, owned by the mget_into
   /// coroutine frame; response chunks scatter into it as they land. A
   /// sub-request abandoned early (sibling failure) must be drop_mget()ed

@@ -58,6 +58,11 @@ struct ClientBehavior {
   bool onesided_get = false;
   /// Torn-observation re-reads before a one-sided GET falls back to RPC.
   std::uint32_t onesided_torn_retries = 2;
+  /// Per-UCR-connection landing arena for GET/mget values. The default
+  /// matches the historical fixed size; fleet-scale pools (thousands of
+  /// connections) shrink it — overflow falls back to a side buffer, so a
+  /// small arena is safe, just metered (mc.alloc.arena_overflows).
+  std::size_t arena_bytes = 8 * 1024 * 1024;
 
   // ---- failure recovery (all off by default: a client with the default
   // behavior is byte-identical to the pre-fault-tolerance one) ----

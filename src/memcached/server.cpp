@@ -63,6 +63,24 @@ Server::~Server() {
   }
 }
 
+void Server::schedule_flush(std::uint32_t exptime_s) {
+  // Every flush — immediate or delayed — starts a new generation, so any
+  // still-pending timer from an earlier flush_all is superseded (memcached
+  // semantics: the newest flush wins).
+  const std::uint64_t gen = ++flush_gen_;
+  if (exptime_s == 0) {
+    store_.flush_all();
+    return;
+  }
+  std::weak_ptr<bool> alive = flush_alive_;
+  sched_->call_in(static_cast<sim::Time>(exptime_s) * kNsPerSec, [this, alive, gen] {
+    // The token expires with the Server: a timer outliving the server (or
+    // superseded by a newer flush) must not touch freed state.
+    if (alive.expired() || gen != flush_gen_) return;
+    store_.flush_all();
+  });
+}
+
 void Server::advance_clock() {
   store_.set_clock(static_cast<std::uint32_t>(1 + sched_->now() / kNsPerSec));
 }
@@ -327,12 +345,7 @@ proto::Response Server::execute(const proto::Request& request) {
       resp.type = store_.touch(request.key(), request.exptime) ? Type::touched : Type::not_found;
       return resp;
     case proto::Command::flush_all:
-      if (request.exptime == 0) {
-        store_.flush_all();
-      } else {
-        sched_->call_in(static_cast<sim::Time>(request.exptime) * kNsPerSec,
-                        [this] { store_.flush_all(); });
-      }
+      schedule_flush(request.exptime);
       resp.type = Type::ok;
       return resp;
     case proto::Command::stats:
@@ -560,12 +573,7 @@ sim::Task<> Server::process_binary(Work& work) {
           store_.touch(req.key, req.exptime) ? BStatus::ok : BStatus::key_not_found;
       break;
     case Opcode::flush:
-      if (req.exptime == 0) {
-        store_.flush_all();
-      } else {
-        sched_->call_in(static_cast<sim::Time>(req.exptime) * kNsPerSec,
-                        [this] { store_.flush_all(); });
-      }
+      schedule_flush(req.exptime);
       resp.status = BStatus::ok;
       break;
     case Opcode::noop:
@@ -1058,12 +1066,7 @@ sim::Task<> Server::process_ucr(Work& work, WorkerScratch& scratch) {
           store_.touch(work.key(), req.exptime) ? ucrp::RStatus::touched : ucrp::RStatus::not_found;
       break;
     case ucrp::Op::flush_all:
-      if (req.delta == 0) {
-        store_.flush_all();
-      } else {
-        sched_->call_in(static_cast<sim::Time>(req.delta) * kNsPerSec,
-                        [this] { store_.flush_all(); });
-      }
+      schedule_flush(static_cast<std::uint32_t>(req.delta));
       resp.status = ucrp::RStatus::ok;
       break;
     case ucrp::Op::version:

@@ -76,6 +76,14 @@ class Server {
   /// Render "stats" output (STAT lines).
   std::string render_stats() const;
 
+  /// flush_all with memcached's optional delay: exptime_s == 0 flushes
+  /// immediately, otherwise the flush fires exptime_s seconds from now.
+  /// Per memcached semantics the newest flush wins — a later call
+  /// (immediate or delayed) supersedes any still-pending timer — and the
+  /// timer is cancel-safe: it no-ops if the server is destroyed first.
+  /// Public for the protocol frontends and tests.
+  void schedule_flush(std::uint32_t exptime_s);
+
  private:
   struct UcrConnState;
 
@@ -162,6 +170,12 @@ class Server {
   ucr::Runtime* ucr_runtime_ = nullptr;
   std::uint64_t ucr_down_handler_ = 0;  ///< on_endpoint_down registration
   std::vector<std::unique_ptr<UcrConnState>> ucr_conns_;
+
+  /// Delayed-flush bookkeeping: the generation a pending timer belongs to
+  /// (stale generations no-op, making repeated flushes last-write-wins)
+  /// and a liveness token whose expiry tells a timer the server is gone.
+  std::uint64_t flush_gen_ = 0;
+  std::shared_ptr<bool> flush_alive_ = std::make_shared<bool>(true);
 
   std::uint64_t requests_served_ = 0;
   std::uint64_t total_connections_ = 0;

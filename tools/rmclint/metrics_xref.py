@@ -117,7 +117,11 @@ class MetricsXref:
         base = _strip_derived(ref)
         if ref in self.defs or base in self.defs:
             return True
-        return any(ref.startswith(p) or base.startswith(p) for p in self.prefixes)
+        # A name nested under a dynamic prefix resolves to it; so does the
+        # bare family name itself (a `mc.fleet.shard.*` wildcard in docs
+        # also yields the 3-segment `mc.fleet.shard` as a plain reference).
+        return any(ref.startswith(p) or base.startswith(p) or p == ref + "." or
+                   p == base + "." for p in self.prefixes)
 
     def _referenced(self, name: str) -> bool:
         if name.endswith("."):

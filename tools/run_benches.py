@@ -8,6 +8,9 @@ Measures (in a Release tree):
                             deterministic, so also gateable in --quick)
   * abl_multiget          — batched multiget width sweep (sim-time,
                             deterministic; headline is the 64-key cell)
+  * fleet                 — sharded-pool workload engine at the 10k-connection
+                            shape (1250 clients x 8 shards); headline is the
+                            saturation-phase sim-time TPS (deterministic)
   * fig3 / fig6 binaries  — end-to-end wall-clock (sanity, not a gate)
 
 The snapshot keeps two sections:
@@ -22,10 +25,11 @@ Headline gauges (the ones CI gates on):
   * onesided_get_us_qdr_64     — one-sided 64 B GET, QDR, sim µs     (lower better)
   * rpc_get_us_qdr_64          — RPC 64 B GET, QDR, sim µs           (lower better)
   * multiget_64key_us          — batched 64-key mget, QDR, sim µs    (lower better)
+  * fleet_10k_ops_per_sec      — fleet saturation TPS, sim ops/s     (higher better)
 
 Usage:
-  tools/run_benches.py [--build-dir build-rel] [--out BENCH_6.json] [--quick]
-  tools/run_benches.py --check BENCH_6.json [--build-dir ...] [--quick]
+  tools/run_benches.py [--build-dir build-rel] [--out BENCH_8.json] [--quick]
+  tools/run_benches.py --check BENCH_8.json [--build-dir ...] [--quick]
 
 --check re-measures and fails (exit 1) if sim_events_per_sec or either GET
 latency regressed more than --tolerance (default 20%) against the checked-in
@@ -46,6 +50,10 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 MICRO_TARGETS = ["micro_sim_components", "micro_kv_components"]
 ONESIDED_TARGET = "fig_onesided_get"
 MULTIGET_TARGET = "abl_multiget"
+FLEET_TARGET = "fleet"
+# The 10k-connection headline shape. Sim-time TPS, so the same shape runs
+# in both quick and full mode — the headline is identical either way.
+FLEET_ARGS = ["--clients", "1250", "--shards", "8", "--ops", "40"]
 WALLCLOCK_TARGETS = {
     "fig3": "fig3_latency_cluster_a",
     "fig6": "fig6_multi_client_tps",
@@ -57,7 +65,8 @@ LATENCY_HEADLINES = ["onesided_get_us_qdr_64", "rpc_get_us_qdr_64",
                      "multiget_64key_us"]
 # Throughput headlines gated in --check mode (higher is better). Keys
 # missing from an older snapshot are skipped, like the latency ones.
-THROUGHPUT_HEADLINES = ["sim_events_per_sec", "end_to_end_sim_ops_per_sec"]
+THROUGHPUT_HEADLINES = ["sim_events_per_sec", "end_to_end_sim_ops_per_sec",
+                        "fleet_10k_ops_per_sec"]
 
 
 def run(cmd, **kw):
@@ -127,6 +136,14 @@ def run_multiget(build_dir):
         return json.load(f)
 
 
+def run_fleet(build_dir):
+    out = os.path.join(build_dir, "fleet.json")
+    run([find_binary(build_dir, FLEET_TARGET)] + FLEET_ARGS + ["--json", out],
+        stdout=subprocess.DEVNULL)
+    with open(out) as f:
+        return json.load(f)
+
+
 def run_wallclock(build_dir):
     timings = {}
     for key, target in WALLCLOCK_TARGETS.items():
@@ -138,7 +155,7 @@ def run_wallclock(build_dir):
 
 
 def measure(build_dir, quick):
-    targets = MICRO_TARGETS + [ONESIDED_TARGET, MULTIGET_TARGET] + (
+    targets = MICRO_TARGETS + [ONESIDED_TARGET, MULTIGET_TARGET, FLEET_TARGET] + (
         [] if quick else list(WALLCLOCK_TARGETS.values()))
     ensure_build(build_dir, targets)
     current = {"quick": quick, "benchmarks": {}}
@@ -148,6 +165,9 @@ def measure(build_dir, quick):
     current["onesided"] = {"ddr": onesided["ddr"], "qdr": onesided["qdr"]}
     multiget = run_multiget(build_dir)
     current["multiget"] = {"sweep": multiget["sweep"]}
+    fleet = run_fleet(build_dir)
+    current["fleet"] = {"connections": fleet["connections"],
+                        "phases": fleet["phases"]}
     if not quick:
         current["wallclock_sec"] = run_wallclock(build_dir)
     sim = current["benchmarks"]["micro_sim_components"]
@@ -160,13 +180,14 @@ def measure(build_dir, quick):
     }
     current["headline"].update(onesided["headline"])
     current["headline"].update(multiget["headline"])
+    current["headline"].update(fleet["headline"])
     return current
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO, "build-rel"))
-    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_7.json"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_8.json"))
     ap.add_argument("--quick", action="store_true",
                     help="short benchmark repetitions, skip wall-clock figs")
     ap.add_argument("--check", metavar="SNAPSHOT",
