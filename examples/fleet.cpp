@@ -16,6 +16,10 @@
 //                    several times the slab budget; the LRU grinds,
 //                    evictions climb, and every surviving hit still
 //                    carries intact bytes (torn values = 0).
+//   5. rfp smoke   — a second, small fleet with every connection in
+//                    remote-fetch-ring mode (DESIGN.md §16): the mixed
+//                    workload runs over server-bypass rings end to end,
+//                    with ring traffic and fallback share reported.
 //
 // Deterministic: the same --seed reproduces the report byte for byte.
 //
@@ -183,6 +187,34 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_evictions(evict)),
               evict.shards.size(), static_cast<unsigned long long>(evict.value_mismatches));
 
+  // ---- phase 5: rfp smoke — a small fleet riding the server-bypass rings ----
+  // A fixed small shape independent of --clients so the headline runs don't
+  // double; the point is end-to-end coverage of the ring path under the
+  // sharded mixed workload, not throughput.
+  core::FleetBedConfig rfp_config;
+  rfp_config.shards = 2;
+  rfp_config.clients = 16;
+  rfp_config.generators = 2;
+  rfp_config.client.mode = mc::ClientBehavior::Mode::rfp;
+  core::FleetBed rfp_bed(rfp_config);
+  core::FleetWorkloadConfig rfp_mix = saturation;
+  rfp_mix.key_space = 2048;
+  rfp_mix.seed = seed + 5;
+  const std::uint64_t rfp_ops_before =
+      obs::registry().counter("mc.rfp.ops").value();
+  const std::uint64_t rfp_fb_before =
+      obs::registry().counter("mc.rfp.fallbacks").value();
+  const auto rfp_smoke = core::run_fleet(rfp_bed, rfp_mix);
+  const std::uint64_t rfp_ring_ops =
+      obs::registry().counter("mc.rfp.ops").value() - rfp_ops_before;
+  const std::uint64_t rfp_fallbacks =
+      obs::registry().counter("mc.rfp.fallbacks").value() - rfp_fb_before;
+  print_phase("rfp-smoke", rfp_smoke);
+  std::printf("    ring ops: %llu  fallbacks: %llu  torn values: %llu\n",
+              static_cast<unsigned long long>(rfp_ring_ops),
+              static_cast<unsigned long long>(rfp_fallbacks),
+              static_cast<unsigned long long>(rfp_smoke.value_mismatches));
+
   std::printf("\nheadline: fleet_10k_ops_per_sec = %.0f (saturation phase, sim time)\n",
               sat.tps());
 
@@ -198,7 +230,9 @@ int main(int argc, char** argv) {
                  "    \"flash_crowd\": {\"ops\": %llu, \"tps\": %.1f, \"hit_ratio\": %.4f},\n"
                  "    \"ttl_reread\": {\"ops\": %llu, \"hit_ratio\": %.4f},\n"
                  "    \"evict_storm\": {\"ops\": %llu, \"evictions\": %llu, "
-                 "\"value_mismatches\": %llu}\n"
+                 "\"value_mismatches\": %llu},\n"
+                 "    \"rfp_smoke\": {\"ops\": %llu, \"ring_ops\": %llu, "
+                 "\"fallbacks\": %llu, \"hit_ratio\": %.4f, \"value_mismatches\": %llu}\n"
                  "  },\n  \"headline\": {\"fleet_10k_ops_per_sec\": %.1f}\n}\n",
                  bed.connection_count(),
                  static_cast<unsigned long long>(sat.total_ops), sat.tps(), sat.hit_ratio(),
@@ -207,7 +241,11 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(expired.total_ops), expired.hit_ratio(),
                  static_cast<unsigned long long>(evict.total_ops),
                  static_cast<unsigned long long>(total_evictions(evict)),
-                 static_cast<unsigned long long>(evict.value_mismatches), sat.tps());
+                 static_cast<unsigned long long>(evict.value_mismatches),
+                 static_cast<unsigned long long>(rfp_smoke.total_ops),
+                 static_cast<unsigned long long>(rfp_ring_ops),
+                 static_cast<unsigned long long>(rfp_fallbacks), rfp_smoke.hit_ratio(),
+                 static_cast<unsigned long long>(rfp_smoke.value_mismatches), sat.tps());
     std::fclose(f);
     std::fprintf(stderr, "json written to %s\n", json_path.c_str());
   }

@@ -20,10 +20,12 @@ verbs::VerbsCosts fleet_verbs_costs(ClusterKind cluster) {
     costs.post_wr_ns = 350;
     costs.doorbell_ns = 100;
     costs.hca_process_ns = 350;
+    costs.hca_inbound_write_ns = 240;
   } else {
     costs.post_wr_ns = 250;
     costs.doorbell_ns = 80;
     costs.hca_process_ns = 250;
+    costs.hca_inbound_write_ns = 170;
   }
   return costs;
 }
@@ -76,6 +78,11 @@ FleetBed::FleetBed(FleetBedConfig config) : config_(config) {
     servers_.push_back(
         std::make_unique<mc::Server>(*sched_, *shard_hosts_.back(), config_.server));
     servers_.back()->attach_ucr_frontend(*shard_ucrs_.back());
+    if (config_.client.effective_mode() == mc::ClientBehavior::Mode::rfp) {
+      shard_rings_.push_back(std::make_unique<rfp::RingServer>(
+          *shard_ucrs_.back(), *shard_hosts_.back(), servers_.back()->store(),
+          config_.rfp_cfg));
+    }
   }
 
   // Generators: each runtime terminates (its clients x shards) endpoints.
@@ -97,6 +104,16 @@ FleetBed::FleetBed(FleetBedConfig config) : config_(config) {
   mc::ClientBehavior behavior = config_.client;
   if (behavior.arena_bytes == mc::ClientBehavior{}.arena_bytes) {
     behavior.arena_bytes = 8 * 1024;
+  }
+  // Same reasoning for the RFP ring geometry: every connection's response
+  // arena is slot_count x slot_size on the client AND a matching request
+  // ring + staging on its shard, so untouched defaults shrink to fleet
+  // scale (values there are <= ~1 KiB anyway).
+  if (behavior.rfp.slot_count == rfp::ChannelConfig{}.slot_count) {
+    behavior.rfp.slot_count = 4;
+  }
+  if (behavior.rfp.slot_size == rfp::ChannelConfig{}.slot_size) {
+    behavior.rfp.slot_size = 1536;
   }
   for (unsigned c = 0; c < config_.clients; ++c) {
     const unsigned g = c % config_.generators;

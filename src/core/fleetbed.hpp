@@ -31,6 +31,10 @@ struct FleetBedConfig {
   mc::ServerConfig server{};  ///< per-shard; shrink store.slabs.memory_limit
                               ///< below the working set for eviction storms
   mc::ClientBehavior client{};
+  /// Per-shard ring-server knobs when `client.mode` is Mode::rfp. The
+  /// client-side ring geometry (client.rfp) is shrunk at defaults the same
+  /// way arena_bytes is: thousands of connections multiply every slot.
+  rfp::RingServerConfig rfp_cfg{};
   /// Eager/credit tuning. Small values on purpose: fleet values are small
   /// (≤ ~1 KiB) and per-endpoint credit windows multiply across thousands
   /// of endpoints into SRQ arena bytes.
@@ -51,6 +55,8 @@ class FleetBed {
 
   std::size_t shard_count() const { return servers_.size(); }
   mc::Server& shard(std::size_t i) { return *servers_.at(i); }
+  /// The UCR transport mode every client connection runs in.
+  mc::ClientBehavior::Mode client_mode() const { return config_.client.effective_mode(); }
 
   std::size_t client_count() const { return clients_.size(); }
   mc::Client& client(std::size_t i) { return *clients_.at(i); }
@@ -71,6 +77,7 @@ class FleetBed {
   std::vector<std::unique_ptr<verbs::Hca>> shard_hcas_;
   std::vector<std::unique_ptr<ucr::Runtime>> shard_ucrs_;
   std::vector<std::unique_ptr<mc::Server>> servers_;
+  std::vector<std::unique_ptr<rfp::RingServer>> shard_rings_;  ///< mode rfp
 
   // One host + HCA + runtime per generator, shared by its clients.
   std::vector<std::unique_ptr<sim::Host>> gen_hosts_;

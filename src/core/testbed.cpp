@@ -53,27 +53,36 @@ verbs::VerbsCosts verbs_costs(ClusterKind cluster, TransportKind transport) {
   // doorbell_ns is the share of post_wr_ns a batched chain pays only once
   // (PCIe MMIO posted write — roughly a third of the post on every part
   // here); single posts still cost exactly post_wr_ns.
+  // hca_inbound_write_ns splits the in-bound from the out-bound verb cost:
+  // a write landing in exposed memory skips the receive WQE + CQE work, so
+  // every profile places it below hca_process_ns. Packet kinds other than
+  // rdma_write still pay the symmetric charge, which keeps the classic
+  // figures (no in-bound writes on their wire) byte-identical.
   verbs::VerbsCosts costs;
   if (transport == TransportKind::ucr_roce) {
     costs.post_wr_ns = 350;
     costs.doorbell_ns = 100;
     costs.hca_process_ns = 550;  // first-generation RoCE engines
+    costs.hca_inbound_write_ns = 380;
     return costs;
   }
   if (transport == TransportKind::ucr_iwarp) {
     costs.post_wr_ns = 400;
     costs.doorbell_ns = 120;
     costs.hca_process_ns = 900;  // TCP termination inside the RNIC
+    costs.hca_inbound_write_ns = 640;
     return costs;
   }
   if (cluster == ClusterKind::cluster_a) {
     costs.post_wr_ns = 350;
     costs.doorbell_ns = 100;
     costs.hca_process_ns = 350;
+    costs.hca_inbound_write_ns = 240;
   } else {
     costs.post_wr_ns = 250;
     costs.doorbell_ns = 80;
     costs.hca_process_ns = 250;
+    costs.hca_inbound_write_ns = 170;
   }
   return costs;
 }
@@ -161,10 +170,18 @@ TestBed::TestBed(TestBedConfig config) : config_(config) {
     server_ucr_ = std::make_unique<ucr::Runtime>(*server_hca_, config.ucr);
     server_->attach_ucr_frontend(*server_ucr_);
     mc::ClientBehavior behavior = config.client;
-    if (config.onesided) {
-      publisher_ = std::make_unique<onesided::Publisher>(
-          *server_ucr_, *server_host_, server_->store(), config.onesided_cfg);
-      behavior.onesided_get = true;
+    if (config.onesided) behavior.onesided_get = true;  // deprecated spelling
+    switch (behavior.effective_mode()) {
+      case mc::ClientBehavior::Mode::onesided_get:
+        publisher_ = std::make_unique<onesided::Publisher>(
+            *server_ucr_, *server_host_, server_->store(), config.onesided_cfg);
+        break;
+      case mc::ClientBehavior::Mode::rfp:
+        ring_server_ = std::make_unique<rfp::RingServer>(
+            *server_ucr_, *server_host_, server_->store(), config.rfp_cfg);
+        break;
+      case mc::ClientBehavior::Mode::rpc:
+        break;
     }
     for (unsigned i = 0; i < config.num_clients; ++i) {
       client_hcas_.push_back(

@@ -16,6 +16,7 @@
 #include "memcached/client.hpp"
 #include "memcached/server.hpp"
 #include "onesided/publisher.hpp"
+#include "rfp/ring_server.hpp"
 #include "simnet/netparams.hpp"
 #include "ucr/runtime.hpp"
 
@@ -55,8 +56,13 @@ struct TestBedConfig {
   ucr::UcrConfig ucr{};  ///< eager threshold / CQ mode ablations
   /// One-sided GET: publish the server's remote index and have clients
   /// serve GETs with RDMA Reads (UCR transports only). Off by default.
+  /// Deprecated shim for `client.mode = Mode::onesided_get`; either spelling
+  /// builds the server-side Publisher.
   bool onesided = false;
   onesided::PublisherConfig onesided_cfg{};
+  /// Server-side ring geometry / poll policy when `client.mode` is
+  /// Mode::rfp (UCR transports only; ignored otherwise).
+  rfp::RingServerConfig rfp_cfg{};
 };
 
 class TestBed {
@@ -75,8 +81,11 @@ class TestBed {
 
   std::size_t client_count() const { return clients_.size(); }
   mc::Client& client(std::size_t i) { return *clients_.at(i); }
-  /// Null unless config.onesided on a UCR transport.
+  /// Null unless the effective client mode is onesided_get on a UCR
+  /// transport (config.onesided or client.mode).
   onesided::Publisher* publisher() { return publisher_.get(); }
+  /// Null unless the effective client mode is rfp on a UCR transport.
+  rfp::RingServer* ring_server() { return ring_server_.get(); }
   /// Null on socket transports.
   verbs::Hca* server_hca() { return server_hca_.get(); }
   sim::Host& client_host(std::size_t i) { return *client_hosts_.at(i); }
@@ -107,7 +116,8 @@ class TestBed {
   std::vector<std::unique_ptr<sock::NetStack>> client_stacks_;
 
   std::unique_ptr<mc::Server> server_;
-  std::unique_ptr<onesided::Publisher> publisher_;  ///< non-null iff onesided
+  std::unique_ptr<onesided::Publisher> publisher_;   ///< mode onesided_get
+  std::unique_ptr<rfp::RingServer> ring_server_;     ///< mode rfp
   std::vector<std::unique_ptr<mc::Client>> clients_;
 };
 

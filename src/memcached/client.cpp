@@ -562,7 +562,8 @@ class UcrConn final : public ServerConn {
     ep_ = *r;
     ep_->set_user_data(this);
     runtime_->register_region(arena_);
-    if (behavior_.onesided_get && !behavior_.unreliable_ucr) {
+    const auto mode = behavior_.effective_mode();
+    if (mode == ClientBehavior::Mode::onesided_get && !behavior_.unreliable_ucr) {
       // Bootstrap the one-sided index descriptor (one RPC). Failure only
       // degrades this connection to RPC GETs; the connect itself succeeded.
       if (!getter_) {
@@ -571,6 +572,13 @@ class UcrConn final : public ServerConn {
                                               .read_timeout = behavior_.op_timeout});
       }
       (void)co_await getter_->bootstrap(*ep_, behavior_.op_timeout);
+    } else if (mode == ClientBehavior::Mode::rfp && !behavior_.unreliable_ucr) {
+      // Bootstrap the RFP ring pair (one RPC, DESIGN.md §16). Failure only
+      // degrades this connection to classic RPC; the connect succeeded.
+      if (!rfp_) {
+        rfp_ = std::make_unique<rfp::Channel>(*runtime_, *host_, behavior_.rfp);
+      }
+      (void)co_await rfp_->bootstrap(*ep_, behavior_.op_timeout);
     }
     co_return Status{};
   }
@@ -594,6 +602,29 @@ class UcrConn final : public ServerConn {
         co_return value;
       }
       // Fallback ladder: anything short of a verified hit goes to RPC.
+      if (!alive()) co_return Errc::disconnected;
+    }
+    if (rfp_ && rfp_->ready()) {
+      auto hit = co_await rfp_try(with_cas ? ucrp::Op::gets : ucrp::Op::get,
+                                  key_bytes(key), {}, {});
+      if (hit.ok()) {
+        const ucrp::ResponseHeader resp = hit->header;
+        if (resp.status == ucrp::RStatus::value) {
+          proto::Value value;
+          value.key.assign(key.data(), key.size());
+          value.flags = resp.flags;
+          value.cas = resp.cas;
+          value.data.assign(hit->body.begin(), hit->body.end());
+          rfp_->release(hit->slot);
+          co_await host_->cpu().consume(static_cast<sim::Time>(
+              static_cast<double>(value.data.size()) * behavior_.result_copy_ns_per_byte));
+          co_return value;
+        }
+        rfp_->release(hit->slot);
+        const Status st = status_from(resp.status);
+        co_return st.ok() ? Errc::not_found : st.error();
+      }
+      // Non-ok = fallback ladder: the ring could not serve it; use RPC.
       if (!alive()) co_return Errc::disconnected;
     }
     auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {});
@@ -653,6 +684,85 @@ class UcrConn final : public ServerConn {
     maybe_reset_arena();
     const sim::Time t0 = sched_->now();
     co_await host_->cpu().consume(behavior_.format_ns);
+
+    if (rfp_ && rfp_->ready()) {
+      // Single-frame RFP attempt: the whole key block in one ring slot,
+      // the whole chunked reply in the matching response slot. Anything
+      // that does not fit — oversized block, reply overflow (the server
+      // answers server_error), malformed chunk — falls through to the
+      // chunked RPC waves below.
+      std::size_t block = 0;
+      bool fits = true;
+      for (const auto& key : keys) {
+        block += ucrp::mget_entry_size(key);
+        if (block > ucrp::kMaxMgetKeyBlock) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits && ucrp::RequestHeader::kSize + block <= rfp_->max_body()) {
+        std::byte packed[ucrp::kMaxMgetKeyBlock];
+        std::size_t off = 0;
+        for (const auto& key : keys) off += ucrp::pack_mget_key(packed + off, key);
+        ucrp::RequestHeader header;
+        header.delta = keys.size();
+        auto reply = co_await rfp_try(
+            ucrp::Op::mget, std::span<const std::byte>(packed, block), {}, header);
+        if (reply.ok()) {
+          bool parsed = false;
+          std::uint64_t copied = 0;
+          const std::span<const std::byte> body = reply->body;
+          if (reply->header.status == ucrp::RStatus::value &&
+              body.size() >= ucrp::MgetChunkHeader::kSize) {
+            const auto chunk = ucrp::MgetChunkHeader::decode(body.data());
+            const std::size_t values_at =
+                ucrp::MgetChunkHeader::kSize +
+                static_cast<std::size_t>(chunk.record_count) * ucrp::MgetRecord::kSize;
+            if (chunk.total_chunks == 1 && chunk.start_index == 0 &&
+                chunk.record_count == keys.size() && values_at <= body.size()) {
+              parsed = true;
+              std::size_t voff = values_at;
+              for (std::size_t i = 0; i < keys.size(); ++i) {
+                const auto rec = ucrp::MgetRecord::decode(
+                    body.data() + ucrp::MgetChunkHeader::kSize +
+                    i * ucrp::MgetRecord::kSize);
+                MgetSlot& slot = slots[i];
+                if (rec.status != ucrp::RStatus::value) {
+                  slot.hit = false;
+                  slot.value = {};
+                  continue;
+                }
+                if (voff + rec.value_len > body.size()) {
+                  parsed = false;  // malformed chunk: let RPC redo it all
+                  break;
+                }
+                slot.hit = true;
+                slot.flags = rec.flags;
+                slot.cas = rec.cas;
+                slot.value_len = rec.value_len;
+                // The body span dies at release(): land the bytes in the
+                // caller's buffer or the arena so the MgetSlot contract
+                // (valid until the next op) holds.
+                std::span<std::byte> land = rec.value_len <= slot.dest.size()
+                                                ? slot.dest.first(rec.value_len)
+                                                : arena_alloc(rec.value_len);
+                std::memcpy(land.data(), body.data() + voff, rec.value_len);
+                slot.value = {land.data(), land.size()};
+                voff += rec.value_len;
+                copied += rec.value_len;
+              }
+            }
+          }
+          rfp_->release(reply->slot);
+          if (parsed) {
+            co_await host_->cpu().consume(static_cast<sim::Time>(
+                static_cast<double>(copied) * behavior_.result_copy_ns_per_byte));
+            co_return Status{};
+          }
+        }
+        if (!alive()) co_return Errc::disconnected;
+      }
+    }
 
     // Key-block budget per sub-request: one eager frame (UD: one MTU)
     // minus AM wire + request header overhead.
@@ -754,6 +864,32 @@ class UcrConn final : public ServerConn {
       }
       if (!alive()) co_return Errc::disconnected;
     }
+    if (rfp_ && rfp_->ready()) {
+      auto hit = co_await rfp_try(with_cas ? ucrp::Op::gets : ucrp::Op::get,
+                                  key_bytes(key), {}, {});
+      if (hit.ok()) {
+        const ucrp::ResponseHeader resp = hit->header;
+        if (resp.status == ucrp::RStatus::value) {
+          if (hit->body.size() > dest.size()) {
+            rfp_->release(hit->slot);
+            co_return Errc::too_large;
+          }
+          std::memcpy(dest.data(), hit->body.data(), hit->body.size());
+          GetIntoResult out;
+          out.value_len = static_cast<std::uint32_t>(hit->body.size());
+          out.flags = resp.flags;
+          out.cas = resp.cas;
+          rfp_->release(hit->slot);
+          co_await host_->cpu().consume(static_cast<sim::Time>(
+              static_cast<double>(out.value_len) * behavior_.result_copy_ns_per_byte));
+          co_return out;
+        }
+        rfp_->release(hit->slot);
+        const Status st = status_from(resp.status);
+        co_return st.ok() ? Errc::not_found : st.error();
+      }
+      if (!alive()) co_return Errc::disconnected;
+    }
     auto issued = issue(with_cas ? ucrp::Op::gets : ucrp::Op::get, key, {}, {}, dest);
     if (!issued.ok()) co_return issued.error();
     const sim::Time t1 = sched_->now();
@@ -789,6 +925,15 @@ class UcrConn final : public ServerConn {
     extra.flags = flags;
     extra.exptime = exptime;
     extra.cas = cas;
+    if (rfp_ && rfp_->ready()) {
+      auto done = co_await rfp_try(storage_op(mode), key_bytes(key), value, extra);
+      if (done.ok()) {
+        const Status st = status_from(done->header.status);
+        rfp_->release(done->slot);
+        co_return st;
+      }
+      if (!alive()) co_return Errc::disconnected;
+    }
     auto issued = issue(storage_op(mode), key, value, extra);
     if (!issued.ok()) co_return issued.error();
     const sim::Time t1 = sched_->now();
@@ -814,6 +959,18 @@ class UcrConn final : public ServerConn {
     co_await host_->cpu().consume(behavior_.format_ns);
     ucrp::RequestHeader extra;
     extra.delta = delta;
+    if (rfp_ && rfp_->ready()) {
+      auto done = co_await rfp_try(decrement ? ucrp::Op::decr : ucrp::Op::incr,
+                                   key_bytes(key), {}, extra);
+      if (done.ok()) {
+        const ucrp::ResponseHeader resp = done->header;
+        rfp_->release(done->slot);
+        if (resp.status == ucrp::RStatus::number) co_return resp.number;
+        const Status st = status_from(resp.status);
+        co_return st.ok() ? Errc::protocol_error : st.error();
+      }
+      if (!alive()) co_return Errc::disconnected;
+    }
     auto issued = issue(decrement ? ucrp::Op::decr : ucrp::Op::incr, key, {}, extra);
     if (!issued.ok()) co_return issued.error();
     auto resp = co_await finish(*issued);
@@ -861,6 +1018,31 @@ class UcrConn final : public ServerConn {
   /// One response handler per runtime, shared by all UcrConns on it; it
   /// dispatches through the endpoint's user_data.
   static void ensure_handler(ucr::Runtime& runtime);
+
+  /// One op through the RFP rings (caller checked rfp_ && rfp_->ready()).
+  /// An ok result is the server's definitive answer — the caller reads
+  /// header/body and must release(slot). Any error means "run this op
+  /// over classic RPC"; that includes RStatus::server_error replies (the
+  /// answer did not fit one response slot), which this helper converts to
+  /// an error after releasing the slot (DESIGN.md §16 fallback matrix).
+  sim::Task<Result<rfp::OpResult>> rfp_try(ucrp::Op op, std::span<const std::byte> head,
+                                           std::span<const std::byte> tail,
+                                           ucrp::RequestHeader extra) {
+    extra.op = op;
+    extra.key_len = static_cast<std::uint16_t>(head.size());
+    auto out = co_await rfp_->execute(*ep_, extra, head, tail, behavior_.op_timeout);
+    if (!out.ok()) co_return out.error();
+    if (out->header.status == ucrp::RStatus::server_error) {
+      rfp_->release(out->slot);
+      obs::registry().counter("mc.rfp.fallbacks").inc();
+      co_return Errc::no_resources;
+    }
+    co_return *out;
+  }
+
+  static std::span<const std::byte> key_bytes(std::string_view key) {
+    return std::as_bytes(std::span<const char>(key.data(), key.size()));
+  }
 
   Result<std::uint64_t> issue(ucrp::Op op, std::string_view key,
                               std::span<const std::byte> value,
@@ -1048,6 +1230,16 @@ class UcrConn final : public ServerConn {
                               const ucrp::RequestHeader& extra) {
     if (!alive()) co_return Errc::disconnected;
     co_await host_->cpu().consume(behavior_.format_ns);
+    if (rfp_ && rfp_->ready() && op != ucrp::Op::flush_all) {
+      // del/touch ride the rings; flush_all (and version) stay RPC-only.
+      auto done = co_await rfp_try(op, key_bytes(key), {}, extra);
+      if (done.ok()) {
+        const Status st = status_from(done->header.status);
+        rfp_->release(done->slot);
+        co_return st;
+      }
+      if (!alive()) co_return Errc::disconnected;
+    }
     auto issued = issue(op, key, {}, extra);
     if (!issued.ok()) co_return issued.error();
     auto resp = co_await finish(*issued);
@@ -1176,7 +1368,8 @@ class UcrConn final : public ServerConn {
   std::uint16_t port_;
   ucr::Endpoint* ep_ = nullptr;
   std::uint64_t down_handler_ = 0;
-  std::unique_ptr<onesided::RemoteGetter> getter_;  ///< non-null iff onesided_get
+  std::unique_ptr<onesided::RemoteGetter> getter_;  ///< non-null iff Mode::onesided_get
+  std::unique_ptr<rfp::Channel> rfp_;               ///< non-null iff Mode::rfp
 
   SlotMap<Pending> pending_;
 

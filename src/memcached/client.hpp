@@ -27,6 +27,7 @@
 #include "memcached/protocol.hpp"
 #include "memcached/store.hpp"
 #include "memcached/ucr_proto.hpp"
+#include "rfp/channel.hpp"
 #include "sockets/stack.hpp"
 #include "ucr/runtime.hpp"
 
@@ -39,6 +40,17 @@ enum class Distribution : std::uint8_t {
 };
 
 struct ClientBehavior {
+  /// UCR transport mode for server connections:
+  ///  * rpc          — classic active-message request/response (§V).
+  ///  * onesided_get — reads served by RDMA Reads against the published
+  ///                   index (PR 4); writes stay RPC.
+  ///  * rfp          — server-bypass rings for the whole command set:
+  ///                   requests RDMA-written into a server-polled ring,
+  ///                   responses RDMA-written back and polled locally
+  ///                   (DESIGN.md §16). Every mode falls back to RPC per
+  ///                   op when its bypass cannot serve it.
+  enum class Mode : std::uint8_t { rpc, onesided_get, rfp };
+
   HashKind key_hash = HashKind::default_jenkins;
   Distribution distribution = Distribution::modulo;
   sim::Time op_timeout = 1 * kNsPerSec;  ///< UCR wait-with-timeout (§IV-A)
@@ -51,13 +63,22 @@ struct ClientBehavior {
   /// Speak the memcached binary protocol on socket servers (auto-detected
   /// server side, like memcached 1.4).
   bool binary_protocol = false;
-  /// One-sided GET: serve reads with RDMA Reads against the server's
-  /// published index (reliable UCR endpoints only), falling back to the
-  /// RPC GET on miss, torn read, oversize, or endpoint failure. Off by
-  /// default: the RPC-only request stream is byte-identical.
+  /// UCR transport mode (see Mode). rpc by default: the RPC-only request
+  /// stream is byte-identical to every pre-mode build.
+  Mode mode = Mode::rpc;
+  /// Deprecated shim for Mode::onesided_get — still honored (promotes
+  /// `mode` when that is rpc) so existing examples/tests compile; prefer
+  /// `mode`. Do not set both to different non-rpc answers.
   bool onesided_get = false;
+  /// The mode after the deprecated bool shim is applied.
+  Mode effective_mode() const {
+    if (mode != Mode::rpc) return mode;
+    return onesided_get ? Mode::onesided_get : Mode::rpc;
+  }
   /// Torn-observation re-reads before a one-sided GET falls back to RPC.
   std::uint32_t onesided_torn_retries = 2;
+  /// RFP ring geometry/poll knobs (Mode::rfp connections only).
+  rfp::ChannelConfig rfp{};
   /// Per-UCR-connection landing arena for GET/mget values. The default
   /// matches the historical fixed size; fleet-scale pools (thousands of
   /// connections) shrink it — overflow falls back to a side buffer, so a

@@ -1,0 +1,290 @@
+#include "rfp/channel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "simnet/cpu.hpp"
+#include "ucr/endpoint.hpp"
+
+namespace rmc::rfp {
+
+namespace ucrp = mc::ucrp;
+
+namespace {
+
+/// Bootstrap responses arrive on a per-runtime AM handler shared by every
+/// channel on that runtime; the descriptor's echoed cookie routes each
+/// response to its owner (the RemoteGetter pattern). Cookies are
+/// process-unique, so all runtimes share one map.
+std::uint64_t next_cookie() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
+std::unordered_map<std::uint64_t, Channel*>& cookie_registry() {
+  static std::unordered_map<std::uint64_t, Channel*> map;
+  return map;
+}
+
+}  // namespace
+
+Channel::Channel(ucr::Runtime& runtime, sim::Host& host, ChannelConfig config)
+    : runtime_(&runtime), host_(&host), config_(config), cookie_(next_cookie()),
+      ops_(&obs::registry().counter("mc.rfp.ops")),
+      fallbacks_(&obs::registry().counter("mc.rfp.fallbacks")),
+      ring_full_(&obs::registry().counter("mc.rfp.ring_full")),
+      oversize_(&obs::registry().counter("mc.rfp.oversize")),
+      torn_retries_(&obs::registry().counter("mc.rfp.torn_retries")) {
+  config_.slot_count = std::max(1u, config_.slot_count);
+  config_.slot_size = std::max<std::uint32_t>(
+      config_.slot_size,
+      static_cast<std::uint32_t>(framed_size(ucrp::ResponseHeader::kSize)));
+  cookie_registry()[cookie_] = this;
+  // Re-registering is idempotent: the handler closes over nothing and
+  // resolves the owning channel through the cookie registry.
+  runtime_->register_handler(
+      kMsgRfpBootstrapResp,
+      {.on_header = {},
+       .on_complete = [](ucr::Endpoint&, std::span<const std::byte> header,
+                         std::span<std::byte>) {
+        if (header.size() < RingDescriptor::kSize) return;
+        const RingDescriptor d = RingDescriptor::decode(header.data());
+        auto it = cookie_registry().find(d.cookie);
+        if (it != cookie_registry().end()) it->second->descriptor_ = d;
+      }});
+  down_handler_id_ = runtime_->on_endpoint_down([this](ucr::Endpoint& ep, Errc) {
+    if (ep_ == &ep) invalidate();
+  });
+}
+
+Channel::~Channel() {
+  cookie_registry().erase(cookie_);
+  runtime_->remove_endpoint_handler(down_handler_id_);
+}
+
+void Channel::invalidate() {
+  ep_ = nullptr;
+  descriptor_ = {};
+}
+
+std::span<std::byte> Channel::request_slot(std::uint32_t slot) {
+  return {request_staging_.data() +
+              static_cast<std::size_t>(slot) * descriptor_.slot_size,
+          descriptor_.slot_size};
+}
+
+std::span<std::byte> Channel::response_slot(std::uint32_t slot) {
+  return {response_arena_.data() +
+              static_cast<std::size_t>(slot) * descriptor_.slot_size,
+          descriptor_.slot_size};
+}
+
+sim::Task<Status> Channel::bootstrap(ucr::Endpoint& ep, sim::Time timeout) {
+  if (ready() && ep_ == &ep) co_return Status{};
+  if (ep.state() != ucr::EpState::ready || ep.type() != ucr::EpType::reliable) {
+    co_return Errc::disconnected;
+  }
+  invalidate();
+
+  // Size both arenas for the proposal; the server may clamp the geometry
+  // down, in which case the tail of each arena simply goes unused.
+  const std::size_t arena_bytes =
+      static_cast<std::size_t>(config_.slot_count) * config_.slot_size;
+  response_arena_.assign(arena_bytes, std::byte{0});
+  request_staging_.assign(arena_bytes, std::byte{0});
+  runtime_->register_region(request_staging_);
+  const auto response_window = runtime_->expose_memory(response_arena_);
+
+  bootstrap_counter_ = runtime_->make_counter();
+  bootstrap_ref_ = runtime_->export_counter(*bootstrap_counter_);
+
+  BootstrapRequest req;
+  req.cookie = cookie_;
+  req.reply_counter = bootstrap_ref_.id;
+  req.response_ring = {response_window.addr, response_window.rkey,
+                       response_window.length};
+  req.slot_count = config_.slot_count;
+  req.slot_size = config_.slot_size;
+  std::byte header[BootstrapRequest::kSize];
+  req.encode(header);
+  auto sent = runtime_->send_message(ep, kMsgRfpBootstrap, header, {}, nullptr,
+                                     ucr::CounterRef{}, nullptr);
+  if (!sent.ok()) co_return sent;
+
+  const bool woke = co_await bootstrap_counter_->wait_geq(1, timeout);
+  if (!woke) co_return Errc::timed_out;
+  if (!descriptor_.valid()) co_return Errc::protocol_error;
+  // Adopted geometry must fit the arenas we shipped a window for.
+  if (static_cast<std::size_t>(descriptor_.slot_count) * descriptor_.slot_size >
+      arena_bytes) {
+    descriptor_ = {};
+    co_return Errc::protocol_error;
+  }
+
+  slots_.assign(descriptor_.slot_count, Slot{});
+  busy_slots_ = 0;
+  request_window_ = {descriptor_.request_ring.addr, descriptor_.request_ring.rkey,
+                     descriptor_.request_ring.length};
+  ep_ = &ep;
+  last_traffic_ = runtime_->scheduler().now();
+  co_return Status{};
+}
+
+void Channel::reclaim_lost() {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.state != SlotState::lost) continue;
+    std::span<const std::byte> body;
+    if (read_frame(response_slot(i), s.seq, body) == FrameState::ready) {
+      // The abandoned op's response finally landed: its epoch is closed
+      // and the slot can carry a new op.
+      s.seq += 1;
+      s.state = SlotState::free;
+    }
+  }
+}
+
+std::uint32_t Channel::claim_slot() {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].state == SlotState::free) {
+      slots_[i].state = SlotState::busy;
+      ++busy_slots_;
+      return i;
+    }
+  }
+  return descriptor_.slot_count;
+}
+
+void Channel::release(std::uint32_t slot) {
+  if (slot >= slots_.size() || slots_[slot].state != SlotState::busy) return;
+  slots_[slot].seq += 1;
+  slots_[slot].state = SlotState::free;
+  --busy_slots_;
+}
+
+sim::Task<Result<OpResult>> Channel::execute(ucr::Endpoint& ep,
+                                             const ucrp::RequestHeader& hdr,
+                                             std::span<const std::byte> head,
+                                             std::span<const std::byte> tail,
+                                             sim::Time timeout) {
+  ops_->inc();
+  if (!ready() || ep_ != &ep || ep.state() != ucr::EpState::ready) {
+    fallbacks_->inc();
+    co_return Errc::disconnected;
+  }
+  const std::size_t body_len = ucrp::RequestHeader::kSize + head.size() + tail.size();
+  if (body_len > body_capacity(descriptor_.slot_size)) {
+    oversize_->inc();
+    fallbacks_->inc();
+    co_return Errc::too_large;
+  }
+  reclaim_lost();
+  const std::uint32_t slot = claim_slot();
+  if (slot == descriptor_.slot_count) {
+    ring_full_->inc();
+    fallbacks_->inc();
+    co_return Errc::no_resources;
+  }
+
+  sim::Scheduler& sched = runtime_->scheduler();
+  // The server's poll loop parks after park_after_ns of idleness; if our
+  // own send gap is anywhere near that, nudge it awake first. A lost
+  // nudge degrades to this op's timeout + RPC fallback, never a hang.
+  if (descriptor_.park_after_ns != 0 &&
+      sched.now() - last_traffic_ >=
+          static_cast<sim::Time>(descriptor_.park_after_ns / 2)) {
+    std::byte wake[sizeof(cookie_)];
+    std::memcpy(wake, &cookie_, sizeof(cookie_));
+    (void)runtime_->send_message(ep, kMsgRfpWake, wake, {}, nullptr,
+                                 ucr::CounterRef{}, nullptr);
+  }
+  last_traffic_ = sched.now();
+
+  co_await host_->cpu().consume(config_.request_build_ns);
+  if (!ready() || ep_ != &ep || slot >= slots_.size()) {
+    if (slot < slots_.size() && slots_[slot].state == SlotState::busy) {
+      slots_[slot].state = SlotState::free;
+      --busy_slots_;
+    }
+    fallbacks_->inc();
+    co_return Errc::disconnected;
+  }
+
+  const std::uint32_t seq = slots_[slot].seq;
+  const std::span<std::byte> staging = request_slot(slot);
+  const std::span<std::byte> body = frame_body(staging);
+  hdr.encode(body.data());
+  if (!head.empty()) {
+    std::memcpy(body.data() + ucrp::RequestHeader::kSize, head.data(), head.size());
+  }
+  if (!tail.empty()) {
+    std::memcpy(body.data() + ucrp::RequestHeader::kSize + head.size(), tail.data(),
+                tail.size());
+  }
+  seal_frame(staging, seq, static_cast<std::uint32_t>(body_len));
+
+  auto posted = runtime_->put(
+      ep, staging.first(framed_size(static_cast<std::uint32_t>(body_len))),
+      request_window_, slot * descriptor_.slot_size, nullptr);
+  if (!posted.ok()) {
+    // Never went out: the slot's epoch is untouched and reusable.
+    slots_[slot].state = SlotState::free;
+    --busy_slots_;
+    fallbacks_->inc();
+    co_return Errc::disconnected;
+  }
+
+  const bool bounded = timeout != sim::kNoTimeout;
+  const sim::Time deadline = bounded ? sched.now() + timeout : 0;
+  std::uint32_t torn_seen = 0;
+  for (;;) {
+    if (!ready() || ep_ != &ep || slot >= slots_.size()) {
+      if (slot < slots_.size() && slots_[slot].state == SlotState::busy) {
+        slots_[slot].state = SlotState::lost;
+        --busy_slots_;
+      }
+      fallbacks_->inc();
+      co_return Errc::disconnected;
+    }
+    std::span<const std::byte> resp_body;
+    switch (read_frame(response_slot(slot), seq, resp_body)) {
+      case FrameState::ready: {
+        if (resp_body.size() < ucrp::ResponseHeader::kSize) {
+          // Verified but malformed — server bug, not a race. Epoch is
+          // closed, so free the slot and fall back.
+          release(slot);
+          fallbacks_->inc();
+          co_return Errc::protocol_error;
+        }
+        OpResult out;
+        out.header = ucrp::ResponseHeader::decode(resp_body.data());
+        out.body = resp_body.subspan(ucrp::ResponseHeader::kSize);
+        out.slot = slot;
+        co_return out;
+      }
+      case FrameState::torn:
+        torn_retries_->inc();
+        if (++torn_seen > config_.max_torn_retries) {
+          slots_[slot].state = SlotState::lost;
+          --busy_slots_;
+          fallbacks_->inc();
+          co_return Errc::protocol_error;
+        }
+        break;
+      case FrameState::empty:
+        break;
+    }
+    if (bounded && sched.now() >= deadline) {
+      // The response may still land later; quarantine the slot until
+      // reclaim_lost sees its epoch close.
+      slots_[slot].state = SlotState::lost;
+      --busy_slots_;
+      fallbacks_->inc();
+      co_return Errc::timed_out;
+    }
+    co_await sched.delay(config_.poll_ns);
+  }
+}
+
+}  // namespace rmc::rfp

@@ -1,0 +1,143 @@
+// Client side of the RFP subsystem: the op channel.
+//
+// A Channel bootstraps a ring pair with one cookie-routed AM round trip
+// (the client ships the window of its response arena, the server answers
+// with the window of the request ring it allocated), then serves whole
+// memcached ops without any further active message: the request is
+// framed into a ring slot and RDMA-written to the server, and the
+// response is polled *locally* out of the slot-matched response arena
+// frame the server RDMA-writes back. Slot epochs advance in lockstep —
+// request and response of one op carry the same seq — so neither side
+// ever clears a slot.
+//
+// The channel is deliberately non-authoritative about failure: every
+// non-ok execute() result (ring full, oversize body, endpoint trouble,
+// poll timeout, torn frame beyond the retry budget) means "run this op
+// over classic RPC". The caller keeps the RPC path wired and falls back
+// transparently, exactly like the one-sided GET ladder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "memcached/ucr_proto.hpp"
+#include "obs/metrics.hpp"
+#include "rfp/layout.hpp"
+#include "simnet/event.hpp"
+#include "ucr/runtime.hpp"
+
+namespace rmc::rfp {
+
+struct ChannelConfig {
+  /// Proposed ring geometry (the server may clamp both; bootstrap adopts
+  /// the echoed values). slot_count bounds the ops in flight; slot_size
+  /// bounds one framed request/response — larger bodies fall back to RPC.
+  std::uint32_t slot_count = 16;
+  std::uint32_t slot_size = 2048;
+  /// Local response-poll interval (client CPU is idle-waiting anyway, so
+  /// this only trades sim latency against poll events).
+  sim::Time poll_ns = 200;
+  /// Torn response observations tolerated per op before falling back.
+  std::uint32_t max_torn_retries = 2;
+  /// CPU cost of framing a request into the staging slot.
+  sim::Time request_build_ns = 300;
+};
+
+/// A completed RFP op. `body` aliases the response arena slot: everything
+/// after the ResponseHeader (the value for GET, the chunk block for
+/// mget). It stays valid until release(slot) hands the slot back.
+struct OpResult {
+  mc::ucrp::ResponseHeader header;
+  std::span<const std::byte> body;
+  std::uint32_t slot = 0;
+};
+
+class Channel {
+ public:
+  /// `host` is the client host billed for request framing.
+  Channel(ucr::Runtime& runtime, sim::Host& host, ChannelConfig config = {});
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// The one RPC: exchange ring windows over `ep`. Idempotent while the
+  /// descriptor is valid and still bound to `ep`.
+  sim::Task<Status> bootstrap(ucr::Endpoint& ep, sim::Time timeout = 1 * kNsPerSec);
+
+  bool ready() const { return descriptor_.valid() && ep_ != nullptr; }
+  const RingDescriptor& descriptor() const { return descriptor_; }
+
+  /// Run one op through the rings. The request body is laid out as
+  /// `hdr | head | tail` (key + inline value for plain ops; the packed
+  /// key block as `head` for mget). Non-ok = use the RPC path; ok =
+  /// definitive server answer (the caller must still treat
+  /// RStatus::server_error as "reply did not fit — re-run over RPC") and
+  /// owns `slot` until release().
+  sim::Task<Result<OpResult>> execute(ucr::Endpoint& ep, const mc::ucrp::RequestHeader& hdr,
+                                      std::span<const std::byte> head,
+                                      std::span<const std::byte> tail, sim::Time timeout);
+
+  /// Hand a completed op's slot back (advances its epoch; the body span
+  /// of that op dies here).
+  void release(std::uint32_t slot);
+
+  /// Largest request body (RequestHeader + key + value) execute() can
+  /// frame; 0 until bootstrapped.
+  std::uint32_t max_body() const {
+    return ready() ? body_capacity(descriptor_.slot_size) : 0;
+  }
+  std::uint32_t slots_in_flight() const { return busy_slots_; }
+
+  /// Test hook: the raw response arena (tests forge torn frames in it).
+  std::span<std::byte> response_arena_for_test() { return response_arena_; }
+  std::uint32_t slot_seq_for_test(std::uint32_t slot) const { return slots_[slot].seq; }
+
+ private:
+  enum class SlotState : std::uint8_t {
+    free,  ///< claimable
+    busy,  ///< op in flight, owner polling
+    lost,  ///< owner gave up (timeout/torn budget); response may still land
+  };
+  struct Slot {
+    SlotState state = SlotState::free;
+    std::uint32_t seq = 1;  ///< epoch of the next/current op on this slot
+  };
+
+  std::span<std::byte> request_slot(std::uint32_t slot);
+  std::span<std::byte> response_slot(std::uint32_t slot);
+  /// Free lost slots whose late response has landed (their epoch closed).
+  void reclaim_lost();
+  std::uint32_t claim_slot();  ///< slot_count = none free
+  void invalidate();
+
+  ucr::Runtime* runtime_;
+  sim::Host* host_;
+  ChannelConfig config_;
+  std::uint64_t cookie_;  ///< routes the bootstrap response back to us
+  std::uint64_t down_handler_id_ = 0;
+
+  ucr::Endpoint* ep_ = nullptr;    ///< endpoint the rings are bound to
+  RingDescriptor descriptor_{};    ///< server's reply (adopted geometry)
+  ucr::Runtime::RemoteMemory request_window_{};
+
+  std::vector<std::byte> response_arena_;  ///< exposed; server writes here
+  std::vector<std::byte> request_staging_; ///< registered; frames built here
+  std::vector<Slot> slots_;
+  std::uint32_t busy_slots_ = 0;
+  sim::Time last_traffic_ = 0;  ///< wake-AM bookkeeping vs server parking
+
+  // Bootstrap rendezvous state.
+  std::unique_ptr<sim::Counter> bootstrap_counter_;
+  ucr::CounterRef bootstrap_ref_{};
+
+  obs::Counter* ops_;
+  obs::Counter* fallbacks_;
+  obs::Counter* ring_full_;
+  obs::Counter* oversize_;
+  obs::Counter* torn_retries_;
+};
+
+}  // namespace rmc::rfp

@@ -1,0 +1,136 @@
+// Server side of the RFP subsystem: per-client request rings + poll loop.
+//
+// A RingServer owns one request ring per bootstrapped client endpoint.
+// Clients RDMA-write framed commands (layout.hpp) into their ring slots;
+// a single dedicated poll loop sweeps every ring, executes verified
+// frames directly against the ItemStore, and RDMA-writes the framed
+// response into the client's response arena — one doorbell per ring
+// sweep via the runtime's send-batch window. No active message, CQ
+// wake-up, or worker hand-off touches the data path.
+//
+// Poll policy (billed to the server CPU so the bypass is honest): the
+// loop spins at poll_min_ns while frames arrive, doubles its interval
+// toward poll_max_ns when sweeps come up empty, and parks entirely after
+// park_after_ns of idleness. A parked loop costs nothing; clients re-arm
+// it with a one-way wake AM before their first request after a long gap
+// (the bootstrap descriptor tells them the threshold). A missed wake
+// degrades to the client's op timeout + RPC fallback, never to a hang —
+// and parking also keeps Scheduler::run() terminating (a perpetual
+// poller would wedge drivers that run the event loop dry).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "memcached/store.hpp"
+#include "memcached/ucr_proto.hpp"
+#include "obs/metrics.hpp"
+#include "rfp/layout.hpp"
+#include "simnet/scheduler.hpp"
+#include "ucr/runtime.hpp"
+
+namespace rmc::rfp {
+
+struct RingServerConfig {
+  /// Geometry ceilings: a client's proposed ring is clamped to these.
+  std::uint32_t max_slot_count = 64;
+  std::uint32_t max_slot_size = 8192;
+
+  /// Adaptive poll interval: spin at min while busy, back off x2 per
+  /// empty sweep toward max, park after this much cumulative idleness.
+  /// The max is deliberately tight — pickup lag is bounded by it, and a
+  /// closed-loop client would otherwise phase-lock against a coarse
+  /// interval and eat it on every op; parking (not backoff) is what
+  /// makes a truly idle ring free.
+  sim::Time poll_min_ns = 200;
+  sim::Time poll_max_ns = 400;
+  sim::Time park_after_ns = 200'000;
+
+  /// CPU costs. One sweep over the rings costs poll_sweep_ns; a verified
+  /// frame pays request_ns (decode) + op_base_ns (store op) plus
+  /// value_copy_ns_per_byte over the bytes staged into the response.
+  sim::Time poll_sweep_ns = 80;
+  sim::Time request_ns = 250;
+  sim::Time op_base_ns = 900;
+  double value_copy_ns_per_byte = 0.08;
+};
+
+class RingServer {
+ public:
+  /// Registers the bootstrap + wake AM handlers on `runtime` and serves
+  /// ops against `store`, billing poll and execute work to `host`.
+  RingServer(ucr::Runtime& runtime, sim::Host& host, mc::ItemStore& store,
+             RingServerConfig config = {});
+  ~RingServer();
+  RingServer(const RingServer&) = delete;
+  RingServer& operator=(const RingServer&) = delete;
+
+  const RingServerConfig& config() const { return config_; }
+  std::size_t ring_count() const { return rings_.size(); }
+  bool polling() const { return poll_running_; }
+
+ private:
+  /// One bootstrapped client: its exposed request ring, the remote
+  /// window of its response arena, and per-slot staging for outgoing
+  /// response frames (per-slot because a batched/retransmitted WR reads
+  /// its source buffer until acked — slots never have two outstanding
+  /// responses, so slot-indexed staging is single-writer by protocol).
+  struct ClientRing {
+    ucr::Endpoint* ep = nullptr;
+    std::vector<std::byte> ring;     ///< exposed request ring
+    std::vector<std::byte> staging;  ///< response frames, slot-indexed
+    ucr::Runtime::RemoteMemory request_window;   ///< ring, as shipped
+    ucr::Runtime::RemoteMemory response_window;  ///< client arena
+    std::uint32_t slot_count = 0;
+    std::uint32_t slot_size = 0;
+    std::vector<std::uint32_t> expected_seq;  ///< per-slot epoch, starts 1
+  };
+
+  void on_bootstrap(ucr::Endpoint& ep, const BootstrapRequest& req);
+  void ensure_polling();
+  sim::Task<> poll_loop();
+  /// Execute one verified request frame and seal the response frame into
+  /// the ring's staging slot. Returns the sealed frame length (0 = the
+  /// reply cannot be represented; a server_error frame is sealed instead).
+  sim::Task<std::size_t> execute(ClientRing& ring, std::uint32_t slot,
+                                 std::span<const std::byte> body);
+  std::size_t seal_response(ClientRing& ring, std::uint32_t slot,
+                            const mc::ucrp::ResponseHeader& resp,
+                            std::span<const std::byte> value);
+  std::size_t execute_mget(ClientRing& ring, std::uint32_t slot,
+                           const mc::ucrp::RequestHeader& req,
+                           std::span<const std::byte> key_block);
+
+  ucr::Runtime* runtime_;
+  sim::Host* host_;
+  mc::ItemStore* store_;
+  RingServerConfig config_;
+
+  // Swept in order when polling — ep-id-keyed ordered map so the sweep
+  // order (sim-visible: CPU charges, write order) is deterministic.
+  std::map<std::uint64_t, std::unique_ptr<ClientRing>> rings_;
+  /// Rings retired mid-sweep (endpoint failure, re-bootstrap) park here
+  /// until the next sweep top: the in-flight sweep may still hold spans
+  /// into them, so they are freed only from straight-line poll code.
+  std::vector<std::unique_ptr<ClientRing>> graveyard_;
+  bool poll_running_ = false;
+  std::uint64_t down_handler_id_ = 0;
+
+  /// Ready slots found by the current sweep of one ring (scratch,
+  /// reserved to max_slot_count so steady state never allocates).
+  std::vector<std::uint32_t> ready_slots_;
+  std::vector<std::size_t> ready_lens_;  ///< sealed frame length per ready slot
+  std::size_t mget_value_bytes_ = 0;     ///< staged bytes of the last mget
+
+  obs::Counter* bootstraps_;
+  obs::Counter* wakes_;
+  obs::Counter* torn_frames_;
+  obs::Counter* sweeps_;
+  obs::Counter* frames_;
+  obs::Counter* parks_;
+};
+
+}  // namespace rmc::rfp

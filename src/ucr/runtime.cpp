@@ -575,6 +575,20 @@ Status Runtime::one_sided(Endpoint& ep, verbs::Opcode opcode, std::span<std::byt
                          .lkey = mr->lkey(),
                          .remote_addr = window.addr + offset,
                          .rkey = window.rkey};
+  if (send_batch_active_) {
+    // One-sided WRs chain into the same doorbell window as AM sends (the
+    // RFP ring server batches one sweep's response writes this way). The
+    // caller's buffer must stay valid until completion — true for the
+    // slot-indexed staging arenas that use this path.
+    if ((batch_qp_ != nullptr && batch_qp_ != ep.qp_) ||
+        batch_wr_count_ == batch_wrs_.size()) {
+      flush_send_batch();
+    }
+    batch_qp_ = ep.qp_;
+    batch_ep_ = &ep;
+    batch_wrs_[batch_wr_count_++] = wr;
+    return {};
+  }
   if (!ep.qp_->post_send(wr).ok()) {
     pending_one_sided_.erase(token);
     fail_endpoint(ep);

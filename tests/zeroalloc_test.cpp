@@ -17,6 +17,7 @@
 #include "memcached/client.hpp"
 #include "memcached/server.hpp"
 #include "obs/profiler.hpp"
+#include "rfp/ring_server.hpp"
 #include "simnet/netparams.hpp"
 
 namespace {
@@ -182,6 +183,80 @@ TEST(ZeroAlloc, SteadyStateUcrMgetAllocatesNothing) {
   EXPECT_TRUE(done);
   EXPECT_EQ(failures, 0);
   EXPECT_EQ(delta, 0) << "heap allocations on the steady-state mget path";
+}
+
+// The RFP rings inherit the property for GET *and* SET: framing the
+// request into the registered staging slot, the one-sided write out, the
+// server's sweep + execute + response write, and the client's local
+// response poll are all pooled or in-place. Request and response frames
+// live in arenas sized at bootstrap; slot epochs replace clearing writes.
+TEST(ZeroAlloc, SteadyStateRfpGetAndSetAllocateNothing) {
+  Scheduler sched;
+  sim::Fabric ib{sched, sim::ib_qdr_link()};
+  sim::Host server_host{sched, 0, "server", 8};
+  sim::Host client_host{sched, 1, "client", 8};
+  verbs::Hca server_hca{sched, ib, server_host};
+  verbs::Hca client_hca{sched, ib, client_host};
+  ucr::Runtime server_ucr{server_hca};
+  ucr::Runtime client_ucr{client_hca};
+  Server server{sched, server_host, {}};
+  server.attach_ucr_frontend(server_ucr);
+  rfp::RingServer ring{server_ucr, server_host, server.store(), {}};
+
+  ClientBehavior behavior;
+  behavior.mode = ClientBehavior::Mode::rfp;
+  behavior.op_timeout = sim::kNoTimeout;  // timed waits heap-allocate a WaitState
+  Client client{sched, client_host, behavior};
+  client.add_server_ucr(client_ucr, server_ucr.addr(), server.config().port);
+
+  bool done = false;
+  long long get_delta = -1;
+  long long set_delta = -1;
+  long long failures = 0;
+
+  sched.spawn([](Client& cli, bool& fin, long long& get_delta2, long long& set_delta2,
+                 long long& failures2) -> Task<> {
+    if (!(co_await cli.connect_all()).ok()) { ADD_FAILURE() << "connect"; co_return; }
+    const std::string value(64, 'v');
+    if (!(co_await cli.set("hot-key", val(value), 7)).ok()) {
+      ADD_FAILURE() << "set";
+      co_return;
+    }
+
+    std::array<std::byte, 256> dest;
+    // Warm-up: rings bootstrapped, poll loop resident, every pool filled.
+    for (int i = 0; i < 2000; ++i) {
+      auto r = co_await cli.get_into("hot-key", dest);
+      if (!r.ok() || r->value_len != 64) { ADD_FAILURE() << "warm-up get"; co_return; }
+      if (!(co_await cli.set("hot-key", val(value), 7)).ok()) {
+        ADD_FAILURE() << "warm-up set";
+        co_return;
+      }
+    }
+
+    const long long get_before = g_news;
+    for (int i = 0; i < 10000; ++i) {
+      auto r = co_await cli.get_into("hot-key", dest);
+      if (!r.ok() || r->value_len != 64 || r->flags != 7) ++failures2;
+    }
+    get_delta2 = g_news - get_before;
+
+    const long long set_before = g_news;
+    for (int i = 0; i < 10000; ++i) {
+      if (!(co_await cli.set("hot-key", val(value), 7)).ok()) ++failures2;
+    }
+    set_delta2 = g_news - set_before;
+    fin = true;
+  }(client, done, get_delta, set_delta, failures));
+  sched.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(get_delta, 0) << "heap allocations on the steady-state RFP GET path";
+  EXPECT_EQ(set_delta, 0) << "heap allocations on the steady-state RFP SET path";
+  // The ops above actually rode the rings (one bootstrapped client).
+  EXPECT_EQ(ring.ring_count(), 1u);
+  EXPECT_GT(obs::registry().counter("mc.rfp.ops").value(), 20000u);
 }
 
 // Same property with the attribution profiler ON: ProfScope push/pop and

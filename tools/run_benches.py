@@ -6,6 +6,8 @@ Measures (in a Release tree):
   * micro_kv_components   — parser/store/encode micro-benchmarks
   * fig_onesided_get      — RPC vs one-sided GET latency cells (sim-time,
                             deterministic, so also gateable in --quick)
+  * fig_rfp               — RPC vs one-sided vs remote-fetch-ring latency
+                            cells; headlines are the QDR 64 B GET and SET
   * abl_multiget          — batched multiget width sweep (sim-time,
                             deterministic; headline is the 64-key cell)
   * fleet                 — sharded-pool workload engine at the 10k-connection
@@ -25,6 +27,8 @@ Headline gauges (the ones CI gates on):
   * onesided_get_us_qdr_64     — one-sided 64 B GET, QDR, sim µs     (lower better)
   * rpc_get_us_qdr_64          — RPC 64 B GET, QDR, sim µs           (lower better)
   * multiget_64key_us          — batched 64-key mget, QDR, sim µs    (lower better)
+  * rfp_get_64b_us             — RFP-ring 64 B GET, QDR, sim µs      (lower better)
+  * rfp_set_64b_us             — RFP-ring 64 B SET, QDR, sim µs      (lower better)
   * fleet_10k_ops_per_sec      — fleet saturation TPS, sim ops/s     (higher better)
 
 Usage:
@@ -49,6 +53,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 MICRO_TARGETS = ["micro_sim_components", "micro_kv_components"]
 ONESIDED_TARGET = "fig_onesided_get"
+RFP_TARGET = "fig_rfp"
 MULTIGET_TARGET = "abl_multiget"
 FLEET_TARGET = "fleet"
 # The 10k-connection headline shape. Sim-time TPS, so the same shape runs
@@ -62,7 +67,7 @@ WALLCLOCK_TARGETS = {
 # deterministic across machines — the tolerance only absorbs intentional
 # model changes that forgot to refresh the snapshot.
 LATENCY_HEADLINES = ["onesided_get_us_qdr_64", "rpc_get_us_qdr_64",
-                     "multiget_64key_us"]
+                     "multiget_64key_us", "rfp_get_64b_us", "rfp_set_64b_us"]
 # Throughput headlines gated in --check mode (higher is better). Keys
 # missing from an older snapshot are skipped, like the latency ones.
 THROUGHPUT_HEADLINES = ["sim_events_per_sec", "end_to_end_sim_ops_per_sec",
@@ -128,6 +133,14 @@ def run_onesided(build_dir):
         return json.load(f)
 
 
+def run_rfp(build_dir):
+    out = os.path.join(build_dir, "fig_rfp.json")
+    run([find_binary(build_dir, RFP_TARGET), "--json", out],
+        stdout=subprocess.DEVNULL)
+    with open(out) as f:
+        return json.load(f)
+
+
 def run_multiget(build_dir):
     out = os.path.join(build_dir, "abl_multiget.json")
     run([find_binary(build_dir, MULTIGET_TARGET), "--json", out],
@@ -155,7 +168,8 @@ def run_wallclock(build_dir):
 
 
 def measure(build_dir, quick):
-    targets = MICRO_TARGETS + [ONESIDED_TARGET, MULTIGET_TARGET, FLEET_TARGET] + (
+    targets = MICRO_TARGETS + [ONESIDED_TARGET, RFP_TARGET, MULTIGET_TARGET,
+                               FLEET_TARGET] + (
         [] if quick else list(WALLCLOCK_TARGETS.values()))
     ensure_build(build_dir, targets)
     current = {"quick": quick, "benchmarks": {}}
@@ -163,6 +177,9 @@ def measure(build_dir, quick):
         current["benchmarks"][target] = run_micro(build_dir, target, quick)
     onesided = run_onesided(build_dir)
     current["onesided"] = {"ddr": onesided["ddr"], "qdr": onesided["qdr"]}
+    rfp = run_rfp(build_dir)
+    current["rfp"] = {"get_ddr": rfp["get_ddr"], "get_qdr": rfp["get_qdr"],
+                      "set_ddr": rfp["set_ddr"], "set_qdr": rfp["set_qdr"]}
     multiget = run_multiget(build_dir)
     current["multiget"] = {"sweep": multiget["sweep"]}
     fleet = run_fleet(build_dir)
@@ -179,6 +196,8 @@ def measure(build_dir, quick):
         "kv_parse_get_ns": kv["BM_ParseGetRequest"]["real_time_ns"],
     }
     current["headline"].update(onesided["headline"])
+    current["headline"].update({k: rfp["headline"][k]
+                                for k in ("rfp_get_64b_us", "rfp_set_64b_us")})
     current["headline"].update(multiget["headline"])
     current["headline"].update(fleet["headline"])
     return current
@@ -187,7 +206,7 @@ def measure(build_dir, quick):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO, "build-rel"))
-    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_8.json"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_9.json"))
     ap.add_argument("--quick", action="store_true",
                     help="short benchmark repetitions, skip wall-clock figs")
     ap.add_argument("--check", metavar="SNAPSHOT",
