@@ -1034,7 +1034,7 @@ class UcrConn final : public ServerConn {
     if (!out.ok()) co_return out.error();
     if (out->header.status == ucrp::RStatus::server_error) {
       rfp_->release(out->slot);
-      obs::registry().counter("mc.rfp.fallbacks").inc();
+      rfp_fallbacks_->inc();
       co_return Errc::no_resources;
     }
     co_return *out;
@@ -1370,6 +1370,7 @@ class UcrConn final : public ServerConn {
   std::uint64_t down_handler_ = 0;
   std::unique_ptr<onesided::RemoteGetter> getter_;  ///< non-null iff Mode::onesided_get
   std::unique_ptr<rfp::Channel> rfp_;               ///< non-null iff Mode::rfp
+  obs::Counter* rfp_fallbacks_ = &obs::registry().counter("mc.rfp.fallbacks");
 
   SlotMap<Pending> pending_;
 

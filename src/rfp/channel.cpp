@@ -123,6 +123,7 @@ sim::Task<Status> Channel::bootstrap(ucr::Endpoint& ep, sim::Time timeout) {
   }
 
   slots_.assign(descriptor_.slot_count, Slot{});
+  ++slots_epoch_;
   busy_slots_ = 0;
   request_window_ = {descriptor_.request_ring.addr, descriptor_.request_ring.rkey,
                      descriptor_.request_ring.length};
@@ -186,6 +187,18 @@ sim::Task<Result<OpResult>> Channel::execute(ucr::Endpoint& ep,
     fallbacks_->inc();
     co_return Errc::no_resources;
   }
+  // Claim-time generation of slots_. A re-bootstrap while this op is
+  // suspended rebuilds the map and bumps slots_epoch_; our slot id may
+  // then be free — or busy under a new owner — so every abandonment path
+  // below re-checks the epoch before mutating slot state.
+  const std::uint64_t epoch = slots_epoch_;
+  auto abandon = [&](SlotState next) {
+    if (slots_epoch_ == epoch && slots_[slot].state == SlotState::busy) {
+      slots_[slot].state = next;
+      --busy_slots_;
+    }
+    fallbacks_->inc();
+  };
 
   sim::Scheduler& sched = runtime_->scheduler();
   // The server's poll loop parks after park_after_ns of idleness; if our
@@ -202,12 +215,8 @@ sim::Task<Result<OpResult>> Channel::execute(ucr::Endpoint& ep,
   last_traffic_ = sched.now();
 
   co_await host_->cpu().consume(config_.request_build_ns);
-  if (!ready() || ep_ != &ep || slot >= slots_.size()) {
-    if (slot < slots_.size() && slots_[slot].state == SlotState::busy) {
-      slots_[slot].state = SlotState::free;
-      --busy_slots_;
-    }
-    fallbacks_->inc();
+  if (slots_epoch_ != epoch || !ready() || ep_ != &ep) {
+    abandon(SlotState::free);
     co_return Errc::disconnected;
   }
 
@@ -228,10 +237,8 @@ sim::Task<Result<OpResult>> Channel::execute(ucr::Endpoint& ep,
       ep, staging.first(framed_size(static_cast<std::uint32_t>(body_len))),
       request_window_, slot * descriptor_.slot_size, nullptr);
   if (!posted.ok()) {
-    // Never went out: the slot's epoch is untouched and reusable.
-    slots_[slot].state = SlotState::free;
-    --busy_slots_;
-    fallbacks_->inc();
+    // Never went out: the slot's seq is untouched and reusable.
+    abandon(SlotState::free);
     co_return Errc::disconnected;
   }
 
@@ -239,12 +246,8 @@ sim::Task<Result<OpResult>> Channel::execute(ucr::Endpoint& ep,
   const sim::Time deadline = bounded ? sched.now() + timeout : 0;
   std::uint32_t torn_seen = 0;
   for (;;) {
-    if (!ready() || ep_ != &ep || slot >= slots_.size()) {
-      if (slot < slots_.size() && slots_[slot].state == SlotState::busy) {
-        slots_[slot].state = SlotState::lost;
-        --busy_slots_;
-      }
-      fallbacks_->inc();
+    if (slots_epoch_ != epoch || !ready() || ep_ != &ep) {
+      abandon(SlotState::lost);
       co_return Errc::disconnected;
     }
     std::span<const std::byte> resp_body;
@@ -266,9 +269,7 @@ sim::Task<Result<OpResult>> Channel::execute(ucr::Endpoint& ep,
       case FrameState::torn:
         torn_retries_->inc();
         if (++torn_seen > config_.max_torn_retries) {
-          slots_[slot].state = SlotState::lost;
-          --busy_slots_;
-          fallbacks_->inc();
+          abandon(SlotState::lost);
           co_return Errc::protocol_error;
         }
         break;
@@ -277,10 +278,8 @@ sim::Task<Result<OpResult>> Channel::execute(ucr::Endpoint& ep,
     }
     if (bounded && sched.now() >= deadline) {
       // The response may still land later; quarantine the slot until
-      // reclaim_lost sees its epoch close.
-      slots_[slot].state = SlotState::lost;
-      --busy_slots_;
-      fallbacks_->inc();
+      // reclaim_lost sees its seq close.
+      abandon(SlotState::lost);
       co_return Errc::timed_out;
     }
     co_await sched.delay(config_.poll_ns);

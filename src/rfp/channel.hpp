@@ -126,6 +126,11 @@ class Channel {
   std::vector<std::byte> response_arena_;  ///< exposed; server writes here
   std::vector<std::byte> request_staging_; ///< registered; frames built here
   std::vector<Slot> slots_;
+  /// Bumped each time slots_ is rebuilt (re-bootstrap). execute()
+  /// snapshots it at claim time: after any suspension, a stale snapshot
+  /// means the claimed slot id now belongs to a different generation of
+  /// the map and must not be touched.
+  std::uint64_t slots_epoch_ = 0;
   std::uint32_t busy_slots_ = 0;
   sim::Time last_traffic_ = 0;  ///< wake-AM bookkeeping vs server parking
 

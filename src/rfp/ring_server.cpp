@@ -58,10 +58,12 @@ RingServer::RingServer(ucr::Runtime& runtime, sim::Host& host, mc::ItemStore& st
       }});
   down_handler_id_ = runtime_->on_endpoint_down([this](ucr::Endpoint& ep, Errc) {
     auto it = rings_.find(ep.id());
-    if (it == rings_.end()) return;
+    if (it == rings_.end() || it->second == nullptr) return;
     it->second->ep = nullptr;  // dead: skipped by the sweep in progress
     graveyard_.push_back(std::move(it->second));
-    rings_.erase(it);
+    // The null entry stays behind as a tombstone: poll_loop may be
+    // suspended mid-iteration over rings_, so handlers never erase map
+    // nodes — the sweep top reaps tombstones in straight-line code.
   });
 }
 
@@ -101,15 +103,16 @@ void RingServer::on_bootstrap(ucr::Endpoint& ep, const BootstrapRequest& req) {
     resp.slot_size = slot_size;
     resp.park_after_ns = static_cast<std::uint64_t>(config_.park_after_ns);
 
-    auto it = rings_.find(ep.id());
-    if (it != rings_.end()) {
+    auto [it, inserted] = rings_.try_emplace(ep.id());
+    if (it->second != nullptr) {
       // Re-bootstrap on a live endpoint: retire the old ring via the
-      // graveyard so an in-flight sweep never touches freed memory.
+      // graveyard so an in-flight sweep never touches freed memory. The
+      // map node is reused in place, never erased here — poll_loop may
+      // be suspended mid-iteration over rings_.
       it->second->ep = nullptr;
       graveyard_.push_back(std::move(it->second));
-      rings_.erase(it);
     }
-    rings_.emplace(ep.id(), std::move(ring));
+    it->second = std::move(ring);
     bootstraps_->inc();
     ensure_polling();
   }
@@ -131,10 +134,13 @@ sim::Task<> RingServer::poll_loop() {
   sim::Time interval = config_.poll_min_ns;
   sim::Time idle_ns = 0;
   for (;;) {
-    // Straight-line sweep bookkeeping: dead rings retired by down/re-
-    // bootstrap handlers are freed only here, so ClientRing memory seen
-    // by this sweep stays valid across every co_await below.
+    // Straight-line sweep bookkeeping: rings retired by the down/re-
+    // bootstrap handlers park in the graveyard behind a null map
+    // tombstone, and both are reaped only here — so map nodes and
+    // ClientRing memory seen by this sweep stay valid across every
+    // co_await below.
     graveyard_.clear();
+    std::erase_if(rings_, [](const auto& kv) { return kv.second == nullptr; });
     if (rings_.empty()) {
       parks_->inc();
       break;
@@ -143,9 +149,11 @@ sim::Task<> RingServer::poll_loop() {
     co_await host_->cpu().consume(config_.poll_sweep_ns);
 
     bool worked = false;
-    // std::map iterators survive handler-driven insertions; erasures only
-    // happen via the graveyard, never directly, so iteration is safe.
+    // std::map iterators survive handler-driven insertions, and handlers
+    // tombstone entries (null the pointer) instead of erasing nodes, so
+    // iteration is safe across the co_awaits in the loop body.
     for (auto& [ep_id, ring_ptr] : rings_) {
+      if (ring_ptr == nullptr) continue;  // tombstoned during this sweep
       ClientRing& ring = *ring_ptr;
       if (ring.ep == nullptr || ring.ep->state() != ucr::EpState::ready) continue;
 
@@ -215,6 +223,7 @@ sim::Task<> RingServer::poll_loop() {
   }
   poll_running_ = false;
   graveyard_.clear();
+  std::erase_if(rings_, [](const auto& kv) { return kv.second == nullptr; });
 }
 
 std::size_t RingServer::seal_response(ClientRing& ring, std::uint32_t slot,

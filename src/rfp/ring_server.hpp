@@ -69,7 +69,12 @@ class RingServer {
   RingServer& operator=(const RingServer&) = delete;
 
   const RingServerConfig& config() const { return config_; }
-  std::size_t ring_count() const { return rings_.size(); }
+  /// Live (non-tombstoned) client rings.
+  std::size_t ring_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, ring] : rings_) n += ring != nullptr;
+    return n;
+  }
   bool polling() const { return poll_running_; }
 
  private:
@@ -110,7 +115,11 @@ class RingServer {
   RingServerConfig config_;
 
   // Swept in order when polling — ep-id-keyed ordered map so the sweep
-  // order (sim-visible: CPU charges, write order) is deterministic.
+  // order (sim-visible: CPU charges, write order) is deterministic. A
+  // null value is a tombstone: handlers retiring a ring mid-sweep null
+  // the pointer rather than erase the node (the poll loop may be
+  // suspended inside a range-for over this map); tombstoned nodes are
+  // erased only from straight-line poll code at the sweep top.
   std::map<std::uint64_t, std::unique_ptr<ClientRing>> rings_;
   /// Rings retired mid-sweep (endpoint failure, re-bootstrap) park here
   /// until the next sweep top: the in-flight sweep may still hold spans

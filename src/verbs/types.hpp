@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "simnet/time.hpp"
@@ -101,10 +102,11 @@ struct VerbsCosts {
   sim::Time hca_process_ns = 250;    ///< adapter packet processing, per message
   /// In-bound RDMA Write processing, per message. Real adapters place an
   /// incoming write cheaper than a SEND (no WQE consumed, no CQE raised at
-  /// the target), so profiles may split the two; 0 keeps the symmetric
-  /// hca_process_ns charge for every packet kind — the default, so
-  /// existing figures are byte-identical.
-  sim::Time hca_inbound_write_ns = 0;
+  /// the target), so profiles may split the two. Disengaged (the default)
+  /// inherits the symmetric hca_process_ns charge for every packet kind,
+  /// so existing figures are byte-identical; an engaged value is charged
+  /// as-is — including 0 for a genuinely free in-bound engine pass.
+  std::optional<sim::Time> hca_inbound_write_ns = std::nullopt;
   sim::Time interrupt_ns = 4000;     ///< event-mode completion wake-up
   sim::Time reg_mr_base_ns = 900;    ///< memory registration: pin + table setup
   sim::Time reg_mr_per_page_ns = 90; ///< per 4 KiB page
