@@ -16,6 +16,9 @@ using namespace rmc::bench;
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  // --tie-breaker insertion: run every cell with the insertion-mode
+  // explorer installed; output must stay byte-identical (CI diffs it).
+  init_tie_breaker(argc, argv);
   // --profile <file>: wall-clock attribution across every cell below.
   // Default off; the tables are byte-identical either way (the profiler
   // never touches sim time).

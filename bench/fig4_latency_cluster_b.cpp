@@ -16,6 +16,9 @@ using namespace rmc::bench;
 
 int main(int argc, char** argv) {
   const bool csv = csv_mode(argc, argv);
+  // --tie-breaker insertion: run every cell with the insertion-mode
+  // explorer installed; output must stay byte-identical (CI diffs it).
+  init_tie_breaker(argc, argv);
   const std::string profile_file = profile_path(argc, argv);
   const std::vector<core::TransportKind> transports{
       core::TransportKind::ucr_verbs, core::TransportKind::sdp, core::TransportKind::ipoib};

@@ -15,8 +15,18 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "simnet/explore.hpp"
 
 namespace rmc::bench {
+
+/// Tie-breaker installed on every cell's scheduler, or nullptr (the
+/// default: the scheduler's pinned insertion-order dispatch with no hook
+/// at all). Set via init_tie_breaker().
+inline sim::TieBreaker*& cell_tie_breaker() {
+  static sim::TieBreaker* breaker = nullptr;
+  return breaker;
+}
+
 
 /// Small-message panel sizes (Figs. 3/4 left half; Fig. 5).
 inline std::vector<std::uint32_t> small_sizes() {
@@ -37,6 +47,7 @@ inline double latency_cell(core::ClusterKind cluster, core::TransportKind transp
   config.cluster = cluster;
   config.transport = transport;
   core::TestBed bed(config);
+  if (sim::TieBreaker* breaker = cell_tie_breaker()) bed.scheduler().set_tie_breaker(breaker);
   core::WorkloadConfig workload;
   workload.pattern = pattern;
   workload.value_size = value_size;
@@ -90,6 +101,7 @@ inline double tps_cell(core::ClusterKind cluster, core::TransportKind transport,
   config.transport = transport;
   config.num_clients = clients;
   core::TestBed bed(config);
+  if (sim::TieBreaker* breaker = cell_tie_breaker()) bed.scheduler().set_tie_breaker(breaker);
   core::WorkloadConfig workload;
   workload.pattern = core::OpPattern::pure_get;
   workload.value_size = value_size;
@@ -148,6 +160,22 @@ inline std::string arg_value(int argc, char** argv, std::string_view flag) {
     if (std::string_view(argv[i]) == flag) return argv[i + 1];
   }
   return {};
+}
+
+/// Honor `--tie-breaker insertion`: install an insertion-mode
+/// ScheduleExplorer on every subsequent cell's scheduler. CI diffs such a
+/// run against the plain one — the hooked dispatch path must be
+/// byte-identical to the unhooked default on the published figures
+/// (DESIGN.md §17's tie-breaker-neutrality check).
+inline void init_tie_breaker(int argc, char** argv) {
+  const std::string v = arg_value(argc, argv, "--tie-breaker");
+  if (v.empty()) return;
+  if (v != "insertion") {
+    std::fprintf(stderr, "unknown --tie-breaker %s (only: insertion)\n", v.c_str());
+    std::exit(2);
+  }
+  static sim::ScheduleExplorer insertion;
+  cell_tie_breaker() = &insertion;
 }
 
 /// `--seed <n>` on the command line, defaulting to the canonical seed 1

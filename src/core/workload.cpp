@@ -69,6 +69,8 @@ sim::Task<> client_task(TestBed& bed, const WorkloadConfig& config, std::size_t 
                         std::span<std::byte> value, sim::Event& connected,
                         sim::Counter& ready, sim::Event& start, const RunFlags& flags,
                         ClientState& state) {
+  // rmclint:allow(coro-lifetime): every referenced object lives in run_workload's
+  // frame, which blocks in sched.run() until all client tasks signal `ready`.
   mc::Client& client = bed.client(index);
   sim::Scheduler& sched = bed.scheduler();
   co_await connected.wait();
@@ -158,6 +160,8 @@ WorkloadResult run_workload(TestBed& bed, const WorkloadConfig& config) {
 
   sched.spawn([](TestBed& tb, sim::Event& conn_ev, sim::Counter& ready_ctr, sim::Event& start_ev,
                  std::size_t clients, sim::Time& t0, RunFlags& fl) -> sim::Task<> {
+    // rmclint:allow(coro-lifetime): all arguments live in run_workload's frame,
+    // which blocks in sched.run() until this starter and every client finish.
     auto st = co_await tb.connect_all();
     if (!st.ok()) {
       RMC_LOG_ERROR("workload: connect failed: %s",
@@ -350,6 +354,8 @@ sim::Task<> fleet_client_task(FleetBed& bed, const FleetWorkloadConfig& config,
                               sim::Counter& ready, sim::Event& start,
                               const FleetRunFlags& flags, FleetShardTallies& shards,
                               FleetClientState& state) {
+  // rmclint:allow(coro-lifetime): every referenced object lives in run_fleet's
+  // frame, which blocks in sched.run() until all fleet tasks signal `ready`.
   mc::Client& client = bed.client(index);
   sim::Scheduler& sched = bed.scheduler();
   const std::size_t n_clients = bed.client_count();
@@ -528,6 +534,8 @@ FleetResult run_fleet(FleetBed& bed, const FleetWorkloadConfig& config) {
   sched.spawn([](FleetBed& fb, sim::Event& conn_ev, sim::Counter& ready_ctr,
                  sim::Event& start_ev, std::size_t clients, sim::Time& t0,
                  FleetRunFlags& fl) -> sim::Task<> {
+    // rmclint:allow(coro-lifetime): all arguments live in run_fleet's frame,
+    // which blocks in sched.run() until this starter and every client finish.
     auto st = co_await fb.connect_all();
     if (!st.ok()) {
       RMC_LOG_ERROR("fleet: connect failed: %s",

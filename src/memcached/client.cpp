@@ -1623,6 +1623,8 @@ sim::Task<Result<std::vector<std::optional<proto::Value>>>> Client::mget(
                      const std::vector<std::size_t>& pos,
                      std::vector<std::optional<proto::Value>>& results, Errc& err,
                      sim::Counter& done) -> sim::Task<> {
+      // rmclint:allow(coro-lifetime): all arguments live in mget's frame, which
+      // stays suspended on `finished` until every per-server task calls done.add().
       auto r = co_await conn.mget(group, false);
       if (r.ok()) {
         for (std::size_t j = 0; j < pos.size(); ++j) results[pos[j]] = std::move((*r)[j]);

@@ -99,6 +99,8 @@ void Server::attach_socket_frontend(sock::NetStack& stack) {
 }
 
 sim::Task<> Server::accept_loop(sock::NetStack& stack, sock::Listener& listener) {
+  // rmclint:allow(coro-lifetime): the NetStack (and the Listener it owns) is a
+  // bed-scoped fixture that outlives the scheduler run this loop lives in.
   (void)stack;
   while (true) {
     sock::Socket* socket = co_await listener.accept();
@@ -116,6 +118,8 @@ sim::Task<> Server::connection_loop(sock::Socket& socket, std::size_t worker) {
   // Protocol auto-detection, as memcached 1.4 does on a shared port: a
   // first byte of 0x80 means the binary protocol.
   std::vector<std::byte> first(16 * 1024);
+  // rmclint:allow(coro-lifetime): sockets are pool-owned by the NetStack; close()
+  // only marks state, so the reference stays valid until stack teardown.
   auto n = co_await socket.recv(first);
   if (!n.ok() || *n == 0) {
     socket.close();
@@ -770,6 +774,8 @@ void Server::ucr_reply(ucr::Endpoint& ep, const ucrp::ResponseHeader& header,
     sched_->spawn([](ItemStore& store, ItemHeader* item,
                      std::unique_ptr<sim::Counter> done) -> sim::Task<> {
       co_await done->wait_geq(1);
+      // rmclint:allow(coro-lifetime): store_ is a Server member and `item` is
+      // refcount-pinned until this release; both outlive the send completion.
       store.release(item);
     }(store_, pinned_item, std::move(counter)));
   } else {
@@ -918,6 +924,8 @@ sim::Task<> Server::process_ucr_mget(Work& work, WorkerScratch& scratch) {
         sched_->spawn([](ItemStore& store, ItemHeader* item,
                          std::unique_ptr<sim::Counter> done) -> sim::Task<> {
           co_await done->wait_geq(1);
+          // rmclint:allow(coro-lifetime): store_ is a Server member and `item` is
+          // refcount-pinned until this release; both outlive the send completion.
           store.release(item);
         }(store_, single, std::move(counter)));
         continue;

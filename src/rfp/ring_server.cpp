@@ -91,6 +91,8 @@ void RingServer::on_bootstrap(ucr::Endpoint& ep, const BootstrapRequest& req) {
     ring->slot_size = slot_size;
     ring->ring.assign(span_bytes, std::byte{0});
     ring->staging.assign(span_bytes, std::byte{0});
+    // rmclint:allow(seqlock-discipline): fresh ring — no client holds its epochs yet,
+    // so initializing every slot to epoch 1 cannot race a reader.
     ring->expected_seq.assign(slot_count, 1);
     ring->request_window = runtime_->expose_memory(ring->ring);
     runtime_->register_region(ring->staging);
@@ -127,6 +129,12 @@ void RingServer::ensure_polling() {
   if (poll_running_ || rings_.empty()) return;
   poll_running_ = true;
   runtime_->scheduler().spawn(poll_loop());
+}
+
+void RingServer::release_slot(ClientRing& ring, std::uint32_t slot) {
+  // Blessed epoch advance (see header). The client's next request in this
+  // slot must carry seq == expected_seq to verify as ready.
+  ring.expected_seq[slot] += 1;
 }
 
 sim::Task<> RingServer::poll_loop() {
@@ -188,7 +196,7 @@ sim::Task<> RingServer::poll_loop() {
         (void)read_frame(slot_span(ring.ring, slot, ring.slot_size),
                          ring.expected_seq[slot], body);
         ready_lens_.push_back(co_await execute(ring, slot, body));
-        ring.expected_seq[slot] += 1;
+        release_slot(ring, slot);
       }
 
       if (ring.ep != nullptr && ring.ep->state() == ucr::EpState::ready) {

@@ -108,6 +108,12 @@ class RingServer {
   std::size_t execute_mget(ClientRing& ring, std::uint32_t slot,
                            const mc::ucrp::RequestHeader& req,
                            std::span<const std::byte> key_block);
+  /// Advance the slot's expected epoch after its request has been executed
+  /// and its response staged. This is the ONLY place the server's half of
+  /// the lockstep seq protocol moves (rmclint seqlock-discipline blesses
+  /// it by name): bumping before execute would let a fast client reuse the
+  /// slot while the old body is still being read.
+  static void release_slot(ClientRing& ring, std::uint32_t slot);
 
   ucr::Runtime* runtime_;
   sim::Host* host_;

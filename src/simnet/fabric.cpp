@@ -67,6 +67,8 @@ void Fabric::transmit(PacketPtr packet) {
     loopback_metric_->inc();
     dst.rx_messages_++;
     trace_hop(src, dst, *packet, now, delivery);
+    // rmclint:allow(coro-lifetime): `dst` is a fabric-owned Adapter that
+    // outlives every in-flight delivery; the packet is moved into the closure.
     sched_->call_at(delivery, [&dst, p = std::move(packet)]() mutable {
       dst.inbox.send(std::move(p));
     });
@@ -83,6 +85,8 @@ void Fabric::transmit(PacketPtr packet) {
   dst.rx_messages_++;
   trace_hop(src, dst, *packet, tx_start, delivery);
 
+  // rmclint:allow(coro-lifetime): `dst` is a fabric-owned Adapter that
+  // outlives every in-flight delivery; the packet is moved into the closure.
   sched_->call_at(delivery, [&dst, p = std::move(packet)]() mutable {
     dst.inbox.send(std::move(p));
   });

@@ -90,6 +90,59 @@ void Scheduler::pop_top_into(Entry& out) {
   heap_.pop_back();
 }
 
+void Scheduler::erase_at(std::size_t idx) {
+  const std::size_t last = heap_.size() - 1;
+  if (idx == last) {
+    heap_.pop_back();
+    return;
+  }
+  const Entry tail = heap_[last];
+  heap_.pop_back();
+  // The tail may belong above or below the hole; try sift-up first, then
+  // sift-down from wherever the hole settled.
+  std::size_t hole = idx;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!before(tail.t, tail.seq, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = hole * kArity + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    const std::size_t fence = std::min(first_child + kArity, size);
+    for (std::size_t c = first_child + 1; c < fence; ++c) {
+      if (before(heap_[c].t, heap_[c].seq, heap_[best])) best = c;
+    }
+    if (!before(heap_[best].t, heap_[best].seq, tail)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = tail;
+}
+
+void Scheduler::pop_choice_into(Entry& out) {
+  const Time top = heap_[0].t;
+  tie_scratch_.clear();
+  for (std::uint32_t i = 0; i < heap_.size(); ++i) {
+    // rmclint:allow(zeroalloc): exploration-only slow path, never on the default schedule
+    if (heap_[i].t == top) tie_scratch_.emplace_back(heap_[i].seq, i);
+  }
+  if (tie_scratch_.size() == 1) {
+    pop_top_into(out);
+    return;
+  }
+  // Candidates in insertion order so index 0 == the default schedule.
+  std::sort(tie_scratch_.begin(), tie_scratch_.end());
+  std::size_t choice = tie_breaker_->pick(top, tie_scratch_.size());
+  if (choice >= tie_scratch_.size()) choice = 0;
+  const std::size_t idx = tie_scratch_[choice].second;
+  out = heap_[idx];
+  erase_at(idx);
+}
+
 void Scheduler::spawn(Task<> task) {
   auto handle = task.detach();
   // rmclint:allow(zeroalloc): spawn() is a setup-time operation; steady state resumes existing frames
@@ -107,7 +160,11 @@ Time Scheduler::run() { return run_until(kNoTimeout); }
 Time Scheduler::run_until(Time deadline) {
   Entry entry;
   while (!heap_.empty() && heap_[0].t <= deadline) {
-    pop_top_into(entry);
+    if (tie_breaker_ == nullptr) {
+      pop_top_into(entry);
+    } else {
+      pop_choice_into(entry);
+    }
     queue_depth_metric_->set(static_cast<std::int64_t>(heap_.size()));
     now_ = entry.t;
     ++events_processed_;
@@ -118,8 +175,11 @@ Time Scheduler::run_until(Time deadline) {
     UniqueFunction fn = std::move(slots_[entry.slot]);
     // rmclint:allow(zeroalloc): returns a slot index to the freelist; capacity reached at warmup
     free_slots_.push_back(entry.slot);
-    obs::ProfScope prof{kProfDispatch};
-    fn();
+    {
+      obs::ProfScope prof{kProfDispatch};
+      fn();
+    }
+    if (tie_breaker_ != nullptr) tie_breaker_->after_dispatch(now_);
   }
   return now_;
 }

@@ -6,6 +6,18 @@
 // events at the same instant fire in the order they were scheduled. No
 // wall-clock time, no OS threads.
 //
+// PINNED ORDERING GUARANTEE (load-bearing for every BENCH gate and for
+// byte-identical figure tables): with no tie-breaker installed, the
+// dispatch order of same-timestamp events IS their call_at() insertion
+// order, totally ordered by the monotone seq_ stamp. Any change that
+// reorders same-timestamp dispatch — a different heap, a different
+// comparator, unstable sort anywhere in the pop path — invalidates every
+// recorded baseline in tools/bench_baselines/. Schedule exploration
+// (src/simnet/explore.hpp) must go through set_tie_breaker(), which
+// leaves the default path untouched; direct std::priority_queue use in
+// src/ is rejected by rmclint (determinism-priority-queue) for the same
+// reason.
+//
 // The queue is a flat 4-ary heap over a vector that only grows. Compared
 // to std::priority_queue<Entry>: half the tree depth, hole-based
 // sift-up/down (one move per level instead of a swap's three), and pop
@@ -26,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "simnet/task.hpp"
@@ -38,6 +51,26 @@ class Gauge;
 }  // namespace rmc::obs
 
 namespace rmc::sim {
+
+/// Same-timestamp dispatch policy hook (DESIGN.md §17). When installed on a
+/// Scheduler, every pop whose minimum timestamp is shared by several queued
+/// events presents those events — in insertion order — and lets the policy
+/// pick which fires next. pick(t, 1) is *not* called (a single candidate is
+/// forced), so implementations only see genuine races. The default
+/// (no tie-breaker) preserves the pinned insertion-order guarantee above.
+class TieBreaker {
+ public:
+  virtual ~TieBreaker() = default;
+
+  /// `ready` (>= 2) events share the minimum timestamp `t`; candidates are
+  /// numbered 0..ready-1 in insertion order. Return the index to dispatch.
+  /// Returning 0 on every call reproduces the default schedule exactly.
+  virtual std::size_t pick(Time t, std::size_t ready) = 0;
+
+  /// Called after each dispatched event returns, whether or not pick() ran
+  /// for it — the invariant-checker hook for schedule exploration.
+  virtual void after_dispatch(Time t) { (void)t; }
+};
 
 class Scheduler {
  public:
@@ -90,6 +123,13 @@ class Scheduler {
   /// Number of events processed so far (for micro-benchmarks and tests).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Install (or clear, with nullptr) a same-timestamp dispatch policy.
+  /// The breaker must outlive its installation. With none installed the
+  /// scheduler takes the branch-free fast path and the pinned
+  /// insertion-order guarantee holds bit-for-bit.
+  void set_tie_breaker(TieBreaker* tb) { tie_breaker_ = tb; }
+  TieBreaker* tie_breaker() const { return tie_breaker_; }
+
  private:
   friend struct RootRecordAccess;
 
@@ -114,10 +154,21 @@ class Scheduler {
   /// Remove the minimum entry into `out` (heap must be non-empty).
   void pop_top_into(Entry& out);
 
+  /// Slow path used only when a tie-breaker is installed: collect every
+  /// entry sharing the minimum timestamp, let the breaker pick one, and
+  /// remove it (O(n) scan — exploration runs small models, not figures).
+  void pop_choice_into(Entry& out);
+
+  /// Remove heap_[idx], restoring the heap property (sift up or down).
+  void erase_at(std::size_t idx);
+
   std::vector<Entry> heap_;
   std::vector<UniqueFunction> slots_;     ///< closures, indexed by Entry::slot
   std::vector<std::uint32_t> free_slots_;  ///< recycled slots_ indices
   std::vector<std::unique_ptr<RootRecord>> roots_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>>
+      tie_scratch_;  ///< (seq, heap index) candidates for pop_choice_into
+  TieBreaker* tie_breaker_ = nullptr;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;

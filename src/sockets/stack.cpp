@@ -253,6 +253,8 @@ sim::Task<> NetStack::handle_data(std::unique_ptr<wire::Segment> seg) {
         std::max(sched_->now() + jitter_rng_.below(costs_.jitter_ns + 1),
                  sock.jitter_release_);
     sock.jitter_release_ = target;
+    // rmclint:allow(coro-lifetime): `sock` is pool-owned by this stack — close()
+    // only marks state, storage persists — and the closure checks state on fire.
     sched_->call_at(target, [&sock, payload = std::move(seg->payload)]() mutable {
       if (sock.state() == SockState::established) sock.deliver(std::move(payload));
     });

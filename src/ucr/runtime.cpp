@@ -288,6 +288,8 @@ void Runtime::notify_endpoint_down(Endpoint& ep, Errc reason) {
   // endpoint (pending maps cleaned, waiters woken) and may re-enter the
   // runtime (reconnect, close) without re-entrancy surprises. The
   // Endpoint object outlives the turn: reclamation waits ep_reclaim_delay.
+  // rmclint:allow(coro-lifetime): the captured Endpoint pointer stays valid —
+  // reclamation is deferred by ep_reclaim_delay, strictly after this turn.
   scheduler().call_at(scheduler().now(), [this, ep = &ep, reason] {
     std::vector<EndpointDownHandler*> snapshot;
     // rmclint:allow(zeroalloc): failure path — endpoint death is off the steady-state budget

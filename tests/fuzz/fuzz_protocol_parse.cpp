@@ -1,0 +1,76 @@
+// Fuzz harness for the memcached request parsers (text + binary). The
+// server feeds both parsers raw socket bytes, so arbitrary input must
+// never crash, loop, or read out of bounds. Beyond that, parsing must be
+// chunking-invariant: feeding the same bytes all at once or split into
+// two arbitrary chunks yields the same accept/reject sequence — the
+// incremental buffering the connection loops depend on.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "memcached/binary.hpp"
+#include "memcached/protocol.hpp"
+
+#define FUZZ_REQUIRE(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FUZZ FAILURE: %s at %s:%d\n", #cond, __FILE__,  \
+                   __LINE__);                                               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+namespace {
+
+/// Parse everything buffered; returns (requests accepted, hit an error).
+template <typename Parser>
+std::pair<int, bool> drain(Parser& parser) {
+  int accepted = 0;
+  for (;;) {
+    auto r = parser.next();
+    if (!r.ok()) return {accepted, true};
+    if (!r->has_value()) return {accepted, false};
+    ++accepted;
+    // Termination: the parser may never accept more requests than bytes.
+    FUZZ_REQUIRE(accepted <= 1 << 20);
+  }
+}
+
+template <typename Parser>
+void check_chunking_invariance(std::span<const std::byte> bytes, std::size_t split) {
+  Parser whole;
+  whole.feed(bytes);
+  const auto one_shot = drain(whole);
+
+  Parser chunked;
+  split = bytes.empty() ? 0 : split % (bytes.size() + 1);
+  chunked.feed(bytes.first(split));
+  auto partial = drain(chunked);
+  if (!partial.second) {
+    chunked.feed(bytes.subspan(split));
+    const auto rest = drain(chunked);
+    FUZZ_REQUIRE(partial.first + rest.first == one_shot.first);
+    FUZZ_REQUIRE(rest.second == one_shot.second);
+  } else {
+    // An error surfaced from the prefix alone must also surface whole.
+    FUZZ_REQUIRE(one_shot.second);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 1 || size > (64 << 10)) return 0;
+  const std::size_t split = data[0];
+  const std::span<const std::byte> bytes{
+      reinterpret_cast<const std::byte*>(data + 1), size - 1};
+
+  check_chunking_invariance<rmc::mc::proto::RequestParser>(bytes, split);
+  check_chunking_invariance<rmc::mc::bproto::RequestParser>(bytes, split);
+  return 0;
+}
+
+#include "standalone_driver.hpp"

@@ -1,0 +1,38 @@
+// Fixture: detached-coroutine lifetime hazards the coro-lifetime pass
+// must catch — a spawned coroutine reading reference parameters, and a
+// by-reference capture escaping into a scheduler callback.
+#include <span>
+#include <string>
+
+namespace fx {
+
+struct Scheduler {
+  template <typename T>
+  void spawn(T&&);
+  template <typename F>
+  void call_at(long t, F&&);
+};
+
+struct Task {};
+struct Conn {
+  Task recv(std::span<std::byte> buf);
+};
+
+// Spawned below, so the frame outlives the call expression: every read of
+// `conn` and `buf` races the caller's teardown.
+Task pump(Conn& conn, std::span<std::byte> buf) {
+  for (;;) {
+    co_await conn.recv(buf);
+  }
+}
+
+void start(Scheduler& sched, Conn& conn) {
+  std::byte storage[64];
+  std::span<std::byte> buf{storage};
+  sched.spawn(pump(conn, buf));
+
+  int local = 0;
+  sched.call_at(10, [&local] { local += 1; });  // fires after `local` is gone
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: std::priority_queue in library code — its pop order for equal
+// keys is unspecified, which breaks the pinned same-timestamp dispatch
+// guarantee the figures depend on.
+#include <cstdint>
+#include <queue>
+
+namespace fx {
+
+struct Pending {
+  std::priority_queue<std::uint64_t> deadlines;
+
+  void push(std::uint64_t t) { deadlines.push(t); }
+};
+
+}  // namespace fx

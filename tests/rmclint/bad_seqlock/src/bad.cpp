@@ -1,0 +1,31 @@
+// Fixture: seqlock-discipline violations — direct writes to guarded
+// frame/index fields outside the blessed protocol helpers.
+#include "rfp/layout.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+namespace fx {
+
+struct FrameHeader {
+  std::uint32_t seq = 0;
+  std::uint32_t body_len = 0;
+  std::uint32_t checksum = 0;
+};
+
+struct Ring {
+  std::uint32_t* expected_seq = nullptr;
+};
+
+// Not a blessed writer: stamping seq directly skips the body/checksum
+// ordering that makes torn frames detectable.
+void publish_frame(FrameHeader& hdr, std::uint32_t epoch) {
+  hdr.seq = epoch;
+  hdr.checksum = 0;
+}
+
+void bump(Ring& ring, std::uint32_t slot) {
+  ring.expected_seq[slot] += 1;
+}
+
+}  // namespace fx

@@ -27,6 +27,7 @@ if __package__ in (None, ""):
     # sibling modules importable as a flat namespace.
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
     from rmclint.engine import Finding, Project, apply_suppressions
+    from rmclint.flow import check_coro_lifetime, check_seqlock_discipline
     from rmclint.metrics_xref import check_metrics
     from rmclint.rules import (
         ALL_RULES,
@@ -37,6 +38,7 @@ if __package__ in (None, ""):
     )
 else:
     from .engine import Finding, Project, apply_suppressions
+    from .flow import check_coro_lifetime, check_seqlock_discipline
     from .metrics_xref import check_metrics
     from .rules import (
         ALL_RULES,
@@ -147,6 +149,8 @@ def main(argv: list[str]) -> int:
     findings += check_determinism(project)
     findings += check_zeroalloc(project)
     findings += check_io_hygiene(project)
+    findings += check_coro_lifetime(project)
+    findings += check_seqlock_discipline(project)
     findings = apply_suppressions(project, findings)
     if not args.no_metrics:
         findings += check_metrics(project, root)

@@ -48,6 +48,7 @@ UNORDERED_DECL_RE = re.compile(
 POINTER_KEY_RE = re.compile(
     r"\bstd::(?:map|set|multimap|multiset)\s*<\s*[^,<>]*\*\s*[,>]"
 )
+PRIORITY_QUEUE_RE = re.compile(r"\bpriority_queue\s*<")
 
 
 def _unordered_names(project: Project) -> set[str]:
@@ -140,6 +141,19 @@ def check_determinism(project: Project) -> list[Finding]:
                         "run; key by a stable id instead",
                     )
                 )
+            if PRIORITY_QUEUE_RE.search(line):
+                findings.append(
+                    Finding(
+                        "determinism-priority-queue",
+                        sf.rel,
+                        idx,
+                        "std::priority_queue in src/ — its pop order for "
+                        "equal keys is unspecified, and same-timestamp event "
+                        "order is a pinned guarantee (src/simnet/"
+                        "scheduler.hpp); schedule through sim::Scheduler or "
+                        "a flat heap keyed by an explicit total order",
+                    )
+                )
     return findings
 
 
@@ -214,6 +228,11 @@ ALL_RULES = {
     "determinism-getenv": "ban getenv-dependent control flow in src/",
     "determinism-unordered-iter": "ban iteration over unordered containers in src/",
     "determinism-pointer-key": "ban pointer-keyed ordered containers in src/",
+    "determinism-priority-queue": "ban std::priority_queue in src/ (unspecified tie order)",
+    "coro-lifetime": "ban reads of ref/pointer/view params after co_await; "
+    "ban by-ref captures escaping into registered callbacks",
+    "seqlock-discipline": "ban writes to seqlock-guarded fields outside the "
+    "blessed protocol helpers",
     "zeroalloc": "ban allocation in hot-path-tagged files",
     "io-hygiene": "ban direct stdout/stderr I/O in src/",
     "metrics-registry": "cross-check metric names between code and docs/tests/tools",
